@@ -1,0 +1,183 @@
+package stopwatch
+
+// Tests of the public façade: the API a downstream user sees. These are
+// deliberately written only against the root package.
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 99
+	cloud, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	web, err := cloud.Deploy("web", []int{0, 1, 2}, func() App {
+		fs, err := NewFileServer(DefaultFileServerConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := cloud.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Start()
+	dl := NewDownloader(client)
+	var gotLatency Time
+	cloud.Loop().At(Millis(20), "fetch", func() {
+		if err := dl.Fetch(GuestAddr("web"), ModeTCP, 100<<10, func(lat Time) { gotLatency = lat }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := cloud.Run(Seconds(30)); err != nil {
+		t.Fatal(err)
+	}
+	if gotLatency <= 0 {
+		t.Fatal("download did not complete")
+	}
+	if err := web.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if cloud.Ingress().Replicated() == 0 || cloud.Egress().Forwarded() == 0 {
+		t.Fatal("gateways idle")
+	}
+}
+
+func TestPublicAPISeededDeterminism(t *testing.T) {
+	run := func() (Time, uint64) {
+		cfg := DefaultClusterConfig()
+		cfg.Seed = 1234
+		cloud, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		web, err := cloud.Deploy("web", []int{0, 1, 2}, func() App {
+			fs, err := NewFileServer(DefaultFileServerConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := cloud.NewClient("laptop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cloud.Start()
+		dl := NewDownloader(client)
+		var lat Time
+		cloud.Loop().At(Millis(20), "fetch", func() {
+			_ = dl.Fetch(GuestAddr("web"), ModeTCP, 64<<10, func(l Time) { lat = l })
+		})
+		if err := cloud.Run(Seconds(20)); err != nil {
+			t.Fatal(err)
+		}
+		return lat, web.Runtimes[0].VM().OutputDigest()
+	}
+	lat1, dig1 := run()
+	lat2, dig2 := run()
+	if lat1 != lat2 || dig1 != dig2 {
+		t.Fatalf("same seed, different results: %v/%x vs %v/%x", lat1, dig1, lat2, dig2)
+	}
+	if lat1 == 0 {
+		t.Fatal("no download")
+	}
+}
+
+func TestPublicPlacementAPI(t *testing.T) {
+	k, err := Theorem1Max(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 99*98/6 {
+		t.Fatalf("Theorem1Max(99) = %d (99 ≡ 3 mod 6 admits a Steiner system)", k)
+	}
+	want, err := Theorem2Guests(21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PlaceTheorem2(21, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Guests() != want {
+		t.Fatalf("guests %d, want %d", p.Guests(), want)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	gp, err := GreedyPack(20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTimeHelpers(t *testing.T) {
+	if Seconds(1) != Second || Millis(1) != Millisecond {
+		t.Fatal("helpers wrong")
+	}
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond || Microsecond != 1000*Nanosecond {
+		t.Fatal("constants wrong")
+	}
+}
+
+func TestPublicExperimentEntryPoints(t *testing.T) {
+	// Analytic experiments run fast and exercise the re-exports.
+	f1, err := RunFig1(DefaultFig1Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.Curve) == 0 || f1.Render() == "" {
+		t.Fatal("fig1 empty")
+	}
+	pt, err := RunPlacementTable(DefaultPlacementConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pt.Rows) == 0 {
+		t.Fatal("placement table empty")
+	}
+	// Config re-exports for the simulation-backed figures.
+	if DefaultFig4Config().Bins == 0 || DefaultFig5Config().Runs == 0 ||
+		DefaultFig6Config().Processes == 0 || len(DefaultFig7Config().Profiles) == 0 ||
+		DefaultFig8Config().Bins == 0 || len(DefaultCalibConfig().DeltaNsMS) == 0 ||
+		DefaultCollabConfig().Duration == 0 || DefaultLeaderConfig().Duration == 0 {
+		t.Fatal("config re-export broken")
+	}
+	if DefaultVMMConfig().Validate() != nil {
+		t.Fatal("default VMM config invalid")
+	}
+}
+
+func TestPublicNFSAndParsecTypes(t *testing.T) {
+	if len(PaperNFSMix()) != 6 {
+		t.Fatal("mix")
+	}
+	if len(PaperParsecProfiles()) != 5 {
+		t.Fatal("profiles")
+	}
+	srv, err := NewNFSServer(8)
+	if err != nil || srv == nil {
+		t.Fatal(err)
+	}
+	app, err := NewParsecApp(PaperParsecProfiles()[0], "collector")
+	if err != nil || app == nil {
+		t.Fatal(err)
+	}
+	probe := NewProbeApp()
+	if probe == nil {
+		t.Fatal("probe nil")
+	}
+}

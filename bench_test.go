@@ -1,0 +1,279 @@
+package stopwatch
+
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark runs the corresponding harness and reports the headline
+// quantities as custom metrics, so `go test -bench=. -benchmem` reproduces
+// the whole evaluation. Shapes — who wins, by what factor — are asserted in
+// the internal experiment tests; these benches measure and report.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFig1MedianDistribution regenerates Fig. 1(a): the analytic
+// median-of-3 distributions for λ=1, λ′=1/2.
+func BenchmarkFig1MedianDistribution(b *testing.B) {
+	var r *Fig1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunFig1(DefaultFig1Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.KSRaw, "KS-raw")
+	b.ReportMetric(r.KSMedian, "KS-median")
+	b.ReportMetric(r.KSRaw/r.KSMedian, "KS-contraction")
+}
+
+// BenchmarkFig1ObservationsHalf regenerates Fig. 1(b): observations needed,
+// λ′ = 1/2.
+func BenchmarkFig1ObservationsHalf(b *testing.B) {
+	benchFig1Obs(b, 0.5)
+}
+
+// BenchmarkFig1ObservationsNear regenerates Fig. 1(c): observations needed,
+// λ′ = 10/11.
+func BenchmarkFig1ObservationsNear(b *testing.B) {
+	benchFig1Obs(b, 10.0/11.0)
+}
+
+func benchFig1Obs(b *testing.B, lambdaPrime float64) {
+	cfg := DefaultFig1Config()
+	cfg.LambdaPrime = lambdaPrime
+	var r *Fig1Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunFig1(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(r.Confidences) - 1
+	b.ReportMetric(r.ObsWith[last], "obs-withSW@0.99")
+	b.ReportMetric(r.ObsWithout[last], "obs-withoutSW@0.99")
+	b.ReportMetric(r.ObsWithLRT[last], "obsLRT-withSW@0.99")
+}
+
+// BenchmarkFig4DeliveryCDF regenerates Fig. 4(a)/(b): the live StopWatch
+// run measuring virtual inter-packet delivery times with and without a
+// coresident victim, and the detection effort derived from them.
+func BenchmarkFig4DeliveryCDF(b *testing.B) {
+	cfg := DefaultFig4Config()
+	cfg.Duration = Seconds(10) // trimmed for bench time; cmd/experiments runs 30s
+	var r *Fig4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.KSStopWatch, "KS-stopwatch")
+	b.ReportMetric(r.KSBaseline, "KS-baseline")
+	last := len(r.Confidences) - 1
+	b.ReportMetric(r.ObsWith[last], "obs-withSW@0.99")
+	b.ReportMetric(r.ObsWithout[last], "obs-withoutSW@0.99")
+	b.ReportMetric(float64(r.Divergences), "divergences")
+}
+
+// BenchmarkFig5HTTP regenerates the HTTP rows of Fig. 5 (one sub-benchmark
+// per file size).
+func BenchmarkFig5HTTP(b *testing.B) {
+	for _, kb := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			benchFig5(b, kb, ModeTCP)
+		})
+	}
+}
+
+// BenchmarkFig5UDP regenerates the UDP rows of Fig. 5.
+func BenchmarkFig5UDP(b *testing.B) {
+	for _, kb := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			benchFig5(b, kb, ModeUDP)
+		})
+	}
+}
+
+func benchFig5(b *testing.B, kb int, mode FileServerMode) {
+	cfg := DefaultFig5Config()
+	cfg.SizesKB = []int{kb}
+	cfg.Runs = 2
+	var r *Fig5Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	p := r.Points[0]
+	if mode == ModeTCP {
+		b.ReportMetric(p.HTTPBaseline, "baseline-ms")
+		b.ReportMetric(p.HTTPStopWatch, "stopwatch-ms")
+		b.ReportMetric(p.HTTPRatio, "ratio")
+	} else {
+		b.ReportMetric(p.UDPBaseline, "baseline-ms")
+		b.ReportMetric(p.UDPStopWatch, "stopwatch-ms")
+		b.ReportMetric(p.UDPRatio, "ratio")
+	}
+}
+
+// BenchmarkFig6NFSLatency regenerates Fig. 6(a)/(b): NFS latency per op and
+// packets per op across offered rates.
+func BenchmarkFig6NFSLatency(b *testing.B) {
+	for _, rate := range []float64{25, 100, 400} {
+		b.Run(fmt.Sprintf("rate%d", int(rate)), func(b *testing.B) {
+			cfg := DefaultFig6Config()
+			cfg.Rates = []float64{rate}
+			cfg.LoadDuration = Seconds(2)
+			var r *Fig6Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = RunFig6(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := r.Points[0]
+			b.ReportMetric(p.LatencyBaseline, "baseline-ms")
+			b.ReportMetric(p.LatencyStopWatch, "stopwatch-ms")
+			b.ReportMetric(p.Ratio, "ratio")
+			b.ReportMetric(p.ClientToServerPerOp, "c2s-per-op")
+			b.ReportMetric(p.ServerToClientPerOp, "s2c-per-op")
+		})
+	}
+}
+
+// BenchmarkFig7PARSEC regenerates Fig. 7(a)/(b): one sub-benchmark per
+// application, reporting runtimes and disk interrupts.
+func BenchmarkFig7PARSEC(b *testing.B) {
+	for _, prof := range PaperParsecProfiles() {
+		prof := prof
+		b.Run(prof.Name, func(b *testing.B) {
+			cfg := DefaultFig7Config()
+			cfg.Profiles = []ParsecProfile{prof}
+			var r *Fig7Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = RunFig7(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			p := r.Points[0]
+			b.ReportMetric(p.Baseline, "baseline-ms")
+			b.ReportMetric(p.StopWatch, "stopwatch-ms")
+			b.ReportMetric(p.Ratio, "ratio")
+			b.ReportMetric(float64(p.DiskInterrupts), "disk-interrupts")
+		})
+	}
+}
+
+// BenchmarkFig8NoiseComparison regenerates Fig. 8: StopWatch vs additive
+// uniform noise at matched detection resistance.
+func BenchmarkFig8NoiseComparison(b *testing.B) {
+	var r *Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunFig8(DefaultFig8Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	top := r.Points[len(r.Points)-1]
+	b.ReportMetric(top.EDelayStopWatch, "sw-delay@0.99")
+	b.ReportMetric(top.EDelayNoise, "noise-delay@0.99")
+	b.ReportMetric(top.NoiseBound, "noise-b@0.99")
+	b.ReportMetric(top.ObsNeeded, "obs@0.99")
+}
+
+// BenchmarkTheorem1Packing regenerates the Theorem-1 maximum packing counts.
+func BenchmarkTheorem1Packing(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for n := 3; n <= 999; n++ {
+			k, err := Theorem1Max(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += k
+		}
+	}
+	b.ReportMetric(float64(total), "sum-k(3..999)")
+}
+
+// BenchmarkTheorem2Placement regenerates the Sec.-VIII constructive
+// placements (n=99, c=(n-1)/2) with full verification.
+func BenchmarkTheorem2Placement(b *testing.B) {
+	var guests int
+	for i := 0; i < b.N; i++ {
+		p, err := PlaceTheorem2(99, 49)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		guests = p.Guests()
+	}
+	b.ReportMetric(float64(guests), "guests(n=99,c=49)")
+	b.ReportMetric(float64(guests)/99, "gain-vs-isolation")
+}
+
+// BenchmarkDeltaCalibration regenerates the Sec. VII-A Δn sweep.
+func BenchmarkDeltaCalibration(b *testing.B) {
+	cfg := DefaultCalibConfig()
+	cfg.DeltaNsMS = []float64{4, 12}
+	cfg.Duration = Seconds(4)
+	var r *CalibResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunCalib(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.Points[0].Divergences), "divergences@4ms")
+	b.ReportMetric(float64(r.Points[len(r.Points)-1].Divergences), "divergences@12ms")
+	b.ReportMetric(r.Points[len(r.Points)-1].MeanLatencyMS, "latency-ms@12ms")
+}
+
+// BenchmarkCollabAttack regenerates the Sec.-IX ablation: marginalizing one
+// replica, and 5 replicas as the countermeasure.
+func BenchmarkCollabAttack(b *testing.B) {
+	cfg := DefaultCollabConfig()
+	cfg.Duration = Seconds(6)
+	var r *CollabResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunCollab(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range r.Points {
+		b.ReportMetric(p.KS, "KS-"+p.Name)
+	}
+}
+
+// BenchmarkLeaderAblation regenerates the median-vs-leader ablation
+// (Sec. II design argument). Needs enough samples for the KS ordering to
+// stabilize; shorter runs are dominated by ECDF noise.
+func BenchmarkLeaderAblation(b *testing.B) {
+	cfg := DefaultLeaderConfig()
+	cfg.Duration = Seconds(15)
+	var r *LeaderResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = RunLeader(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.KSMedian, "KS-median")
+	b.ReportMetric(r.KSLeader, "KS-leader")
+}

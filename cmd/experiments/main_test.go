@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunFig1Only(t *testing.T) {
+	if err := run([]string{"-only", "fig1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPlacementOnly(t *testing.T) {
+	if err := run([]string{"-only", "placement"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSelection(t *testing.T) {
+	if err := run([]string{"-only", "nonsense"}); err == nil {
+		t.Fatal("unknown selection should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-frobnicate"}); err == nil {
+		t.Fatal("unknown flag should fail")
+	}
+}

@@ -1,0 +1,239 @@
+// Command stopwatch-sim runs one cloud scenario and prints what happened:
+// a file download, an NFS load, a compute workload, or an attacker/victim
+// side-channel measurement — under the StopWatch VMM or the baseline.
+//
+// Usage:
+//
+//	stopwatch-sim -scenario download -mode stopwatch -size 100 -transport tcp
+//	stopwatch-sim -scenario nfs -mode baseline -rate 100
+//	stopwatch-sim -scenario parsec -app dedup -mode stopwatch
+//	stopwatch-sim -scenario sidechannel -duration 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stopwatch"
+	"stopwatch/internal/apps"
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stopwatch-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stopwatch-sim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "download", "download | nfs | parsec | sidechannel")
+	mode := fs.String("mode", "stopwatch", "stopwatch | baseline")
+	sizeKB := fs.Int("size", 100, "download size in KB")
+	transportFlag := fs.String("transport", "tcp", "tcp | udp (download scenario)")
+	rate := fs.Float64("rate", 100, "NFS ops/s")
+	app := fs.String("app", "ferret", "parsec app: ferret|blackscholes|canneal|dedup|streamcluster")
+	duration := fs.Float64("duration", 10, "scenario duration (seconds)")
+	seed := fs.Uint64("seed", 1, "master seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var m core.Mode
+	switch *mode {
+	case "stopwatch":
+		m = core.ModeStopWatch
+	case "baseline":
+		m = core.ModeBaseline
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	switch *scenario {
+	case "download":
+		return runDownload(*seed, m, *sizeKB, *transportFlag)
+	case "nfs":
+		return runNFS(*seed, m, *rate, sim.FromSeconds(*duration))
+	case "parsec":
+		return runParsec(*seed, m, *app)
+	case "sidechannel":
+		return runSideChannel(*seed, sim.FromSeconds(*duration))
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+}
+
+func newCluster(seed uint64, mode core.Mode) (*core.Cluster, []int, error) {
+	cfg := core.DefaultClusterConfig()
+	cfg.Seed = seed
+	cfg.Mode = mode
+	idx := []int{0, 1, 2}
+	if mode == core.ModeBaseline {
+		cfg.Hosts = 1
+		idx = []int{0}
+	}
+	c, err := core.New(cfg)
+	return c, idx, err
+}
+
+func runDownload(seed uint64, mode core.Mode, sizeKB int, transportFlag string) error {
+	var fsMode apps.FileServerMode
+	switch transportFlag {
+	case "tcp":
+		fsMode = apps.ModeTCP
+	case "udp":
+		fsMode = apps.ModeUDP
+	default:
+		return fmt.Errorf("unknown transport %q", transportFlag)
+	}
+	c, idx, err := newCluster(seed, mode)
+	if err != nil {
+		return err
+	}
+	fsCfg := apps.DefaultFileServerConfig()
+	fsCfg.Mode = fsMode
+	g, err := c.Deploy("web", idx, func() guest.App {
+		srv, err := apps.NewFileServer(fsCfg)
+		if err != nil {
+			panic(err)
+		}
+		return srv
+	})
+	if err != nil {
+		return err
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		return err
+	}
+	c.Start()
+	dl := apps.NewDownloader(cl)
+	var lat sim.Time
+	c.Loop().At(20*sim.Millisecond, "fetch", func() {
+		_ = dl.Fetch(core.ServiceAddr("web"), fsMode, sizeKB<<10, func(l sim.Time) {
+			lat = l
+			c.Stop()
+		})
+	})
+	if err := c.Run(600 * sim.Second); err != nil {
+		return err
+	}
+	if lat == 0 {
+		return fmt.Errorf("download did not complete")
+	}
+	fmt.Printf("scenario:   %s download, %d KB over %s\n", mode, sizeKB, transportFlag)
+	fmt.Printf("latency:    %.2f ms\n", lat.Milliseconds())
+	fmt.Printf("client pkts: sent=%d received=%d\n", cl.PacketsSent(), cl.PacketsReceived())
+	if mode == core.ModeStopWatch {
+		fmt.Printf("lockstep:   %v\n", errString(g.CheckLockstep()))
+		fmt.Printf("divergences: %d\n", g.Divergences())
+		fmt.Printf("egress forwarded: %d packets\n", c.Egress().Forwarded())
+	}
+	return nil
+}
+
+func runNFS(seed uint64, mode core.Mode, rate float64, dur sim.Time) error {
+	c, idx, err := newCluster(seed, mode)
+	if err != nil {
+		return err
+	}
+	g, err := c.Deploy("nfs", idx, func() guest.App {
+		s, err := apps.NewNFSServer(16)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	})
+	if err != nil {
+		return err
+	}
+	cl, err := c.NewClient("nfs-client")
+	if err != nil {
+		return err
+	}
+	c.Start()
+	gen, err := apps.NewNFSLoadGen(c.Loop(), c.Source().Stream("gen"), cl, core.ServiceAddr("nfs"),
+		apps.PaperMix(), apps.NFSLoadGenConfig{Processes: 5, RatePerSec: rate})
+	if err != nil {
+		return err
+	}
+	gen.Start(dur)
+	if err := c.Run(dur + 3*sim.Second); err != nil {
+		return err
+	}
+	lats := gen.Latencies()
+	if len(lats) == 0 {
+		return fmt.Errorf("no NFS ops completed")
+	}
+	var ms []float64
+	for _, l := range lats {
+		ms = append(ms, l.Milliseconds())
+	}
+	sum, err := stats.Summarize(ms)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s NFS at %.0f ops/s for %s\n", mode, rate, dur)
+	fmt.Printf("ops:      issued=%d completed=%d\n", gen.Issued(), gen.Completed())
+	fmt.Printf("latency:  mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms\n", sum.Mean, sum.P50, sum.P95, sum.P99)
+	fmt.Printf("packets/op: c→s=%.2f s→c=%.2f\n",
+		float64(cl.PacketsSent())/float64(gen.Completed()),
+		float64(cl.PacketsReceived())/float64(gen.Completed()))
+	if mode == core.ModeStopWatch {
+		fmt.Printf("lockstep: %v\n", errString(g.CheckLockstep()))
+	}
+	return nil
+}
+
+func runParsec(seed uint64, mode core.Mode, name string) error {
+	var prof apps.ParsecProfile
+	found := false
+	for _, p := range apps.PaperParsecProfiles() {
+		if p.Name == name {
+			prof = p
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown parsec app %q", name)
+	}
+	cfg := stopwatch.DefaultFig7Config()
+	cfg.Seed = seed
+	cfg.Profiles = []apps.ParsecProfile{prof}
+	r, err := stopwatch.RunFig7(cfg)
+	if err != nil {
+		return err
+	}
+	p := r.Points[0]
+	fmt.Printf("scenario: parsec %s\n", name)
+	fmt.Printf("baseline:  %.0f ms (paper: %.0f ms)\n", p.Baseline, p.PaperBaseline)
+	fmt.Printf("stopwatch: %.0f ms (paper: %.0f ms)\n", p.StopWatch, p.PaperStopWatch)
+	fmt.Printf("ratio:     %.2fx; disk interrupts: %d\n", p.Ratio, p.DiskInterrupts)
+	_ = mode // both modes are run by the harness
+	return nil
+}
+
+func runSideChannel(seed uint64, dur sim.Time) error {
+	cfg := stopwatch.DefaultFig4Config()
+	cfg.Seed = seed
+	cfg.Duration = dur
+	r, err := stopwatch.RunFig4(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(r.Render())
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok (identical replica outputs)"
+	}
+	return err.Error()
+}

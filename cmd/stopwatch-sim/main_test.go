@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunDownloadBaseline(t *testing.T) {
+	if err := run([]string{"-scenario", "download", "-mode", "baseline", "-size", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDownloadStopWatchUDP(t *testing.T) {
+	if err := run([]string{"-scenario", "download", "-mode", "stopwatch", "-size", "10", "-transport", "udp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNFS(t *testing.T) {
+	if err := run([]string{"-scenario", "nfs", "-mode", "baseline", "-rate", "50", "-duration", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "bogus"},
+		{"-mode", "bogus"},
+		{"-scenario", "download", "-transport", "bogus"},
+		{"-scenario", "parsec", "-app", "bogus"},
+		{"-nonflag"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v should fail", args)
+		}
+	}
+}

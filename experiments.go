@@ -1,0 +1,129 @@
+package stopwatch
+
+import "stopwatch/internal/experiment"
+
+// Experiment re-exports: one entry point per table/figure of the paper.
+// Each Run* function returns a structured result whose Render method
+// produces the paper-style series; cmd/experiments drives them all.
+
+// Fig1Config parameterizes the analytic median illustration.
+type Fig1Config = experiment.Fig1Config
+
+// Fig1Result carries the Fig-1 curves.
+type Fig1Result = experiment.Fig1Result
+
+// RunFig1 computes Fig. 1 (median distributions and detection effort).
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) { return experiment.RunFig1(cfg) }
+
+// DefaultFig1Config returns λ=1, λ′=1/2.
+func DefaultFig1Config() Fig1Config { return experiment.DefaultFig1Config() }
+
+// Fig4Config parameterizes the live side-channel measurement.
+type Fig4Config = experiment.Fig4Config
+
+// Fig4Result carries the empirical distributions and detection curves.
+type Fig4Result = experiment.Fig4Result
+
+// RunFig4 runs the attacker/victim simulation behind Fig. 4.
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) { return experiment.RunFig4(cfg) }
+
+// DefaultFig4Config returns the default scenario.
+func DefaultFig4Config() Fig4Config { return experiment.DefaultFig4Config() }
+
+// Fig5Config parameterizes the download sweep.
+type Fig5Config = experiment.Fig5Config
+
+// Fig5Result carries the download latencies.
+type Fig5Result = experiment.Fig5Result
+
+// RunFig5 sweeps file sizes × transports × VMMs (Fig. 5).
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) { return experiment.RunFig5(cfg) }
+
+// DefaultFig5Config mirrors the paper's sweep.
+func DefaultFig5Config() Fig5Config { return experiment.DefaultFig5Config() }
+
+// Fig6Config parameterizes the NFS experiment.
+type Fig6Config = experiment.Fig6Config
+
+// Fig6Result carries the NFS latency and packet counts.
+type Fig6Result = experiment.Fig6Result
+
+// RunFig6 sweeps NFS offered rates (Fig. 6).
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) { return experiment.RunFig6(cfg) }
+
+// DefaultFig6Config mirrors the paper's sweep.
+func DefaultFig6Config() Fig6Config { return experiment.DefaultFig6Config() }
+
+// Fig7Config parameterizes the PARSEC-like suite.
+type Fig7Config = experiment.Fig7Config
+
+// Fig7Result carries the runtimes and disk interrupt counts.
+type Fig7Result = experiment.Fig7Result
+
+// RunFig7 measures the compute workloads (Fig. 7).
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) { return experiment.RunFig7(cfg) }
+
+// DefaultFig7Config returns the calibrated profiles.
+func DefaultFig7Config() Fig7Config { return experiment.DefaultFig7Config() }
+
+// Fig8Config parameterizes the noise comparison.
+type Fig8Config = experiment.Fig8Config
+
+// Fig8Result carries the delay comparison.
+type Fig8Result = experiment.Fig8Result
+
+// RunFig8 compares StopWatch against additive uniform noise (Fig. 8).
+func RunFig8(cfg Fig8Config) (*Fig8Result, error) { return experiment.RunFig8(cfg) }
+
+// DefaultFig8Config returns the λ′=1/2 panel.
+func DefaultFig8Config() Fig8Config { return experiment.DefaultFig8Config() }
+
+// PlacementConfig parameterizes the Sec.-VIII table.
+type PlacementConfig = experiment.PlacementConfig
+
+// PlacementResult carries the utilization table.
+type PlacementResult = experiment.PlacementResult
+
+// RunPlacementTable builds and verifies Theorem-2 placements.
+func RunPlacementTable(cfg PlacementConfig) (*PlacementResult, error) {
+	return experiment.RunPlacement(cfg)
+}
+
+// DefaultPlacementConfig evaluates the theorem family.
+func DefaultPlacementConfig() PlacementConfig { return experiment.DefaultPlacementConfig() }
+
+// CalibConfig parameterizes the Δn sweep of Sec. VII-A.
+type CalibConfig = experiment.CalibConfig
+
+// CalibResult carries the divergence/latency tradeoff.
+type CalibResult = experiment.CalibResult
+
+// RunCalib sweeps Δn.
+func RunCalib(cfg CalibConfig) (*CalibResult, error) { return experiment.RunCalib(cfg) }
+
+// DefaultCalibConfig sweeps 2–16 ms.
+func DefaultCalibConfig() CalibConfig { return experiment.DefaultCalibConfig() }
+
+// CollabConfig parameterizes the Sec.-IX collaborating-attacker study.
+type CollabConfig = experiment.CollabConfig
+
+// CollabResult compares 3-replica, marginalized, and 5-replica setups.
+type CollabResult = experiment.CollabResult
+
+// RunCollab runs the collaborating-attacker ablation.
+func RunCollab(cfg CollabConfig) (*CollabResult, error) { return experiment.RunCollab(cfg) }
+
+// DefaultCollabConfig returns the default study.
+func DefaultCollabConfig() CollabConfig { return experiment.DefaultCollabConfig() }
+
+// LeaderConfig parameterizes the median-vs-leader ablation.
+type LeaderConfig = experiment.LeaderConfig
+
+// LeaderResult compares delivery policies.
+type LeaderResult = experiment.LeaderResult
+
+// RunLeader runs the median-vs-leader ablation.
+func RunLeader(cfg LeaderConfig) (*LeaderResult, error) { return experiment.RunLeader(cfg) }
+
+// DefaultLeaderConfig mirrors the Fig-4 scenario.
+func DefaultLeaderConfig() LeaderConfig { return experiment.DefaultLeaderConfig() }

@@ -1,0 +1,582 @@
+// Package core assembles the StopWatch cloud: machines, replicated guests
+// under the StopWatch VMM (or single guests under the baseline VMM), the
+// ingress/egress gateway pair, the inter-VMM proposal and pacing protocols
+// over reliable multicast, and external clients. It is the integration
+// layer every experiment and example builds on.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/gateway"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/multicast"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/transport"
+	"stopwatch/internal/vmm"
+	"stopwatch/internal/vtime"
+)
+
+// ErrCluster reports invalid cluster configuration or use.
+var ErrCluster = errors.New("core: invalid")
+
+// Mode selects the hypervisor under test.
+type Mode int
+
+// Modes.
+const (
+	ModeStopWatch Mode = iota + 1
+	ModeBaseline
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStopWatch:
+		return "stopwatch"
+	case ModeBaseline:
+		return "baseline"
+	default:
+		return "?"
+	}
+}
+
+// ClusterConfig describes a simulated cloud.
+type ClusterConfig struct {
+	// Seed drives every random stream in the simulation.
+	Seed uint64
+	// Hosts is the number of machines.
+	Hosts int
+	// Mode selects StopWatch or baseline.
+	Mode Mode
+	// Replicas per guest under StopWatch (odd; default 3).
+	Replicas int
+	// VMM carries the hypervisor tunables.
+	VMM vmm.Config
+	// CloudLink is the intra-cloud fabric link (hosts, gateways).
+	CloudLink netsim.LinkConfig
+	// ClientLink is the client↔cloud link (the paper's campus WLAN).
+	ClientLink netsim.LinkConfig
+	// HostDrift, when set, gives host i a drift of HostDrift[i%len].
+	HostDrift []float64
+	// HostOffset, when set, gives host i a clock offset.
+	HostOffset []sim.Time
+}
+
+// DefaultClusterConfig returns a three-host StopWatch cloud in the paper's
+// regime: sub-millisecond LAN inside the cloud, ~2 ms WLAN to the client.
+func DefaultClusterConfig() ClusterConfig {
+	return ClusterConfig{
+		Seed:     1,
+		Hosts:    3,
+		Mode:     ModeStopWatch,
+		Replicas: 3,
+		VMM:      vmm.DefaultConfig(),
+		CloudLink: netsim.LinkConfig{
+			Latency:   150 * sim.Microsecond,
+			JitterMax: 50 * sim.Microsecond,
+		},
+		// The paper's client sat on a campus 802.11 network: a few ms of
+		// latency and ~20 Mbps of bandwidth. Transmission delay dominating
+		// disk access is what makes UDP-over-StopWatch competitive with
+		// the baselines (Sec. VII-C).
+		ClientLink: netsim.LinkConfig{
+			Latency:      4 * sim.Millisecond,
+			JitterMax:    300 * sim.Microsecond,
+			BandwidthBps: 2_500_000,
+		},
+		HostDrift:  []float64{0, 1.8e-5, -1.2e-5, 0.7e-5, -2.1e-5},
+		HostOffset: []sim.Time{0, 2 * sim.Millisecond, 5 * sim.Millisecond, 9 * sim.Millisecond, 13 * sim.Millisecond},
+	}
+}
+
+// Cluster is a running simulated cloud.
+type Cluster struct {
+	cfg  ClusterConfig
+	loop *sim.Loop
+	src  *sim.Source
+	net  *netsim.Network
+
+	hosts     []*vmm.Host
+	hostNodes []*hostNode
+
+	ingress *gateway.Ingress
+	egress  *gateway.Egress
+
+	guests map[string]*Guest
+}
+
+// Guest is a deployed guest VM (all its replicas).
+type Guest struct {
+	ID    string
+	Hosts []int
+
+	// StopWatch mode:
+	Runtimes []*vmm.Runtime
+	NetDevs  []*vmm.NetDevice
+	Apps     []guest.App
+	// Epochs holds the per-replica epoch coordinators when the optional
+	// Sec. IV-A re-synchronization is enabled (VMM.EpochInstr > 0).
+	Epochs []*vmm.EpochCoordinator
+
+	// Baseline mode:
+	Baseline *vmm.BaselineRuntime
+}
+
+// App returns replica i's app instance (replica 0 for baseline).
+func (g *Guest) App(i int) guest.App {
+	if len(g.Apps) == 0 {
+		return nil
+	}
+	return g.Apps[i%len(g.Apps)]
+}
+
+// CheckLockstep verifies all replicas produced identical outputs.
+func (g *Guest) CheckLockstep() error {
+	if len(g.Runtimes) < 2 {
+		return nil
+	}
+	d0 := g.Runtimes[0].VM().OutputDigest()
+	n0 := g.Runtimes[0].VM().OutputCount()
+	for i, rt := range g.Runtimes[1:] {
+		if rt.VM().OutputDigest() != d0 || rt.VM().OutputCount() != n0 {
+			return fmt.Errorf("%w: guest %s replica %d diverged (outputs %d vs %d)",
+				ErrCluster, g.ID, i+1, rt.VM().OutputCount(), n0)
+		}
+	}
+	return nil
+}
+
+// Divergences sums the runtime divergence counters across replicas.
+func (g *Guest) Divergences() int {
+	n := 0
+	for _, rt := range g.Runtimes {
+		n += rt.Stats().Divergences
+	}
+	return n
+}
+
+// hostNode is a host's Dom0 fabric endpoint: it demultiplexes ingress
+// streams, peer proposals, pacing reports and egress tunnelling for every
+// guest replica resident on the host.
+type hostNode struct {
+	c    *Cluster
+	host *vmm.Host
+	addr netsim.Addr
+
+	mrx *multicast.Receiver
+
+	// Per-guest wiring.
+	netdevs  map[string]*vmm.NetDevice
+	runtimes map[string]*vmm.Runtime
+	epochs   map[string]*vmm.EpochCoordinator
+}
+
+type propMsg struct {
+	GuestID string
+	Seq     uint64
+	Virt    vtime.Virtual
+}
+
+type paceMsg struct {
+	GuestID string
+	Host    string
+	Virt    vtime.Virtual
+}
+
+type epochMsg struct {
+	GuestID string
+	Epoch   int64
+	Sample  vtime.EpochSample
+}
+
+// New creates a cluster.
+func New(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Hosts <= 0 {
+		return nil, fmt.Errorf("%w: %d hosts", ErrCluster, cfg.Hosts)
+	}
+	if cfg.Mode != ModeStopWatch && cfg.Mode != ModeBaseline {
+		return nil, fmt.Errorf("%w: mode %d", ErrCluster, cfg.Mode)
+	}
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Replicas < 1 || cfg.Replicas%2 == 0 {
+		return nil, fmt.Errorf("%w: replicas %d must be odd", ErrCluster, cfg.Replicas)
+	}
+	if err := cfg.VMM.Validate(); err != nil {
+		return nil, err
+	}
+	loop := sim.NewLoop()
+	src := sim.NewSource(cfg.Seed)
+	net, err := netsim.New(loop, src.Stream("fabric"), cfg.CloudLink)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		loop:   loop,
+		src:    src,
+		net:    net,
+		guests: make(map[string]*Guest),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		name := fmt.Sprintf("host%d", i)
+		drift := 0.0
+		if len(cfg.HostDrift) > 0 {
+			drift = cfg.HostDrift[i%len(cfg.HostDrift)]
+		}
+		var offset sim.Time
+		if len(cfg.HostOffset) > 0 {
+			offset = cfg.HostOffset[i%len(cfg.HostOffset)]
+		}
+		h, err := vmm.NewHost(name, loop, src.Stream("host:"+name), sim.NewClock(offset, drift), cfg.VMM)
+		if err != nil {
+			return nil, err
+		}
+		c.hosts = append(c.hosts, h)
+		hn := &hostNode{
+			c:        c,
+			host:     h,
+			addr:     netsim.Addr("dom0:" + name),
+			netdevs:  make(map[string]*vmm.NetDevice),
+			runtimes: make(map[string]*vmm.Runtime),
+			epochs:   make(map[string]*vmm.EpochCoordinator),
+		}
+		mrx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
+			Addr:   hn.addr,
+			OnData: hn.onMulticastData,
+		})
+		if err != nil {
+			return nil, err
+		}
+		hn.mrx = mrx
+		if err := net.Attach(&netsim.FuncNode{Addr: hn.addr, Fn: hn.deliver}); err != nil {
+			return nil, err
+		}
+		c.hostNodes = append(c.hostNodes, hn)
+	}
+	if cfg.Mode == ModeStopWatch {
+		ing, err := gateway.NewIngress(net, loop, "ingress")
+		if err != nil {
+			return nil, err
+		}
+		c.ingress = ing
+		eg, err := gateway.NewEgress(net, loop, "egress", cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		c.egress = eg
+		// Each replica's output packets are "tunneled ... to the egress
+		// node over TCP" (Sec. VI): a reliable FIFO leg. Model it as the
+		// cloud link without loss — TCP's retransmission is abstracted
+		// away on this hop.
+		tunnel := cfg.CloudLink
+		tunnel.LossProb = 0
+		for _, hn := range c.hostNodes {
+			if err := net.SetLink(hn.addr, eg.Addr(), tunnel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Loop exposes the simulation loop.
+func (c *Cluster) Loop() *sim.Loop { return c.loop }
+
+// Net exposes the fabric.
+func (c *Cluster) Net() *netsim.Network { return c.net }
+
+// Source exposes the seeded stream factory.
+func (c *Cluster) Source() *sim.Source { return c.src }
+
+// Host returns machine i.
+func (c *Cluster) Host(i int) *vmm.Host { return c.hosts[i] }
+
+// Hosts returns the machine count.
+func (c *Cluster) Hosts() int { return len(c.hosts) }
+
+// Egress returns the egress node (nil in baseline mode).
+func (c *Cluster) Egress() *gateway.Egress { return c.egress }
+
+// Ingress returns the ingress node (nil in baseline mode).
+func (c *Cluster) Ingress() *gateway.Ingress { return c.ingress }
+
+// Guest returns a deployed guest by id.
+func (c *Cluster) Guest(id string) (*Guest, bool) {
+	g, ok := c.guests[id]
+	return g, ok
+}
+
+// Deploy places a guest. Under StopWatch, hostIdx must list Replicas
+// distinct hosts; under baseline exactly one. factory builds one app
+// instance per replica (replicas must not share mutable state).
+func (c *Cluster) Deploy(id string, hostIdx []int, factory func() guest.App) (*Guest, error) {
+	if id == "" || factory == nil {
+		return nil, fmt.Errorf("%w: Deploy needs id and app factory", ErrCluster)
+	}
+	if _, dup := c.guests[id]; dup {
+		return nil, fmt.Errorf("%w: guest %q already deployed", ErrCluster, id)
+	}
+	for _, i := range hostIdx {
+		if i < 0 || i >= len(c.hosts) {
+			return nil, fmt.Errorf("%w: host index %d out of range", ErrCluster, i)
+		}
+	}
+	if c.cfg.Mode == ModeBaseline {
+		return c.deployBaseline(id, hostIdx, factory)
+	}
+	return c.deployStopWatch(id, hostIdx, factory)
+}
+
+func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.App) (*Guest, error) {
+	if len(hostIdx) != 1 {
+		return nil, fmt.Errorf("%w: baseline guest needs exactly 1 host, got %d", ErrCluster, len(hostIdx))
+	}
+	app := factory()
+	h := c.hosts[hostIdx[0]]
+	rt, err := vmm.NewBaselineRuntime(h, id, app)
+	if err != nil {
+		return nil, err
+	}
+	svc := gateway.ServiceAddr(id)
+	rt.OnSend = func(a guest.IOAction) {
+		host := h
+		host.Loop().After(hostIODelay(host), "base:out", func() {
+			c.net.Send(&netsim.Packet{Src: svc, Dst: a.Dst, Size: a.Size, Kind: "guest:data", Payload: a.Data})
+		})
+	}
+	if err := c.net.Attach(&netsim.FuncNode{Addr: svc, Fn: func(p *netsim.Packet) {
+		rt.HandleInbound(guest.Payload{Src: p.Src, Size: p.Size, Data: p.Payload})
+	}}); err != nil {
+		return nil, err
+	}
+	g := &Guest{ID: id, Hosts: hostIdx, Baseline: rt, Apps: []guest.App{app}}
+	c.guests[id] = g
+	return g, nil
+}
+
+// hostIODelay approximates the Dom0 output-path processing cost for
+// baseline sends: the same base delay as inbound processing, without load
+// jitter (outbound DMA is cheap).
+func hostIODelay(h *vmm.Host) sim.Time {
+	return h.Config().IOBaseDelay
+}
+
+func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest.App) (*Guest, error) {
+	if len(hostIdx) != c.cfg.Replicas {
+		return nil, fmt.Errorf("%w: guest needs %d replica hosts, got %d", ErrCluster, c.cfg.Replicas, len(hostIdx))
+	}
+	seen := make(map[int]bool, len(hostIdx))
+	for _, i := range hostIdx {
+		if seen[i] {
+			return nil, fmt.Errorf("%w: replica hosts must be distinct", ErrCluster)
+		}
+		seen[i] = true
+	}
+	// Boot times: each replica host's clock read now; the virtual clock
+	// start is their median (Sec. IV-A).
+	boots := make([]sim.Time, len(hostIdx))
+	for k, i := range hostIdx {
+		boots[k] = c.hosts[i].Clock().Read(c.loop.Now())
+	}
+	g := &Guest{ID: id, Hosts: append([]int(nil), hostIdx...)}
+	dom0s := make([]netsim.Addr, len(hostIdx))
+	for k, i := range hostIdx {
+		dom0s[k] = c.hostNodes[i].addr
+	}
+	for k, i := range hostIdx {
+		hn := c.hostNodes[i]
+		app := factory()
+		rt, err := vmm.NewRuntime(c.hosts[i], id, app, boots)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := vmm.NewNetDevice(rt, c.cfg.Replicas)
+		if err != nil {
+			return nil, err
+		}
+		// Proposal exchange: reliable multicast to peer Dom0s.
+		peers := make([]netsim.Addr, 0, len(dom0s)-1)
+		for kk, a := range dom0s {
+			if kk != k {
+				peers = append(peers, a)
+			}
+		}
+		propSrc := netsim.Addr(fmt.Sprintf("prop:%s/%s", c.hosts[i].Name(), id))
+		psnd, err := multicast.NewSender(c.net, c.loop, multicast.SenderConfig{Src: propSrc, Group: peers})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.net.Attach(&netsim.FuncNode{Addr: propSrc, Fn: func(p *netsim.Packet) { psnd.Handle(p) }}); err != nil {
+			return nil, err
+		}
+		gid := id
+		nd.SendProposal = func(seq uint64, v vtime.Virtual) {
+			psnd.Multicast("swprop", 64, propMsg{GuestID: gid, Seq: seq, Virt: v})
+		}
+		// Pacing: unicast reports to peer Dom0s (periodic, loss-tolerant).
+		hostName := c.hosts[i].Name()
+		peersCopy := append([]netsim.Addr(nil), peers...)
+		rt.OnPace = func(v vtime.Virtual) {
+			for _, dst := range peersCopy {
+				c.net.Send(&netsim.Packet{
+					Src: hn.addr, Dst: dst, Size: 48, Kind: "swpace",
+					Payload: paceMsg{GuestID: gid, Host: hostName, Virt: v},
+				})
+			}
+		}
+		// Egress tunnelling of guest outputs (Sec. VI).
+		host := c.hosts[i]
+		replica := host.Name()
+		rt.OnSend = func(a guest.IOAction) {
+			host.Loop().After(hostIODelay(host), "sw:tunnel", func() {
+				c.net.Send(&netsim.Packet{
+					Src: hn.addr, Dst: c.egress.Addr(), Size: a.Size, Kind: "egress:tunnel",
+					Payload: vmm.EgressMsg{
+						GuestID: gid, Replica: replica, Seq: a.Seq,
+						OrigDst: a.Dst, Size: a.Size, Data: a.Data,
+					},
+				})
+			})
+		}
+		// Optional Sec. IV-A epoch re-synchronization.
+		if c.cfg.VMM.EpochInstr > 0 {
+			ec, err := vmm.NewEpochCoordinator(rt, c.cfg.VMM.EpochInstr, c.cfg.Replicas)
+			if err != nil {
+				return nil, err
+			}
+			ec.SendSample = func(epoch int64, s vtime.EpochSample) {
+				for _, dst := range peersCopy {
+					c.net.Send(&netsim.Packet{
+						Src: hn.addr, Dst: dst, Size: 56, Kind: "swepoch",
+						Payload: epochMsg{GuestID: gid, Epoch: epoch, Sample: s},
+					})
+				}
+			}
+			hn.epochs[id] = ec
+			g.Epochs = append(g.Epochs, ec)
+		}
+		hn.netdevs[id] = nd
+		hn.runtimes[id] = rt
+		g.Runtimes = append(g.Runtimes, rt)
+		g.NetDevs = append(g.NetDevs, nd)
+		g.Apps = append(g.Apps, app)
+	}
+	if err := c.ingress.RegisterGuest(id, dom0s); err != nil {
+		return nil, err
+	}
+	c.guests[id] = g
+	return g, nil
+}
+
+// Start boots all deployed guests.
+func (c *Cluster) Start() {
+	for _, g := range c.guests {
+		if g.Baseline != nil {
+			g.Baseline.Start()
+		}
+		for _, rt := range g.Runtimes {
+			rt.Start()
+		}
+	}
+}
+
+// Run advances the simulation to the given time.
+func (c *Cluster) Run(until sim.Time) error {
+	return c.loop.RunUntil(until)
+}
+
+// Stop halts all guests (drains idle spinning so the loop can quiesce).
+func (c *Cluster) Stop() {
+	for _, g := range c.guests {
+		if g.Baseline != nil {
+			g.Baseline.Stop()
+		}
+		for _, rt := range g.Runtimes {
+			rt.Stop()
+		}
+	}
+}
+
+// NewClient attaches a transport client with the configured client link to
+// every deployed guest's service address.
+func (c *Cluster) NewClient(addr netsim.Addr) (*transport.Client, error) {
+	cl, err := transport.NewClient(c.net, c.loop, addr)
+	if err != nil {
+		return nil, err
+	}
+	for id := range c.guests {
+		if err := c.net.SetDuplexLink(addr, gateway.ServiceAddr(id), c.cfg.ClientLink); err != nil {
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// ServiceAddr re-exports the guest public address helper.
+func ServiceAddr(guestID string) netsim.Addr { return gateway.ServiceAddr(guestID) }
+
+// deliver handles unicast packets to the Dom0 node.
+func (hn *hostNode) deliver(p *netsim.Packet) {
+	if hn.mrx.Handle(p) {
+		return
+	}
+	switch p.Kind {
+	case "swpace":
+		msg, ok := p.Payload.(paceMsg)
+		if !ok {
+			return
+		}
+		if rt, ok := hn.runtimes[msg.GuestID]; ok {
+			rt.OnPeerVirt(msg.Host, msg.Virt)
+		}
+	case "swepoch":
+		msg, ok := p.Payload.(epochMsg)
+		if !ok {
+			return
+		}
+		if ec, ok := hn.epochs[msg.GuestID]; ok {
+			ec.OnPeerSample(msg.Epoch, msg.Sample)
+		}
+	case "broadcast":
+		// Ambient subnet noise: costs Dom0 a little processing.
+		hn.host.Loop().After(0, "bcast:absorb", func() {})
+	}
+}
+
+// onMulticastData dispatches reliable-multicast payloads: ingress streams
+// ("ingress/<guest>") and peer proposals ("prop:<host>/<guest>").
+func (hn *hostNode) onMulticastData(src netsim.Addr, seq uint64, kind string, payload any) {
+	switch kind {
+	case "swin":
+		msg, ok := payload.(gateway.InboundMsg)
+		if !ok {
+			return
+		}
+		gid := guestIDFromIngressSrc(string(src))
+		if nd, ok := hn.netdevs[gid]; ok {
+			nd.HandleInbound(seq, guest.Payload{Src: msg.ClientSrc, Size: msg.Size, Data: msg.Data})
+		}
+	case "swprop":
+		msg, ok := payload.(propMsg)
+		if !ok {
+			return
+		}
+		if nd, ok := hn.netdevs[msg.GuestID]; ok {
+			nd.HandlePeerProposal(msg.Seq, msg.Virt)
+		}
+	}
+}
+
+// guestIDFromIngressSrc extracts the guest id from "ingress/<guest>".
+func guestIDFromIngressSrc(src string) string {
+	for i := 0; i < len(src); i++ {
+		if src[i] == '/' {
+			return src[i+1:]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/transport"
+)
+
+func mustCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func fileServerFactory(t *testing.T, cfg apps.FileServerConfig) func() guest.App {
+	t.Helper()
+	return func() guest.App {
+		fs, err := apps.NewFileServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(ClusterConfig{Hosts: 0, Mode: ModeStopWatch, VMM: DefaultClusterConfig().VMM}); !errors.Is(err, ErrCluster) {
+		t.Fatal("0 hosts should fail")
+	}
+	cfg := DefaultClusterConfig()
+	cfg.Mode = 0
+	if _, err := New(cfg); !errors.Is(err, ErrCluster) {
+		t.Fatal("bad mode should fail")
+	}
+	cfg = DefaultClusterConfig()
+	cfg.Replicas = 2
+	if _, err := New(cfg); !errors.Is(err, ErrCluster) {
+		t.Fatal("even replicas should fail")
+	}
+	c := mustCluster(t, DefaultClusterConfig())
+	if _, err := c.Deploy("", []int{0, 1, 2}, nil); !errors.Is(err, ErrCluster) {
+		t.Fatal("empty id should fail")
+	}
+	f := fileServerFactory(t, apps.DefaultFileServerConfig())
+	if _, err := c.Deploy("g", []int{0, 1}, f); !errors.Is(err, ErrCluster) {
+		t.Fatal("wrong replica count should fail")
+	}
+	if _, err := c.Deploy("g", []int{0, 0, 1}, f); !errors.Is(err, ErrCluster) {
+		t.Fatal("duplicate hosts should fail")
+	}
+	if _, err := c.Deploy("g", []int{0, 1, 9}, f); !errors.Is(err, ErrCluster) {
+		t.Fatal("out-of-range host should fail")
+	}
+	if _, err := c.Deploy("g", []int{0, 1, 2}, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deploy("g", []int{0, 1, 2}, f); !errors.Is(err, ErrCluster) {
+		t.Fatal("duplicate guest should fail")
+	}
+}
+
+func TestStopWatchEndToEndDownload(t *testing.T) {
+	c := mustCluster(t, DefaultClusterConfig())
+	g, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, apps.DefaultFileServerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	var lat []sim.Time
+	dl := apps.NewDownloader(cl)
+	c.Loop().At(50*sim.Millisecond, "fetch", func() {
+		if err := dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 100<<10, func(l sim.Time) { lat = append(lat, l) }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 1 {
+		t.Fatalf("downloads completed: %d (egress fwd=%d stuck=%d)",
+			len(lat), c.Egress().Forwarded(), c.Egress().StuckBelowForward())
+	}
+	// Replicas stayed in lockstep and actually served.
+	if err := g.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Divergences() != 0 {
+		t.Fatalf("divergences: %d", g.Divergences())
+	}
+	for i := range g.Apps {
+		if g.App(i).(*apps.FileServer).Served() != 1 {
+			t.Fatalf("replica %d served %d", i, g.App(i).(*apps.FileServer).Served())
+		}
+	}
+	// Latency must include the Δn tax on inbound packets: well above the
+	// bare RTT, below a second.
+	if lat[0] < 10*sim.Millisecond || lat[0] > sim.Second {
+		t.Fatalf("download latency %v out of plausible StopWatch range", lat[0])
+	}
+}
+
+func TestBaselineEndToEndDownload(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Mode = ModeBaseline
+	cfg.Hosts = 1
+	c := mustCluster(t, cfg)
+	if _, err := c.Deploy("web", []int{0}, fileServerFactory(t, apps.DefaultFileServerConfig())); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	var lat []sim.Time
+	dl := apps.NewDownloader(cl)
+	c.Loop().At(50*sim.Millisecond, "fetch", func() {
+		if err := dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 100<<10, func(l sim.Time) { lat = append(lat, l) }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 1 {
+		t.Fatalf("downloads completed: %d", len(lat))
+	}
+	if lat[0] <= 0 || lat[0] > sim.Second {
+		t.Fatalf("baseline latency %v", lat[0])
+	}
+}
+
+func TestStopWatchSlowerThanBaselineButBounded(t *testing.T) {
+	// The headline sanity check behind Fig. 5: same download, both modes;
+	// StopWatch pays more, but within a small constant factor for a 100KB
+	// file (paper: <2.8x at ≥100KB; small files pay relatively more).
+	fetch := func(mode Mode, hosts int, idx []int) sim.Time {
+		cfg := DefaultClusterConfig()
+		cfg.Mode = mode
+		cfg.Hosts = hosts
+		c := mustCluster(t, cfg)
+		if _, err := c.Deploy("web", idx, fileServerFactory(t, apps.DefaultFileServerConfig())); err != nil {
+			t.Fatal(err)
+		}
+		cl, err := c.NewClient("laptop")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		var lat sim.Time
+		dl := apps.NewDownloader(cl)
+		c.Loop().At(50*sim.Millisecond, "fetch", func() {
+			if err := dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 1<<20, func(l sim.Time) { lat = l }); err != nil {
+				t.Error(err)
+			}
+		})
+		if err := c.Run(60 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		if lat == 0 {
+			t.Fatal("download did not complete")
+		}
+		return lat
+	}
+	base := fetch(ModeBaseline, 1, []int{0})
+	sw := fetch(ModeStopWatch, 3, []int{0, 1, 2})
+	if sw <= base {
+		t.Fatalf("StopWatch (%v) should cost more than baseline (%v)", sw, base)
+	}
+	ratio := float64(sw) / float64(base)
+	if ratio > 30 {
+		t.Fatalf("StopWatch/baseline ratio %.1f implausibly high (sw=%v base=%v)", ratio, sw, base)
+	}
+}
+
+func TestUDPDownloadThroughStopWatch(t *testing.T) {
+	cfg := apps.DefaultFileServerConfig()
+	cfg.Mode = apps.ModeUDP
+	c := mustCluster(t, DefaultClusterConfig())
+	g, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	var lat []sim.Time
+	dl := apps.NewDownloader(cl)
+	c.Loop().At(50*sim.Millisecond, "fetch", func() {
+		if err := dl.Fetch(ServiceAddr("web"), apps.ModeUDP, 1<<20, func(l sim.Time) { lat = append(lat, l) }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Run(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(lat) != 1 {
+		t.Fatalf("udp downloads: %d", len(lat))
+	}
+	if err := g.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one inbound packet needed (the request): the ingress should
+	// have replicated exactly 1 client packet.
+	if c.Ingress().Replicated() != 1 {
+		t.Fatalf("ingress replicated %d packets, want 1 for UDP", c.Ingress().Replicated())
+	}
+}
+
+func TestTwoGuestsCoresident(t *testing.T) {
+	// Six hosts; attacker on {0,1,2}, victim on {2,3,4}: exactly one shared
+	// host (2), per the placement constraint.
+	cfg := DefaultClusterConfig()
+	cfg.Hosts = 5
+	c := mustCluster(t, cfg)
+	probeFactory := func() guest.App { return apps.NewProbeApp() }
+	att, err := c.Deploy("attacker", []int{0, 1, 2}, probeFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vic, err := c.Deploy("victim", []int{2, 3, 4}, fileServerFactory(t, apps.DefaultFileServerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("victim-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	// Probe stream to the attacker.
+	ps := apps.NewProbeSource(c.Net(), c.Loop(), c.Source().Stream("probe"), "colluder", ServiceAddr("attacker"), 20*sim.Millisecond)
+	ps.Start(3 * sim.Second)
+	// Victim serves continuous downloads.
+	dl := apps.NewDownloader(cl)
+	var victimDone int
+	var kick func()
+	kick = func() {
+		_ = dl.Fetch(ServiceAddr("victim"), apps.ModeTCP, 64<<10, func(sim.Time) {
+			victimDone++
+			kick()
+		})
+	}
+	c.Loop().At(10*sim.Millisecond, "victim-load", kick)
+	if err := c.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := att.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if err := vic.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if att.Divergences() != 0 || vic.Divergences() != 0 {
+		t.Fatalf("divergences att=%d vic=%d", att.Divergences(), vic.Divergences())
+	}
+	if victimDone == 0 {
+		t.Fatal("victim never served")
+	}
+	probe := att.App(0).(*apps.ProbeApp)
+	if len(probe.DeliveryTimes()) < 50 {
+		t.Fatalf("probe saw %d deliveries", len(probe.DeliveryTimes()))
+	}
+	// All replicas observed IDENTICAL delivery times (that is the defense).
+	for i := 1; i < 3; i++ {
+		a := att.App(i).(*apps.ProbeApp).DeliveryTimes()
+		b := probe.DeliveryTimes()
+		if len(a) != len(b) {
+			t.Fatalf("replica %d saw %d deliveries vs %d", i, len(a), len(b))
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("replica %d delivery %d differs: %v vs %v", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestNFSThroughStopWatch(t *testing.T) {
+	c := mustCluster(t, DefaultClusterConfig())
+	nfsFactory := func() guest.App {
+		s, err := apps.NewNFSServer(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	g, err := c.Deploy("nfs", []int{0, 1, 2}, nfsFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("nfs-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	gen, err := apps.NewNFSLoadGen(c.Loop(), c.Source().Stream("nfsgen"), cl, ServiceAddr("nfs"), apps.PaperMix(), apps.NFSLoadGenConfig{
+		Processes:  5,
+		RatePerSec: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start(2 * sim.Second)
+	if err := c.Run(6 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if gen.Completed() < gen.Issued()*9/10 {
+		t.Fatalf("completed %d/%d ops", gen.Completed(), gen.Issued())
+	}
+	if gen.Completed() == 0 {
+		t.Fatal("no ops completed")
+	}
+	lats := gen.Latencies()
+	var sum sim.Time
+	for _, l := range lats {
+		sum += l
+	}
+	mean := sum / sim.Time(len(lats))
+	if mean < 5*sim.Millisecond || mean > 500*sim.Millisecond {
+		t.Fatalf("mean NFS latency %v implausible", mean)
+	}
+}
+
+func TestParsecThroughBothModes(t *testing.T) {
+	profile := apps.ParsecProfile{
+		Name: "mini", ComputeBranches: 20_000_000, DiskReads: 5, BytesPerRead: 16 << 10,
+	}
+	run := func(mode Mode, hosts int, idx []int) sim.Time {
+		cfg := DefaultClusterConfig()
+		cfg.Mode = mode
+		cfg.Hosts = hosts
+		c := mustCluster(t, cfg)
+		var doneAt sim.Time
+		if err := c.Net().Attach(&netsim.FuncNode{Addr: "collector", Fn: func(p *netsim.Packet) {
+			if doneAt == 0 {
+				doneAt = c.Loop().Now()
+			}
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		factory := func() guest.App {
+			a, err := apps.NewParsecApp(profile, "collector")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a
+		}
+		if _, err := c.Deploy("parsec", idx, factory); err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		if err := c.Run(10 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		if doneAt == 0 {
+			t.Fatalf("%v: workload never finished", mode)
+		}
+		return doneAt
+	}
+	base := run(ModeBaseline, 1, []int{0})
+	sw := run(ModeStopWatch, 3, []int{0, 1, 2})
+	if sw <= base {
+		t.Fatalf("StopWatch parsec (%v) should exceed baseline (%v)", sw, base)
+	}
+	// Overhead should be roughly DiskReads × Δd-ish — bounded well below
+	// 10x for this profile.
+	if float64(sw)/float64(base) > 10 {
+		t.Fatalf("parsec ratio %.1f implausible", float64(sw)/float64(base))
+	}
+}
+
+func TestEgressMedianTimingOrder(t *testing.T) {
+	// The egress must forward each output exactly once and in guest output
+	// order for a single-threaded response stream.
+	c := mustCluster(t, DefaultClusterConfig())
+	if _, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, apps.DefaultFileServerConfig())); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	c.Egress().OnForward = func(g string, seq uint64, at sim.Time) { seqs = append(seqs, seq) }
+	c.Start()
+	dl := apps.NewDownloader(cl)
+	done := false
+	c.Loop().At(50*sim.Millisecond, "fetch", func() {
+		_ = dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 50<<10, func(sim.Time) { done = true })
+	})
+	if err := c.Run(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("download incomplete")
+	}
+	if len(seqs) == 0 {
+		t.Fatal("egress forwarded nothing")
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("egress forward order broken at %d: %v", i, seqs)
+		}
+	}
+}
+
+var _ = transport.MSS // silence potential unused import if tests change

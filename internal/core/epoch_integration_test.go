@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/sim"
+)
+
+// TestEpochResyncEndToEnd enables the optional Sec. IV-A epoch
+// re-synchronization across a full cluster: replicas exchange (D,R) samples
+// over the fabric, hit the epoch barriers together, adjust their virtual
+// clocks identically, and still serve traffic in lockstep.
+func TestEpochResyncEndToEnd(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 21
+	// Epoch of 50M instructions ≈ 50ms of virtual time: several epochs
+	// within the run. Must be a multiple of ExitEvery.
+	cfg.VMM.EpochInstr = 50_000_000
+	c := mustCluster(t, cfg)
+	g, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, apps.DefaultFileServerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Epochs) != 3 {
+		t.Fatalf("epoch coordinators: %d", len(g.Epochs))
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	done := 0
+	dl := apps.NewDownloader(cl)
+	var kick func()
+	kicks := 0
+	kick = func() {
+		if kicks >= 3 {
+			return
+		}
+		kicks++
+		_ = dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 64<<10, func(sim.Time) {
+			done++
+			kick()
+		})
+	}
+	c.Loop().At(20*sim.Millisecond, "fetch", kick)
+	if err := c.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("downloads with epochs enabled: %d/3", done)
+	}
+	if err := g.CheckLockstep(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Divergences() != 0 {
+		t.Fatalf("divergences: %d", g.Divergences())
+	}
+	// Epoch adjustments actually happened, and consistently across
+	// replicas (counts may straggle by one at the cutoff).
+	minAdj, maxAdj := g.Epochs[0].Adjustments(), g.Epochs[0].Adjustments()
+	for _, ec := range g.Epochs[1:] {
+		if a := ec.Adjustments(); a < minAdj {
+			minAdj = a
+		} else if a > maxAdj {
+			maxAdj = a
+		}
+	}
+	if minAdj < 5 {
+		t.Fatalf("too few epoch adjustments: %d", minAdj)
+	}
+	if maxAdj-minAdj > 1 {
+		t.Fatalf("epoch adjustment counts diverged: %d..%d", minAdj, maxAdj)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GuestReport summarizes one guest VM's run.
+type GuestReport struct {
+	ID       string
+	Replicas int
+	// Lockstep is nil when all replicas emitted identical outputs.
+	Lockstep error
+	// Outputs is the per-replica output packet count (identical when in
+	// lockstep).
+	Outputs int
+	// Divergences and Pauses aggregate replica runtime counters.
+	Divergences  int
+	DiskOverruns int
+	Pauses       int
+	// Interrupt counts from replica 0 (identical across correct replicas).
+	NetInterrupts   int64
+	DiskInterrupts  int64
+	TimerInterrupts int64
+}
+
+// Report summarizes a cluster run: per-guest health plus gateway counters.
+type Report struct {
+	Mode   Mode
+	Guests []GuestReport
+	// Gateway counters (zero in baseline mode).
+	IngressReplicated uint64
+	EgressForwarded   uint64
+	EgressStuck       int
+	// Fabric counters.
+	PacketsDelivered uint64
+	PacketsLost      uint64
+}
+
+// Report collects the current run summary.
+func (c *Cluster) Report() Report {
+	r := Report{Mode: c.cfg.Mode}
+	ids := make([]string, 0, len(c.guests))
+	for id := range c.guests {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		g := c.guests[id]
+		gr := GuestReport{ID: id}
+		if g.Baseline != nil {
+			gr.Replicas = 1
+			s := g.Baseline.VM().Stats()
+			gr.Outputs = g.Baseline.VM().OutputCount()
+			gr.NetInterrupts = s.NetInterrupts
+			gr.DiskInterrupts = s.DiskInterrupts
+			gr.TimerInterrupts = s.TimerInterrupts
+		} else {
+			gr.Replicas = len(g.Runtimes)
+			gr.Lockstep = g.CheckLockstep()
+			if len(g.Runtimes) > 0 {
+				s := g.Runtimes[0].VM().Stats()
+				gr.Outputs = g.Runtimes[0].VM().OutputCount()
+				gr.NetInterrupts = s.NetInterrupts
+				gr.DiskInterrupts = s.DiskInterrupts
+				gr.TimerInterrupts = s.TimerInterrupts
+			}
+			for _, rt := range g.Runtimes {
+				st := rt.Stats()
+				gr.Divergences += st.Divergences
+				gr.DiskOverruns += st.DiskOverruns
+				gr.Pauses += st.Pauses
+			}
+		}
+		r.Guests = append(r.Guests, gr)
+	}
+	if c.ingress != nil {
+		r.IngressReplicated = c.ingress.Replicated()
+	}
+	if c.egress != nil {
+		r.EgressForwarded = c.egress.Forwarded()
+		r.EgressStuck = c.egress.StuckBelowForward()
+	}
+	fs := c.net.Stats()
+	r.PacketsDelivered = fs.Delivered
+	r.PacketsLost = fs.Lost
+	return r
+}
+
+// Healthy reports whether every guest is in lockstep with no divergences
+// and the egress has no stuck packets.
+func (r Report) Healthy() bool {
+	for _, g := range r.Guests {
+		if g.Lockstep != nil || g.Divergences > 0 || g.DiskOverruns > 0 {
+			return false
+		}
+	}
+	return r.EgressStuck == 0
+}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster report (%s): %d guests, ingress=%d egress=%d stuck=%d fabric=%d/%d\n",
+		r.Mode, len(r.Guests), r.IngressReplicated, r.EgressForwarded, r.EgressStuck,
+		r.PacketsDelivered, r.PacketsDelivered+r.PacketsLost)
+	for _, g := range r.Guests {
+		status := "ok"
+		if g.Lockstep != nil {
+			status = "DIVERGED: " + g.Lockstep.Error()
+		}
+		fmt.Fprintf(&b, "  %-12s x%d %s: out=%d net=%d disk=%d timer=%d div=%d overrun=%d pauses=%d\n",
+			g.ID, g.Replicas, status, g.Outputs, g.NetInterrupts, g.DiskInterrupts,
+			g.TimerInterrupts, g.Divergences, g.DiskOverruns, g.Pauses)
+	}
+	return b.String()
+}

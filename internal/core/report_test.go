@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+)
+
+func TestReportStopWatchRun(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 33
+	c := mustCluster(t, cfg)
+	if _, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, apps.DefaultFileServerConfig())); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	done := false
+	dl := apps.NewDownloader(cl)
+	c.Loop().At(20*sim.Millisecond, "fetch", func() {
+		_ = dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 64<<10, func(sim.Time) { done = true })
+	})
+	if err := c.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("download incomplete")
+	}
+	r := c.Report()
+	if !r.Healthy() {
+		t.Fatalf("unhealthy report:\n%s", r)
+	}
+	if len(r.Guests) != 1 || r.Guests[0].Replicas != 3 {
+		t.Fatalf("guest summary wrong: %+v", r.Guests)
+	}
+	if r.Guests[0].NetInterrupts == 0 || r.Guests[0].DiskInterrupts == 0 {
+		t.Fatalf("interrupt counts empty: %+v", r.Guests[0])
+	}
+	if r.IngressReplicated == 0 || r.EgressForwarded == 0 {
+		t.Fatalf("gateway counters empty: %+v", r)
+	}
+	out := r.String()
+	for _, want := range []string{"cluster report", "web", "x3", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportBaselineRun(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 35
+	cfg.Mode = ModeBaseline
+	cfg.Hosts = 1
+	c := mustCluster(t, cfg)
+	if _, err := c.Deploy("web", []int{0}, fileServerFactory(t, apps.DefaultFileServerConfig())); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	dl := apps.NewDownloader(cl)
+	c.Loop().At(20*sim.Millisecond, "fetch", func() {
+		_ = dl.Fetch(ServiceAddr("web"), apps.ModeTCP, 16<<10, nil)
+	})
+	if err := c.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if len(r.Guests) != 1 || r.Guests[0].Replicas != 1 {
+		t.Fatalf("baseline guest summary: %+v", r.Guests)
+	}
+	if r.IngressReplicated != 0 || r.EgressForwarded != 0 {
+		t.Fatal("baseline should have no gateway counters")
+	}
+	if !r.Healthy() {
+		t.Fatalf("baseline unhealthy:\n%s", r)
+	}
+}
+
+func TestReportFlagsDivergence(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 37
+	c := mustCluster(t, cfg)
+	g, err := c.Deploy("web", []int{0, 1, 2}, fileServerFactory(t, apps.DefaultFileServerConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	if err := c.Run(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Force a synchrony violation on one replica.
+	g.Runtimes[0].EnqueueNetDelivery(999, g.Runtimes[0].VirtAtLastExit()-1, guestPayload())
+	if err := c.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r := c.Report()
+	if r.Healthy() {
+		t.Fatal("report should be unhealthy after forced divergence")
+	}
+	if r.Guests[0].Divergences == 0 {
+		t.Fatalf("divergence not reported: %+v", r.Guests[0])
+	}
+}
+
+// guestPayload builds a minimal payload for fault injection.
+func guestPayload() guest.Payload { return guest.Payload{Src: "x", Size: 1} }

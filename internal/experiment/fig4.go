@@ -1,0 +1,282 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/stats"
+)
+
+// Fig4Config parameterizes the live side-channel measurement: an attacker
+// VM receiving a probe packet stream, with and without a victim VM whose
+// one shared replica host carries its file-serving load.
+type Fig4Config struct {
+	Seed uint64
+	// Duration of each run.
+	Duration sim.Time
+	// ProbeMeanGap is the mean inter-probe gap of the attacker's inbound
+	// stream.
+	ProbeMeanGap sim.Time
+	// VictimFileKB is the file the victim continuously serves.
+	VictimFileKB int
+	// Bins for the χ² detection estimate.
+	Bins int
+}
+
+// DefaultFig4Config gives ~15000 observations per run. The probe stream is
+// dense (mean gap 2ms): with sparse probes the victim's sub-millisecond
+// delay perturbations drown in the probes' own inter-arrival variance, and
+// neither system shows a channel. Dense probing is the attacker's best
+// strategy and the regime the paper's Fig-4 run reflects.
+func DefaultFig4Config() Fig4Config {
+	return Fig4Config{
+		Seed:         7,
+		Duration:     30 * sim.Second,
+		ProbeMeanGap: 2 * sim.Millisecond,
+		VictimFileKB: 256,
+		Bins:         10,
+	}
+}
+
+// Fig4Result carries the empirical inter-delivery distributions and the
+// derived detection-difficulty curves.
+type Fig4Result struct {
+	Config Fig4Config
+
+	// Virtual inter-delivery gaps (ms) at the attacker's replicas under
+	// StopWatch, with and without the victim.
+	SWGapsVictim, SWGapsNoVictim []float64
+	// Real inter-delivery gaps (ms) at the baseline attacker.
+	BaseGapsVictim, BaseGapsNoVictim []float64
+
+	// KS distances between the with/without distributions.
+	KSStopWatch, KSBaseline float64
+
+	Confidences []float64
+	// Observations needed (χ² on ECDF bins).
+	ObsWith, ObsWithout []float64
+
+	// Divergences across attacker replicas during the victim run.
+	Divergences int
+}
+
+// RunFig4 performs the four runs (StopWatch/baseline × victim/no-victim)
+// and derives Fig. 4(a) and 4(b).
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	if cfg.Duration <= 0 || cfg.ProbeMeanGap <= 0 || cfg.Bins < 2 {
+		return nil, fmt.Errorf("%w: fig4 config %+v", core.ErrCluster, cfg)
+	}
+	res := &Fig4Result{Config: cfg, Confidences: stats.StandardConfidences()}
+
+	swV, div, err := runSWProbe(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res.SWGapsVictim = swV
+	res.Divergences = div
+	swN, _, err := runSWProbe(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	res.SWGapsNoVictim = swN
+
+	bV, err := runBaseProbe(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	res.BaseGapsVictim = bV
+	bN, err := runBaseProbe(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	res.BaseGapsNoVictim = bN
+
+	// KS distances.
+	eSWV, err := stats.NewECDF(res.SWGapsVictim)
+	if err != nil {
+		return nil, err
+	}
+	eSWN, err := stats.NewECDF(res.SWGapsNoVictim)
+	if err != nil {
+		return nil, err
+	}
+	res.KSStopWatch = stats.KSDistanceECDF(eSWV, eSWN)
+	eBV, err := stats.NewECDF(res.BaseGapsVictim)
+	if err != nil {
+		return nil, err
+	}
+	eBN, err := stats.NewECDF(res.BaseGapsNoVictim)
+	if err != nil {
+		return nil, err
+	}
+	res.KSBaseline = stats.KSDistanceECDF(eBV, eBN)
+
+	// Detection curves: bin by the no-victim ECDF's quantiles.
+	obsFrom := func(noVict, vict *stats.ECDF) ([]float64, error) {
+		bn := stats.Binning{}
+		for i := 1; i < cfg.Bins; i++ {
+			bn.Edges = append(bn.Edges, noVict.Quantile(float64(i)/float64(cfg.Bins)))
+		}
+		p := bn.CellProbs(noVict.CDF)
+		q := bn.CellProbs(vict.CDF)
+		return stats.DetectionCurve(p, q, res.Confidences)
+	}
+	res.ObsWith, err = obsFrom(eSWN, eSWV)
+	if err != nil {
+		return nil, err
+	}
+	res.ObsWithout, err = obsFrom(eBN, eBV)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runSWProbe runs the StopWatch scenario: 5 hosts, attacker on {0,1,2},
+// victim (when present) on {2,3,4} — exactly one shared host.
+func runSWProbe(cfg Fig4Config, withVictim bool) (gapsMS []float64, divergences int, err error) {
+	cc := core.DefaultClusterConfig()
+	cc.Seed = cfg.Seed
+	cc.Hosts = 5
+	c, err := core.New(cc)
+	if err != nil {
+		return nil, 0, err
+	}
+	att, err := c.Deploy("attacker", []int{0, 1, 2}, func() guest.App { return apps.NewProbeApp() })
+	if err != nil {
+		return nil, 0, err
+	}
+	var vic *core.Guest
+	if withVictim {
+		vic, err = c.Deploy("victim", []int{2, 3, 4}, func() guest.App {
+			fs, ferr := apps.NewFileServer(apps.DefaultFileServerConfig())
+			if ferr != nil {
+				panic(ferr) // factory cannot fail with the default config
+			}
+			return fs
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	c.Start()
+
+	ps := apps.NewProbeSource(c.Net(), c.Loop(), c.Source().Stream("probe"),
+		"colluder", core.ServiceAddr("attacker"), cfg.ProbeMeanGap)
+	ps.Constant = true
+	ps.Start(cfg.Duration)
+
+	if withVictim {
+		cl, err := c.NewClient("victim-client")
+		if err != nil {
+			return nil, 0, err
+		}
+		dl := apps.NewDownloader(cl)
+		var kick func()
+		kick = func() {
+			_ = dl.Fetch(core.ServiceAddr("victim"), apps.ModeTCP, cfg.VictimFileKB<<10, func(sim.Time) { kick() })
+		}
+		// Three concurrent download streams give the victim a realistic
+		// serving duty cycle on its hosts.
+		for i := 0; i < 3; i++ {
+			c.Loop().At(sim.Time(i+1)*5*sim.Millisecond, "victim-load", kick)
+		}
+	}
+
+	if err := c.Run(cfg.Duration + 200*sim.Millisecond); err != nil {
+		return nil, 0, err
+	}
+	if err := att.CheckLockstep(); err != nil {
+		return nil, 0, err
+	}
+	probe := att.App(0).(*apps.ProbeApp)
+	for _, g := range probe.InterDeliveryGaps() {
+		gapsMS = append(gapsMS, g/1e6)
+	}
+	div := att.Divergences()
+	if vic != nil {
+		div += vic.Divergences()
+	}
+	return gapsMS, div, nil
+}
+
+// runBaseProbe runs the baseline scenario: attacker alone on one host, the
+// victim (when present) coresident on the same host.
+func runBaseProbe(cfg Fig4Config, withVictim bool) ([]float64, error) {
+	cc := core.DefaultClusterConfig()
+	cc.Seed = cfg.Seed + 1000
+	cc.Mode = core.ModeBaseline
+	cc.Hosts = 1
+	c, err := core.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	att, err := c.Deploy("attacker", []int{0}, func() guest.App { return apps.NewProbeApp() })
+	if err != nil {
+		return nil, err
+	}
+	if withVictim {
+		if _, err := c.Deploy("victim", []int{0}, func() guest.App {
+			fs, ferr := apps.NewFileServer(apps.DefaultFileServerConfig())
+			if ferr != nil {
+				panic(ferr)
+			}
+			return fs
+		}); err != nil {
+			return nil, err
+		}
+	}
+	c.Start()
+	ps := apps.NewProbeSource(c.Net(), c.Loop(), c.Source().Stream("probe"),
+		"colluder", core.ServiceAddr("attacker"), cfg.ProbeMeanGap)
+	ps.Constant = true
+	ps.Start(cfg.Duration)
+	if withVictim {
+		cl, err := c.NewClient("victim-client")
+		if err != nil {
+			return nil, err
+		}
+		dl := apps.NewDownloader(cl)
+		var kick func()
+		kick = func() {
+			_ = dl.Fetch(core.ServiceAddr("victim"), apps.ModeTCP, cfg.VictimFileKB<<10, func(sim.Time) { kick() })
+		}
+		// Three concurrent download streams give the victim a realistic
+		// serving duty cycle on its hosts.
+		for i := 0; i < 3; i++ {
+			c.Loop().At(sim.Time(i+1)*5*sim.Millisecond, "victim-load", kick)
+		}
+	}
+	if err := c.Run(cfg.Duration + 200*sim.Millisecond); err != nil {
+		return nil, err
+	}
+	probe := att.App(0).(*apps.ProbeApp)
+	var gaps []float64
+	for _, g := range probe.InterDeliveryGaps() {
+		gaps = append(gaps, g/1e6)
+	}
+	return gaps, nil
+}
+
+// Render prints the Fig-4 series.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	sumV, _ := stats.Summarize(r.SWGapsVictim)
+	sumN, _ := stats.Summarize(r.SWGapsNoVictim)
+	fmt.Fprintf(&b, "Fig 4(a): virtual inter-delivery gaps at attacker (ms)\n")
+	fmt.Fprintf(&b, "  with victim:    n=%d mean=%.2f p50=%.2f p95=%.2f\n", sumV.N, sumV.Mean, sumV.P50, sumV.P95)
+	fmt.Fprintf(&b, "  without victim: n=%d mean=%.2f p50=%.2f p95=%.2f\n", sumN.N, sumN.Mean, sumN.P50, sumN.P95)
+	fmt.Fprintf(&b, "  KS distance: StopWatch=%.4f baseline=%.4f (suppression ×%.1f)\n",
+		r.KSStopWatch, r.KSBaseline, r.KSBaseline/r.KSStopWatch)
+	fmt.Fprintf(&b, "  attacker replica divergences: %d\n\n", r.Divergences)
+	fmt.Fprintf(&b, "Fig 4(b): observations needed to detect victim\n")
+	fmt.Fprintf(&b, "%10s %12s %12s\n", "confidence", "w/ SW", "w/o SW")
+	for i, c := range r.Confidences {
+		fmt.Fprintf(&b, "%10.2f %12.1f %12.1f\n", c, r.ObsWith[i], r.ObsWithout[i])
+	}
+	return b.String()
+}

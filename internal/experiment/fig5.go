@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+)
+
+// Fig5Config parameterizes the file-download latency sweep.
+type Fig5Config struct {
+	Seed uint64
+	// SizesKB are the file sizes (paper: 1KB–10MB, log scale).
+	SizesKB []int
+	// Runs per point (paper: 10).
+	Runs int
+	// Timeout per download.
+	Timeout sim.Time
+}
+
+// DefaultFig5Config mirrors the paper's sweep.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		Seed:    11,
+		SizesKB: []int{1, 10, 100, 1000, 10000},
+		Runs:    10,
+		Timeout: 300 * sim.Second,
+	}
+}
+
+// Fig5Point is one (size, transport) row.
+type Fig5Point struct {
+	SizeKB int
+	// Mean latencies (ms).
+	HTTPBaseline, HTTPStopWatch float64
+	UDPBaseline, UDPStopWatch   float64
+	// Ratios.
+	HTTPRatio, UDPRatio float64
+}
+
+// Fig5Result is the full sweep.
+type Fig5Result struct {
+	Config Fig5Config
+	Points []Fig5Point
+}
+
+// RunFig5 sweeps sizes × transports × VMMs. Every download is from a cold
+// start: a fresh cluster per run, as in the paper.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if len(cfg.SizesKB) == 0 || cfg.Runs <= 0 {
+		return nil, fmt.Errorf("%w: fig5 config %+v", core.ErrCluster, cfg)
+	}
+	res := &Fig5Result{Config: cfg}
+	for _, kb := range cfg.SizesKB {
+		p := Fig5Point{SizeKB: kb}
+		var err error
+		if p.HTTPBaseline, err = fig5Mean(cfg, kb, apps.ModeTCP, core.ModeBaseline); err != nil {
+			return nil, err
+		}
+		if p.HTTPStopWatch, err = fig5Mean(cfg, kb, apps.ModeTCP, core.ModeStopWatch); err != nil {
+			return nil, err
+		}
+		if p.UDPBaseline, err = fig5Mean(cfg, kb, apps.ModeUDP, core.ModeBaseline); err != nil {
+			return nil, err
+		}
+		if p.UDPStopWatch, err = fig5Mean(cfg, kb, apps.ModeUDP, core.ModeStopWatch); err != nil {
+			return nil, err
+		}
+		p.HTTPRatio = p.HTTPStopWatch / p.HTTPBaseline
+		p.UDPRatio = p.UDPStopWatch / p.UDPBaseline
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+func fig5Mean(cfg Fig5Config, kb int, mode apps.FileServerMode, vmmMode core.Mode) (float64, error) {
+	var sum float64
+	for run := 0; run < cfg.Runs; run++ {
+		lat, err := fig5One(cfg.Seed+uint64(run)*1337, kb, mode, vmmMode, cfg.Timeout)
+		if err != nil {
+			return 0, err
+		}
+		sum += lat.Milliseconds()
+	}
+	return sum / float64(cfg.Runs), nil
+}
+
+func fig5One(seed uint64, kb int, mode apps.FileServerMode, vmmMode core.Mode, timeout sim.Time) (sim.Time, error) {
+	cc := core.DefaultClusterConfig()
+	cc.Seed = seed
+	cc.Mode = vmmMode
+	hostIdx := []int{0, 1, 2}
+	if vmmMode == core.ModeBaseline {
+		cc.Hosts = 1
+		hostIdx = []int{0}
+	}
+	c, err := core.New(cc)
+	if err != nil {
+		return 0, err
+	}
+	fsCfg := apps.DefaultFileServerConfig()
+	fsCfg.Mode = mode
+	if _, err := c.Deploy("web", hostIdx, func() guest.App {
+		fs, ferr := apps.NewFileServer(fsCfg)
+		if ferr != nil {
+			panic(ferr)
+		}
+		return fs
+	}); err != nil {
+		return 0, err
+	}
+	cl, err := c.NewClient("laptop")
+	if err != nil {
+		return 0, err
+	}
+	c.Start()
+	dl := apps.NewDownloader(cl)
+	var lat sim.Time
+	c.Loop().At(20*sim.Millisecond, "fetch", func() {
+		_ = dl.Fetch(core.ServiceAddr("web"), mode, kb<<10, func(l sim.Time) {
+			lat = l
+			// Quiesce quickly once done.
+			c.Stop()
+		})
+	})
+	if err := c.Run(timeout); err != nil {
+		return 0, err
+	}
+	if lat == 0 {
+		return 0, fmt.Errorf("%w: %dKB %v/%v download did not complete", core.ErrCluster, kb, mode, vmmMode)
+	}
+	return lat, nil
+}
+
+// Render prints the Fig-5 table.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5: file-retrieval latency (ms, mean of %d runs)\n", r.Config.Runs)
+	fmt.Fprintf(&b, "%8s %12s %12s %8s %12s %12s %8s\n",
+		"size KB", "HTTP base", "HTTP SW", "ratio", "UDP base", "UDP SW", "ratio")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8d %12.2f %12.2f %8.2f %12.2f %12.2f %8.2f\n",
+			p.SizeKB, p.HTTPBaseline, p.HTTPStopWatch, p.HTTPRatio,
+			p.UDPBaseline, p.UDPStopWatch, p.UDPRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"stopwatch/internal/placement"
+)
+
+// PlacementConfig parameterizes the Sec.-VIII utilization table.
+type PlacementConfig struct {
+	// Ns are the cluster sizes to evaluate (each ≡ 3 mod 6).
+	Ns []int
+	// Capacity overrides per-machine capacity; 0 uses the maximum (n-1)/2.
+	Capacity int
+}
+
+// DefaultPlacementConfig evaluates the theorem family across two decades.
+func DefaultPlacementConfig() PlacementConfig {
+	return PlacementConfig{Ns: []int{9, 15, 21, 27, 33, 63, 99, 153}}
+}
+
+// PlacementResult wraps the utilization table.
+type PlacementResult struct {
+	Config PlacementConfig
+	Rows   []placement.UtilizationRow
+}
+
+// RunPlacement builds and verifies the Theorem-2 placements and the greedy
+// comparison for each n.
+func RunPlacement(cfg PlacementConfig) (*PlacementResult, error) {
+	rows, err := placement.UtilizationTable(cfg.Ns, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &PlacementResult{Config: cfg, Rows: rows}, nil
+}
+
+// Render prints the Sec.-VIII table.
+func (r *PlacementResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec VIII: replica placement utilization (Theorems 1-2)\n")
+	fmt.Fprintf(&b, "%6s %5s %10s %8s %9s %10s %8s\n",
+		"n", "c", "Theorem2", "greedy", "isolated", "Thm1 max", "gain")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d %5d %10d %8d %9d %10d %8.2f\n",
+			row.N, row.C, row.Theorem2, row.Greedy, row.Isolated, row.Theorem1Bound, row.UtilizationGain)
+	}
+	return b.String()
+}

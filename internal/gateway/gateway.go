@@ -1,0 +1,221 @@
+// Package gateway implements StopWatch's cloud edge: the ingress node that
+// replicates every inbound guest packet to the guest's three replica hosts
+// (Sec. V), and the egress node that forwards each guest output packet when
+// its second copy arrives — the median emission timing of the three
+// replicas (Sec. VI).
+package gateway
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/multicast"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vmm"
+)
+
+// ErrGateway reports gateway configuration errors.
+var ErrGateway = errors.New("gateway: invalid")
+
+// ServiceAddr returns the public fabric address of a guest VM: the address
+// clients talk to, owned by the ingress on the inbound side and used as the
+// source of egress-forwarded packets.
+func ServiceAddr(guestID string) netsim.Addr {
+	return netsim.Addr("svc:" + guestID)
+}
+
+// InboundMsg is the ingress-replicated form of a client packet.
+type InboundMsg struct {
+	ClientSrc netsim.Addr
+	Kind      string
+	Size      int
+	Data      any
+}
+
+// Ingress replicates packets destined for guests to their replica hosts via
+// reliable multicast. One ingress can serve any number of guests; a cloud
+// can run several ingresses (the paper: "there need not be only one").
+type Ingress struct {
+	net  *netsim.Network
+	loop *sim.Loop
+	addr netsim.Addr
+
+	senders map[string]*multicast.Sender
+
+	replicated uint64
+}
+
+// NewIngress creates an ingress node rooted at addr.
+func NewIngress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr) (*Ingress, error) {
+	if net == nil || loop == nil || addr == "" {
+		return nil, fmt.Errorf("%w: ingress needs net, loop, addr", ErrGateway)
+	}
+	return &Ingress{
+		net:     net,
+		loop:    loop,
+		addr:    addr,
+		senders: make(map[string]*multicast.Sender),
+	}, nil
+}
+
+// SourceAddr returns the per-guest multicast source address, which receivers
+// use to identify the stream.
+func (in *Ingress) SourceAddr(guestID string) netsim.Addr {
+	return netsim.Addr(string(in.addr) + "/" + guestID)
+}
+
+// RegisterGuest wires a guest: client packets to ServiceAddr(guestID) are
+// replicated to the given replica host (Dom0) addresses.
+func (in *Ingress) RegisterGuest(guestID string, replicaHosts []netsim.Addr) error {
+	if guestID == "" || len(replicaHosts) == 0 {
+		return fmt.Errorf("%w: RegisterGuest(%q, %v)", ErrGateway, guestID, replicaHosts)
+	}
+	if _, dup := in.senders[guestID]; dup {
+		return fmt.Errorf("%w: guest %q already registered", ErrGateway, guestID)
+	}
+	src := in.SourceAddr(guestID)
+	snd, err := multicast.NewSender(in.net, in.loop, multicast.SenderConfig{
+		Src:   src,
+		Group: replicaHosts,
+	})
+	if err != nil {
+		return err
+	}
+	in.senders[guestID] = snd
+	// NAKs for this stream come back to the stream source address.
+	if err := in.net.Attach(&netsim.FuncNode{Addr: src, Fn: func(p *netsim.Packet) { snd.Handle(p) }}); err != nil {
+		return err
+	}
+	// Client traffic to the guest's public address lands here.
+	gid := guestID
+	return in.net.Attach(&netsim.FuncNode{
+		Addr: ServiceAddr(guestID),
+		Fn:   func(p *netsim.Packet) { in.forward(gid, p) },
+	})
+}
+
+func (in *Ingress) forward(guestID string, p *netsim.Packet) {
+	snd, ok := in.senders[guestID]
+	if !ok {
+		return
+	}
+	in.replicated++
+	snd.Multicast("swin", p.Size, InboundMsg{
+		ClientSrc: p.Src,
+		Kind:      p.Kind,
+		Size:      p.Size,
+		Data:      p.Payload,
+	})
+}
+
+// Replicated reports how many client packets were replicated.
+func (in *Ingress) Replicated() uint64 { return in.replicated }
+
+// Egress forwards guest outputs at the median timing: each replica tunnels
+// its copy of every output packet here; the second copy to arrive is
+// forwarded to the true destination, later copies are absorbed.
+type Egress struct {
+	net  *netsim.Network
+	loop *sim.Loop
+	addr netsim.Addr
+
+	// copies[guestID][seq] counts tunnel arrivals.
+	copies map[string]map[uint64]int
+	// replicas is the expected copy count per packet (3 by default).
+	replicas int
+	// forwardOn is which copy triggers forwarding (2 = median of 3).
+	forwardOn int
+
+	forwarded uint64
+	absorbed  uint64
+
+	// OnForward observes forwarded packets (external-observer experiments).
+	OnForward func(guestID string, seq uint64, at sim.Time)
+}
+
+// NewEgress creates an egress node for groups of `replicas` replicas,
+// forwarding on the copy that represents the median emission (replicas/2+1).
+func NewEgress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr, replicas int) (*Egress, error) {
+	if net == nil || loop == nil || addr == "" {
+		return nil, fmt.Errorf("%w: egress needs net, loop, addr", ErrGateway)
+	}
+	if replicas < 1 || replicas%2 == 0 {
+		return nil, fmt.Errorf("%w: egress replica count %d must be odd", ErrGateway, replicas)
+	}
+	e := &Egress{
+		net:       net,
+		loop:      loop,
+		addr:      addr,
+		copies:    make(map[string]map[uint64]int),
+		replicas:  replicas,
+		forwardOn: replicas/2 + 1,
+	}
+	if err := net.Attach(&netsim.FuncNode{Addr: addr, Fn: e.deliver}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Addr returns the egress fabric address replicas tunnel to.
+func (e *Egress) Addr() netsim.Addr { return e.addr }
+
+func (e *Egress) deliver(p *netsim.Packet) {
+	msg, ok := p.Payload.(vmm.EgressMsg)
+	if !ok {
+		return
+	}
+	byGuest, ok := e.copies[msg.GuestID]
+	if !ok {
+		byGuest = make(map[uint64]int)
+		e.copies[msg.GuestID] = byGuest
+	}
+	byGuest[msg.Seq]++
+	n := byGuest[msg.Seq]
+	switch {
+	case n == e.forwardOn:
+		e.forwarded++
+		if e.OnForward != nil {
+			e.OnForward(msg.GuestID, msg.Seq, e.loop.Now())
+		}
+		e.net.Send(&netsim.Packet{
+			Src:     ServiceAddr(msg.GuestID),
+			Dst:     msg.OrigDst,
+			Size:    msg.Size,
+			Kind:    "guest:data",
+			Payload: msg.Data,
+		})
+	case n >= e.replicas:
+		e.absorbed++
+		delete(byGuest, msg.Seq)
+	default:
+		e.absorbed++
+	}
+}
+
+// Forwarded reports packets forwarded to their destinations.
+func (e *Egress) Forwarded() uint64 { return e.forwarded }
+
+// PendingGroups reports output sequences still awaiting their forwarding
+// copy (tests / liveness checks).
+func (e *Egress) PendingGroups() int {
+	n := 0
+	for _, m := range e.copies {
+		n += len(m)
+	}
+	return n
+}
+
+// StuckBelowForward reports output sequences that have NOT yet reached the
+// forwarding copy count — packets an external client is still waiting for.
+func (e *Egress) StuckBelowForward() int {
+	n := 0
+	for _, m := range e.copies {
+		for _, c := range m {
+			if c < e.forwardOn {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,336 @@
+package gateway
+
+import (
+	"errors"
+	"testing"
+
+	"stopwatch/internal/multicast"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vmm"
+)
+
+func testFabric(t *testing.T, seed uint64, loss float64) (*netsim.Network, *sim.Loop) {
+	t.Helper()
+	loop := sim.NewLoop()
+	net, err := netsim.New(loop, sim.NewSource(seed).Stream("net"), netsim.LinkConfig{
+		Latency:  500 * sim.Microsecond,
+		LossProb: loss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, loop
+}
+
+func TestServiceAddr(t *testing.T) {
+	if ServiceAddr("g1") != "svc:g1" {
+		t.Fatalf("ServiceAddr = %q", ServiceAddr("g1"))
+	}
+}
+
+func TestIngressReplicatesToAllHosts(t *testing.T) {
+	net, loop := testFabric(t, 1, 0)
+	in, err := NewIngress(net, loop, "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []netsim.Addr{"dom0:A", "dom0:B", "dom0:C"}
+	got := map[netsim.Addr][]InboundMsg{}
+	for _, h := range hosts {
+		h := h
+		rx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
+			Addr: h,
+			OnData: func(_ netsim.Addr, _ uint64, _ string, payload any) {
+				got[h] = append(got[h], payload.(InboundMsg))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(&netsim.FuncNode{Addr: h, Fn: func(p *netsim.Packet) { rx.Handle(p) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.RegisterGuest("g1", hosts); err != nil {
+		t.Fatal(err)
+	}
+	// Client sends two packets to the guest's public address.
+	for i := 0; i < 2; i++ {
+		net.Send(&netsim.Packet{Src: "client", Dst: ServiceAddr("g1"), Size: 100, Kind: "req", Payload: i})
+	}
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in.Replicated() != 2 {
+		t.Fatalf("replicated = %d", in.Replicated())
+	}
+	for _, h := range hosts {
+		if len(got[h]) != 2 {
+			t.Fatalf("host %s got %d messages", h, len(got[h]))
+		}
+		if got[h][0].ClientSrc != "client" || got[h][0].Data != 0 || got[h][1].Data != 1 {
+			t.Fatalf("host %s payloads wrong: %+v", h, got[h])
+		}
+	}
+}
+
+func TestIngressRecoversFromLoss(t *testing.T) {
+	net, loop := testFabric(t, 3, 0.25)
+	in, err := NewIngress(net, loop, "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []netsim.Addr{"dom0:A", "dom0:B", "dom0:C"}
+	counts := map[netsim.Addr]int{}
+	for _, h := range hosts {
+		h := h
+		rx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
+			Addr:   h,
+			OnData: func(netsim.Addr, uint64, string, any) { counts[h]++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Attach(&netsim.FuncNode{Addr: h, Fn: func(p *netsim.Packet) { rx.Handle(p) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.RegisterGuest("g1", hosts); err != nil {
+		t.Fatal(err)
+	}
+	// The lossy legs under test are ingress→hosts (the multicast). The
+	// client→ingress leg is a plain fabric hop whose reliability belongs to
+	// the transport layer, so keep it clean here.
+	if err := net.SetLink("client", ServiceAddr("g1"), netsim.LinkConfig{Latency: 500 * sim.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		loop.At(sim.Time(i)*sim.Millisecond, "send", func() {
+			net.Send(&netsim.Packet{Src: "client", Dst: ServiceAddr("g1"), Size: 100, Kind: "req", Payload: i})
+		})
+	}
+	if err := loop.RunUntil(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hosts {
+		if counts[h] != n {
+			t.Fatalf("host %s got %d/%d despite NAK recovery", h, counts[h], n)
+		}
+	}
+}
+
+func TestIngressValidation(t *testing.T) {
+	net, loop := testFabric(t, 5, 0)
+	if _, err := NewIngress(nil, loop, "i"); !errors.Is(err, ErrGateway) {
+		t.Fatal("nil net should fail")
+	}
+	if _, err := NewIngress(net, loop, ""); !errors.Is(err, ErrGateway) {
+		t.Fatal("empty addr should fail")
+	}
+	in, err := NewIngress(net, loop, "ingress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RegisterGuest("", []netsim.Addr{"a"}); !errors.Is(err, ErrGateway) {
+		t.Fatal("empty guest should fail")
+	}
+	if err := in.RegisterGuest("g", nil); !errors.Is(err, ErrGateway) {
+		t.Fatal("no hosts should fail")
+	}
+	if err := in.RegisterGuest("g", []netsim.Addr{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.RegisterGuest("g", []netsim.Addr{"a"}); !errors.Is(err, ErrGateway) {
+		t.Fatal("duplicate registration should fail")
+	}
+}
+
+func tunnel(net *netsim.Network, egress netsim.Addr, replica string, guestID string, seq uint64, dst netsim.Addr, data any) {
+	net.Send(&netsim.Packet{
+		Src:  netsim.Addr("dom0:" + replica),
+		Dst:  egress,
+		Size: 100,
+		Kind: "egress:tunnel",
+		Payload: vmm.EgressMsg{
+			GuestID: guestID,
+			Replica: replica,
+			Seq:     seq,
+			OrigDst: dst,
+			Size:    100,
+			Data:    data,
+		},
+	})
+}
+
+func TestEgressForwardsOnSecondCopy(t *testing.T) {
+	net, loop := testFabric(t, 7, 0)
+	var arrivals []sim.Time
+	var payloads []any
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(p *netsim.Packet) {
+		arrivals = append(arrivals, loop.Now())
+		payloads = append(payloads, p.Payload)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwdAt []sim.Time
+	eg.OnForward = func(g string, seq uint64, at sim.Time) { fwdAt = append(fwdAt, at) }
+
+	// Replica copies arrive at 1ms, 5ms, 9ms — forward must fire at the
+	// SECOND copy (5ms), the median emission.
+	loop.At(1*sim.Millisecond, "a", func() { tunnel(net, "egress", "A", "g1", 1, "client", "resp") })
+	loop.At(5*sim.Millisecond, "b", func() { tunnel(net, "egress", "B", "g1", 1, "client", "resp") })
+	loop.At(9*sim.Millisecond, "c", func() { tunnel(net, "egress", "C", "g1", 1, "client", "resp") })
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 1 {
+		t.Fatalf("client got %d packets, want exactly 1", len(arrivals))
+	}
+	if payloads[0] != "resp" {
+		t.Fatalf("payload %v", payloads[0])
+	}
+	if len(fwdAt) != 1 || fwdAt[0] < 5*sim.Millisecond+500*sim.Microsecond || fwdAt[0] > 6*sim.Millisecond+500*sim.Microsecond {
+		t.Fatalf("forward time %v, want ~5.5ms (2nd copy arrival)", fwdAt)
+	}
+	if eg.Forwarded() != 1 {
+		t.Fatalf("forwarded = %d", eg.Forwarded())
+	}
+	if eg.PendingGroups() != 0 {
+		t.Fatalf("pending groups = %d, want 0 after third copy", eg.PendingGroups())
+	}
+}
+
+func TestEgressToleratesOneDeadReplica(t *testing.T) {
+	net, loop := testFabric(t, 9, 0)
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only replicas A and B tunnel copies (C is dead).
+	tunnel(net, "egress", "A", "g1", 1, "client", "x")
+	tunnel(net, "egress", "B", "g1", 1, "client", "x")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("client got %d packets with one dead replica, want 1", delivered)
+	}
+	if eg.StuckBelowForward() != 0 {
+		t.Fatalf("stuck packets: %d", eg.StuckBelowForward())
+	}
+}
+
+func TestEgressStuckWithTwoDeadReplicas(t *testing.T) {
+	net, loop := testFabric(t, 11, 0)
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunnel(net, "egress", "A", "g1", 1, "client", "x")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("packet forwarded with a single copy — median semantics broken")
+	}
+	if eg.StuckBelowForward() != 1 {
+		t.Fatalf("stuck = %d, want 1", eg.StuckBelowForward())
+	}
+}
+
+func TestEgressOrderIndependentPerSeq(t *testing.T) {
+	net, loop := testFabric(t, 13, 0)
+	var got []any
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(p *netsim.Packet) { got = append(got, p.Payload) }}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEgress(net, loop, "egress", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Interleave copies of two sequences.
+	tunnel(net, "egress", "A", "g1", 1, "client", "s1")
+	tunnel(net, "egress", "A", "g1", 2, "client", "s2")
+	tunnel(net, "egress", "B", "g1", 2, "client", "s2")
+	tunnel(net, "egress", "B", "g1", 1, "client", "s1")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("client got %d packets", len(got))
+	}
+}
+
+func TestEgressMedianOfFive(t *testing.T) {
+	net, loop := testFabric(t, 15, 0)
+	var fwdAt []sim.Time
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eg.OnForward = func(g string, seq uint64, at sim.Time) { fwdAt = append(fwdAt, at) }
+	for i, rep := range []string{"A", "B", "C", "D", "E"} {
+		at := sim.Time(i+1) * sim.Millisecond
+		rep := rep
+		loop.At(at, "t", func() { tunnel(net, "egress", rep, "g1", 1, "client", "x") })
+	}
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	// Median of five = third copy at 3ms (+link latency).
+	if len(fwdAt) != 1 || fwdAt[0] < 3*sim.Millisecond || fwdAt[0] > 4*sim.Millisecond {
+		t.Fatalf("median-of-5 forward at %v, want ~3.5ms", fwdAt)
+	}
+}
+
+func TestEgressIgnoresGarbage(t *testing.T) {
+	net, loop := testFabric(t, 17, 0)
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Send(&netsim.Packet{Src: "x", Dst: "egress", Size: 10, Kind: "egress:tunnel", Payload: "garbage"})
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if eg.Forwarded() != 0 || eg.PendingGroups() != 0 {
+		t.Fatal("garbage affected egress state")
+	}
+}
+
+func TestEgressValidation(t *testing.T) {
+	net, loop := testFabric(t, 19, 0)
+	if _, err := NewEgress(nil, loop, "e", 3); !errors.Is(err, ErrGateway) {
+		t.Fatal("nil net should fail")
+	}
+	if _, err := NewEgress(net, loop, "", 3); !errors.Is(err, ErrGateway) {
+		t.Fatal("empty addr should fail")
+	}
+	if _, err := NewEgress(net, loop, "e", 2); !errors.Is(err, ErrGateway) {
+		t.Fatal("even replicas should fail")
+	}
+	if _, err := NewEgress(net, loop, "e", 0); !errors.Is(err, ErrGateway) {
+		t.Fatal("zero replicas should fail")
+	}
+}

@@ -1,0 +1,406 @@
+// Package guest models a uniprocessor guest VM as StopWatch needs one: a
+// deterministic, branch-counted program whose only clocks are the ones the
+// VMM chooses to expose.
+//
+// A guest is an App (event-driven workload) plus an op queue. App callbacks
+// enqueue work — compute, disk I/O, packet sends, virtual timers — and the
+// hosting VMM drains the queue, counting branches. Everything the guest can
+// observe (interrupt injection points, clock reads, data arrival) is a
+// deterministic function of executed instruction count and the virtual
+// times of injected interrupts. Replicas fed identical interrupt schedules
+// therefore produce identical outputs, which Sec. VI's egress median relies
+// on; the output log digest makes divergence detectable.
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/vtime"
+)
+
+// ErrGuest reports invalid guest construction or use.
+var ErrGuest = errors.New("guest: invalid")
+
+// ClockView is the guest's window onto time, implemented by the hosting
+// VMM. Under StopWatch all three sources derive from virtual time; under
+// the baseline VMM they derive from host real time.
+type ClockView interface {
+	// Now returns the guest-visible clock (virtual time under StopWatch).
+	Now() vtime.Virtual
+	// TSC returns the guest-visible time stamp counter.
+	TSC() uint64
+	// PITCounter returns the guest-visible PIT countdown register.
+	PITCounter() uint16
+}
+
+// Payload is an inbound network payload as the guest sees it.
+type Payload struct {
+	Src  netsim.Addr
+	Size int
+	Data any
+}
+
+// DiskDone reports a completed disk request to the guest.
+type DiskDone struct {
+	Tag   string
+	Bytes int
+	Write bool
+}
+
+// Ctx is the guest-side API available inside App callbacks. Operations are
+// queued and consumed in order by the VMM's execution engine.
+type Ctx interface {
+	// Compute queues n branches of computation.
+	Compute(n int64)
+	// Send queues an outbound packet (causes a VM exit when executed).
+	Send(dst netsim.Addr, size int, data any)
+	// DiskRead queues an asynchronous disk read; completion arrives via
+	// OnDiskDone.
+	DiskRead(tag string, bytes int)
+	// DiskWrite queues an asynchronous disk write; completion arrives via
+	// OnDiskDone.
+	DiskWrite(tag string, bytes int)
+	// SetTimer requests an OnTimer callback once the guest's clock passes
+	// now+d. Timer delivery is interrupt-like: it happens at a VM exit.
+	SetTimer(d vtime.Virtual, tag string)
+	// Clock exposes the guest-visible clocks.
+	Clock() ClockView
+	// ID returns the guest's identity (same across replicas).
+	ID() string
+}
+
+// App is a deterministic guest workload. Callbacks run "inside" the guest:
+// any instructions a handler consumes must be queued via ctx.Compute, and
+// all decisions must derive from guest-visible state only.
+type App interface {
+	// Boot runs once when the VM starts.
+	Boot(ctx Ctx)
+	// OnPacket runs when a network interrupt delivers a packet.
+	OnPacket(ctx Ctx, p Payload)
+	// OnDiskDone runs when a disk interrupt reports completion.
+	OnDiskDone(ctx Ctx, d DiskDone)
+	// OnTimer runs when a timer set via SetTimer expires.
+	OnTimer(ctx Ctx, tag string)
+}
+
+// opKind enumerates queued operations.
+type opKind int
+
+const (
+	opCompute opKind = iota + 1
+	opSend
+	opDisk
+)
+
+type op struct {
+	kind     opKind
+	branches int64 // opCompute: remaining branches
+	// opSend:
+	dst  netsim.Addr
+	size int
+	data any
+	// opDisk:
+	tag   string
+	bytes int
+	write bool
+}
+
+// IOAction is an I/O side effect surfaced to the VMM at a VM exit.
+type IOAction struct {
+	// Send fields (Dst != "" means a send).
+	Dst  netsim.Addr
+	Size int
+	Data any
+	Seq  uint64 // per-guest deterministic output sequence (sends only)
+	// Disk fields (Tag != "" means a disk request).
+	Tag   string
+	Bytes int
+	Write bool
+}
+
+// IsSend reports whether the action is an outbound packet.
+func (a IOAction) IsSend() bool { return a.Dst != "" }
+
+// StepResult reports what happened during one execution step.
+type StepResult struct {
+	// Executed is the number of branches consumed.
+	Executed int64
+	// IO is non-nil when an I/O op caused the step to end (a VM exit).
+	IO *IOAction
+	// Idle is true when the op queue was empty and the guest executed its
+	// idle loop for the whole step.
+	Idle bool
+}
+
+// Stats counts guest-observable events.
+type Stats struct {
+	Branches        int64
+	IdleBranches    int64
+	PacketsReceived int64
+	PacketsSent     int64
+	DiskRequests    int64
+	DiskInterrupts  int64
+	NetInterrupts   int64
+	TimerInterrupts int64
+	TimerCallbacks  int64
+}
+
+// pendingTimer is an armed guest timer.
+type pendingTimer struct {
+	due vtime.Virtual
+	tag string
+}
+
+// VM is one replica's logical guest state. All replicas of a guest hold
+// identical VMs fed identical interrupt schedules.
+type VM struct {
+	id    string
+	app   App
+	clock ClockView
+
+	ops     []op
+	timers  []pendingTimer
+	sendSeq uint64
+
+	stats  Stats
+	outLog *OutputLog
+
+	booted bool
+}
+
+// New creates a guest VM around the app. The clock view is provided by the
+// hosting VMM.
+func New(id string, app App, clock ClockView) (*VM, error) {
+	if id == "" || app == nil || clock == nil {
+		return nil, fmt.Errorf("%w: need id, app and clock", ErrGuest)
+	}
+	return &VM{id: id, app: app, clock: clock, outLog: newOutputLog()}, nil
+}
+
+// ID returns the guest identity.
+func (vm *VM) ID() string { return vm.id }
+
+// Stats returns a copy of the guest counters.
+func (vm *VM) Stats() Stats { return vm.stats }
+
+// OutputDigest returns the FNV-64 digest of the output log; identical
+// across correct replicas.
+func (vm *VM) OutputDigest() uint64 { return vm.outLog.Digest() }
+
+// OutputCount returns the number of logged outputs.
+func (vm *VM) OutputCount() int { return vm.outLog.Len() }
+
+// Boot invokes the app's Boot callback (once).
+func (vm *VM) Boot() {
+	if vm.booted {
+		return
+	}
+	vm.booted = true
+	vm.app.Boot(vmCtx{vm})
+}
+
+// Busy reports whether the guest has queued work (vs idle-spinning).
+func (vm *VM) Busy() bool { return len(vm.ops) > 0 }
+
+// Step executes up to max branches. It returns early when an I/O op causes
+// a VM exit. With an empty queue the guest spins its idle loop, consuming
+// the full budget.
+func (vm *VM) Step(max int64) StepResult {
+	if max <= 0 {
+		return StepResult{}
+	}
+	var executed int64
+	for executed < max {
+		if len(vm.ops) == 0 {
+			// Idle loop: burn the remaining budget.
+			idle := max - executed
+			vm.stats.Branches += idle
+			vm.stats.IdleBranches += idle
+			return StepResult{Executed: max, Idle: true}
+		}
+		cur := &vm.ops[0]
+		switch cur.kind {
+		case opCompute:
+			remaining := max - executed
+			if cur.branches <= remaining {
+				executed += cur.branches
+				vm.stats.Branches += cur.branches
+				vm.ops = vm.ops[1:]
+			} else {
+				cur.branches -= remaining
+				vm.stats.Branches += remaining
+				executed = max
+			}
+		case opSend:
+			vm.sendSeq++
+			act := &IOAction{Dst: cur.dst, Size: cur.size, Data: cur.data, Seq: vm.sendSeq}
+			vm.stats.PacketsSent++
+			vm.outLog.Append(vm.sendSeq, cur.dst, cur.size, cur.data)
+			vm.ops = vm.ops[1:]
+			// The send itself costs one branch (I/O port write).
+			executed++
+			vm.stats.Branches++
+			return StepResult{Executed: executed, IO: act}
+		case opDisk:
+			act := &IOAction{Tag: cur.tag, Bytes: cur.bytes, Write: cur.write}
+			vm.stats.DiskRequests++
+			vm.ops = vm.ops[1:]
+			executed++
+			vm.stats.Branches++
+			return StepResult{Executed: executed, IO: act}
+		default:
+			// Unreachable by construction; drop the malformed op.
+			vm.ops = vm.ops[1:]
+		}
+	}
+	return StepResult{Executed: executed}
+}
+
+// BranchesToNextIO returns the compute branches queued ahead of the next
+// I/O op, and whether an I/O op is queued at all. The VMM uses it to size
+// execution chunks.
+func (vm *VM) BranchesToNextIO() (int64, bool) {
+	var n int64
+	for _, o := range vm.ops {
+		switch o.kind {
+		case opCompute:
+			n += o.branches
+		default:
+			return n, true
+		}
+	}
+	return n, false
+}
+
+// DeliverPacket injects a network interrupt: the data is copied in and the
+// app handler runs. Must be called at a VM exit.
+func (vm *VM) DeliverPacket(p Payload) {
+	vm.stats.NetInterrupts++
+	vm.stats.PacketsReceived++
+	vm.app.OnPacket(vmCtx{vm}, p)
+}
+
+// DeliverDisk injects a disk-completion interrupt.
+func (vm *VM) DeliverDisk(d DiskDone) {
+	vm.stats.DiskInterrupts++
+	vm.app.OnDiskDone(vmCtx{vm}, d)
+}
+
+// DeliverTimerTicks accounts PIT timer interrupts (kernel tick handling)
+// and fires any app timers that are due at the guest clock.
+func (vm *VM) DeliverTimerTicks(n int) {
+	vm.stats.TimerInterrupts += int64(n)
+	vm.fireDueTimers()
+}
+
+// fireDueTimers runs app timer callbacks due at the current guest clock.
+func (vm *VM) fireDueTimers() {
+	now := vm.clock.Now()
+	kept := vm.timers[:0]
+	var due []pendingTimer
+	for _, t := range vm.timers {
+		if t.due <= now {
+			due = append(due, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	vm.timers = kept
+	for _, t := range due {
+		vm.stats.TimerCallbacks++
+		vm.app.OnTimer(vmCtx{vm}, t.tag)
+	}
+}
+
+// NextTimerDue returns the earliest armed app-timer deadline, if any.
+func (vm *VM) NextTimerDue() (vtime.Virtual, bool) {
+	var best vtime.Virtual
+	found := false
+	for _, t := range vm.timers {
+		if !found || t.due < best {
+			best = t.due
+			found = true
+		}
+	}
+	return best, found
+}
+
+// vmCtx implements Ctx.
+type vmCtx struct{ vm *VM }
+
+var _ Ctx = vmCtx{}
+
+func (c vmCtx) Compute(n int64) {
+	if n <= 0 {
+		return
+	}
+	// Coalesce with a trailing compute op to keep the queue small.
+	if len(c.vm.ops) > 0 {
+		last := &c.vm.ops[len(c.vm.ops)-1]
+		if last.kind == opCompute {
+			last.branches += n
+			return
+		}
+	}
+	c.vm.ops = append(c.vm.ops, op{kind: opCompute, branches: n})
+}
+
+func (c vmCtx) Send(dst netsim.Addr, size int, data any) {
+	if dst == "" || size <= 0 {
+		return
+	}
+	c.vm.ops = append(c.vm.ops, op{kind: opSend, dst: dst, size: size, data: data})
+}
+
+func (c vmCtx) DiskRead(tag string, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	c.vm.ops = append(c.vm.ops, op{kind: opDisk, tag: tag, bytes: bytes})
+}
+
+func (c vmCtx) DiskWrite(tag string, bytes int) {
+	if bytes <= 0 {
+		return
+	}
+	c.vm.ops = append(c.vm.ops, op{kind: opDisk, tag: tag, bytes: bytes, write: true})
+}
+
+func (c vmCtx) SetTimer(d vtime.Virtual, tag string) {
+	if d < 0 {
+		d = 0
+	}
+	c.vm.timers = append(c.vm.timers, pendingTimer{due: c.vm.clock.Now() + d, tag: tag})
+}
+
+func (c vmCtx) Clock() ClockView { return c.vm.clock }
+func (c vmCtx) ID() string       { return c.vm.id }
+
+// OutputLog records the guest's outbound packets for divergence detection.
+type OutputLog struct {
+	n      int
+	digest uint64
+}
+
+func newOutputLog() *OutputLog {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("stopwatch-output-log"))
+	return &OutputLog{digest: h.Sum64()}
+}
+
+// Append folds an output record into the rolling digest.
+func (l *OutputLog) Append(seq uint64, dst netsim.Addr, size int, data any) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%d|%v", l.digest, seq, dst, size, data)
+	l.digest = h.Sum64()
+	l.n++
+}
+
+// Len returns the number of records folded in.
+func (l *OutputLog) Len() int { return l.n }
+
+// Digest returns the rolling FNV-64 digest.
+func (l *OutputLog) Digest() uint64 { return l.digest }

@@ -1,0 +1,372 @@
+// Package multicast implements a NAK-based reliable multicast in the style
+// of PGM/OpenPGM (RFC 3208), which StopWatch uses for two jobs (Sec. VII-A):
+// replicating inbound guest packets from the ingress node to the three
+// replica hosts, and exchanging proposed interrupt delivery times among the
+// VMMs hosting a guest's replicas.
+//
+// Reliability is receiver-driven: receivers detect sequence gaps and send
+// NAKs; the sender retransmits from its window. Source Path Messages (SPMs)
+// advertise the highest sequence so trailing losses are detected too.
+// Delivery to the application is in sequence order.
+package multicast
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+)
+
+// ErrMulticast reports configuration errors.
+var ErrMulticast = errors.New("multicast: invalid configuration")
+
+// Wire kinds used on the fabric.
+const (
+	kindData = "pgm:data"
+	kindNAK  = "pgm:nak"
+	kindSPM  = "pgm:spm"
+)
+
+type dataMsg struct {
+	Seq     uint64
+	Kind    string
+	Payload any
+}
+
+type nakMsg struct {
+	Seqs []uint64
+}
+
+type spmMsg struct {
+	MaxSeq uint64
+}
+
+// SenderConfig parameterizes a multicast source.
+type SenderConfig struct {
+	// Src is the sender's fabric address.
+	Src netsim.Addr
+	// Group lists receiver addresses.
+	Group []netsim.Addr
+	// SPMInterval is the heartbeat period while the window is open
+	// (default 5ms).
+	SPMInterval sim.Time
+	// WindowSize bounds retained messages for retransmission (default 4096).
+	WindowSize int
+}
+
+// Sender is a reliable multicast source.
+type Sender struct {
+	net   *netsim.Network
+	loop  *sim.Loop
+	cfg   SenderConfig
+	seq   uint64
+	win   map[uint64]dataMsg
+	winLo uint64 // lowest seq retained
+
+	spmPending bool
+
+	sent     uint64
+	retrans  uint64
+	nakRecvd uint64
+}
+
+// NewSender creates a multicast source.
+func NewSender(net *netsim.Network, loop *sim.Loop, cfg SenderConfig) (*Sender, error) {
+	if net == nil || loop == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrMulticast)
+	}
+	if cfg.Src == "" || len(cfg.Group) == 0 {
+		return nil, fmt.Errorf("%w: sender needs src and group", ErrMulticast)
+	}
+	if cfg.SPMInterval <= 0 {
+		cfg.SPMInterval = 5 * sim.Millisecond
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 4096
+	}
+	return &Sender{
+		net:   net,
+		loop:  loop,
+		cfg:   cfg,
+		win:   make(map[uint64]dataMsg),
+		winLo: 1,
+	}, nil
+}
+
+// Multicast sends (kind, payload) of the given wire size to every group
+// member reliably, returning the assigned sequence number.
+func (s *Sender) Multicast(kind string, size int, payload any) uint64 {
+	s.seq++
+	msg := dataMsg{Seq: s.seq, Kind: kind, Payload: payload}
+	s.win[s.seq] = msg
+	if len(s.win) > s.cfg.WindowSize {
+		delete(s.win, s.winLo)
+		s.winLo++
+	}
+	for _, dst := range s.cfg.Group {
+		s.net.Send(&netsim.Packet{
+			Src: s.cfg.Src, Dst: dst, Size: size, Kind: kindData, Payload: msg,
+		})
+	}
+	s.sent++
+	s.armSPM()
+	return s.seq
+}
+
+func (s *Sender) armSPM() {
+	if s.spmPending {
+		return
+	}
+	s.spmPending = true
+	s.loop.After(s.cfg.SPMInterval, "pgm:spm", func() {
+		s.spmPending = false
+		if s.seq == 0 {
+			return
+		}
+		for _, dst := range s.cfg.Group {
+			s.net.Send(&netsim.Packet{
+				Src: s.cfg.Src, Dst: dst, Size: 32, Kind: kindSPM,
+				Payload: spmMsg{MaxSeq: s.seq},
+			})
+		}
+		// Keep heartbeating while messages might still need repair.
+		if len(s.win) > 0 {
+			s.armSPM()
+		}
+	})
+}
+
+// Handle consumes NAKs addressed to this sender; it returns true when the
+// packet was a multicast control packet for us.
+func (s *Sender) Handle(pkt *netsim.Packet) bool {
+	if pkt.Kind != kindNAK || pkt.Dst != s.cfg.Src {
+		return false
+	}
+	nak, ok := pkt.Payload.(nakMsg)
+	if !ok {
+		return true
+	}
+	s.nakRecvd++
+	for _, seq := range nak.Seqs {
+		msg, ok := s.win[seq]
+		if !ok {
+			continue // aged out of the window; receiver is unrecoverable here
+		}
+		s.retrans++
+		s.net.Send(&netsim.Packet{
+			Src: s.cfg.Src, Dst: pkt.Src, Size: 64, Kind: kindData, Payload: msg,
+		})
+	}
+	return true
+}
+
+// SenderStats reports sender-side counters.
+type SenderStats struct {
+	Sent, Retransmitted, NAKsReceived uint64
+}
+
+// Stats returns sender counters.
+func (s *Sender) Stats() SenderStats {
+	return SenderStats{Sent: s.sent, Retransmitted: s.retrans, NAKsReceived: s.nakRecvd}
+}
+
+// ReceiverConfig parameterizes a group member.
+type ReceiverConfig struct {
+	// Addr is this receiver's fabric address.
+	Addr netsim.Addr
+	// NAKDelay is the backoff before the first NAK for a detected gap,
+	// absorbing in-flight reordering (default 1ms).
+	NAKDelay sim.Time
+	// NAKInterval is the retry period for unanswered NAKs (default 3ms).
+	NAKInterval sim.Time
+	// OnData receives messages in sequence order per source.
+	OnData func(src netsim.Addr, seq uint64, kind string, payload any)
+}
+
+type sourceState struct {
+	next    uint64 // next expected seq
+	holdbck map[uint64]dataMsg
+	naked   map[uint64]bool // outstanding NAKs
+	timer   *sim.Event
+}
+
+// Receiver is a reliable multicast group member. One receiver can track any
+// number of sources.
+type Receiver struct {
+	net  *netsim.Network
+	loop *sim.Loop
+	cfg  ReceiverConfig
+	srcs map[netsim.Addr]*sourceState
+
+	delivered uint64
+	naksSent  uint64
+	dups      uint64
+}
+
+// NewReceiver creates a group member.
+func NewReceiver(net *netsim.Network, loop *sim.Loop, cfg ReceiverConfig) (*Receiver, error) {
+	if net == nil || loop == nil {
+		return nil, fmt.Errorf("%w: nil dependency", ErrMulticast)
+	}
+	if cfg.Addr == "" || cfg.OnData == nil {
+		return nil, fmt.Errorf("%w: receiver needs addr and OnData", ErrMulticast)
+	}
+	if cfg.NAKDelay <= 0 {
+		cfg.NAKDelay = sim.Millisecond
+	}
+	if cfg.NAKInterval <= 0 {
+		cfg.NAKInterval = 3 * sim.Millisecond
+	}
+	return &Receiver{
+		net:  net,
+		loop: loop,
+		cfg:  cfg,
+		srcs: make(map[netsim.Addr]*sourceState),
+	}, nil
+}
+
+// Handle consumes multicast packets; returns true when the packet belonged
+// to this layer.
+func (r *Receiver) Handle(pkt *netsim.Packet) bool {
+	switch pkt.Kind {
+	case kindData:
+		msg, ok := pkt.Payload.(dataMsg)
+		if !ok {
+			return true
+		}
+		r.onData(pkt.Src, msg)
+		return true
+	case kindSPM:
+		msg, ok := pkt.Payload.(spmMsg)
+		if !ok {
+			return true
+		}
+		r.onSPM(pkt.Src, msg)
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *Receiver) state(src netsim.Addr) *sourceState {
+	st, ok := r.srcs[src]
+	if !ok {
+		st = &sourceState{next: 1, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+		r.srcs[src] = st
+	}
+	return st
+}
+
+func (r *Receiver) onData(src netsim.Addr, msg dataMsg) {
+	st := r.state(src)
+	if msg.Seq < st.next {
+		r.dups++
+		return
+	}
+	if _, dup := st.holdbck[msg.Seq]; dup {
+		r.dups++
+		return
+	}
+	st.holdbck[msg.Seq] = msg
+	delete(st.naked, msg.Seq)
+	r.drain(src, st)
+	// Gap: anything between next and the highest held-back seq is missing.
+	r.requestMissing(src, st)
+}
+
+func (r *Receiver) onSPM(src netsim.Addr, msg spmMsg) {
+	st := r.state(src)
+	if msg.MaxSeq >= st.next {
+		// Mark everything up to MaxSeq as expected.
+		changed := false
+		for seq := st.next; seq <= msg.MaxSeq; seq++ {
+			if _, held := st.holdbck[seq]; !held && !st.naked[seq] {
+				st.naked[seq] = true
+				changed = true
+			}
+		}
+		if changed {
+			r.armNAK(src, st, r.cfg.NAKDelay)
+		}
+	}
+}
+
+func (r *Receiver) drain(src netsim.Addr, st *sourceState) {
+	for {
+		msg, ok := st.holdbck[st.next]
+		if !ok {
+			return
+		}
+		delete(st.holdbck, st.next)
+		st.next++
+		r.delivered++
+		r.cfg.OnData(src, msg.Seq, msg.Kind, msg.Payload)
+	}
+}
+
+func (r *Receiver) requestMissing(src netsim.Addr, st *sourceState) {
+	var hi uint64
+	for seq := range st.holdbck {
+		if seq > hi {
+			hi = seq
+		}
+	}
+	changed := false
+	for seq := st.next; seq < hi; seq++ {
+		if _, held := st.holdbck[seq]; !held && !st.naked[seq] {
+			st.naked[seq] = true
+			changed = true
+		}
+	}
+	if changed {
+		r.armNAK(src, st, r.cfg.NAKDelay)
+	}
+}
+
+// armNAK schedules a NAK burst after the given delay unless one is already
+// pending. The delay absorbs reordering (first NAK) and paces retries.
+func (r *Receiver) armNAK(src netsim.Addr, st *sourceState, delay sim.Time) {
+	if st.timer != nil && !st.timer.Canceled() {
+		return
+	}
+	st.timer = r.loop.After(delay, "pgm:nak", func() {
+		st.timer = nil
+		r.sendNAKs(src, st)
+	})
+}
+
+func (r *Receiver) sendNAKs(src netsim.Addr, st *sourceState) {
+	if len(st.naked) == 0 {
+		return
+	}
+	seqs := make([]uint64, 0, len(st.naked))
+	for seq := range st.naked {
+		if seq < st.next {
+			delete(st.naked, seq)
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	if len(seqs) == 0 {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	r.naksSent++
+	r.net.Send(&netsim.Packet{
+		Src: r.cfg.Addr, Dst: src, Size: 40, Kind: kindNAK, Payload: nakMsg{Seqs: seqs},
+	})
+	// Re-arm: if the repair is lost too, NAK again.
+	r.armNAK(src, st, r.cfg.NAKInterval)
+}
+
+// ReceiverStats reports receiver-side counters.
+type ReceiverStats struct {
+	Delivered, NAKsSent, Duplicates uint64
+}
+
+// Stats returns receiver counters.
+func (r *Receiver) Stats() ReceiverStats {
+	return ReceiverStats{Delivered: r.delivered, NAKsSent: r.naksSent, Duplicates: r.dups}
+}

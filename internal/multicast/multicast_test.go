@@ -1,0 +1,279 @@
+package multicast
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+)
+
+type member struct {
+	addr netsim.Addr
+	rx   *Receiver
+	got  []string
+}
+
+// buildGroup wires a sender and three receivers on one fabric with the given
+// loss probability on every link.
+func buildGroup(t *testing.T, loss float64, seed uint64) (*sim.Loop, *Sender, []*member) {
+	t.Helper()
+	loop := sim.NewLoop()
+	src := sim.NewSource(seed)
+	net, err := netsim.New(loop, src.Stream("net"), netsim.LinkConfig{
+		Latency:   sim.Millisecond,
+		JitterMax: 200 * sim.Microsecond,
+		LossProb:  loss,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []netsim.Addr{"h1", "h2", "h3"}
+	members := make([]*member, len(addrs))
+	for i, a := range addrs {
+		m := &member{addr: a}
+		rx, err := NewReceiver(net, loop, ReceiverConfig{
+			Addr: a,
+			OnData: func(src netsim.Addr, seq uint64, kind string, payload any) {
+				m.got = append(m.got, fmt.Sprintf("%d:%s:%v", seq, kind, payload))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.rx = rx
+		members[i] = m
+		if err := net.Attach(&netsim.FuncNode{Addr: a, Fn: func(p *netsim.Packet) { rx.Handle(p) }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snd, err := NewSender(net, loop, SenderConfig{Src: "ingress", Group: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NAKs flow back to the sender's address.
+	if err := net.Attach(&netsim.FuncNode{Addr: "ingress", Fn: func(p *netsim.Packet) { snd.Handle(p) }}); err != nil {
+		t.Fatal(err)
+	}
+	return loop, snd, members
+}
+
+func TestLosslessDelivery(t *testing.T) {
+	loop, snd, members := buildGroup(t, 0, 1)
+	for i := 0; i < 20; i++ {
+		snd.Multicast("msg", 100, i)
+	}
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		if len(m.got) != 20 {
+			t.Fatalf("%s got %d messages, want 20", m.addr, len(m.got))
+		}
+		for i, g := range m.got {
+			want := fmt.Sprintf("%d:msg:%d", i+1, i)
+			if g != want {
+				t.Fatalf("%s msg %d = %q, want %q", m.addr, i, g, want)
+			}
+		}
+	}
+	if s := snd.Stats(); s.Retransmitted != 0 {
+		t.Fatalf("retransmissions on lossless fabric: %+v", s)
+	}
+}
+
+func TestLossRecovery(t *testing.T) {
+	loop, snd, members := buildGroup(t, 0.2, 7)
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		loop.At(sim.Time(i)*sim.Millisecond, "send", func() { snd.Multicast("msg", 100, i) })
+	}
+	if err := loop.RunUntil(20 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		if len(m.got) != n {
+			t.Fatalf("%s got %d/%d messages despite NAK recovery (rx stats %+v, tx stats %+v)",
+				m.addr, len(m.got), n, m.rx.Stats(), snd.Stats())
+		}
+		for i, g := range m.got {
+			want := fmt.Sprintf("%d:msg:%d", i+1, i)
+			if g != want {
+				t.Fatalf("%s out-of-order delivery at %d: %q", m.addr, i, g)
+			}
+		}
+	}
+	if s := snd.Stats(); s.Retransmitted == 0 {
+		t.Fatal("expected retransmissions under 20% loss")
+	}
+}
+
+func TestTailLossRecoveredViaSPM(t *testing.T) {
+	// Drop everything to h1 initially, then heal the link: SPM heartbeats
+	// must trigger recovery of the tail messages.
+	loop := sim.NewLoop()
+	src := sim.NewSource(11)
+	net, err := netsim.New(loop, src.Stream("net"), netsim.LinkConfig{Latency: sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []uint64
+	rx, err := NewReceiver(net, loop, ReceiverConfig{
+		Addr:   "h1",
+		OnData: func(_ netsim.Addr, seq uint64, _ string, _ any) { got = append(got, seq) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(&netsim.FuncNode{Addr: "h1", Fn: func(p *netsim.Packet) { rx.Handle(p) }}); err != nil {
+		t.Fatal(err)
+	}
+	snd, err := NewSender(net, loop, SenderConfig{Src: "s", Group: []netsim.Addr{"h1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Attach(&netsim.FuncNode{Addr: "s", Fn: func(p *netsim.Packet) { snd.Handle(p) }}); err != nil {
+		t.Fatal(err)
+	}
+	// Break the s→h1 link completely, send the batch (all lost), then heal.
+	if err := net.SetLink("s", "h1", netsim.LinkConfig{LossProb: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		snd.Multicast("m", 50, i)
+	}
+	loop.At(50*sim.Millisecond, "heal", func() {
+		if err := net.SetLink("s", "h1", netsim.LinkConfig{Latency: sim.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := loop.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("tail recovery delivered %d/5 (rx %+v tx %+v)", len(got), rx.Stats(), snd.Stats())
+	}
+	for i, seq := range got {
+		if seq != uint64(i+1) {
+			t.Fatalf("order violated: %v", got)
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	loop, snd, members := buildGroup(t, 0, 13)
+	snd.Multicast("m", 10, "x")
+	// Force a duplicate by NAKing a seq we already have — simulate by
+	// sending the data packet twice via a second multicast of same content;
+	// instead directly deliver a duplicate wire packet.
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	m := members[0]
+	before := len(m.got)
+	m.rx.Handle(&netsim.Packet{Src: "ingress", Dst: m.addr, Kind: "pgm:data", Payload: dataMsg{Seq: 1, Kind: "m", Payload: "x"}})
+	if len(m.got) != before {
+		t.Fatal("duplicate was delivered")
+	}
+	if m.rx.Stats().Duplicates != 1 {
+		t.Fatalf("dup counter = %d", m.rx.Stats().Duplicates)
+	}
+}
+
+func TestHandleIgnoresForeignPackets(t *testing.T) {
+	loop, snd, members := buildGroup(t, 0, 17)
+	_ = loop
+	if snd.Handle(&netsim.Packet{Kind: "tcp:data", Dst: "ingress"}) {
+		t.Fatal("sender consumed foreign packet")
+	}
+	if members[0].rx.Handle(&netsim.Packet{Kind: "tcp:data"}) {
+		t.Fatal("receiver consumed foreign packet")
+	}
+	// Malformed payloads are consumed but ignored.
+	if !snd.Handle(&netsim.Packet{Kind: "pgm:nak", Dst: "ingress", Payload: "garbage"}) {
+		t.Fatal("sender should consume malformed NAK")
+	}
+	if !members[0].rx.Handle(&netsim.Packet{Kind: "pgm:data", Payload: "garbage"}) {
+		t.Fatal("receiver should consume malformed data")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	loop := sim.NewLoop()
+	net, err := netsim.New(loop, sim.NewSource(1).Stream("n"), netsim.LinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSender(nil, loop, SenderConfig{Src: "s", Group: []netsim.Addr{"a"}}); !errors.Is(err, ErrMulticast) {
+		t.Fatal("nil net should fail")
+	}
+	if _, err := NewSender(net, loop, SenderConfig{Group: []netsim.Addr{"a"}}); !errors.Is(err, ErrMulticast) {
+		t.Fatal("empty src should fail")
+	}
+	if _, err := NewSender(net, loop, SenderConfig{Src: "s"}); !errors.Is(err, ErrMulticast) {
+		t.Fatal("empty group should fail")
+	}
+	if _, err := NewReceiver(net, nil, ReceiverConfig{Addr: "a", OnData: func(netsim.Addr, uint64, string, any) {}}); !errors.Is(err, ErrMulticast) {
+		t.Fatal("nil loop should fail")
+	}
+	if _, err := NewReceiver(net, loop, ReceiverConfig{Addr: "a"}); !errors.Is(err, ErrMulticast) {
+		t.Fatal("nil OnData should fail")
+	}
+}
+
+// Property: under any loss rate < 1 and any message count, every member
+// eventually receives every message exactly once, in order.
+func TestReliabilityProperty(t *testing.T) {
+	f := func(seed uint64, lossRaw uint8, nRaw uint8) bool {
+		loss := float64(lossRaw%60) / 100 // 0..0.59
+		n := int(nRaw%40) + 1
+		loop := sim.NewLoop()
+		src := sim.NewSource(seed)
+		net, err := netsim.New(loop, src.Stream("net"), netsim.LinkConfig{
+			Latency: sim.Millisecond, LossProb: loss,
+		})
+		if err != nil {
+			return false
+		}
+		var got []uint64
+		rx, err := NewReceiver(net, loop, ReceiverConfig{
+			Addr:   "h",
+			OnData: func(_ netsim.Addr, seq uint64, _ string, _ any) { got = append(got, seq) },
+		})
+		if err != nil {
+			return false
+		}
+		if err := net.Attach(&netsim.FuncNode{Addr: "h", Fn: func(p *netsim.Packet) { rx.Handle(p) }}); err != nil {
+			return false
+		}
+		snd, err := NewSender(net, loop, SenderConfig{Src: "s", Group: []netsim.Addr{"h"}})
+		if err != nil {
+			return false
+		}
+		if err := net.Attach(&netsim.FuncNode{Addr: "s", Fn: func(p *netsim.Packet) { snd.Handle(p) }}); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			snd.Multicast("m", 64, i)
+		}
+		if err := loop.RunUntil(60 * sim.Second); err != nil {
+			return false
+		}
+		if len(got) != n {
+			t.Logf("seed=%d loss=%v n=%d: delivered %d", seed, loss, n, len(got))
+			return false
+		}
+		for i, seq := range got {
+			if seq != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package netsim simulates the cloud's network fabric: addressable nodes
+// joined by links with latency, jitter, bandwidth and loss. It carries
+// client↔cloud traffic, ingress replication, VMM proposal exchange and
+// egress tunnelling for the StopWatch reproduction.
+//
+// The model is deliberately simple — FIFO serialization per link, additive
+// latency + jitter — because the paper's performance story is driven by
+// round-trip structure and packet counts, not by queueing subtleties.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/sim"
+)
+
+// ErrNet reports network configuration errors.
+var ErrNet = errors.New("netsim: invalid configuration")
+
+// Addr identifies a node on the fabric.
+type Addr string
+
+// Packet is a unit of traffic. Payload carries the upper layer's structure;
+// Size is what the wire sees.
+type Packet struct {
+	ID      uint64
+	Src     Addr
+	Dst     Addr
+	Size    int // bytes on the wire
+	Kind    string
+	Payload any
+}
+
+// Clone returns a shallow copy with a fresh identity-preserving struct
+// (payload is shared; payloads must be treated as immutable).
+func (p *Packet) Clone() *Packet {
+	c := *p
+	return &c
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt#%d %s %s→%s %dB", p.ID, p.Kind, p.Src, p.Dst, p.Size)
+}
+
+// Node consumes packets delivered by the fabric.
+type Node interface {
+	// Address returns the node's fabric address.
+	Address() Addr
+	// Deliver is invoked by the fabric when a packet arrives.
+	Deliver(pkt *Packet)
+}
+
+// LinkConfig describes one directed link.
+type LinkConfig struct {
+	// Latency is the propagation delay.
+	Latency sim.Time
+	// JitterMax adds U[0,JitterMax) to each packet.
+	JitterMax sim.Time
+	// BandwidthBps is bytes-per-second capacity; 0 means infinite.
+	BandwidthBps int64
+	// LossProb drops packets with this probability (failure injection).
+	LossProb float64
+}
+
+func (c LinkConfig) validate() error {
+	if c.Latency < 0 || c.JitterMax < 0 || c.BandwidthBps < 0 ||
+		c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("%w: %+v", ErrNet, c)
+	}
+	return nil
+}
+
+type link struct {
+	cfg      LinkConfig
+	nextFree sim.Time // FIFO serialization horizon
+	lastArr  sim.Time // FIFO delivery horizon: links never reorder
+	sent     uint64
+	dropped  uint64
+}
+
+// Network is the fabric. It is driven by the simulation loop and a
+// deterministic RNG stream for jitter and loss.
+type Network struct {
+	loop  *sim.Loop
+	rng   *sim.Rand
+	nodes map[Addr]Node
+	links map[[2]Addr]*link
+	def   *link // default link used when no explicit link exists
+
+	nextID    uint64
+	delivered uint64
+	lost      uint64
+}
+
+// New creates a network with the given default link parameters.
+func New(loop *sim.Loop, rng *sim.Rand, def LinkConfig) (*Network, error) {
+	if loop == nil || rng == nil {
+		return nil, fmt.Errorf("%w: nil loop or rng", ErrNet)
+	}
+	if err := def.validate(); err != nil {
+		return nil, err
+	}
+	return &Network{
+		loop:  loop,
+		rng:   rng,
+		nodes: make(map[Addr]Node),
+		links: make(map[[2]Addr]*link),
+		def:   &link{cfg: def},
+	}, nil
+}
+
+// Attach registers a node. Re-attaching an address replaces the previous
+// node (used for failure injection: replacing a node with a black hole).
+func (n *Network) Attach(node Node) error {
+	if node == nil || node.Address() == "" {
+		return fmt.Errorf("%w: nil node or empty address", ErrNet)
+	}
+	n.nodes[node.Address()] = node
+	return nil
+}
+
+// Detach removes a node; packets in flight to it are dropped on arrival.
+func (n *Network) Detach(addr Addr) {
+	delete(n.nodes, addr)
+}
+
+// SetLink installs a directed link between two addresses.
+func (n *Network) SetLink(src, dst Addr, cfg LinkConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	n.links[[2]Addr{src, dst}] = &link{cfg: cfg}
+	return nil
+}
+
+// SetDuplexLink installs the link in both directions.
+func (n *Network) SetDuplexLink(a, b Addr, cfg LinkConfig) error {
+	if err := n.SetLink(a, b, cfg); err != nil {
+		return err
+	}
+	return n.SetLink(b, a, cfg)
+}
+
+func (n *Network) linkFor(src, dst Addr) *link {
+	if l, ok := n.links[[2]Addr{src, dst}]; ok {
+		return l
+	}
+	return n.def
+}
+
+// NextID allocates a globally unique packet ID.
+func (n *Network) NextID() uint64 {
+	n.nextID++
+	return n.nextID
+}
+
+// Send transmits the packet. The packet's ID is assigned if zero. Delivery
+// is scheduled on the loop; lost packets are counted and dropped silently
+// (loss recovery belongs to upper layers).
+func (n *Network) Send(pkt *Packet) {
+	if pkt.ID == 0 {
+		pkt.ID = n.NextID()
+	}
+	l := n.linkFor(pkt.Src, pkt.Dst)
+	l.sent++
+	if l.cfg.LossProb > 0 && n.rng.Bool(l.cfg.LossProb) {
+		l.dropped++
+		n.lost++
+		return
+	}
+	now := n.loop.Now()
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	var tx sim.Time
+	if l.cfg.BandwidthBps > 0 {
+		tx = sim.Time(int64(pkt.Size) * int64(sim.Second) / l.cfg.BandwidthBps)
+	}
+	l.nextFree = start + tx
+	arrival := start + tx + l.cfg.Latency
+	if l.cfg.JitterMax > 0 {
+		arrival += n.rng.UniformDur(0, l.cfg.JitterMax)
+	}
+	// Links are FIFO (the paper's inter-node streams are TCP tunnels):
+	// jitter never reorders packets within one directed link.
+	if arrival < l.lastArr {
+		arrival = l.lastArr
+	}
+	l.lastArr = arrival
+	n.loop.At(arrival, "net:deliver:"+pkt.Kind, func() {
+		node, ok := n.nodes[pkt.Dst]
+		if !ok {
+			n.lost++
+			return
+		}
+		n.delivered++
+		node.Deliver(pkt)
+	})
+}
+
+// Stats reports fabric counters.
+type Stats struct {
+	Delivered uint64
+	Lost      uint64
+}
+
+// Stats returns current fabric counters.
+func (n *Network) Stats() Stats {
+	return Stats{Delivered: n.delivered, Lost: n.lost}
+}
+
+// LinkStats reports per-link counters for the directed pair, falling back
+// to the default link when no explicit link exists.
+func (n *Network) LinkStats(src, dst Addr) (sent, dropped uint64) {
+	l := n.linkFor(src, dst)
+	return l.sent, l.dropped
+}
+
+// FuncNode adapts a function into a Node — handy for tests and simple
+// endpoints.
+type FuncNode struct {
+	Addr Addr
+	Fn   func(pkt *Packet)
+}
+
+var _ Node = (*FuncNode)(nil)
+
+// Address implements Node.
+func (f *FuncNode) Address() Addr { return f.Addr }
+
+// Deliver implements Node.
+func (f *FuncNode) Deliver(pkt *Packet) {
+	if f.Fn != nil {
+		f.Fn(pkt)
+	}
+}

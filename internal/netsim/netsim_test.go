@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"stopwatch/internal/sim"
+)
+
+func testNet(t *testing.T, def LinkConfig) (*Network, *sim.Loop) {
+	t.Helper()
+	loop := sim.NewLoop()
+	rng := sim.NewSource(42).Stream("net")
+	n, err := New(loop, rng, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, loop
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{Latency: 5 * sim.Millisecond})
+	var at sim.Time
+	var got *Packet
+	sink := &FuncNode{Addr: "b", Fn: func(p *Packet) { at = loop.Now(); got = p }}
+	if err := n.Attach(sink); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 100, Kind: "test"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if at != 5*sim.Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", at)
+	}
+	if got.ID == 0 {
+		t.Fatal("packet ID not assigned")
+	}
+	if s := n.Stats(); s.Delivered != 1 || s.Lost != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1000 B/s → a 500B packet takes 500ms on the wire; two back-to-back
+	// packets serialize.
+	n, loop := testNet(t, LinkConfig{BandwidthBps: 1000})
+	var arrivals []sim.Time
+	sink := &FuncNode{Addr: "b", Fn: func(p *Packet) { arrivals = append(arrivals, loop.Now()) }}
+	if err := n.Attach(sink); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 500, Kind: "p1"})
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 500, Kind: "p2"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	if arrivals[0] != 500*sim.Millisecond || arrivals[1] != sim.Second {
+		t.Fatalf("serialization wrong: %v", arrivals)
+	}
+}
+
+func TestPerPairLinkOverride(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{Latency: sim.Millisecond})
+	if err := n.SetDuplexLink("a", "b", LinkConfig{Latency: 20 * sim.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	var atAB, atBC sim.Time
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { atAB = loop.Now() }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Attach(&FuncNode{Addr: "c", Fn: func(*Packet) { atBC = loop.Now() }}); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 1, Kind: "x"})
+	n.Send(&Packet{Src: "b", Dst: "c", Size: 1, Kind: "y"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if atAB != 20*sim.Millisecond {
+		t.Fatalf("override link latency not applied: %v", atAB)
+	}
+	if atBC != sim.Millisecond {
+		t.Fatalf("default link latency not applied: %v", atBC)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{LossProb: 1.0})
+	delivered := 0
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		n.Send(&Packet{Src: "a", Dst: "b", Size: 1, Kind: "x"})
+	}
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatalf("loss=1.0 delivered %d packets", delivered)
+	}
+	if s := n.Stats(); s.Lost != 50 {
+		t.Fatalf("lost = %d, want 50", s.Lost)
+	}
+	sent, dropped := n.LinkStats("a", "b")
+	if sent != 50 || dropped != 50 {
+		t.Fatalf("link stats sent=%d dropped=%d", sent, dropped)
+	}
+}
+
+func TestPartialLossRate(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{LossProb: 0.25})
+	delivered := 0
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 20000
+	for i := 0; i < total; i++ {
+		n.Send(&Packet{Src: "a", Dst: "b", Size: 1, Kind: "x"})
+	}
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := float64(delivered) / total
+	if rate < 0.73 || rate > 0.77 {
+		t.Fatalf("delivery rate %v, want ~0.75", rate)
+	}
+}
+
+func TestDeliveryToUnknownAddressCountsLost(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{})
+	n.Send(&Packet{Src: "a", Dst: "ghost", Size: 1, Kind: "x"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if s := n.Stats(); s.Lost != 1 || s.Delivered != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{})
+	delivered := 0
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	n.Detach("b")
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 1, Kind: "x"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("detached node received packet")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	loop := sim.NewLoop()
+	rng := sim.NewSource(1).Stream("x")
+	if _, err := New(nil, rng, LinkConfig{}); !errors.Is(err, ErrNet) {
+		t.Fatal("nil loop should fail")
+	}
+	if _, err := New(loop, nil, LinkConfig{}); !errors.Is(err, ErrNet) {
+		t.Fatal("nil rng should fail")
+	}
+	if _, err := New(loop, rng, LinkConfig{LossProb: 2}); !errors.Is(err, ErrNet) {
+		t.Fatal("bad loss prob should fail")
+	}
+	n, _ := New(loop, rng, LinkConfig{})
+	if err := n.Attach(nil); !errors.Is(err, ErrNet) {
+		t.Fatal("nil node should fail")
+	}
+	if err := n.Attach(&FuncNode{Addr: ""}); !errors.Is(err, ErrNet) {
+		t.Fatal("empty addr should fail")
+	}
+	if err := n.SetLink("a", "b", LinkConfig{Latency: -1}); !errors.Is(err, ErrNet) {
+		t.Fatal("negative latency should fail")
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{Latency: 10 * sim.Millisecond, JitterMax: 5 * sim.Millisecond})
+	var arrivals []sim.Time
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { arrivals = append(arrivals, loop.Now()) }}); err != nil {
+		t.Fatal(err)
+	}
+	const total = 500
+	for i := 0; i < total; i++ {
+		// Distinct send times so serialization doesn't matter.
+		i := i
+		loop.At(sim.Time(i)*sim.Second, "send", func() {
+			n.Send(&Packet{Src: "a", Dst: "b", Size: 1, Kind: "x"})
+		})
+	}
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for i, at := range arrivals {
+		base := sim.Time(i)*sim.Second + 10*sim.Millisecond
+		d := at - base
+		if d < 0 || d >= 5*sim.Millisecond {
+			t.Fatalf("jitter out of bounds: %v", d)
+		}
+		if d != 0 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never varied")
+	}
+}
+
+func TestPacketCloneAndString(t *testing.T) {
+	p := &Packet{ID: 9, Src: "a", Dst: "b", Size: 42, Kind: "k"}
+	c := p.Clone()
+	c.Dst = "c"
+	if p.Dst != "b" {
+		t.Fatal("clone aliases original")
+	}
+	if p.String() != "pkt#9 k a→b 42B" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestBroadcaster(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{})
+	rng := sim.NewSource(42).Stream("bcast")
+	counts := map[Addr]int{}
+	for _, a := range []Addr{"h1", "h2", "h3"} {
+		a := a
+		if err := n.Attach(&FuncNode{Addr: a, Fn: func(*Packet) { counts[a]++ }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := NewBroadcaster(n, loop, rng, BroadcasterConfig{
+		Src: "subnet", Targets: []Addr{"h1", "h2", "h3"}, RatePerSec: 75, Size: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start(10 * sim.Second)
+	if err := loop.RunUntil(11 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// ~75/s for 10s → ~750 rounds; each host sees each round.
+	if b.Sent() < 600 || b.Sent() > 900 {
+		t.Fatalf("broadcast rounds = %d, want ~750", b.Sent())
+	}
+	for a, c := range counts {
+		if uint64(c) != b.Sent() {
+			t.Fatalf("host %s saw %d broadcasts, want %d", a, c, b.Sent())
+		}
+	}
+}
+
+func TestBroadcasterValidation(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{})
+	rng := sim.NewSource(1).Stream("b")
+	if _, err := NewBroadcaster(nil, loop, rng, BroadcasterConfig{}); !errors.Is(err, ErrNet) {
+		t.Fatal("nil net should fail")
+	}
+	if _, err := NewBroadcaster(n, loop, rng, BroadcasterConfig{RatePerSec: 0, Size: 60, Targets: []Addr{"x"}}); !errors.Is(err, ErrNet) {
+		t.Fatal("rate 0 should fail")
+	}
+	if _, err := NewBroadcaster(n, loop, rng, BroadcasterConfig{RatePerSec: 10, Size: 60}); !errors.Is(err, ErrNet) {
+		t.Fatal("no targets should fail")
+	}
+}
+
+func TestBroadcasterDoubleStartNoop(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{})
+	rng := sim.NewSource(2).Stream("b2")
+	got := 0
+	if err := n.Attach(&FuncNode{Addr: "h", Fn: func(*Packet) { got++ }}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroadcaster(n, loop, rng, BroadcasterConfig{
+		Src: "s", Targets: []Addr{"h"}, RatePerSec: 100, Size: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Start(sim.Second)
+	b.Start(sim.Second) // must not double the rate
+	if err := loop.RunUntil(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got < 60 || got > 140 {
+		t.Fatalf("got %d broadcasts in 1s at 100/s — double start?", got)
+	}
+}

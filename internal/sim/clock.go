@@ -1,0 +1,35 @@
+package sim
+
+// Clock models a host's hardware real-time clock. Hosts do not observe the
+// fabric timeline directly: each clock has a fixed boot offset and a small
+// rate error (drift), so the "real time" exchanged between StopWatch VMMs —
+// e.g. when choosing the median boot time (Sec. IV-A) — differs per host
+// exactly as it would across physical machines.
+//
+// hostTime(t) = offset + t·(1+drift)
+type Clock struct {
+	offset Time
+	drift  float64 // fractional rate error, e.g. 2e-5 = 20 ppm fast
+}
+
+// NewClock returns a clock with the given boot offset and fractional drift.
+func NewClock(offset Time, drift float64) *Clock {
+	return &Clock{offset: offset, drift: drift}
+}
+
+// Read returns the host's view of real time at fabric time t.
+func (c *Clock) Read(t Time) Time {
+	return c.offset + t + Time(float64(t)*c.drift)
+}
+
+// Offset returns the clock's boot offset.
+func (c *Clock) Offset() Time { return c.offset }
+
+// Drift returns the clock's fractional rate error.
+func (c *Clock) Drift() float64 { return c.drift }
+
+// FabricFor inverts Read: the fabric time at which this clock shows h.
+// Used when a host schedules an action "at host time h".
+func (c *Clock) FabricFor(h Time) Time {
+	return Time(float64(h-c.offset) / (1 + c.drift))
+}

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is returned by Run when the loop was halted by Stop before the
+// horizon or event exhaustion was reached.
+var ErrStopped = errors.New("sim: loop stopped")
+
+// Event is a scheduled callback. Events fire in (When, order-of-scheduling)
+// order; the sequence number makes the ordering total and deterministic.
+type Event struct {
+	When Time
+	Name string // diagnostic label, not used for ordering
+	fn   func()
+
+	seq   uint64
+	index int // heap index; -1 once fired or canceled
+}
+
+// Canceled reports whether the event was canceled or has already fired.
+func (e *Event) Canceled() bool { return e.index < 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a deterministic discrete-event loop. The zero value is not usable;
+// construct with NewLoop.
+type Loop struct {
+	now     Time
+	pq      eventHeap
+	seq     uint64
+	stopped bool
+	fired   uint64
+	horizon Time
+}
+
+// NewLoop returns an empty loop positioned at time zero.
+func NewLoop() *Loop {
+	return &Loop{horizon: Never}
+}
+
+// Now returns the current simulated fabric time.
+func (l *Loop) Now() Time { return l.now }
+
+// Fired returns the number of events executed so far.
+func (l *Loop) Fired() uint64 { return l.fired }
+
+// Pending returns the number of events still queued.
+func (l *Loop) Pending() int { return len(l.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and is reported by scheduling at the current instant
+// instead (events never run backwards).
+func (l *Loop) At(t Time, name string, fn func()) *Event {
+	if t < l.now {
+		t = l.now
+	}
+	e := &Event{When: t, Name: name, fn: fn, seq: l.seq}
+	l.seq++
+	heap.Push(&l.pq, e)
+	return e
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (l *Loop) After(d Time, name string, fn func()) *Event {
+	return l.At(l.now+d, name, fn)
+}
+
+// Cancel removes a pending event. Canceling a fired or already-canceled
+// event is a no-op.
+func (l *Loop) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&l.pq, e.index)
+}
+
+// Reschedule moves a pending event to a new time, keeping its callback.
+// If the event already fired it is re-armed as a fresh event.
+func (l *Loop) Reschedule(e *Event, t Time) *Event {
+	if e == nil {
+		return nil
+	}
+	if t < l.now {
+		t = l.now
+	}
+	if e.index >= 0 {
+		e.When = t
+		e.seq = l.seq
+		l.seq++
+		heap.Fix(&l.pq, e.index)
+		return e
+	}
+	return l.At(t, e.Name, e.fn)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (l *Loop) Stop() { l.stopped = true }
+
+// Run executes events in order until the queue is empty, the horizon is
+// passed, or Stop is called. It returns ErrStopped in the latter case.
+func (l *Loop) Run() error {
+	l.stopped = false
+	for len(l.pq) > 0 {
+		if l.stopped {
+			return ErrStopped
+		}
+		next := l.pq[0]
+		if next.When > l.horizon {
+			l.now = l.horizon
+			return nil
+		}
+		heap.Pop(&l.pq)
+		l.now = next.When
+		l.fired++
+		next.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with When <= t and leaves the loop positioned
+// at t (or at the time of the last fired event if the queue drains early;
+// the loop time still advances to t).
+func (l *Loop) RunUntil(t Time) error {
+	prev := l.horizon
+	l.horizon = t
+	err := l.Run()
+	l.horizon = prev
+	if err == nil && l.now < t {
+		l.now = t
+	}
+	return err
+}
+
+// String summarizes loop state for diagnostics.
+func (l *Loop) String() string {
+	return fmt.Sprintf("loop{now=%s fired=%d pending=%d}", l.now, l.fired, len(l.pq))
+}

@@ -1,0 +1,227 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detection power machinery for the "observations needed to detect the
+// victim" curves (Figs. 1(b), 1(c), 4(b)).
+//
+// Model: the attacker draws N observations from the true distribution Q and
+// applies a Pearson χ² goodness-of-fit test against the null distribution P
+// (the no-victim behaviour). The expected χ² statistic grows as N·D(P,Q)
+// with the discrimination
+//
+//	D(P,Q) = Σ_i (q_i − p_i)² / p_i
+//
+// over the binned cell probabilities, so rejecting the null at confidence c
+// (χ² quantile Q_{df}(c), df = bins−1) needs about
+//
+//	N(c) = Q_{df}(c) / D(P,Q)
+//
+// observations. This is the standard noncentrality argument and is the
+// natural formalization of the paper's χ-square experiments.
+
+// Binning maps the real line into len(Edges)+1 cells:
+// (−inf, e0], (e0, e1], …, (e_{k−1}, +inf).
+type Binning struct {
+	Edges []float64
+}
+
+// EqualProbBins chooses edges so that the null distribution P has equal
+// mass in each of n cells — the usual way to bin for a χ² test.
+func EqualProbBins(p Dist, n int) (Binning, error) {
+	if n < 2 {
+		return Binning{}, fmt.Errorf("%w: EqualProbBins n=%d", ErrBadParam, n)
+	}
+	edges := make([]float64, n-1)
+	for i := 1; i < n; i++ {
+		target := float64(i) / float64(n)
+		edges[i-1] = invertCDF(p.CDF, target)
+	}
+	return Binning{Edges: edges}, nil
+}
+
+// invertCDF finds x with F(x)=target by doubling + bisection. F must be a
+// nondecreasing CDF of a (mostly) nonnegative variable; negative support is
+// handled by expanding the bracket downward as well.
+func invertCDF(f func(float64) float64, target float64) float64 {
+	lo, hi := 0.0, 1.0
+	for f(hi) < target && hi < 1e12 {
+		hi *= 2
+	}
+	for f(lo) > target && lo > -1e12 {
+		if lo == 0 {
+			lo = -1
+		} else {
+			lo *= 2
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CellProbs returns the probability mass of each cell under CDF f.
+func (b Binning) CellProbs(f func(float64) float64) []float64 {
+	k := len(b.Edges)
+	out := make([]float64, k+1)
+	prev := 0.0
+	for i, e := range b.Edges {
+		c := clamp01(f(e))
+		out[i] = c - prev
+		prev = c
+	}
+	out[k] = 1 - prev
+	for i, v := range out {
+		if v < 0 {
+			out[i] = 0
+		}
+	}
+	return out
+}
+
+// CellCounts histograms a sample into the binning's cells.
+func (b Binning) CellCounts(sample []float64) []int {
+	out := make([]int, len(b.Edges)+1)
+	for _, v := range sample {
+		out[b.cell(v)]++
+	}
+	return out
+}
+
+func (b Binning) cell(v float64) int {
+	lo, hi := 0, len(b.Edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= b.Edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// ChiSqDiscrimination returns D(P,Q) = Σ (q_i−p_i)²/p_i. Cells where p_i is
+// ~zero are skipped to keep the statistic finite (the test would pool them).
+func ChiSqDiscrimination(p, q []float64) (float64, error) {
+	if len(p) != len(q) || len(p) < 2 {
+		return 0, fmt.Errorf("%w: discrimination needs matched cells (%d vs %d)", ErrBadParam, len(p), len(q))
+	}
+	var d float64
+	for i := range p {
+		if p[i] < 1e-12 {
+			continue
+		}
+		diff := q[i] - p[i]
+		d += diff * diff / p[i]
+	}
+	return d, nil
+}
+
+// ObservationsToDetect returns N(c) = χ²-quantile(df=bins−1, c) / D(P,Q):
+// the approximate number of observations an attacker needs to reject, at
+// confidence c, the hypothesis that it is NOT coresident with the victim.
+func ObservationsToDetect(p, q []float64, confidence float64) (float64, error) {
+	d, err := ChiSqDiscrimination(p, q)
+	if err != nil {
+		return 0, err
+	}
+	if d <= 0 {
+		return math.Inf(1), nil
+	}
+	qv, err := ChiSquareQuantile(float64(len(p)-1), confidence)
+	if err != nil {
+		return 0, err
+	}
+	n := qv / d
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// DetectionCurve evaluates ObservationsToDetect at each confidence level.
+func DetectionCurve(p, q []float64, confidences []float64) ([]float64, error) {
+	out := make([]float64, len(confidences))
+	for i, c := range confidences {
+		n, err := ObservationsToDetect(p, q, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// StandardConfidences are the x-axis of the paper's detection figures.
+func StandardConfidences() []float64 {
+	return []float64{0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 0.99}
+}
+
+// ChiSqStatistic computes the Pearson statistic for observed counts against
+// expected cell probabilities, pooling cells with tiny expectation.
+func ChiSqStatistic(counts []int, expectedProbs []float64) (stat float64, df int, err error) {
+	if len(counts) != len(expectedProbs) {
+		return 0, 0, fmt.Errorf("%w: counts/probs length mismatch", ErrBadParam)
+	}
+	var n int
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("%w: empty counts", ErrBadParam)
+	}
+	cells := 0
+	for i := range counts {
+		exp := expectedProbs[i] * float64(n)
+		if exp < 1e-9 {
+			continue
+		}
+		cells++
+		d := float64(counts[i]) - exp
+		stat += d * d / exp
+	}
+	if cells < 2 {
+		return 0, 0, fmt.Errorf("%w: too few usable cells", ErrBadParam)
+	}
+	return stat, cells - 1, nil
+}
+
+// Bisect finds a root of f in [lo,hi] assuming f(lo) and f(hi) bracket zero.
+func Bisect(f func(float64) float64, lo, hi float64, iters int) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, fmt.Errorf("%w: Bisect endpoints do not bracket a root (f(%v)=%v f(%v)=%v)", ErrBadParam, lo, flo, hi, fhi)
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEqualProbBins(t *testing.T) {
+	e := Exponential{Rate: 1}
+	b, err := EqualProbBins(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Edges) != 9 {
+		t.Fatalf("edges = %d, want 9", len(b.Edges))
+	}
+	probs := b.CellProbs(e.CDF)
+	if len(probs) != 10 {
+		t.Fatalf("cells = %d, want 10", len(probs))
+	}
+	var sum float64
+	for _, p := range probs {
+		if math.Abs(p-0.1) > 1e-6 {
+			t.Fatalf("cell prob %v, want 0.1 (probs=%v)", p, probs)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	if _, err := EqualProbBins(e, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("n=1 should fail")
+	}
+}
+
+func TestCellCountsMatchProbs(t *testing.T) {
+	e := Exponential{Rate: 2}
+	b, err := EqualProbBins(e, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := uniSrc(17)
+	const n = 80000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = e.Sample(u)
+	}
+	counts := b.CellCounts(sample)
+	if len(counts) != 8 {
+		t.Fatalf("count cells = %d", len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.125) > 0.01 {
+			t.Fatalf("cell fraction %v, want ~0.125", frac)
+		}
+		total += c
+	}
+	if total != n {
+		t.Fatalf("counts total %d, want %d", total, n)
+	}
+}
+
+func TestChiSqDiscrimination(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{0.6, 0.4}
+	d, err := ChiSqDiscrimination(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.01/0.5 + 0.01/0.5
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+	if d2, _ := ChiSqDiscrimination(p, p); d2 != 0 {
+		t.Fatal("D(p,p) should be 0")
+	}
+	if _, err := ChiSqDiscrimination(p, []float64{1}); !errors.Is(err, ErrBadParam) {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestObservationsToDetectIdenticalDistsInfinite(t *testing.T) {
+	p := []float64{0.25, 0.25, 0.25, 0.25}
+	n, err := ObservationsToDetect(p, p, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(n, 1) {
+		t.Fatalf("identical dists need %v observations, want +Inf", n)
+	}
+}
+
+func TestObservationsMonotoneInConfidence(t *testing.T) {
+	e := Exponential{Rate: 1}
+	v := Exponential{Rate: 0.5}
+	b, err := EqualProbBins(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := b.CellProbs(e.CDF)
+	q := b.CellProbs(v.CDF)
+	curve, err := DetectionCurve(p, q, StandardConfidences())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("detection curve not monotone: %v", curve)
+		}
+	}
+}
+
+// The headline comparison of Fig. 1(b): under StopWatch the attacker needs
+// orders of magnitude more observations than without it.
+func TestStopWatchRaisesDetectionCost(t *testing.T) {
+	base := Exponential{Rate: 1}
+	vict := Exponential{Rate: 0.5}
+
+	// Without StopWatch: attacker sees Exp(λ) vs Exp(λ′) directly.
+	bn, err := EqualProbBins(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRaw := bn.CellProbs(base.CDF)
+	qRaw := bn.CellProbs(vict.CDF)
+	nRaw, err := ObservationsToDetect(pRaw, qRaw, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With StopWatch: attacker sees median-of-3.
+	noVictim := MedianOf3CDF(base.CDF, base.CDF, base.CDF)
+	withVictim := MedianOf3CDF(vict.CDF, base.CDF, base.CDF)
+	fd := &FuncDist{F: noVictim}
+	bnM, err := EqualProbBins(fd, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMed := bnM.CellProbs(noVictim)
+	qMed := bnM.CellProbs(withVictim)
+	nMed, err := ObservationsToDetect(pMed, qMed, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Paper, Sec. V-B: "StopWatch strengthens defense against timing attacks
+	// by an order of magnitude". With 10 equal-probability bins the χ²
+	// noncentrality framework yields a ~6x gap here; finer binning widens it
+	// (the χ² divergence of the raw pair diverges while the median pair's
+	// converges). Assert the conservative bound.
+	if nMed < 5*nRaw {
+		t.Fatalf("StopWatch gain too small: raw=%v med=%v", nRaw, nMed)
+	}
+}
+
+func TestChiSqStatistic(t *testing.T) {
+	counts := []int{50, 50}
+	probs := []float64{0.5, 0.5}
+	stat, df, err := ChiSqStatistic(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 || df != 1 {
+		t.Fatalf("stat=%v df=%d, want 0,1", stat, df)
+	}
+	counts = []int{60, 40}
+	stat, df, err = ChiSqStatistic(counts, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (10.0*10)/50 + (10.0*10)/50
+	if math.Abs(stat-want) > 1e-12 || df != 1 {
+		t.Fatalf("stat=%v, want %v", stat, want)
+	}
+	if _, _, err := ChiSqStatistic([]int{1}, probs); !errors.Is(err, ErrBadParam) {
+		t.Fatal("mismatch should fail")
+	}
+	if _, _, err := ChiSqStatistic([]int{0, 0}, probs); !errors.Is(err, ErrBadParam) {
+		t.Fatal("empty counts should fail")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Fatalf("root = %v", root)
+	}
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 10); !errors.Is(err, ErrBadParam) {
+		t.Fatal("non-bracketing should fail")
+	}
+	// Exact endpoint roots.
+	if r, err := Bisect(func(x float64) float64 { return x }, 0, 1, 10); err != nil || r != 0 {
+		t.Fatalf("endpoint root: %v, %v", r, err)
+	}
+}
+
+func TestBinningCellLookup(t *testing.T) {
+	b := Binning{Edges: []float64{1, 2, 3}}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0.5, 0}, {1, 0}, {1.5, 1}, {2, 1}, {2.5, 2}, {3, 2}, {9, 3}}
+	for _, c := range cases {
+		if got := b.cell(c.v); got != c.want {
+			t.Errorf("cell(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniSrc(seed int64) func() float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64
+}
+
+func TestExponentialCDF(t *testing.T) {
+	e := Exponential{Rate: 2}
+	if e.CDF(-1) != 0 || e.CDF(0) != 0 {
+		t.Fatal("CDF should be 0 for x<=0")
+	}
+	if math.Abs(e.CDF(1)-(1-math.Exp(-2))) > 1e-12 {
+		t.Fatal("CDF(1) wrong")
+	}
+	if e.Mean() != 0.5 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestExponentialSampleMatchesCDF(t *testing.T) {
+	e := Exponential{Rate: 1.5}
+	u := uniSrc(42)
+	var below float64
+	const n = 100000
+	x := 0.7
+	for i := 0; i < n; i++ {
+		if e.Sample(u) <= x {
+			below++
+		}
+	}
+	if math.Abs(below/n-e.CDF(x)) > 0.01 {
+		t.Fatalf("sample fraction %v vs CDF %v", below/n, e.CDF(x))
+	}
+}
+
+func TestUniformCDFAndMean(t *testing.T) {
+	d := Uniform{Lo: 1, Hi: 3}
+	if d.CDF(0) != 0 || d.CDF(4) != 1 {
+		t.Fatal("tails wrong")
+	}
+	if d.CDF(2) != 0.5 {
+		t.Fatal("midpoint wrong")
+	}
+	if d.Mean() != 2 {
+		t.Fatal("mean wrong")
+	}
+	u := uniSrc(7)
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(u)
+		if v < 1 || v > 3 {
+			t.Fatalf("sample %v out of support", v)
+		}
+	}
+}
+
+func TestShifted(t *testing.T) {
+	s := Shifted{Base: Exponential{Rate: 1}, C: 5}
+	if s.CDF(5) != 0 {
+		t.Fatal("shifted CDF should be 0 at shift point")
+	}
+	if math.Abs(s.Mean()-6) > 1e-12 {
+		t.Fatal("shifted mean wrong")
+	}
+	u := uniSrc(9)
+	if s.Sample(u) < 5 {
+		t.Fatal("shifted sample below shift")
+	}
+}
+
+func TestSumCDFAgainstAnalytic(t *testing.T) {
+	// Exp(1) + U(0,2): analytic CDF is
+	// F(x) = (1/2)·(x - (1 - e^{-x}))               for 0<=x<2   ... derived:
+	// F(x) = ∫0^min(x,2) (1/2)·(1-e^{-(x-u)}) du
+	sum := &Sum{A: Uniform{Lo: 0, Hi: 2}, B: Exponential{Rate: 1}}
+	analytic := func(x float64) float64 {
+		if x <= 0 {
+			return 0
+		}
+		up := math.Min(x, 2)
+		// ∫0^up (1 - e^{-(x-u)}) du / 2 = [u - e^{-(x-u)}]_0^up / 2
+		v := (up - math.Exp(-(x - up)) + math.Exp(-x)) / 2
+		return v
+	}
+	for _, x := range []float64{0.1, 0.5, 1, 1.9, 2.5, 4, 8} {
+		got := sum.CDF(x)
+		want := analytic(x)
+		if math.Abs(got-want) > 2e-3 {
+			t.Errorf("Sum CDF(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if math.Abs(sum.Mean()-2) > 1e-12 {
+		t.Fatal("Sum mean should be 1+1=2")
+	}
+}
+
+func TestSumSample(t *testing.T) {
+	sum := &Sum{A: Exponential{Rate: 1}, B: Uniform{Lo: 0, Hi: 1}}
+	u := uniSrc(11)
+	const n = 60000
+	var mean float64
+	for i := 0; i < n; i++ {
+		mean += sum.Sample(u)
+	}
+	mean /= n
+	if math.Abs(mean-1.5) > 0.02 {
+		t.Fatalf("Sum sample mean %v, want ~1.5", mean)
+	}
+}
+
+func TestFuncDistMeanAndSample(t *testing.T) {
+	// Wrap Exp(2): mean must come out 0.5 and samples must follow the CDF.
+	fd := &FuncDist{F: Exponential{Rate: 2}.CDF}
+	if m := fd.Mean(); math.Abs(m-0.5) > 1e-3 {
+		t.Fatalf("FuncDist mean %v, want 0.5", m)
+	}
+	u := uniSrc(13)
+	var below float64
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if fd.Sample(u) <= 0.3 {
+			below++
+		}
+	}
+	want := Exponential{Rate: 2}.CDF(0.3)
+	if math.Abs(below/n-want) > 0.015 {
+		t.Fatalf("FuncDist sample fraction %v, want %v", below/n, want)
+	}
+}
+
+// Property: all CDFs are monotone and bounded in [0,1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	dists := []Dist{
+		Exponential{Rate: 0.5},
+		Exponential{Rate: 3},
+		Uniform{Lo: -1, Hi: 4},
+		Shifted{Base: Exponential{Rate: 1}, C: 2},
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 50)
+		b = math.Mod(math.Abs(b), 50)
+		if a > b {
+			a, b = b, a
+		}
+		for _, d := range dists {
+			ca, cb := d.CDF(a), d.CDF(b)
+			if ca < 0 || cb > 1 || ca > cb+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a sample.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample (which it copies and sorts).
+func NewECDF(sample []float64) (*ECDF, error) {
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("%w: empty sample", ErrBadParam)
+	}
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}, nil
+}
+
+// CDF returns the fraction of the sample <= x.
+func (e *ECDF) CDF(x float64) float64 {
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the p-quantile (nearest-rank).
+func (e *ECDF) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.sorted[0]
+	}
+	if p >= 1 {
+		return e.sorted[len(e.sorted)-1]
+	}
+	i := int(math.Ceil(p*float64(len(e.sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return e.sorted[i]
+}
+
+// Min returns the smallest sample value.
+func (e *ECDF) Min() float64 { return e.sorted[0] }
+
+// Max returns the largest sample value.
+func (e *ECDF) Max() float64 { return e.sorted[len(e.sorted)-1] }
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// Mean returns the sample mean.
+func (e *ECDF) Mean() float64 {
+	var s float64
+	for _, v := range e.sorted {
+		s += v
+	}
+	return s / float64(len(e.sorted))
+}
+
+// Std returns the sample standard deviation (n-1 denominator).
+func (e *ECDF) Std() float64 {
+	n := len(e.sorted)
+	if n < 2 {
+		return 0
+	}
+	m := e.Mean()
+	var ss float64
+	for _, v := range e.sorted {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// KSDistanceECDF returns the exact Kolmogorov–Smirnov distance between two
+// ECDFs, evaluated at all jump points of both.
+func KSDistanceECDF(a, b *ECDF) float64 {
+	var d float64
+	check := func(x float64) {
+		if v := abs(a.CDF(x) - b.CDF(x)); v > d {
+			d = v
+		}
+		// Also check the left limit (just below the jump).
+		xl := math.Nextafter(x, math.Inf(-1))
+		if v := abs(a.CDF(xl) - b.CDF(xl)); v > d {
+			d = v
+		}
+	}
+	for _, x := range a.sorted {
+		check(x)
+	}
+	for _, x := range b.sorted {
+		check(x)
+	}
+	return d
+}
+
+// Summary captures the usual sample statistics for result reporting.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, P50, P95 float64
+	P99, Max      float64
+}
+
+// Summarize computes a Summary of the sample.
+func Summarize(sample []float64) (Summary, error) {
+	e, err := NewECDF(sample)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		N:    e.N(),
+		Mean: e.Mean(),
+		Std:  e.Std(),
+		Min:  e.Min(),
+		P50:  e.Quantile(0.50),
+		P95:  e.Quantile(0.95),
+		P99:  e.Quantile(0.99),
+		Max:  e.Max(),
+	}, nil
+}

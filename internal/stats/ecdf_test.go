@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e, err := NewECDF([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 3 || e.Min() != 1 || e.Max() != 3 {
+		t.Fatal("basic accessors wrong")
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 1.0 / 3}, {1.5, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if e.Mean() != 2 {
+		t.Fatal("mean wrong")
+	}
+	if math.Abs(e.Std()-1) > 1e-12 {
+		t.Fatalf("std = %v, want 1", e.Std())
+	}
+}
+
+func TestECDFEmpty(t *testing.T) {
+	if _, err := NewECDF(nil); !errors.Is(err, ErrBadParam) {
+		t.Fatal("empty sample should fail")
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	e, err := NewECDF(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0] = -100
+	if e.Min() != 1 {
+		t.Fatal("ECDF aliased caller slice")
+	}
+}
+
+func TestECDFQuantile(t *testing.T) {
+	var sample []float64
+	for i := 1; i <= 100; i++ {
+		sample = append(sample, float64(i))
+	}
+	e, err := NewECDF(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := e.Quantile(0.5); q != 50 {
+		t.Fatalf("P50 = %v", q)
+	}
+	if q := e.Quantile(0.95); q != 95 {
+		t.Fatalf("P95 = %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Fatalf("P0 = %v", q)
+	}
+	if q := e.Quantile(1); q != 100 {
+		t.Fatalf("P100 = %v", q)
+	}
+}
+
+func TestKSDistanceECDFShifted(t *testing.T) {
+	a := make([]float64, 1000)
+	b := make([]float64, 1000)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 500
+	}
+	ea, err := NewECDF(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := NewECDF(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := KSDistanceECDF(ea, eb)
+	if math.Abs(d-0.5) > 0.01 {
+		t.Fatalf("KS = %v, want ~0.5", d)
+	}
+	if KSDistanceECDF(ea, ea) != 0 {
+		t.Fatal("KS(a,a) should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrBadParam) {
+		t.Fatal("empty summarize should fail")
+	}
+}
+
+// Property: ECDF is a valid CDF — monotone, 0 before min, 1 at max.
+func TestECDFProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+			// Bound magnitudes so x-1/x+1 probes below remain meaningful
+			// (at 1e308, min-1 == min in float64).
+			raw[i] = math.Mod(raw[i], 1e6)
+		}
+		e, err := NewECDF(raw)
+		if err != nil {
+			return false
+		}
+		if e.CDF(e.Min()-1) != 0 || e.CDF(e.Max()) != 1 {
+			return false
+		}
+		prev := -1.0
+		for i := 0; i <= 50; i++ {
+			x := e.Min() + (e.Max()-e.Min())*float64(i)/50
+			v := e.CDF(x)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

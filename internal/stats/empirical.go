@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Empirical (Monte-Carlo) χ² detection: instead of the noncentrality
+// approximation N ≈ quantile/D, actually run the attacker's test — draw N
+// observations from the alternative, compute the Pearson statistic against
+// the null's cell probabilities, and check rejection at the target
+// confidence. "Observations needed" is the smallest N rejecting in at
+// least half the trials. This is the literal reading of the paper's
+// "using a χ-squared test" experiments and reproduces their floor effects
+// (tiny N for wildly different distributions).
+
+// Sampler draws one observation given a uniform source.
+type Sampler func(u func() float64) float64
+
+// EmpiricalPower estimates the probability that a Pearson χ² test on n
+// draws from alt rejects the null (given by nullProbs over bn) at the
+// given confidence.
+func EmpiricalPower(bn Binning, nullProbs []float64, alt Sampler, confidence float64, n, trials int, rng *rand.Rand) (float64, error) {
+	if n <= 0 || trials <= 0 || alt == nil {
+		return 0, fmt.Errorf("%w: EmpiricalPower(n=%d, trials=%d)", ErrBadParam, n, trials)
+	}
+	thresh, err := ChiSquareQuantile(float64(len(nullProbs)-1), confidence)
+	if err != nil {
+		return 0, err
+	}
+	rejections := 0
+	sample := make([]float64, n)
+	for t := 0; t < trials; t++ {
+		for i := 0; i < n; i++ {
+			sample[i] = alt(rng.Float64)
+		}
+		counts := bn.CellCounts(sample)
+		stat, _, err := ChiSqStatistic(counts, nullProbs)
+		if err != nil {
+			return 0, err
+		}
+		if stat >= thresh {
+			rejections++
+		}
+	}
+	return float64(rejections) / float64(trials), nil
+}
+
+// EmpiricalObsToDetect finds the smallest observation count whose rejection
+// power reaches 0.5, scanning N geometrically up to maxN. Returns maxN if
+// the power never reaches 0.5 (the distributions are too close to detect
+// within budget).
+func EmpiricalObsToDetect(bn Binning, nullProbs []float64, alt Sampler, confidence float64, trials, maxN int, rng *rand.Rand) (int, error) {
+	if maxN <= 0 {
+		return 0, fmt.Errorf("%w: maxN=%d", ErrBadParam, maxN)
+	}
+	n := 1
+	for n <= maxN {
+		p, err := EmpiricalPower(bn, nullProbs, alt, confidence, n, trials, rng)
+		if err != nil {
+			return 0, err
+		}
+		if p >= 0.5 {
+			return n, nil
+		}
+		next := n * 5 / 4
+		if next == n {
+			next = n + 1
+		}
+		n = next
+	}
+	return maxN, nil
+}
+
+// MedianOf3Sampler samples the median of three independent draws.
+func MedianOf3Sampler(d1, d2, d3 Dist) Sampler {
+	return func(u func() float64) float64 {
+		return MedianSample3(d1.Sample(u), d2.Sample(u), d3.Sample(u))
+	}
+}
+
+// ExpPlusUniformSampler samples Exp(rate) + U(0,b).
+func ExpPlusUniformSampler(rate, b float64) Sampler {
+	e := Exponential{Rate: rate}
+	n := Uniform{Lo: 0, Hi: b}
+	return func(u func() float64) float64 {
+		return e.Sample(u) + n.Sample(u)
+	}
+}
+
+// MinNoiseToSuppress finds the smallest uniform-noise bound b such that an
+// attacker running the empirical χ² test at the given confidence with
+// nObs observations fails (power < 0.5) to distinguish Exp(λ)+U(0,b) from
+// Exp(λ′)+U(0,b). The χ² cells are fixed to the noiseless null's
+// equal-probability quantiles. Returns 0 when even no noise keeps the
+// attacker below power 0.5.
+func MinNoiseToSuppress(lambda, lambdaP float64, bins, nObs, trials int, confidence float64, rng *rand.Rand, maxB float64) (float64, error) {
+	if lambda <= 0 || lambdaP <= 0 || bins < 2 || nObs <= 0 || maxB <= 0 {
+		return 0, fmt.Errorf("%w: MinNoiseToSuppress params", ErrBadParam)
+	}
+	bn, err := EqualProbBins(Exponential{Rate: lambda}, bins)
+	if err != nil {
+		return 0, err
+	}
+	powerAt := func(b float64) (float64, error) {
+		nullProbs := bn.CellProbs(ExpPlusUniformCDF(lambda, b))
+		return EmpiricalPower(bn, nullProbs, ExpPlusUniformSampler(lambdaP, b), confidence, nObs, trials, rng)
+	}
+	p0, err := powerAt(0)
+	if err != nil {
+		return 0, err
+	}
+	if p0 < 0.5 {
+		return 0, nil
+	}
+	// Bracket upward.
+	hi := 1.0
+	for hi <= maxB {
+		p, err := powerAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if p < 0.5 {
+			break
+		}
+		hi *= 2
+	}
+	if hi > maxB {
+		return maxB, nil
+	}
+	lo := hi / 2
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		p, err := powerAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if p >= 0.5 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}

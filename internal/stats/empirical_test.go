@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestEmpiricalPowerNullCalibration(t *testing.T) {
+	// Sampling from the NULL itself: rejection rate at confidence c should
+	// be ≈ 1−c (the test's size), for moderately large n.
+	e := Exponential{Rate: 1}
+	bn, err := EqualProbBins(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullProbs := bn.CellProbs(e.CDF)
+	rng := rand.New(rand.NewSource(1))
+	p, err := EmpiricalPower(bn, nullProbs, func(u func() float64) float64 { return e.Sample(u) },
+		0.95, 500, 2000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.02 || p > 0.10 {
+		t.Fatalf("size of the test = %v, want ≈0.05", p)
+	}
+}
+
+func TestEmpiricalPowerDetectsShift(t *testing.T) {
+	base := Exponential{Rate: 1}
+	vict := Exponential{Rate: 0.5}
+	bn, err := EqualProbBins(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullProbs := bn.CellProbs(base.CDF)
+	rng := rand.New(rand.NewSource(2))
+	p, err := EmpiricalPower(bn, nullProbs, func(u func() float64) float64 { return vict.Sample(u) },
+		0.95, 100, 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.95 {
+		t.Fatalf("power at n=100 for λ'=1/2 = %v, want ≈1", p)
+	}
+	if _, err := EmpiricalPower(bn, nullProbs, nil, 0.95, 10, 10, rng); !errors.Is(err, ErrBadParam) {
+		t.Fatal("nil sampler should fail")
+	}
+	if _, err := EmpiricalPower(bn, nullProbs, func(u func() float64) float64 { return 0 }, 0.95, 0, 10, rng); !errors.Is(err, ErrBadParam) {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestEmpiricalObsToDetectOrdering(t *testing.T) {
+	base := Exponential{Rate: 1}
+	bn, err := EqualProbBins(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullProbs := bn.CellProbs(base.CDF)
+	rng := rand.New(rand.NewSource(3))
+	// Raw victim pair: quickly detectable.
+	nRaw, err := EmpiricalObsToDetect(bn, nullProbs,
+		func(u func() float64) float64 { return Exponential{Rate: 0.5}.Sample(u) },
+		0.95, 100, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Median-of-3 pair, binned on its own null: harder.
+	med3 := MedianOf3Dist(base, base, base)
+	bnM, err := EqualProbBins(med3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nMed, err := EmpiricalObsToDetect(bnM, bnM.CellProbs(med3.CDF),
+		MedianOf3Sampler(Exponential{Rate: 0.5}, base, base),
+		0.95, 100, 100000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nMed < 3*nRaw {
+		t.Fatalf("median should need several times more observations: raw=%d med=%d", nRaw, nMed)
+	}
+	if _, err := EmpiricalObsToDetect(bn, nullProbs, func(u func() float64) float64 { return 0 }, 0.95, 10, 0, rng); !errors.Is(err, ErrBadParam) {
+		t.Fatal("maxN=0 should fail")
+	}
+}
+
+func TestEmpiricalObsToDetectIdenticalHitsMaxN(t *testing.T) {
+	base := Exponential{Rate: 1}
+	bn, err := EqualProbBins(base, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nullProbs := bn.CellProbs(base.CDF)
+	rng := rand.New(rand.NewSource(4))
+	n, err := EmpiricalObsToDetect(bn, nullProbs,
+		func(u func() float64) float64 { return base.Sample(u) },
+		0.99, 50, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 200 {
+		t.Fatalf("identical distributions should exhaust maxN, got %d", n)
+	}
+}
+
+func TestMedianOf3SamplerMatchesCDF(t *testing.T) {
+	base := Exponential{Rate: 1}
+	vict := Exponential{Rate: 0.5}
+	s := MedianOf3Sampler(vict, base, base)
+	med := MedianOf3CDF(vict.CDF, base.CDF, base.CDF)
+	rng := rand.New(rand.NewSource(5))
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		if s(rng.Float64) <= 1.0 {
+			below++
+		}
+	}
+	got := float64(below) / n
+	if d := got - med(1.0); d > 0.01 || d < -0.01 {
+		t.Fatalf("sampler fraction %v vs CDF %v", got, med(1.0))
+	}
+}
+
+func TestExpPlusUniformSampler(t *testing.T) {
+	s := ExpPlusUniformSampler(1, 4)
+	f := ExpPlusUniformCDF(1, 4)
+	rng := rand.New(rand.NewSource(6))
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		if s(rng.Float64) <= 3.0 {
+			below++
+		}
+	}
+	got := float64(below) / n
+	if d := got - f(3.0); d > 0.01 || d < -0.01 {
+		t.Fatalf("sampler fraction %v vs CDF %v", got, f(3.0))
+	}
+}
+
+func TestMinNoiseToSuppress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// With a generous observation budget the attacker detects the raw pair,
+	// so suppression needs b > 0.
+	b, err := MinNoiseToSuppress(1, 0.5, 10, 200, 100, 0.95, rng, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= 0 {
+		t.Fatalf("b = %v, want > 0 at n=200", b)
+	}
+	// With a single observation the attacker cannot reject at 0.95 anyway:
+	// no noise needed.
+	b0, err := MinNoiseToSuppress(1, 0.5, 10, 1, 200, 0.95, rng, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b0 != 0 {
+		t.Fatalf("b at n=1 = %v, want 0", b0)
+	}
+	if _, err := MinNoiseToSuppress(0, 0.5, 10, 1, 10, 0.95, rng, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("λ=0 should fail")
+	}
+}

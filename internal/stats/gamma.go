@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Regularized lower incomplete gamma P(a,x) and the χ² distribution built on
+// it. Implementation follows the classic series/continued-fraction split
+// (series for x < a+1, Lentz continued fraction otherwise).
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 1000
+)
+
+// RegIncGammaP returns the regularized lower incomplete gamma function
+// P(a,x) = γ(a,x)/Γ(a) for a > 0, x >= 0.
+func RegIncGammaP(a, x float64) (float64, error) {
+	if a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x) {
+		return 0, fmt.Errorf("%w: RegIncGammaP(a=%v, x=%v)", ErrBadParam, a, x)
+	}
+	if x == 0 {
+		return 0, nil
+	}
+	if x < a+1 {
+		v, err := gammaPSeries(a, x)
+		return v, err
+	}
+	q, err := gammaQContinuedFraction(a, x)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - q, nil
+}
+
+// gammaPSeries evaluates P(a,x) by its power series.
+func gammaPSeries(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			return sum * math.Exp(-x+a*math.Log(x)-lg), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: gamma series did not converge (a=%v,x=%v)", ErrBadParam, a, x)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) = 1 - P(a,x) by modified Lentz.
+func gammaQContinuedFraction(a, x float64) (float64, error) {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			return math.Exp(-x+a*math.Log(x)-lg) * h, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: gamma continued fraction did not converge (a=%v,x=%v)", ErrBadParam, a, x)
+}
+
+// ChiSquareCDF returns P(X <= x) for X ~ χ² with df degrees of freedom.
+func ChiSquareCDF(df float64, x float64) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("%w: ChiSquareCDF df=%v", ErrBadParam, df)
+	}
+	if x <= 0 {
+		return 0, nil
+	}
+	return RegIncGammaP(df/2, x/2)
+}
+
+// ChiSquareQuantile returns the p-quantile of the χ² distribution with df
+// degrees of freedom, i.e. the x with CDF(x)=p, by monotone bisection.
+func ChiSquareQuantile(df float64, p float64) (float64, error) {
+	if df <= 0 || p < 0 || p >= 1 {
+		return 0, fmt.Errorf("%w: ChiSquareQuantile(df=%v, p=%v)", ErrBadParam, df, p)
+	}
+	if p == 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, df+10
+	for {
+		v, err := ChiSquareCDF(df, hi)
+		if err != nil {
+			return 0, err
+		}
+		if v >= p || hi > 1e9 {
+			break
+		}
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		v, err := ChiSquareCDF(df, mid)
+		if err != nil {
+			return 0, err
+		}
+		if v < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2, nil
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRegIncGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^{-x}; P(0.5, x) = erf(sqrt(x)).
+	cases := []struct {
+		a, x, want float64
+	}{
+		{1, 1, 1 - math.Exp(-1)},
+		{1, 2, 1 - math.Exp(-2)},
+		{0.5, 1, math.Erf(1)},
+		{0.5, 4, math.Erf(2)},
+		{2, 3, 1 - math.Exp(-3)*(1+3)},
+		{5, 5, 0.5595067149347875}, // cross-checked against scipy gammainc(5,5)
+	}
+	for _, c := range cases {
+		got, err := RegIncGammaP(c.a, c.x)
+		if err != nil {
+			t.Fatalf("RegIncGammaP(%v,%v): %v", c.a, c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("P(%v,%v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestRegIncGammaPEdges(t *testing.T) {
+	if v, err := RegIncGammaP(3, 0); err != nil || v != 0 {
+		t.Fatalf("P(3,0) = %v,%v", v, err)
+	}
+	for _, bad := range []struct{ a, x float64 }{{0, 1}, {-1, 1}, {1, -1}, {math.NaN(), 1}, {1, math.NaN()}} {
+		if _, err := RegIncGammaP(bad.a, bad.x); !errors.Is(err, ErrBadParam) {
+			t.Fatalf("P(%v,%v) should fail with ErrBadParam, got %v", bad.a, bad.x, err)
+		}
+	}
+}
+
+func TestChiSquareCDFMonotoneAndKnown(t *testing.T) {
+	// χ²(2) has CDF 1 - e^{-x/2}.
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		got, err := ChiSquareCDF(2, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-x/2)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("ChiSquareCDF(2,%v) = %v, want %v", x, got, want)
+		}
+	}
+	prev := -1.0
+	for x := 0.0; x < 40; x += 0.5 {
+		v, err := ChiSquareCDF(7, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev {
+			t.Fatalf("χ² CDF not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestChiSquareQuantileRoundTrip(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 9, 20} {
+		for _, p := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+			x, err := ChiSquareQuantile(df, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := ChiSquareCDF(df, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("df=%v p=%v: CDF(quantile)=%v", df, p, back)
+			}
+		}
+	}
+}
+
+func TestChiSquareQuantileKnownValues(t *testing.T) {
+	// Textbook values.
+	cases := []struct {
+		df, p, want float64
+	}{
+		{1, 0.95, 3.841458820694124},
+		{2, 0.95, 5.991464547107979},
+		{9, 0.99, 21.665994333461924},
+		{10, 0.90, 15.987179172105261},
+	}
+	for _, c := range cases {
+		got, err := ChiSquareQuantile(c.df, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("quantile(df=%v,p=%v) = %v, want %v", c.df, c.p, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareQuantileEdges(t *testing.T) {
+	if v, err := ChiSquareQuantile(3, 0); err != nil || v != 0 {
+		t.Fatalf("quantile(3,0) = %v,%v", v, err)
+	}
+	for _, bad := range []struct{ df, p float64 }{{0, 0.5}, {-1, 0.5}, {3, 1}, {3, -0.1}} {
+		if _, err := ChiSquareQuantile(bad.df, bad.p); !errors.Is(err, ErrBadParam) {
+			t.Fatalf("quantile(%v,%v) should fail, got %v", bad.df, bad.p, err)
+		}
+	}
+	if _, err := ChiSquareCDF(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Fatal("ChiSquareCDF(0,·) should fail")
+	}
+	if v, err := ChiSquareCDF(3, -1); err != nil || v != 0 {
+		t.Fatalf("ChiSquareCDF(3,-1) = %v,%v want 0,nil", v, err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package transport provides the teaching-grade transports the evaluation
+// needs: a TCP-like reliable stream (three-way handshake, cumulative ACKs
+// with delayed-ACK coalescing, fixed window, server-side RTO) and a
+// UDP-like datagram blast, plus a NACK-reliable variant of the latter (the
+// paper's Sec. VII-C adaptation argument: reliability via negative
+// acknowledgments keeps packets out of the server's inbound path, which is
+// where StopWatch's cost lives).
+//
+// The server sides run inside guests (driven by guest.Ctx); the client
+// sides are fabric endpoints. The protocol is modeled at segment
+// granularity with MSS-sized data packets.
+package transport
+
+import "errors"
+
+// ErrTransport reports invalid transport use.
+var ErrTransport = errors.New("transport: invalid")
+
+// MSS is the data bytes carried per segment.
+const MSS = 1448
+
+// Sizes of wire artifacts (bytes), roughly Ethernet-framed.
+const (
+	CtrlSize = 66   // SYN / SYN-ACK / ACK / NACK
+	ReqSize  = 120  // request carrying an op descriptor
+	DataSize = 1514 // full-MSS data segment
+)
+
+// Flag enumerates segment types.
+type Flag int
+
+// Segment flags.
+const (
+	FlagSYN Flag = iota + 1
+	FlagSYNACK
+	FlagACK
+	FlagREQ
+	FlagDATA
+	FlagNACK
+)
+
+func (f Flag) String() string {
+	switch f {
+	case FlagSYN:
+		return "SYN"
+	case FlagSYNACK:
+		return "SYNACK"
+	case FlagACK:
+		return "ACK"
+	case FlagREQ:
+		return "REQ"
+	case FlagDATA:
+		return "DATA"
+	case FlagNACK:
+		return "NACK"
+	default:
+		return "?"
+	}
+}
+
+// Segment is the wire payload for both transports.
+type Segment struct {
+	Conn  uint64 // connection id (client-chosen)
+	Flags Flag
+	// DATA: index of this segment within the response; ACK: cumulative next
+	// expected index; NACK: first missing index.
+	Seq int
+	// DATA: total segments in the response.
+	Total int
+	// RespID identifies which request a DATA segment answers.
+	RespID uint64
+	// REQ: opaque request descriptor.
+	Req any
+}
+
+// SegCount returns the number of MSS segments needed for n bytes.
+func SegCount(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + MSS - 1) / MSS
+}
+
+// segSize returns the wire size of the i-th of total segments for n bytes.
+func segSize(i, total, n int) int {
+	if i < total-1 {
+		return DataSize
+	}
+	rem := n - (total-1)*MSS
+	if rem <= 0 {
+		return CtrlSize
+	}
+	return rem + (DataSize - MSS)
+}

@@ -1,0 +1,140 @@
+// Package vmm models the machines of the cloud and the two hypervisors the
+// paper compares: the StopWatch VMM (virtual-time clocks, Δd disk delivery,
+// Δn median network delivery, egress tunnelling, replica pacing) and a
+// baseline unmodified-Xen-like VMM (interrupts delivered as they happen,
+// guests see real time).
+//
+// The host model is where the timing side channel physically lives:
+// coresident activity changes a guest's CPU share (and hence how fast its
+// virtual time advances in real time) and the host's I/O service delays
+// (and hence when the device model observes packets). Under the baseline
+// VMM both leak directly into guest-observable timings; under StopWatch
+// they perturb only one of three median inputs.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// ErrVMM reports invalid VMM configuration or use.
+var ErrVMM = errors.New("vmm: invalid")
+
+// Config carries the tunables shared by both VMM flavors. The zero value is
+// not valid; use DefaultConfig.
+type Config struct {
+	// BaseRate is the host CPU's nominal guest execution rate in branches
+	// per second. Contended guests share it.
+	BaseRate int64
+	// ExitEvery bounds branches between guest-caused VM exits during long
+	// computations. Exits also happen at every I/O instruction.
+	ExitEvery int64
+	// PITHz is the guest timer frequency (paper: 250 Hz).
+	PITHz int
+	// Slope is the initial virtual-ns-per-branch (Eqn. 1).
+	Slope float64
+	// SlopeLo/SlopeHi clamp epoch slope adjustments.
+	SlopeLo, SlopeHi float64
+	// DeltaN is the network-interrupt delivery offset Δn in virtual time
+	// (paper: translates to ~7–12 ms real).
+	DeltaN vtime.Virtual
+	// DeltaD is the disk/DMA-interrupt delivery offset Δd in virtual time
+	// (paper: ~8–15 ms real).
+	DeltaD vtime.Virtual
+	// MaxLead bounds how far (in virtual time) a replica may run ahead of
+	// the farthest-behind peer before it is paused ("slowing the fastest
+	// replica", Sec. V-A).
+	MaxLead vtime.Virtual
+	// PaceInterval is how often replicas report progress to peers.
+	PaceInterval sim.Time
+
+	// IOBaseDelay is the Dom0 device-model processing delay floor for an
+	// inbound packet.
+	IOBaseDelay sim.Time
+	// IOJitterMean is the mean of the exponential jitter added to packet
+	// processing on an otherwise-idle host.
+	IOJitterMean sim.Time
+	// IOLoadFactor scales the jitter mean per unit of concurrent host I/O
+	// activity (the coresidency channel).
+	IOLoadFactor float64
+	// SchedSlice is the VCPU scheduling-latency bound: when another guest
+	// is busy on the host, device-model work for a waking guest waits
+	// U[0,SchedSlice) for CPU. This is the dominant coresidency timing
+	// channel on a real hypervisor (the attacker's interrupt waits out the
+	// victim's time slice).
+	SchedSlice sim.Time
+
+	// DiskSeek is the fixed per-request disk positioning time.
+	DiskSeek sim.Time
+	// DiskBytesPerSec is disk transfer bandwidth.
+	DiskBytesPerSec int64
+	// DiskJitterMean is the mean exponential service-time jitter.
+	DiskJitterMean sim.Time
+
+	// EpochInstr, when positive, enables the optional coarse
+	// re-synchronization of virtual and real time every EpochInstr branches
+	// (Sec. IV-A).
+	EpochInstr int64
+}
+
+// DefaultConfig returns the tunables used throughout the reproduction.
+// Rates are chosen so that one branch ≈ one virtual nanosecond, putting Δn
+// and Δd in the paper's regime relative to packet RTTs and disk times.
+func DefaultConfig() Config {
+	return Config{
+		BaseRate:  1_000_000_000, // 1e9 branches/s
+		ExitEvery: 250_000,       // 0.25 ms of virtual time between exits
+		PITHz:     250,
+		Slope:     1.0,
+		SlopeLo:   0.25,
+		SlopeHi:   4.0,
+		// Δn must cover: pacing slack between the two fastest replicas
+		// (MaxLead + reporting lag), Dom0 processing-delay tails, and
+		// proposal propagation. 12ms over a 4ms MaxLead leaves ~6ms of
+		// margin against the I/O tail — the regime the paper reports as
+		// "7-12ms real" (Sec. VII-A).
+		DeltaN:       vtime.Virtual(12 * sim.Millisecond),
+		DeltaD:       vtime.Virtual(12 * sim.Millisecond),
+		MaxLead:      vtime.Virtual(4 * sim.Millisecond),
+		PaceInterval: 2 * sim.Millisecond,
+		// The coresidency channel: Dom0 processing delay scales with
+		// concurrent host I/O. The median tolerates one slow proposal —
+		// divergence needs a single delay exceeding the full Δn — so a
+		// strong load coupling is safe at Δn=12ms.
+		IOBaseDelay:     200 * sim.Microsecond,
+		IOJitterMean:    200 * sim.Microsecond,
+		IOLoadFactor:    1.0,
+		SchedSlice:      3 * sim.Millisecond,
+		DiskSeek:        4 * sim.Millisecond,
+		DiskBytesPerSec: 80 << 20, // 80 MB/s rotating disk
+		DiskJitterMean:  sim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.BaseRate <= 0:
+		return fmt.Errorf("%w: BaseRate %d", ErrVMM, c.BaseRate)
+	case c.ExitEvery <= 0:
+		return fmt.Errorf("%w: ExitEvery %d", ErrVMM, c.ExitEvery)
+	case c.PITHz <= 0:
+		return fmt.Errorf("%w: PITHz %d", ErrVMM, c.PITHz)
+	case c.Slope <= 0 || c.SlopeLo <= 0 || c.SlopeHi < c.SlopeLo:
+		return fmt.Errorf("%w: slope %v bounds [%v,%v]", ErrVMM, c.Slope, c.SlopeLo, c.SlopeHi)
+	case c.DeltaN <= 0 || c.DeltaD <= 0:
+		return fmt.Errorf("%w: DeltaN %v DeltaD %v", ErrVMM, c.DeltaN, c.DeltaD)
+	case c.MaxLead <= 0 || c.PaceInterval <= 0:
+		return fmt.Errorf("%w: MaxLead %v PaceInterval %v", ErrVMM, c.MaxLead, c.PaceInterval)
+	case c.IOBaseDelay < 0 || c.IOJitterMean < 0 || c.IOLoadFactor < 0 || c.SchedSlice < 0:
+		return fmt.Errorf("%w: IO delay params", ErrVMM)
+	case c.DiskSeek < 0 || c.DiskBytesPerSec <= 0 || c.DiskJitterMean < 0:
+		return fmt.Errorf("%w: disk params", ErrVMM)
+	case c.EpochInstr < 0:
+		return fmt.Errorf("%w: EpochInstr %d", ErrVMM, c.EpochInstr)
+	}
+	return nil
+}

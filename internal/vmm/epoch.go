@@ -1,0 +1,135 @@
+package vmm
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// Epoch-based re-synchronization of virtual and real time (Sec. IV-A,
+// optional). After each epoch of I instructions, every replica reports the
+// real-time duration D over which it executed the epoch and its host real
+// time R at the epoch's end. All replicas then re-fit the virtual clock's
+// slope from the median R (taking D from that same machine), clamped to
+// [ℓ,u].
+//
+// Determinism demands that all replicas apply the adjustment at the same
+// instruction count with the same sample set, so the epoch boundary is a
+// barrier: a replica reaching it pauses (in real time — virtual time is
+// unaffected) until every peer's sample for that epoch has arrived.
+
+// EpochCoordinator manages epoch sampling and barrier synchronization for
+// one replica runtime.
+type EpochCoordinator struct {
+	rt       *Runtime
+	interval int64 // instructions per epoch
+	replicas int
+
+	epoch      int64 // current epoch index (0-based)
+	epochStart sim.Time
+	samples    map[int64][]vtime.EpochSample // keyed by epoch index
+	waiting    bool
+
+	// SendSample broadcasts this replica's sample for an epoch (wired by
+	// the cluster to the peer coordinators).
+	SendSample func(epoch int64, s vtime.EpochSample)
+
+	adjustments int
+}
+
+// NewEpochCoordinator attaches epoch re-synchronization to a runtime.
+func NewEpochCoordinator(rt *Runtime, interval int64, replicas int) (*EpochCoordinator, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("%w: nil runtime", ErrVMM)
+	}
+	if interval <= 0 || interval%rt.cfg.ExitEvery != 0 {
+		return nil, fmt.Errorf("%w: epoch interval %d must be a positive multiple of ExitEvery %d",
+			ErrVMM, interval, rt.cfg.ExitEvery)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("%w: replicas %d", ErrVMM, replicas)
+	}
+	ec := &EpochCoordinator{
+		rt:       rt,
+		interval: interval,
+		replicas: replicas,
+		samples:  make(map[int64][]vtime.EpochSample),
+	}
+	ec.epochStart = rt.Host().Loop().Now()
+	rt.epochHook = ec.onExit
+	rt.epochWait = func() bool { return ec.waiting }
+	return ec, nil
+}
+
+// Adjustments reports how many epoch adjustments have been applied.
+func (ec *EpochCoordinator) Adjustments() int { return ec.adjustments }
+
+// onExit is called by the runtime at every guest-caused exit, after instr
+// has advanced. It returns true when the runtime must pause at a barrier.
+func (ec *EpochCoordinator) onExit(instr int64) bool {
+	boundary := (ec.epoch + 1) * ec.interval
+	if instr < boundary {
+		return false
+	}
+	if !ec.waiting {
+		ec.waiting = true
+		now := ec.rt.Host().Loop().Now()
+		s := vtime.EpochSample{
+			D: now - ec.epochStart,
+			R: ec.rt.Host().Clock().Read(now),
+		}
+		ec.addSample(ec.epoch, s)
+		if ec.SendSample != nil {
+			ec.SendSample(ec.epoch, s)
+		}
+	}
+	return !ec.tryAdjust()
+}
+
+// OnPeerSample records a peer's epoch sample and, if the barrier is
+// complete and this replica is waiting at it, resumes execution (unless
+// pacing still holds it back).
+func (ec *EpochCoordinator) OnPeerSample(epoch int64, s vtime.EpochSample) {
+	ec.addSample(epoch, s)
+	if ec.waiting && ec.tryAdjust() && !ec.rt.tooFarAhead() {
+		ec.rt.ex.resume()
+	}
+}
+
+func (ec *EpochCoordinator) addSample(epoch int64, s vtime.EpochSample) {
+	if epoch < ec.epoch {
+		return // stale
+	}
+	ec.samples[epoch] = append(ec.samples[epoch], s)
+}
+
+// tryAdjust applies the epoch adjustment when all samples are in. It
+// returns true when the barrier is released.
+func (ec *EpochCoordinator) tryAdjust() bool {
+	got := ec.samples[ec.epoch]
+	if len(got) < ec.replicas {
+		return false
+	}
+	// Deterministic sample order across replicas.
+	s := make([]vtime.EpochSample, ec.replicas)
+	copy(s, got[:ec.replicas])
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].R != s[j].R {
+			return s[i].R < s[j].R
+		}
+		return s[i].D < s[j].D
+	})
+	if err := ec.rt.vclock.AdjustEpoch(ec.interval, s); err != nil {
+		// Cannot happen with validated parameters; drop the epoch rather
+		// than diverge silently.
+		return true
+	}
+	ec.adjustments++
+	delete(ec.samples, ec.epoch)
+	ec.epoch++
+	ec.epochStart = ec.rt.Host().Loop().Now()
+	ec.waiting = false
+	return true
+}

@@ -1,0 +1,169 @@
+package vmm
+
+import (
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+)
+
+// exec is the shared guest execution engine. It advances a guest VM in
+// chunks, producing guest-caused VM exits at deterministic points of the
+// instruction stream:
+//
+//   - at every absolute multiple of ExitEvery branches, and
+//   - at every I/O instruction (guest.Step stops there).
+//
+// Exit points MUST be a pure function of the guest's instruction stream —
+// never of host real time — because interrupts are injected only at exits,
+// and replicas must inject at identical instruction counts. Contention
+// rescaling and pacing pauses therefore only stretch the real-time mapping
+// of the same instruction trajectory; they never move an exit point.
+type exec struct {
+	host *Host
+	vm   *guest.VM
+	loop *sim.Loop
+
+	exitEvery int64
+	instr     int64
+
+	busy    bool
+	paused  bool
+	stopped bool
+
+	ev          *sim.Event
+	chunkStart  sim.Time
+	chunkRate   float64 // branches per fabric second
+	chunkBudget int64
+
+	// onExit processes a guest-caused VM exit (interrupt injection etc.).
+	// It runs after instr has been advanced.
+	onExit func(res guest.StepResult)
+}
+
+// start boots the guest and begins execution.
+func (e *exec) start() {
+	e.vm.Boot()
+	e.syncBusy()
+	e.arm()
+}
+
+// stop halts execution permanently (end of scenario).
+func (e *exec) stop() {
+	e.stopped = true
+	if e.ev != nil {
+		e.loop.Cancel(e.ev)
+		e.ev = nil
+	}
+}
+
+// arm schedules the next execution chunk toward the next deterministic
+// exit point.
+func (e *exec) arm() {
+	if e.stopped || e.paused || e.ev != nil {
+		return
+	}
+	boundary := (e.instr/e.exitEvery + 1) * e.exitEvery
+	budget := boundary - e.instr
+	if toIO, has := e.vm.BranchesToNextIO(); has && toIO+1 < budget {
+		budget = toIO + 1
+	}
+	rate := e.host.idleRate()
+	if e.busy {
+		rate = e.host.busyRate()
+	}
+	dur := sim.Time(float64(budget) / rate * 1e9)
+	if dur < 1 {
+		dur = 1
+	}
+	e.chunkStart = e.loop.Now()
+	e.chunkRate = rate
+	e.chunkBudget = budget
+	e.ev = e.loop.After(dur, "vmm:chunk", e.fire)
+}
+
+// fire completes a chunk: a guest-caused VM exit.
+func (e *exec) fire() {
+	e.ev = nil
+	res := e.vm.Step(e.chunkBudget)
+	e.instr += res.Executed
+	e.onExit(res)
+	e.syncBusy()
+	e.arm()
+}
+
+// rescale implements cpuConsumer: the host's contention changed, so the
+// in-flight chunk must be re-timed. Partial progress is materialized; if
+// that lands exactly on the planned exit point, the exit is taken.
+func (e *exec) rescale() {
+	if e.ev == nil {
+		return
+	}
+	elapsed := e.loop.Now() - e.chunkStart
+	done := int64(float64(elapsed) * e.chunkRate / 1e9)
+	if done > e.chunkBudget {
+		done = e.chunkBudget
+	}
+	e.loop.Cancel(e.ev)
+	e.ev = nil
+	if done > 0 {
+		res := e.vm.Step(done)
+		e.instr += res.Executed
+		if res.IO != nil || done == e.chunkBudget {
+			e.onExit(res)
+			e.syncBusy()
+			e.arm()
+			return
+		}
+	}
+	e.arm()
+}
+
+// pause suspends execution in real time (the "slow the fastest replica"
+// mechanism). Partial progress is materialized first.
+func (e *exec) pause() {
+	if e.paused || e.stopped {
+		return
+	}
+	e.paused = true
+	if e.ev == nil {
+		return
+	}
+	elapsed := e.loop.Now() - e.chunkStart
+	done := int64(float64(elapsed) * e.chunkRate / 1e9)
+	if done > e.chunkBudget {
+		done = e.chunkBudget
+	}
+	e.loop.Cancel(e.ev)
+	e.ev = nil
+	if done > 0 {
+		res := e.vm.Step(done)
+		e.instr += res.Executed
+		if res.IO != nil || done == e.chunkBudget {
+			e.onExit(res)
+			e.syncBusy()
+		}
+	}
+}
+
+// resume continues execution after a pause.
+func (e *exec) resume() {
+	if !e.paused {
+		return
+	}
+	e.paused = false
+	e.arm()
+}
+
+// syncBusy keeps the host's busy-population accounting in step with the
+// guest's op queue.
+func (e *exec) syncBusy() {
+	nb := e.vm.Busy()
+	if nb == e.busy {
+		return
+	}
+	e.busy = nb
+	if nb {
+		e.host.setBusy(1)
+	} else {
+		e.host.setBusy(-1)
+	}
+}

@@ -1,0 +1,165 @@
+package vmm
+
+import (
+	"testing"
+
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+)
+
+// Unit tests for the exec engine's deterministic-exit-point invariant under
+// rescaling and pausing.
+
+// chunkApp computes a long burst, then one send, then idles.
+type chunkApp struct{}
+
+func (chunkApp) Boot(c guest.Ctx) {
+	c.Compute(1_000_000)
+	c.Send("sink", 64, "done")
+}
+func (chunkApp) OnPacket(c guest.Ctx, p guest.Payload)    {}
+func (chunkApp) OnDiskDone(c guest.Ctx, d guest.DiskDone) {}
+func (chunkApp) OnTimer(c guest.Ctx, tag string)          {}
+
+// exitRecorder wraps a runtime and records exit instruction counts.
+func buildExecProbe(t *testing.T, rate int64) (*sim.Loop, *Runtime, *[]int64) {
+	t.Helper()
+	loop := sim.NewLoop()
+	src := sim.NewSource(99)
+	cfg := DefaultConfig()
+	cfg.BaseRate = rate
+	h, err := NewHost("h", loop, src.Stream("h"), sim.NewClock(0, 0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(h, "g", chunkApp{}, []sim.Time{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exits []int64
+	origExit := rt.ex.onExit
+	rt.ex.onExit = func(res guest.StepResult) {
+		exits = append(exits, rt.ex.instr)
+		origExit(res)
+	}
+	rt.OnSend = func(a guest.IOAction) {}
+	return loop, rt, &exits
+}
+
+func TestExitPointsAreAbsoluteBoundaries(t *testing.T) {
+	loop, rt, exits := buildExecProbe(t, 1_000_000_000)
+	rt.Start()
+	if err := loop.RunUntil(3 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	exitEvery := rt.cfg.ExitEvery
+	sendInstr := int64(1_000_001) // compute + the I/O instruction
+	for _, e := range *exits {
+		if e%exitEvery != 0 && e != sendInstr {
+			t.Fatalf("exit at %d: neither a boundary of %d nor the I/O point %d",
+				e, exitEvery, sendInstr)
+		}
+	}
+	if len(*exits) < 5 {
+		t.Fatalf("too few exits: %v", exits)
+	}
+}
+
+func TestExitPointsInvariantUnderRescale(t *testing.T) {
+	// Run once undisturbed, once with a sibling guest churning busy/idle
+	// (forcing rescales at odd real times): exit instruction sequences of
+	// the probe guest must be identical.
+	collect := func(withChurn bool) []int64 {
+		loop, rt, exits := buildExecProbe(t, 1_000_000_000)
+		if withChurn {
+			churn, err := NewRuntime(rt.Host(), "churn", loadApp{}, []sim.Time{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			churn.OnSend = func(a guest.IOAction) {}
+			churn.Start()
+		}
+		rt.Start()
+		if err := loop.RunUntil(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, len(*exits))
+		copy(out, *exits)
+		return out
+	}
+	calm := collect(false)
+	churned := collect(true)
+	// The churned run progresses more slowly in real time (shared CPU), so
+	// compare the common prefix.
+	n := len(calm)
+	if len(churned) < n {
+		n = len(churned)
+	}
+	if n < 5 {
+		t.Fatalf("too few comparable exits: %d vs %d", len(calm), len(churned))
+	}
+	for i := 0; i < n; i++ {
+		if calm[i] != churned[i] {
+			t.Fatalf("exit %d moved under contention: %d vs %d", i, calm[i], churned[i])
+		}
+	}
+}
+
+func TestPauseResumePreservesTrajectory(t *testing.T) {
+	loop, rt, exits := buildExecProbe(t, 1_000_000_000)
+	rt.Start()
+	// Pause at an arbitrary real time mid-chunk, resume later.
+	loop.At(137*sim.Microsecond, "pause", func() { rt.ex.pause() })
+	loop.At(900*sim.Microsecond, "resume", func() { rt.ex.resume() })
+	if err := loop.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	exitEvery := rt.cfg.ExitEvery
+	sendInstr := int64(1_000_001)
+	for _, e := range *exits {
+		if e%exitEvery != 0 && e != sendInstr {
+			t.Fatalf("pause/resume moved an exit to %d", e)
+		}
+	}
+	// The guest finished its program despite the pause.
+	if rt.VM().Stats().PacketsSent != 1 {
+		t.Fatal("send lost across pause/resume")
+	}
+}
+
+func TestDoublePauseAndResumeAreIdempotent(t *testing.T) {
+	loop, rt, _ := buildExecProbe(t, 1_000_000_000)
+	rt.Start()
+	loop.At(100*sim.Microsecond, "p1", func() { rt.ex.pause(); rt.ex.pause() })
+	loop.At(200*sim.Microsecond, "r1", func() { rt.ex.resume(); rt.ex.resume() })
+	if err := loop.RunUntil(3 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rt.VM().Stats().PacketsSent != 1 {
+		t.Fatal("execution did not complete after double pause/resume")
+	}
+}
+
+func TestStopHaltsExecution(t *testing.T) {
+	loop, rt, _ := buildExecProbe(t, 1_000_000_000)
+	rt.Start()
+	loop.At(50*sim.Microsecond, "stop", func() { rt.Stop() })
+	if err := loop.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	before := rt.Instr()
+	if err := loop.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Instr() != before {
+		t.Fatal("guest advanced after Stop")
+	}
+	// Resume after stop is a no-op (stopped wins).
+	rt.ex.resume()
+	if err := loop.RunUntil(12 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Instr() != before {
+		t.Fatal("guest advanced after Stop+resume")
+	}
+}

@@ -1,0 +1,140 @@
+package vmm
+
+import (
+	"fmt"
+
+	"stopwatch/internal/sim"
+)
+
+// cpuConsumer is anything the host schedules: replica runtimes register and
+// report busy/idle transitions; the host rescales all consumers when the
+// busy set changes (processor sharing).
+type cpuConsumer interface {
+	// rescale tells the consumer the host's per-busy-guest rate changed; it
+	// must materialize partial progress and re-arm its execution.
+	rescale()
+}
+
+// Host is one physical machine: a drifting clock, a CPU shared by resident
+// guest replicas, a disk with FIFO service, and an I/O activity level that
+// modulates device-model delays (the coresidency channel).
+type Host struct {
+	name  string
+	loop  *sim.Loop
+	rng   *sim.Rand
+	clock *sim.Clock
+	cfg   Config
+
+	consumers []cpuConsumer
+	busyCount int
+
+	// Disk FIFO horizon (like link serialization).
+	diskFree sim.Time
+	diskOps  uint64
+
+	// ioInFlight counts device-model work in progress (packets being
+	// processed, disk requests outstanding) across all residents.
+	ioInFlight int
+}
+
+// NewHost creates a host.
+func NewHost(name string, loop *sim.Loop, rng *sim.Rand, clock *sim.Clock, cfg Config) (*Host, error) {
+	if name == "" || loop == nil || rng == nil || clock == nil {
+		return nil, fmt.Errorf("%w: host needs name, loop, rng, clock", ErrVMM)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Host{name: name, loop: loop, rng: rng, clock: clock, cfg: cfg}, nil
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Clock returns the host's hardware clock.
+func (h *Host) Clock() *sim.Clock { return h.clock }
+
+// Loop returns the simulation loop.
+func (h *Host) Loop() *sim.Loop { return h.loop }
+
+// Config returns the host configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// register adds a CPU consumer (called by runtimes at construction).
+func (h *Host) register(c cpuConsumer) {
+	h.consumers = append(h.consumers, c)
+}
+
+// setBusy reports a consumer's busy/idle transition and triggers a rescale
+// of everyone when the busy population changes.
+func (h *Host) setBusy(delta int) {
+	h.busyCount += delta
+	if h.busyCount < 0 {
+		h.busyCount = 0
+	}
+	for _, c := range h.consumers {
+		c.rescale()
+	}
+}
+
+// busyRate returns the per-guest execution rate (branches per fabric
+// second) for a busy guest under the current contention, including the
+// host's clock drift.
+func (h *Host) busyRate() float64 {
+	n := h.busyCount
+	if n < 1 {
+		n = 1
+	}
+	return float64(h.cfg.BaseRate) * (1 + h.clock.Drift()) / float64(n)
+}
+
+// idleRate returns the instruction rate of an idle-looping guest. Idle
+// guests cost the host ~nothing (their HLT wakeups are negligible), so they
+// advance at the nominal unshared rate; see DESIGN.md "Modeling decisions".
+func (h *Host) idleRate() float64 {
+	return float64(h.cfg.BaseRate) * (1 + h.clock.Drift())
+}
+
+// ioBegin marks the start of device-model work; ioEnd its completion.
+func (h *Host) ioBegin() { h.ioInFlight++ }
+func (h *Host) ioEnd() {
+	if h.ioInFlight > 0 {
+		h.ioInFlight--
+	}
+}
+
+// IOInFlight reports current device-model concurrency (for tests).
+func (h *Host) IOInFlight() int { return h.ioInFlight }
+
+// BusyCount reports the number of busy guests (for tests).
+func (h *Host) BusyCount() int { return h.busyCount }
+
+// ioDelay draws the Dom0 packet-processing delay: a floor, exponential
+// jitter whose mean grows with concurrent host I/O, and — when some guest
+// is busy on the CPU — a VCPU scheduling wait of up to one slice. Together
+// these are the paper's λ→λ′ shift when a coresident victim is active.
+func (h *Host) ioDelay() sim.Time {
+	mean := float64(h.cfg.IOJitterMean) * (1 + h.cfg.IOLoadFactor*float64(h.ioInFlight))
+	d := h.cfg.IOBaseDelay + h.rng.ExpDur(sim.Time(mean))
+	if h.busyCount > 0 && h.cfg.SchedSlice > 0 {
+		d += h.rng.UniformDur(0, h.cfg.SchedSlice)
+	}
+	return d
+}
+
+// diskService reserves the disk for one request and returns when the data
+// will be ready: FIFO behind earlier requests, seek + transfer + jitter.
+func (h *Host) diskService(bytes int) sim.Time {
+	start := h.loop.Now()
+	if h.diskFree > start {
+		start = h.diskFree
+	}
+	transfer := sim.Time(int64(bytes) * int64(sim.Second) / h.cfg.DiskBytesPerSec)
+	svc := h.cfg.DiskSeek + transfer + h.rng.ExpDur(h.cfg.DiskJitterMean)
+	h.diskFree = start + svc
+	h.diskOps++
+	return h.diskFree
+}
+
+// DiskOps reports the number of disk requests serviced.
+func (h *Host) DiskOps() uint64 { return h.diskOps }

@@ -1,0 +1,161 @@
+package vmm
+
+import (
+	"fmt"
+
+	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/vtime"
+)
+
+// DeliveryPolicy selects how a NetDevice turns proposals into a delivery
+// time. PolicyMedian is StopWatch; PolicyOwn models the prior-work
+// replication designs the paper argues against (Sec. II: "all prior systems
+// ... permit one replica to dictate timing-related events"), where each
+// replica delivers at its own local timing — used only for ablations.
+type DeliveryPolicy int
+
+// Delivery policies.
+const (
+	PolicyMedian DeliveryPolicy = iota + 1
+	PolicyOwn
+)
+
+// NetDevice is the StopWatch network device model for one guest replica
+// (Fig. 3): it buffers inbound packets hidden from the guest, forms a
+// proposed delivery time virt_lastexit+Δn, exchanges proposals with the
+// peer replicas' device models, and hands the median to the runtime.
+type NetDevice struct {
+	rt       *Runtime
+	replicas int // total replica count (3, or 5 for the Sec. IX ablation)
+
+	// Policy defaults to PolicyMedian.
+	Policy DeliveryPolicy
+
+	props map[uint64]*propState
+
+	// SendProposal transmits this replica's proposal for an ingress
+	// sequence number to the peer device models (wired by the cluster).
+	SendProposal func(seq uint64, v vtime.Virtual)
+	// OnPropose observes this replica's own proposals (experiments).
+	OnPropose func(seq uint64, v vtime.Virtual)
+
+	proposed uint64
+	resolved uint64
+}
+
+type propState struct {
+	payload  *guest.Payload
+	proposal []vtime.Virtual
+	own      bool
+	ownVirt  vtime.Virtual
+	done     bool
+}
+
+// NewNetDevice builds the device model for a runtime participating in a
+// group of `replicas` total replicas.
+func NewNetDevice(rt *Runtime, replicas int) (*NetDevice, error) {
+	if rt == nil {
+		return nil, fmt.Errorf("%w: nil runtime", ErrVMM)
+	}
+	if replicas < 1 || replicas%2 == 0 {
+		return nil, fmt.Errorf("%w: replica count %d must be odd", ErrVMM, replicas)
+	}
+	return &NetDevice{
+		rt:       rt,
+		replicas: replicas,
+		Policy:   PolicyMedian,
+		props:    make(map[uint64]*propState),
+	}, nil
+}
+
+// HandleInbound accepts a packet replicated by the ingress node. After the
+// host's device-model processing delay, the VMM reads the guest's virtual
+// time as of its last VM exit, adds Δn, and multicasts the proposal.
+func (nd *NetDevice) HandleInbound(seq uint64, p guest.Payload) {
+	host := nd.rt.Host()
+	host.ioBegin()
+	host.Loop().After(host.ioDelay(), "netdev:process", func() {
+		host.ioEnd()
+		st := nd.state(seq)
+		if st.payload == nil {
+			cp := p
+			st.payload = &cp
+		}
+		if !st.own {
+			st.own = true
+			prop := nd.rt.VirtAtLastExit() + nd.rt.cfg.DeltaN
+			st.ownVirt = prop
+			st.proposal = append(st.proposal, prop)
+			nd.proposed++
+			if nd.OnPropose != nil {
+				nd.OnPropose(seq, prop)
+			}
+			if nd.SendProposal != nil {
+				nd.SendProposal(seq, prop)
+			}
+		}
+		nd.maybeResolve(seq, st)
+	})
+}
+
+// HandlePeerProposal records a proposal from a peer replica's device model.
+func (nd *NetDevice) HandlePeerProposal(seq uint64, v vtime.Virtual) {
+	st := nd.state(seq)
+	st.proposal = append(st.proposal, v)
+	nd.maybeResolve(seq, st)
+}
+
+func (nd *NetDevice) state(seq uint64) *propState {
+	st, ok := nd.props[seq]
+	if !ok {
+		st = &propState{}
+		nd.props[seq] = st
+	}
+	return st
+}
+
+func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
+	if st.done || st.payload == nil || !st.own {
+		return
+	}
+	var deliver vtime.Virtual
+	switch nd.Policy {
+	case PolicyOwn:
+		// Prior-work ablation: the local replica dictates its own timing.
+		deliver = st.ownVirt
+	default:
+		if len(st.proposal) < nd.replicas {
+			return
+		}
+		med, err := MedianVirtual(st.proposal[:nd.replicas])
+		if err != nil {
+			return
+		}
+		deliver = med
+	}
+	st.done = true
+	nd.resolved++
+	nd.rt.EnqueueNetDelivery(seq, deliver, *st.payload)
+	delete(nd.props, seq)
+}
+
+// Pending returns the number of unresolved inbound packets (tests).
+func (nd *NetDevice) Pending() int { return len(nd.props) }
+
+// Proposed and Resolved report protocol counters.
+func (nd *NetDevice) Proposed() uint64 { return nd.proposed }
+
+// Resolved reports how many packets reached a median decision here.
+func (nd *NetDevice) Resolved() uint64 { return nd.resolved }
+
+// EgressMsg is the tunnelled form of a guest output packet, sent by each
+// replica's device model to the egress node (Sec. VI).
+type EgressMsg struct {
+	GuestID string
+	Replica string
+	Seq     uint64 // deterministic per-guest output sequence
+	OrigDst netsim.Addr
+	Size    int
+	Data    any
+}

@@ -1,0 +1,317 @@
+package vmm
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// netDelivery is a network interrupt scheduled in virtual time.
+type netDelivery struct {
+	deliverVirt vtime.Virtual
+	seq         uint64 // ingress sequence: deterministic tiebreak
+	payload     guest.Payload
+}
+
+// diskDelivery is a disk interrupt scheduled in virtual time, with the real
+// time at which the data transfer actually completes (for overrun checks).
+type diskDelivery struct {
+	deliverVirt vtime.Virtual
+	seq         uint64
+	readyReal   sim.Time
+	done        guest.DiskDone
+}
+
+// RuntimeStats counts StopWatch-runtime events.
+type RuntimeStats struct {
+	// Divergences counts median delivery times that had already passed the
+	// guest's virtual time when resolved (synchrony violations, Sec. V-A
+	// footnote 4).
+	Divergences int
+	// DiskOverruns counts disk interrupts delivered before the simulated
+	// data transfer finished (Δd too small).
+	DiskOverruns int
+	// NetDelivered counts network interrupts injected.
+	NetDelivered int
+	// Pauses counts pacing pauses ("slowing the fastest replica").
+	Pauses int
+}
+
+// Runtime hosts one replica of a guest under the StopWatch VMM: it owns the
+// replica's virtual clock, PIT, pending interrupt queues and pacing state,
+// and drives the guest through the shared exec engine.
+type Runtime struct {
+	ex     exec
+	host   *Host
+	cfg    Config
+	vm     *guest.VM
+	vclock *vtime.Clock
+	pit    *vtime.PIT
+	tsc    vtime.TSC
+
+	virtLastExit vtime.Virtual
+
+	pendingNet  []netDelivery
+	pendingDisk []diskDelivery
+	diskSeq     uint64
+
+	peerVirt map[string]vtime.Virtual
+
+	stats RuntimeStats
+
+	// Wiring (set before Start):
+	// OnSend tunnels a guest output toward the egress node.
+	OnSend func(a guest.IOAction)
+	// OnPace reports this replica's virtual progress to its peers.
+	OnPace func(v vtime.Virtual)
+	// OnNetDeliver observes each injected network interrupt (experiments).
+	OnNetDeliver func(seq uint64, deliverVirt vtime.Virtual, real sim.Time)
+
+	// epochHook, set by an EpochCoordinator, runs at each exit; returning
+	// true holds the replica at an epoch barrier.
+	epochHook func(instr int64) bool
+	// epochWait reports whether the replica is held at an epoch barrier
+	// (pacing must not resume it).
+	epochWait func() bool
+}
+
+// NewRuntime builds a replica runtime. bootTimes are the three replica
+// hosts' clock readings at deployment; all replicas must receive the same
+// slice so their virtual clocks agree.
+func NewRuntime(host *Host, guestID string, app guest.App, bootTimes []sim.Time) (*Runtime, error) {
+	if host == nil {
+		return nil, fmt.Errorf("%w: nil host", ErrVMM)
+	}
+	cfg := host.Config()
+	vc, err := vtime.New(vtime.Config{
+		BootTimes: bootTimes,
+		Slope:     cfg.Slope,
+		SlopeLo:   cfg.SlopeLo,
+		SlopeHi:   cfg.SlopeHi,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pit, err := vtime.NewPIT(cfg.PITHz)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		host:     host,
+		cfg:      cfg,
+		vclock:   vc,
+		pit:      pit,
+		tsc:      vtime.TSC{HzGHz: 3.0},
+		peerVirt: make(map[string]vtime.Virtual),
+	}
+	// The PIT tick schedule starts at the clock's start value, not at
+	// virtual zero, so early guests aren't flooded with catch-up ticks.
+	rt.pit.Due(vc.Start())
+	rt.virtLastExit = vc.Start()
+	vm, err := guest.New(guestID, app, rt)
+	if err != nil {
+		return nil, err
+	}
+	rt.vm = vm
+	rt.ex = exec{
+		host:      host,
+		vm:        vm,
+		loop:      host.Loop(),
+		exitEvery: cfg.ExitEvery,
+		onExit:    rt.exit,
+	}
+	host.register(&rt.ex)
+	return rt, nil
+}
+
+var _ guest.ClockView = (*Runtime)(nil)
+
+// Now implements guest.ClockView: the guest sees only virtual time.
+func (rt *Runtime) Now() vtime.Virtual { return rt.vclock.At(rt.ex.instr) }
+
+// TSC implements guest.ClockView from virtual time (Sec. IV-B).
+func (rt *Runtime) TSC() uint64 { return rt.tsc.Read(rt.Now()) }
+
+// PITCounter implements guest.ClockView from virtual time (Sec. IV-B).
+func (rt *Runtime) PITCounter() uint16 { return rt.pit.Counter(rt.Now()) }
+
+// VM returns the hosted guest.
+func (rt *Runtime) VM() *guest.VM { return rt.vm }
+
+// Host returns the hosting machine.
+func (rt *Runtime) Host() *Host { return rt.host }
+
+// Stats returns runtime counters.
+func (rt *Runtime) Stats() RuntimeStats { return rt.stats }
+
+// Instr returns the replica's executed branch count.
+func (rt *Runtime) Instr() int64 { return rt.ex.instr }
+
+// VirtAtLastExit returns the guest's virtual time as of its last VM exit —
+// what the device model reads when forming a Δn proposal (Sec. V-B).
+func (rt *Runtime) VirtAtLastExit() vtime.Virtual { return rt.virtLastExit }
+
+// Start boots the guest and begins execution and pacing.
+func (rt *Runtime) Start() {
+	rt.ex.start()
+	if rt.OnPace != nil {
+		rt.paceTick()
+	}
+}
+
+// Stop halts the replica.
+func (rt *Runtime) Stop() { rt.ex.stop() }
+
+func (rt *Runtime) paceTick() {
+	if rt.ex.stopped {
+		return
+	}
+	rt.OnPace(rt.virtLastExit)
+	rt.host.Loop().After(rt.cfg.PaceInterval, "vmm:pace", rt.paceTick)
+}
+
+// OnPeerVirt records a peer replica's progress report and resumes a paced
+// pause if the gap has closed (never an epoch barrier).
+func (rt *Runtime) OnPeerVirt(peer string, v vtime.Virtual) {
+	rt.peerVirt[peer] = v
+	if rt.ex.paused && !rt.tooFarAhead() && (rt.epochWait == nil || !rt.epochWait()) {
+		rt.ex.resume()
+	}
+}
+
+// tooFarAhead reports whether this replica leads ALL peers by more than
+// MaxLead — i.e. it is the unique fastest and must be slowed (Sec. V-A).
+func (rt *Runtime) tooFarAhead() bool {
+	if len(rt.peerVirt) == 0 {
+		return false
+	}
+	var maxPeer vtime.Virtual
+	first := true
+	for _, v := range rt.peerVirt {
+		if first || v > maxPeer {
+			maxPeer = v
+			first = false
+		}
+	}
+	return rt.virtLastExit-maxPeer > rt.cfg.MaxLead
+}
+
+// EnqueueNetDelivery schedules a network interrupt at the median-agreed
+// virtual time. A delivery time at or before the replica's current virtual
+// time is a synchrony violation and is counted as a divergence; the packet
+// is still delivered at the next exit so the scenario can proceed.
+func (rt *Runtime) EnqueueNetDelivery(seq uint64, deliverVirt vtime.Virtual, p guest.Payload) {
+	if deliverVirt <= rt.virtLastExit {
+		rt.stats.Divergences++
+	}
+	d := netDelivery{deliverVirt: deliverVirt, seq: seq, payload: p}
+	i := sort.Search(len(rt.pendingNet), func(i int) bool {
+		if rt.pendingNet[i].deliverVirt != d.deliverVirt {
+			return rt.pendingNet[i].deliverVirt > d.deliverVirt
+		}
+		return rt.pendingNet[i].seq > d.seq
+	})
+	rt.pendingNet = append(rt.pendingNet, netDelivery{})
+	copy(rt.pendingNet[i+1:], rt.pendingNet[i:])
+	rt.pendingNet[i] = d
+}
+
+// RequestDisk is invoked at a VM exit when the guest issued a disk op: the
+// device model starts the real transfer and schedules the interrupt at
+// virtual time V+Δd (Sec. V-A).
+func (rt *Runtime) requestDisk(a guest.IOAction, atVirt vtime.Virtual) {
+	rt.host.ioBegin()
+	ready := rt.host.diskService(a.Bytes)
+	rt.host.Loop().At(ready, "vmm:diskdone", rt.host.ioEnd)
+	rt.diskSeq++
+	d := diskDelivery{
+		deliverVirt: atVirt + rt.cfg.DeltaD,
+		seq:         rt.diskSeq,
+		readyReal:   ready,
+		done:        guest.DiskDone{Tag: a.Tag, Bytes: a.Bytes, Write: a.Write},
+	}
+	i := sort.Search(len(rt.pendingDisk), func(i int) bool {
+		if rt.pendingDisk[i].deliverVirt != d.deliverVirt {
+			return rt.pendingDisk[i].deliverVirt > d.deliverVirt
+		}
+		return rt.pendingDisk[i].seq > d.seq
+	})
+	rt.pendingDisk = append(rt.pendingDisk, diskDelivery{})
+	copy(rt.pendingDisk[i+1:], rt.pendingDisk[i:])
+	rt.pendingDisk[i] = d
+}
+
+// exit is the guest-caused VM exit handler: the only place interrupts are
+// injected (Sec. IV-B / V-B).
+func (rt *Runtime) exit(res guest.StepResult) {
+	virt := rt.vclock.At(rt.ex.instr)
+	rt.virtLastExit = virt
+
+	if res.IO != nil {
+		if res.IO.IsSend() {
+			if rt.OnSend != nil {
+				rt.OnSend(*res.IO)
+			}
+		} else {
+			rt.requestDisk(*res.IO, virt)
+		}
+	}
+
+	// Timer interrupts first (the kernel services the tick before device
+	// interrupts), then disk before network at equal virtual times — a
+	// fixed, deterministic order.
+	if n := rt.pit.Due(virt); n > 0 {
+		rt.vm.DeliverTimerTicks(n)
+	}
+	rt.deliverDue(virt)
+
+	if rt.epochHook != nil && rt.epochHook(rt.ex.instr) {
+		rt.ex.pause()
+		return
+	}
+	if rt.tooFarAhead() {
+		rt.stats.Pauses++
+		rt.ex.pause()
+	}
+}
+
+func (rt *Runtime) deliverDue(virt vtime.Virtual) {
+	for len(rt.pendingDisk) > 0 || len(rt.pendingNet) > 0 {
+		haveDisk := len(rt.pendingDisk) > 0 && rt.pendingDisk[0].deliverVirt <= virt
+		haveNet := len(rt.pendingNet) > 0 && rt.pendingNet[0].deliverVirt <= virt
+		if !haveDisk && !haveNet {
+			return
+		}
+		// Disk wins ties; otherwise earliest virtual time first.
+		if haveDisk && (!haveNet || rt.pendingDisk[0].deliverVirt <= rt.pendingNet[0].deliverVirt) {
+			d := rt.pendingDisk[0]
+			rt.pendingDisk = rt.pendingDisk[1:]
+			if d.readyReal > rt.host.Loop().Now() {
+				rt.stats.DiskOverruns++
+			}
+			rt.vm.DeliverDisk(d.done)
+			continue
+		}
+		d := rt.pendingNet[0]
+		rt.pendingNet = rt.pendingNet[1:]
+		rt.stats.NetDelivered++
+		if rt.OnNetDeliver != nil {
+			rt.OnNetDeliver(d.seq, d.deliverVirt, rt.host.Loop().Now())
+		}
+		rt.vm.DeliverPacket(d.payload)
+	}
+}
+
+// MedianVirtual returns the median of an odd number of proposals.
+func MedianVirtual(vs []vtime.Virtual) (vtime.Virtual, error) {
+	if len(vs) == 0 || len(vs)%2 == 0 {
+		return 0, fmt.Errorf("%w: median needs an odd sample count, got %d", ErrVMM, len(vs))
+	}
+	s := make([]vtime.Virtual, len(vs))
+	copy(s, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2], nil
+}

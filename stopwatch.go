@@ -1,0 +1,226 @@
+// Package stopwatch is a simulation-based reproduction of "Mitigating
+// Access-Driven Timing Channels in Clouds using StopWatch" (Li, Gao,
+// Reiter — DSN 2013).
+//
+// StopWatch defends infrastructure-as-a-service clouds against timing side
+// channels by running three replicas of every guest VM on hosts whose other
+// residents do not overlap, exposing only virtual time (a deterministic
+// function of the guest's instruction count) to the guests, and delivering
+// every I/O event at the median of the three replicas' proposed timings.
+// External observers see output packets at the median emission time too
+// (the egress forwards the second copy).
+//
+// This package is the public façade over the full system:
+//
+//   - Cluster: a simulated cloud (hosts, StopWatch or baseline VMMs,
+//     ingress/egress, reliable multicast, transports) on a deterministic
+//     discrete-event kernel.
+//   - Experiments: one harness per table/figure in the paper's evaluation
+//     (Fig 1, 4, 5, 6, 7, 8; placement theorems; Δ calibration; the
+//     Sec.-IX collaborating-attacker and median-vs-leader ablations).
+//   - Placement: Theorem-1/2 replica placement (edge-disjoint triangle
+//     packings of K_n via Bose's Steiner-triple-system construction).
+//   - Analysis: the appendix's statistics (median-of-3 order statistics,
+//     χ² detection effort, KS contraction, Δn calibration).
+//
+// # Quick start
+//
+//	cfg := stopwatch.DefaultClusterConfig()
+//	c, err := stopwatch.NewCluster(cfg)
+//	if err != nil { ... }
+//	g, err := c.Deploy("web", []int{0, 1, 2}, func() stopwatch.App {
+//	    fs, _ := stopwatch.NewFileServer(stopwatch.DefaultFileServerConfig())
+//	    return fs
+//	})
+//	client, _ := c.NewClient("laptop")
+//	c.Start()
+//	dl := stopwatch.NewDownloader(client)
+//	_ = dl.Fetch(stopwatch.GuestAddr("web"), stopwatch.ModeTCP, 100<<10, nil)
+//	_ = c.Run(stopwatch.Seconds(10))
+//	fmt.Println(g.CheckLockstep()) // nil: replicas emitted identical outputs
+//
+// All randomness is seeded; every run is bit-reproducible.
+package stopwatch
+
+import (
+	"stopwatch/internal/apps"
+	"stopwatch/internal/core"
+	"stopwatch/internal/gateway"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/placement"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/transport"
+	"stopwatch/internal/vmm"
+	"stopwatch/internal/vtime"
+)
+
+// Time is a simulated-time instant/duration in nanoseconds.
+type Time = sim.Time
+
+// Virtual is a guest-visible virtual-time value in nanoseconds.
+type Virtual = vtime.Virtual
+
+// Common time helpers.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Seconds converts seconds to simulated Time.
+func Seconds(s float64) Time { return sim.FromSeconds(s) }
+
+// Millis converts milliseconds to simulated Time.
+func Millis(ms float64) Time { return sim.FromMillis(ms) }
+
+// Addr is a network fabric address.
+type Addr = netsim.Addr
+
+// Cluster is a running simulated cloud.
+type Cluster = core.Cluster
+
+// ClusterConfig configures a cloud.
+type ClusterConfig = core.ClusterConfig
+
+// Guest is a deployed guest VM (all of its replicas).
+type Guest = core.Guest
+
+// Mode selects the hypervisor under test.
+type Mode = core.Mode
+
+// Hypervisor modes.
+const (
+	ModeStopWatch = core.ModeStopWatch
+	ModeBaseline  = core.ModeBaseline
+)
+
+// VMMConfig carries hypervisor tunables (Δn, Δd, exit granularity, pacing,
+// I/O and disk models).
+type VMMConfig = vmm.Config
+
+// DefaultVMMConfig returns the tunables used throughout the reproduction.
+func DefaultVMMConfig() VMMConfig { return vmm.DefaultConfig() }
+
+// NewCluster creates a simulated cloud.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.New(cfg) }
+
+// DefaultClusterConfig returns a three-host StopWatch cloud in the paper's
+// experimental regime.
+func DefaultClusterConfig() ClusterConfig { return core.DefaultClusterConfig() }
+
+// GuestAddr returns the public service address of a deployed guest.
+func GuestAddr(guestID string) Addr { return gateway.ServiceAddr(guestID) }
+
+// Report summarizes a cluster run (per-guest lockstep health, interrupt
+// counts, gateway and fabric counters). Obtain one via Cluster.Report.
+type Report = core.Report
+
+// GuestReport is one guest's summary within a Report.
+type GuestReport = core.GuestReport
+
+// App is a deterministic guest workload; implement it to run custom guests.
+type App = guest.App
+
+// Ctx is the API available to guest apps inside callbacks.
+type Ctx = guest.Ctx
+
+// Payload is an inbound packet as a guest sees it.
+type Payload = guest.Payload
+
+// DiskDone reports disk completion to a guest.
+type DiskDone = guest.DiskDone
+
+// Client is the external transport client (the paper's client laptop).
+type Client = transport.Client
+
+// Response reports a completed client request.
+type Response = transport.Response
+
+// FileServer is the Fig-4/5 guest workload: files served from disk over
+// TCP-like or UDP-like transport.
+type FileServer = apps.FileServer
+
+// FileServerConfig configures a FileServer.
+type FileServerConfig = apps.FileServerConfig
+
+// FileServerMode selects the file server transport.
+type FileServerMode = apps.FileServerMode
+
+// File server transports.
+const (
+	ModeTCP = apps.ModeTCP
+	ModeUDP = apps.ModeUDP
+)
+
+// NewFileServer builds a file-serving guest app.
+func NewFileServer(cfg FileServerConfig) (*FileServer, error) { return apps.NewFileServer(cfg) }
+
+// DefaultFileServerConfig mirrors the paper's Apache setup.
+func DefaultFileServerConfig() FileServerConfig { return apps.DefaultFileServerConfig() }
+
+// Downloader drives file downloads and records latency.
+type Downloader = apps.Downloader
+
+// NewDownloader wraps a client.
+func NewDownloader(c *Client) *Downloader { return apps.NewDownloader(c) }
+
+// GetFile is the file-server request descriptor.
+type GetFile = apps.GetFile
+
+// NFSServer is the Fig-6 guest workload.
+type NFSServer = apps.NFSServer
+
+// NewNFSServer builds an NFS guest app.
+func NewNFSServer(window int) (*NFSServer, error) { return apps.NewNFSServer(window) }
+
+// NFSLoadGen is the nhfsstone-style load generator.
+type NFSLoadGen = apps.NFSLoadGen
+
+// NFSLoadGenConfig configures the generator.
+type NFSLoadGenConfig = apps.NFSLoadGenConfig
+
+// PaperNFSMix returns the paper's extracted NFS operation mix.
+func PaperNFSMix() []apps.MixEntry { return apps.PaperMix() }
+
+// ParsecProfile is a calibrated compute/disk workload profile.
+type ParsecProfile = apps.ParsecProfile
+
+// PaperParsecProfiles returns the five calibrated PARSEC stand-ins.
+func PaperParsecProfiles() []ParsecProfile { return apps.PaperParsecProfiles() }
+
+// NewParsecApp builds a profile-running guest app.
+func NewParsecApp(p ParsecProfile, collector Addr) (*apps.ParsecApp, error) {
+	return apps.NewParsecApp(p, collector)
+}
+
+// ProbeApp is the attacker VM: it records guest-visible delivery times.
+type ProbeApp = apps.ProbeApp
+
+// NewProbeApp builds an attacker probe.
+func NewProbeApp() *ProbeApp { return apps.NewProbeApp() }
+
+// ProbeSource drives an attacker's inbound packet stream.
+type ProbeSource = apps.ProbeSource
+
+// Placement re-exports.
+
+// Triangle is one guest's three replica machines.
+type Triangle = placement.Triangle
+
+// Placement is a set of replica placements.
+type Placement = placement.Placement
+
+// Theorem1Max returns the maximum edge-disjoint triangle packing of K_n.
+func Theorem1Max(n int) (int, error) { return placement.Theorem1Max(n) }
+
+// Theorem2Guests returns Theorem 2's guaranteed guest count for n machines
+// of capacity c.
+func Theorem2Guests(n, c int) (int, error) { return placement.Theorem2Guests(n, c) }
+
+// PlaceTheorem2 constructs the Theorem-2 placement.
+func PlaceTheorem2(n, c int) (*Placement, error) { return placement.PlaceTheorem2(n, c) }
+
+// GreedyPack packs triangles for arbitrary n.
+func GreedyPack(n, c int) (*Placement, error) { return placement.GreedyPack(n, c) }
