@@ -1,0 +1,401 @@
+// Command churn exercises the online control plane: a Poisson stream of
+// tenant arrivals, departures and injected replica failures over tens of
+// hosts, all in one deterministic simulation. Every placement decision is
+// re-verified for edge-disjointness as it happens, failed replicas are
+// replaced from the survivors' journal, and the run ends with a strict
+// lockstep audit of every surviving guest.
+//
+// Usage:
+//
+//	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"stopwatch/internal/controlplane"
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "churn:", err)
+		os.Exit(1)
+	}
+}
+
+// options parameterizes one churn scenario.
+type options struct {
+	hosts       int
+	capacity    int
+	duration    float64
+	arrivalRate float64
+	meanLife    float64
+	failures    int
+	pingEvery   float64
+	seed        uint64
+}
+
+func parse(args []string) (options, error) {
+	fs := flag.NewFlagSet("churn", flag.ContinueOnError)
+	o := options{}
+	fs.IntVar(&o.hosts, "hosts", 24, "machines in the cloud")
+	fs.IntVar(&o.capacity, "capacity", 4, "replicas per machine (placement capacity c)")
+	fs.Float64Var(&o.duration, "duration", 30, "scenario length (simulated seconds)")
+	fs.Float64Var(&o.arrivalRate, "arrival-rate", 2.5, "tenant arrivals per second (Poisson)")
+	fs.Float64Var(&o.meanLife, "mean-lifetime", 8, "mean tenant lifetime (seconds, exponential)")
+	fs.IntVar(&o.failures, "failures", 4, "replica failures to inject")
+	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
+	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if o.hosts < 5 || o.duration <= 2 || o.arrivalRate <= 0 || o.meanLife <= 0 {
+		return o, fmt.Errorf("implausible scenario: hosts=%d duration=%v rate=%v life=%v",
+			o.hosts, o.duration, o.arrivalRate, o.meanLife)
+	}
+	return o, nil
+}
+
+// tenantApp is the guests' workload: periodic compute+disk+send bursts and
+// an echo for every client ping, both gated on a virtual-time deadline so
+// all replicas quiesce identically before the final lockstep audit.
+type tenantApp struct {
+	period   vtime.Virtual
+	deadline vtime.Virtual
+	sink     netsim.Addr
+
+	bursts int64
+	echoes int64
+}
+
+var _ guest.App = (*tenantApp)(nil)
+
+func (a *tenantApp) Boot(ctx guest.Ctx) { ctx.SetTimer(0, "burst") }
+
+func (a *tenantApp) OnTimer(ctx guest.Ctx, tag string) {
+	if tag != "burst" || ctx.Clock().Now() >= a.deadline {
+		return
+	}
+	a.bursts++
+	ctx.Compute(400_000)
+	if a.bursts%4 == 0 {
+		ctx.DiskRead("t", 16<<10)
+	}
+	ctx.Send(a.sink, 200, a.bursts)
+	ctx.SetTimer(a.period, "burst")
+}
+
+func (a *tenantApp) OnPacket(ctx guest.Ctx, p guest.Payload) {
+	if ctx.Clock().Now() >= a.deadline {
+		return
+	}
+	a.echoes++
+	ctx.Compute(50_000)
+	ctx.Send(p.Src, 128, a.echoes)
+}
+
+func (a *tenantApp) OnDiskDone(ctx guest.Ctx, d guest.DiskDone) {}
+
+// scenario holds the run's mutable driver state.
+type scenario struct {
+	o   options
+	c   *core.Cluster
+	cp  *controlplane.ControlPlane
+	rng *sim.Rand
+	out io.Writer
+
+	trafficEnd sim.Time // pings and beacons stop here; drain follows
+	end        sim.Time
+
+	resident []string // sorted ids, the deterministic iteration order
+	nextID   int
+
+	// outcomes
+	placementViolations int
+	failuresInjected    int
+	replacementErrs     []error
+	prefixErrs          []error
+	echoesReceived      int
+	// degraded maps guests whose replacement was abandoned (e.g. no
+	// non-conflicting capacity) to the dead replica's slot: they keep
+	// serving on two replicas and are audited on the live pair only.
+	degraded map[string]int
+}
+
+func run(args []string, out io.Writer) error {
+	o, err := parse(args)
+	if err != nil {
+		return err
+	}
+	ccfg := core.DefaultClusterConfig()
+	ccfg.Seed = o.seed
+	ccfg.Hosts = o.hosts
+	c, err := core.New(ccfg)
+	if err != nil {
+		return err
+	}
+	cp, err := controlplane.New(c, controlplane.DefaultConfig(o.capacity))
+	if err != nil {
+		return err
+	}
+	s := &scenario{
+		o:          o,
+		c:          c,
+		cp:         cp,
+		rng:        c.Source().Stream("churn-driver"),
+		out:        out,
+		trafficEnd: sim.FromSeconds(o.duration - 2),
+		end:        sim.FromSeconds(o.duration),
+		degraded:   make(map[string]int),
+	}
+	// The clients' and beacons' counterparties.
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "churn-client", Fn: func(p *netsim.Packet) {
+		if p.Kind == "guest:data" {
+			s.echoesReceived++
+		}
+	}}); err != nil {
+		return err
+	}
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "churn-sink", Fn: func(p *netsim.Packet) {}}); err != nil {
+		return err
+	}
+
+	c.Start()
+	s.scheduleArrival()
+	s.scheduleFailures()
+	s.schedulePings()
+	if err := c.Run(s.end); err != nil {
+		return err
+	}
+	return s.report()
+}
+
+func (s *scenario) verify(when string) {
+	if err := s.cp.Verify(); err != nil {
+		s.placementViolations++
+		fmt.Fprintf(s.out, "PLACEMENT VIOLATION (%s at %v): %v\n", when, s.c.Loop().Now(), err)
+	}
+}
+
+func (s *scenario) addResident(id string) {
+	s.resident = append(s.resident, id)
+	sort.Strings(s.resident)
+}
+
+func (s *scenario) dropResident(id string) {
+	for i, have := range s.resident {
+		if have == id {
+			s.resident = append(s.resident[:i], s.resident[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *scenario) scheduleArrival() {
+	d := s.rng.ExpDur(sim.FromSeconds(1 / s.o.arrivalRate))
+	at := s.c.Loop().Now() + d
+	if at >= s.trafficEnd {
+		return
+	}
+	s.c.Loop().At(at, "churn:arrival", func() {
+		s.arrive()
+		s.scheduleArrival()
+	})
+}
+
+func (s *scenario) arrive() {
+	id := fmt.Sprintf("tenant-%03d", s.nextID)
+	s.nextID++
+	// Periods vary deterministically per tenant: 4..11 ms.
+	period := vtime.Virtual((4 + s.nextID%8)) * vtime.Virtual(sim.Millisecond)
+	deadline := vtime.Virtual(s.trafficEnd)
+	factory := func() guest.App {
+		return &tenantApp{period: period, deadline: deadline, sink: "churn-sink"}
+	}
+	if _, _, err := s.cp.Admit(id, factory); err != nil {
+		return // rejection is a counted, expected outcome
+	}
+	s.addResident(id)
+	s.verify("admit " + id)
+	// Departure after an exponential lifetime, inside the traffic window.
+	life := s.rng.ExpDur(sim.FromSeconds(s.o.meanLife))
+	depart := s.c.Loop().Now() + life
+	if depart < s.trafficEnd {
+		s.c.Loop().At(depart, "churn:departure", func() { s.depart(id) })
+	}
+}
+
+func (s *scenario) depart(id string) {
+	g, ok := s.c.Guest(id)
+	if !ok {
+		return
+	}
+	// A replacement mid-barrier blocks eviction AND would poison the exit
+	// audit (the dead replica's frozen output count drags the common
+	// prefix): come back when the lifecycle is quiet.
+	if _, busy := s.cp.InFlight(id); busy {
+		s.c.Loop().After(500*sim.Millisecond, "churn:departure", func() { s.depart(id) })
+		return
+	}
+	// Exit audit: a degraded guest (abandoned replacement) is checked on
+	// its live replicas only — the frozen one necessarily trails.
+	var err error
+	if deadSlot, isDegraded := s.degraded[id]; isDegraded {
+		err = g.CheckLockstepPrefixExcluding(deadSlot)
+	} else {
+		err = g.CheckLockstepPrefix()
+	}
+	if err != nil {
+		s.prefixErrs = append(s.prefixErrs, err)
+	}
+	if err := s.cp.Evict(id); err != nil {
+		// Raced a lifecycle op that started this instant: retry shortly.
+		s.c.Loop().After(500*sim.Millisecond, "churn:departure", func() { s.depart(id) })
+		return
+	}
+	s.dropResident(id)
+	s.verify("evict " + id)
+}
+
+func (s *scenario) scheduleFailures() {
+	if s.o.failures <= 0 {
+		return
+	}
+	// Spread failures across the middle of the traffic window so each
+	// replacement has room to finish and the guest keeps serving after.
+	lo, hi := s.trafficEnd/5, s.trafficEnd*7/10
+	times := make([]sim.Time, s.o.failures)
+	for i := range times {
+		times[i] = lo + s.rng.UniformDur(0, hi-lo)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, at := range times {
+		s.c.Loop().At(at, "churn:failure", func() { s.fail() })
+	}
+}
+
+func (s *scenario) fail() {
+	// Victim: a random resident guest with no lifecycle op in flight.
+	if len(s.resident) == 0 {
+		s.c.Loop().After(sim.Second, "churn:failure", func() { s.fail() })
+		return
+	}
+	id := s.resident[s.rng.Intn(len(s.resident))]
+	g, ok := s.c.Guest(id)
+	if !ok || g.Replaced > 0 {
+		s.c.Loop().After(sim.Second, "churn:failure", func() { s.fail() })
+		return
+	}
+	// Don't crash a guest whose lifecycle is mid-operation (a rejected
+	// replacement request would leave the replica dead with no recovery),
+	// or one already degraded by an abandoned replacement.
+	_, busy := s.cp.InFlight(id)
+	if _, isDegraded := s.degraded[id]; busy || isDegraded {
+		s.c.Loop().After(sim.Second, "churn:failure", func() { s.fail() })
+		return
+	}
+	slot := s.rng.Intn(len(g.Hosts))
+	deadHost := g.Hosts[slot]
+	g.Runtimes[slot].Stop() // the crash
+	s.failuresInjected++
+	err := s.cp.ReplaceReplica(id, deadHost, func(err error) {
+		if err != nil {
+			s.replacementErrs = append(s.replacementErrs, fmt.Errorf("%s: %w", id, err))
+			s.degraded[id] = slot
+			return
+		}
+		s.verify("replace " + id)
+	})
+	if err != nil {
+		s.replacementErrs = append(s.replacementErrs, fmt.Errorf("%s: %w", id, err))
+		s.degraded[id] = slot
+	}
+}
+
+func (s *scenario) schedulePings() {
+	var tick func()
+	tick = func() {
+		if s.c.Loop().Now() >= s.trafficEnd {
+			return
+		}
+		for _, id := range s.resident {
+			s.c.Net().Send(&netsim.Packet{
+				Src: "churn-client", Dst: core.ServiceAddr(id), Size: 200, Kind: "ping",
+			})
+		}
+		s.c.Loop().After(s.rng.ExpDur(sim.FromSeconds(s.o.pingEvery)), "churn:ping", tick)
+	}
+	s.c.Loop().After(100*sim.Millisecond, "churn:ping", tick)
+}
+
+func (s *scenario) report() error {
+	st := s.cp.Stats()
+	lockstepOK, lockstepBad, degradedOK := 0, 0, 0
+	divergences := 0
+	var firstBad error
+	for _, id := range s.resident {
+		g, ok := s.c.Guest(id)
+		if !ok {
+			continue
+		}
+		var err error
+		if deadSlot, isDegraded := s.degraded[id]; isDegraded {
+			// Replacement was abandoned (counted above): the dead replica
+			// necessarily trails. Audit agreement of the live pair only.
+			err = g.CheckLockstepPrefixExcluding(deadSlot)
+			if err == nil {
+				degradedOK++
+			}
+		} else {
+			err = g.CheckLockstep()
+			if err == nil {
+				lockstepOK++
+			}
+		}
+		if err != nil {
+			lockstepBad++
+			if firstBad == nil {
+				firstBad = err
+			}
+		}
+		divergences += g.Divergences()
+	}
+	offered := st.Admitted + st.Rejected
+	admissionRate := 0.0
+	if offered > 0 {
+		admissionRate = float64(st.Admitted) / float64(offered)
+	}
+	fmt.Fprintf(s.out, "churn scenario: %d hosts, capacity %d, %.0fs, seed %d\n",
+		s.o.hosts, s.o.capacity, s.o.duration, s.o.seed)
+	fmt.Fprintf(s.out, "  offered %d tenants: admitted=%d rejected=%d (admission rate %.2f)\n",
+		offered, st.Admitted, st.Rejected, admissionRate)
+	fmt.Fprintf(s.out, "  evicted=%d resident-at-end=%d final-utilization=%.2f\n",
+		st.Evicted, s.cp.Residents(), s.cp.Utilization())
+	fmt.Fprintf(s.out, "  failures injected=%d replaced=%d replacement-failures=%d drain-retries=%d\n",
+		s.failuresInjected, st.Replacements, st.ReplacementFailures, st.DrainRetries)
+	fmt.Fprintf(s.out, "  placement: every decision verified, violations=%d\n", s.placementViolations)
+	fmt.Fprintf(s.out, "  lockstep: ok=%d degraded-ok=%d diverged=%d prefix-errors=%d divergences=%d echoes=%d egress-stuck=%d\n",
+		lockstepOK, degradedOK, lockstepBad, len(s.prefixErrs), divergences, s.echoesReceived, s.c.Egress().StuckBelowForward())
+	for _, err := range s.replacementErrs {
+		fmt.Fprintf(s.out, "  replacement error: %v\n", err)
+	}
+	if s.placementViolations > 0 {
+		return fmt.Errorf("%d placement violations", s.placementViolations)
+	}
+	if lockstepBad > 0 {
+		return fmt.Errorf("%d guests ended out of lockstep: %v", lockstepBad, firstBad)
+	}
+	if len(s.prefixErrs) > 0 {
+		return fmt.Errorf("%d mid-run lockstep prefix failures: %v", len(s.prefixErrs), s.prefixErrs[0])
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestChurnScenarioHealthy is the acceptance scenario: ≥20 hosts, ≥30
+// guests through the lifecycle, ≥3 injected replica failures with
+// replacement — every placement decision verified edge-disjoint, every
+// surviving guest in strict lockstep at the end.
+func TestChurnScenarioHealthy(t *testing.T) {
+	args := []string{"-hosts", "21", "-duration", "15", "-arrival-rate", "4", "-failures", "3", "-seed", "7"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("churn run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	admitted := extractInt(t, text, `admitted=(\d+)`)
+	if admitted < 30 {
+		t.Fatalf("admitted %d < 30 guests:\n%s", admitted, text)
+	}
+	if evicted := extractInt(t, text, `evicted=(\d+)`); evicted < 5 {
+		t.Fatalf("evicted %d guests, churn too weak:\n%s", evicted, text)
+	}
+	if replaced := extractInt(t, text, `replaced=(\d+)`); replaced < 3 {
+		t.Fatalf("replaced %d < 3 failures:\n%s", replaced, text)
+	}
+	if rf := extractInt(t, text, `replacement-failures=(\d+)`); rf != 0 {
+		t.Fatalf("%d replacement failures:\n%s", rf, text)
+	}
+	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
+		t.Fatalf("placement violations:\n%s", text)
+	}
+	if d := extractInt(t, text, `diverged=(\d+)`); d != 0 {
+		t.Fatalf("diverged guests:\n%s", text)
+	}
+	if d := extractInt(t, text, `divergences=(\d+)`); d != 0 {
+		t.Fatalf("synchrony divergences:\n%s", text)
+	}
+	if e := extractInt(t, text, `echoes=(\d+)`); e == 0 {
+		t.Fatalf("client traffic never flowed:\n%s", text)
+	}
+}
+
+// TestChurnDeterminism: the same seed replays bit-identically.
+func TestChurnDeterminism(t *testing.T) {
+	args := []string{"-hosts", "20", "-duration", "8", "-arrival-rate", "3", "-failures", "2", "-seed", "3"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("first run: %v\n%s", err, a.String())
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("second run: %v\n%s", err, b.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("runs differ:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "violations=0") {
+		t.Fatalf("unexpected violations:\n%s", a.String())
+	}
+}
+
+func TestParseRejectsNonsense(t *testing.T) {
+	if _, err := parse([]string{"-hosts", "2"}); err == nil {
+		t.Fatal("2 hosts accepted")
+	}
+	if _, err := parse([]string{"-arrival-rate", "0"}); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+}
+
+func extractInt(t *testing.T, text, pattern string) int {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("pattern %q not found in:\n%s", pattern, text)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

@@ -1,0 +1,3 @@
+module stopwatch
+
+go 1.24

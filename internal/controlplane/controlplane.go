@@ -1,0 +1,285 @@
+// Package controlplane is the online orchestrator over the StopWatch
+// cluster: it owns the live host inventory (capacity, residency, used K_n
+// edges) and serves the guest lifecycle a real cloud needs —
+//
+//   - Admit places a new guest on an edge-disjoint replica triangle chosen
+//     by the incremental packer (placement.Pool) and boots it into the
+//     running cluster;
+//   - Evict tears a guest down and returns its triangle's edges and
+//     capacity to the pool;
+//   - ReplaceReplica runs the Sec. VII recovery protocol for a failed
+//     replica: quiesce the guest's inbound stream behind an ingress
+//     barrier, re-home the replica onto a fresh non-conflicting host,
+//     reconstruct its state from the survivors' determinism journal, and
+//     re-sync it into lockstep.
+//
+// The data plane (cluster, VMMs, gateways) stays mechanism; every policy
+// decision — which triangle, which replacement host, when a switchover is
+// safe — lives here.
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/placement"
+	"stopwatch/internal/sim"
+)
+
+// ErrControlPlane reports invalid control-plane configuration or use.
+var ErrControlPlane = errors.New("controlplane: invalid")
+
+// ErrRejected reports an admission the placement pool cannot satisfy: no
+// edge-disjoint triangle with spare capacity exists. It wraps
+// placement.ErrNoCapacity.
+var ErrRejected = fmt.Errorf("%w: admission rejected", ErrControlPlane)
+
+// Config tunes the control plane.
+type Config struct {
+	// Capacity is the per-host replica capacity the pool enforces
+	// (placement Theorem 2's c). Required, positive. Keep c <= (n-1)/2 if
+	// you want the Theorem-2 guarantees to describe the regime.
+	Capacity int
+	// DrainWindow is how long the replacement barrier waits after pausing
+	// a guest's ingress stream before checking quiescence — it must cover
+	// a fabric round trip plus Dom0 processing so in-flight packets and
+	// proposals settle. Default 50ms.
+	DrainWindow sim.Time
+	// MaxDrainAttempts bounds quiescence re-checks (each DrainWindow
+	// apart) before a replacement is abandoned. Default 40.
+	MaxDrainAttempts int
+}
+
+// DefaultConfig returns control-plane defaults for the paper's LAN regime.
+func DefaultConfig(capacity int) Config {
+	return Config{Capacity: capacity, DrainWindow: 50 * sim.Millisecond, MaxDrainAttempts: 40}
+}
+
+// Stats counts control-plane decisions.
+type Stats struct {
+	// Admitted and Rejected count Admit outcomes.
+	Admitted, Rejected int
+	// Evicted counts completed evictions.
+	Evicted int
+	// Replacements counts completed replica replacements;
+	// ReplacementFailures counts abandoned ones.
+	Replacements, ReplacementFailures int
+	// DrainRetries counts quiescence re-checks beyond the first.
+	DrainRetries int
+}
+
+// ControlPlane orchestrates guest lifecycle over a running cluster.
+type ControlPlane struct {
+	c    *core.Cluster
+	pool *placement.Pool
+	cfg  Config
+
+	// inflight guards per-guest lifecycle exclusivity (a guest being
+	// replaced must not concurrently evict).
+	inflight map[string]string
+
+	stats Stats
+}
+
+// New builds a control plane over the cluster. The cluster must be in
+// StopWatch mode with 3 replicas per guest (replica triangles are what the
+// placement theory packs).
+func New(c *core.Cluster, cfg Config) (*ControlPlane, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: nil cluster", ErrControlPlane)
+	}
+	if c.Ingress() == nil {
+		return nil, fmt.Errorf("%w: control plane needs a StopWatch-mode cluster", ErrControlPlane)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("%w: capacity %d", ErrControlPlane, cfg.Capacity)
+	}
+	if cfg.DrainWindow <= 0 {
+		cfg.DrainWindow = 50 * sim.Millisecond
+	}
+	if cfg.MaxDrainAttempts <= 0 {
+		cfg.MaxDrainAttempts = 40
+	}
+	pool, err := placement.NewPool(c.Hosts(), cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	return &ControlPlane{c: c, pool: pool, cfg: cfg, inflight: make(map[string]string)}, nil
+}
+
+// Cluster returns the governed cluster.
+func (cp *ControlPlane) Cluster() *core.Cluster { return cp.c }
+
+// Pool returns the live placement pool (read it, don't mutate around the
+// control plane).
+func (cp *ControlPlane) Pool() *placement.Pool { return cp.pool }
+
+// Stats returns decision counters.
+func (cp *ControlPlane) Stats() Stats { return cp.stats }
+
+// Utilization returns resident replicas over total capacity, in [0,1].
+func (cp *ControlPlane) Utilization() float64 { return cp.pool.Utilization() }
+
+// Residents returns the number of resident guests.
+func (cp *ControlPlane) Residents() int { return cp.pool.Guests() }
+
+// InFlight reports whether a lifecycle operation (e.g. a replacement
+// barrier) is in progress for the guest, and which. Failure injectors
+// should pick a different victim while one is.
+func (cp *ControlPlane) InFlight(id string) (string, bool) {
+	op, busy := cp.inflight[id]
+	return op, busy
+}
+
+// Admit places and deploys a new guest on an edge-disjoint triangle. When
+// the pool has no capacity the guest is rejected with ErrRejected (check
+// with errors.Is) and counted; any deployment error rolls the placement
+// back.
+func (cp *ControlPlane) Admit(id string, factory func() guest.App) (*core.Guest, placement.Triangle, error) {
+	if op, busy := cp.inflight[id]; busy {
+		return nil, placement.Triangle{}, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+	}
+	tri, err := cp.pool.Admit(id)
+	if err != nil {
+		if errors.Is(err, placement.ErrNoCapacity) {
+			cp.stats.Rejected++
+			return nil, placement.Triangle{}, fmt.Errorf("%w: %v", ErrRejected, err)
+		}
+		return nil, placement.Triangle{}, err
+	}
+	g, err := cp.c.Deploy(id, tri[:], factory)
+	if err != nil {
+		_, _ = cp.pool.Release(id)
+		return nil, placement.Triangle{}, err
+	}
+	cp.stats.Admitted++
+	return g, tri, nil
+}
+
+// Evict undeploys a guest and returns its edges and capacity to the pool.
+func (cp *ControlPlane) Evict(id string) error {
+	if op, busy := cp.inflight[id]; busy {
+		return fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+	}
+	if _, ok := cp.pool.Triangle(id); !ok {
+		return fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id)
+	}
+	if err := cp.c.Undeploy(id); err != nil {
+		return err
+	}
+	if _, err := cp.pool.Release(id); err != nil {
+		return err
+	}
+	cp.stats.Evicted++
+	return nil
+}
+
+// ReplaceReplica initiates the asynchronous replacement of guest id's
+// replica on deadHost (reported failed by whatever detector the caller
+// runs). The protocol, all in simulated time:
+//
+//  1. pause the guest's ingress stream (client packets buffer at the edge);
+//  2. wait DrainWindow for in-flight fabric traffic and delivery proposals
+//     to settle, re-checking up to MaxDrainAttempts times;
+//  3. re-home the replica through the placement pool (least-loaded fresh
+//     host whose edges to both survivors are free);
+//  4. reconstruct the replica from the survivors' journal and switch the
+//     multicast groups over (core.Cluster.ReplaceReplica);
+//  5. resume the ingress stream, flushing the buffered packets.
+//
+// onDone (optional) fires with the outcome; on failure the ingress is
+// resumed so the surviving replicas keep serving degraded.
+func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(error)) error {
+	finish := func(err error) {
+		delete(cp.inflight, id)
+		if err != nil {
+			cp.stats.ReplacementFailures++
+			cp.c.Ingress().Resume(id)
+		} else {
+			cp.stats.Replacements++
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+	}
+	if op, busy := cp.inflight[id]; busy {
+		return fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+	}
+	tri, ok := cp.pool.Triangle(id)
+	if !ok {
+		return fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id)
+	}
+	onTriangle := false
+	for _, v := range tri {
+		if v == deadHost {
+			onTriangle = true
+		}
+	}
+	if !onTriangle {
+		return fmt.Errorf("%w: guest %q has no replica on host %d", ErrControlPlane, id, deadHost)
+	}
+	cp.inflight[id] = "replacement"
+	cp.c.Ingress().Pause(id)
+	attempts := 0
+	var barrier func()
+	barrier = func() {
+		if !cp.c.GuestQuiescent(id) {
+			attempts++
+			if attempts >= cp.cfg.MaxDrainAttempts {
+				finish(fmt.Errorf("%w: guest %q never quiesced after %d drain windows", ErrControlPlane, id, attempts))
+				return
+			}
+			cp.stats.DrainRetries++
+			cp.c.Loop().After(cp.cfg.DrainWindow, "cp:drain", barrier)
+			return
+		}
+		_, newHost, err := cp.pool.Rehome(id, deadHost)
+		if err != nil {
+			finish(err)
+			return
+		}
+		if err := cp.c.ReplaceReplica(id, deadHost, newHost); err != nil {
+			// Roll the pool back to the original triangle: the data plane
+			// still has the (dead) replica on deadHost. The whole barrier
+			// step is one simulated instant, so the freed edges cannot
+			// have been claimed in between.
+			_, _ = cp.pool.Release(id)
+			_ = cp.pool.AdmitTriangle(id, tri)
+			finish(err)
+			return
+		}
+		cp.c.Ingress().Resume(id)
+		finish(nil)
+	}
+	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:drain", barrier)
+	return nil
+}
+
+// Verify checks the control plane's placement invariants (edge-disjoint
+// triangles, capacity, bookkeeping) and that the pool agrees with the
+// cluster's deployed residency. Scenario drivers call it after every
+// lifecycle decision.
+func (cp *ControlPlane) Verify() error {
+	if err := cp.pool.Verify(); err != nil {
+		return err
+	}
+	for _, id := range cp.pool.IDs() {
+		g, ok := cp.c.Guest(id)
+		if !ok {
+			return fmt.Errorf("%w: pool holds %q but cluster does not", ErrControlPlane, id)
+		}
+		tri, _ := cp.pool.Triangle(id)
+		want := map[int]bool{tri[0]: true, tri[1]: true, tri[2]: true}
+		if len(g.Hosts) != 3 {
+			return fmt.Errorf("%w: guest %q has %d replicas", ErrControlPlane, id, len(g.Hosts))
+		}
+		for _, h := range g.Hosts {
+			if !want[h] {
+				return fmt.Errorf("%w: guest %q deployed on %v, pool says %v", ErrControlPlane, id, g.Hosts, tri)
+			}
+		}
+	}
+	return nil
+}

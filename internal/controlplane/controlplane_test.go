@@ -1,0 +1,257 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"stopwatch/internal/apps"
+	"stopwatch/internal/core"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/placement"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+func newTestPlane(t *testing.T, hosts, capacity int, seed uint64) *ControlPlane {
+	t.Helper()
+	cfg := core.DefaultClusterConfig()
+	cfg.Seed = seed
+	cfg.Hosts = hosts
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := New(c, DefaultConfig(capacity))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func beaconFactory(period vtime.Virtual) func() guest.App {
+	return func() guest.App {
+		b := apps.NewBeaconApp(period)
+		b.Sink = "sink"
+		return b
+	}
+}
+
+func TestAdmitEvictReadmitPreservesInvariants(t *testing.T) {
+	cp := newTestPlane(t, 9, 2, 3)
+	// Admit until the pool rejects.
+	var resident []string
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("g%d", i)
+		_, _, err := cp.Admit(id, beaconFactory(vtime.Virtual(5*sim.Millisecond)))
+		if errors.Is(err, ErrRejected) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident = append(resident, id)
+		if err := cp.Verify(); err != nil {
+			t.Fatalf("after admitting %s: %v", id, err)
+		}
+	}
+	if len(resident) < 4 {
+		t.Fatalf("only %d guests fit on 9 hosts at capacity 2", len(resident))
+	}
+	if cp.Utilization() <= 0 {
+		t.Fatal("utilization not tracked")
+	}
+	// Evict half, readmit: the freed edges must be reusable.
+	evicted := 0
+	for i := 0; i < len(resident); i += 2 {
+		if err := cp.Evict(resident[i]); err != nil {
+			t.Fatal(err)
+		}
+		evicted++
+		if err := cp.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readmitted := 0
+	for i := 0; i < evicted; i++ {
+		id := fmt.Sprintf("re%d", i)
+		if _, _, err := cp.Admit(id, beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+			if errors.Is(err, ErrRejected) {
+				break
+			}
+			t.Fatal(err)
+		}
+		readmitted++
+		if err := cp.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if readmitted == 0 {
+		t.Fatal("no guest could be readmitted into freed capacity")
+	}
+	st := cp.Stats()
+	if st.Admitted != len(resident)+readmitted || st.Rejected == 0 || st.Evicted != evicted {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOnlineAdmissionBootsIntoRunningCluster(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 5)
+	c := cp.Cluster()
+	if _, _, err := cp.Admit("early", beaconFactory(vtime.Virtual(4*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	// Admitted mid-run: must boot immediately and reach lockstep.
+	c.Loop().At(200*sim.Millisecond, "admit", func() {
+		if _, _, err := cp.Admit("late", beaconFactory(vtime.Virtual(4*sim.Millisecond))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Evicted mid-run: outputs must stop and the slot must free.
+	c.Loop().At(600*sim.Millisecond, "evict", func() {
+		g, _ := c.Guest("early")
+		if err := g.CheckLockstepPrefix(); err != nil {
+			t.Errorf("pre-evict lockstep: %v", err)
+		}
+		if err := cp.Evict("early"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := c.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	late, ok := c.Guest("late")
+	if !ok {
+		t.Fatal("late guest missing")
+	}
+	if n := late.Runtimes[0].VM().OutputCount(); n == 0 {
+		t.Fatal("late-admitted guest never ran")
+	}
+	if err := late.CheckLockstepPrefix(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Guest("early"); ok {
+		t.Fatal("evicted guest still deployed")
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceReplicaProtocol(t *testing.T) {
+	cp := newTestPlane(t, 7, 3, 7)
+	c := cp.Cluster()
+	g, tri, err := cp.Admit("web", beaconFactory(vtime.Virtual(3*sim.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	deadHost := tri[1]
+	var deadRT = func() int {
+		for k, h := range g.Hosts {
+			if h == deadHost {
+				return k
+			}
+		}
+		t.Fatal("dead host not in guest")
+		return -1
+	}()
+	var result error
+	doneAt := sim.Time(-1)
+	c.Loop().At(300*sim.Millisecond, "fail", func() {
+		g.Runtimes[deadRT].Stop() // crash the replica
+		if err := cp.ReplaceReplica("web", deadHost, func(err error) {
+			result = err
+			doneAt = c.Loop().Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Lifecycle exclusivity while the replacement is in flight.
+		if err := cp.Evict("web"); err == nil {
+			t.Error("evict during replacement should fail")
+		}
+	})
+	if err := c.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt < 0 {
+		t.Fatal("replacement never completed")
+	}
+	if result != nil {
+		t.Fatalf("replacement failed: %v", result)
+	}
+	if cp.Stats().Replacements != 1 {
+		t.Fatalf("stats: %+v", cp.Stats())
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	newTri, _ := cp.Pool().Triangle("web")
+	if newTri == tri {
+		t.Fatal("pool triangle unchanged by replacement")
+	}
+	for _, h := range g.Hosts {
+		if h == deadHost {
+			t.Fatalf("dead host %d still in %v", deadHost, g.Hosts)
+		}
+	}
+	if err := g.CheckLockstepPrefix(); err != nil {
+		t.Fatal(err)
+	}
+	// The guest survives eviction after replacement (wiring fully sane).
+	if err := cp.Evict("web"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceReplicaValidation(t *testing.T) {
+	cp := newTestPlane(t, 7, 3, 9)
+	if err := cp.ReplaceReplica("ghost", 0, nil); err == nil {
+		t.Fatal("unknown guest accepted")
+	}
+	if _, _, err := cp.Admit("web", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := cp.Pool().Triangle("web")
+	off := 0
+	for h := 0; h < 7; h++ {
+		if h != tri[0] && h != tri[1] && h != tri[2] {
+			off = h
+			break
+		}
+	}
+	if err := cp.ReplaceReplica("web", off, nil); err == nil {
+		t.Fatal("replica on non-member host accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := core.DefaultClusterConfig()
+	cfg.Mode = core.ModeBaseline
+	cfg.Hosts = 1
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, DefaultConfig(2)); err == nil {
+		t.Fatal("baseline cluster accepted")
+	}
+	cfg = core.DefaultClusterConfig()
+	c2, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c2, Config{Capacity: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(nil, DefaultConfig(1)); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+	if _, err := placement.NewPool(-1, 1); err == nil {
+		t.Fatal("negative pool accepted")
+	}
+}

@@ -105,6 +105,14 @@ type Cluster struct {
 	egress  *gateway.Egress
 
 	guests map[string]*Guest
+
+	// clients are attached transport-client addresses; guests deployed
+	// later still get the configured client link wired to them.
+	clients []netsim.Addr
+
+	// started flips at Start; guests deployed afterwards (online
+	// admissions) boot immediately.
+	started bool
 }
 
 // Guest is a deployed guest VM (all its replicas).
@@ -119,9 +127,33 @@ type Guest struct {
 	// Epochs holds the per-replica epoch coordinators when the optional
 	// Sec. IV-A re-synchronization is enabled (VMM.EpochInstr > 0).
 	Epochs []*vmm.EpochCoordinator
+	// Replaced counts replica replacements performed on this guest.
+	Replaced int
 
 	// Baseline mode:
 	Baseline *vmm.BaselineRuntime
+
+	// Online-lifecycle state (StopWatch mode).
+	factory  func() guest.App
+	boots    []sim.Time
+	journal  *vmm.Journal
+	replicas []*replicaWiring
+}
+
+// replicaWiring is one replica's full fabric wiring. Peer lists are read
+// through the struct at send time, so replica replacement can rewire a
+// running guest by mutating them.
+type replicaWiring struct {
+	hostIdx  int
+	hostName string
+	dom0     netsim.Addr
+	rt       *vmm.Runtime
+	nd       *vmm.NetDevice
+	app      guest.App
+	ec       *vmm.EpochCoordinator
+	propSrc  netsim.Addr
+	psnd     *multicast.Sender
+	peers    []netsim.Addr
 }
 
 // App returns replica i's app instance (replica 0 for baseline).
@@ -325,10 +357,24 @@ func (c *Cluster) Deploy(id string, hostIdx []int, factory func() guest.App) (*G
 			return nil, fmt.Errorf("%w: host index %d out of range", ErrCluster, i)
 		}
 	}
+	var g *Guest
+	var err error
 	if c.cfg.Mode == ModeBaseline {
-		return c.deployBaseline(id, hostIdx, factory)
+		g, err = c.deployBaseline(id, hostIdx, factory)
+	} else {
+		g, err = c.deployStopWatch(id, hostIdx, factory)
 	}
-	return c.deployStopWatch(id, hostIdx, factory)
+	if err != nil {
+		return nil, err
+	}
+	// Existing clients reach online-admitted guests over the same client
+	// link as guests deployed before them.
+	for _, cl := range c.clients {
+		if err := c.net.SetDuplexLink(cl, gateway.ServiceAddr(id), c.cfg.ClientLink); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.App) (*Guest, error) {
@@ -355,6 +401,9 @@ func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.
 	}
 	g := &Guest{ID: id, Hosts: hostIdx, Baseline: rt, Apps: []guest.App{app}}
 	c.guests[id] = g
+	if c.started {
+		c.startGuest(g)
+	}
 	return g, nil
 }
 
@@ -382,107 +431,190 @@ func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest
 	for k, i := range hostIdx {
 		boots[k] = c.hosts[i].Clock().Read(c.loop.Now())
 	}
-	g := &Guest{ID: id, Hosts: append([]int(nil), hostIdx...)}
-	dom0s := make([]netsim.Addr, len(hostIdx))
-	for k, i := range hostIdx {
-		dom0s[k] = c.hostNodes[i].addr
+	g := &Guest{
+		ID:       id,
+		Hosts:    append([]int(nil), hostIdx...),
+		factory:  factory,
+		boots:    boots,
+		journal:  vmm.NewJournal(),
+		Runtimes: make([]*vmm.Runtime, len(hostIdx)),
+		NetDevs:  make([]*vmm.NetDevice, len(hostIdx)),
+		Apps:     make([]guest.App, len(hostIdx)),
+		replicas: make([]*replicaWiring, len(hostIdx)),
 	}
 	for k, i := range hostIdx {
-		hn := c.hostNodes[i]
-		app := factory()
-		rt, err := vmm.NewRuntime(c.hosts[i], id, app, boots)
-		if err != nil {
+		if err := c.wireReplica(g, k, i, nil); err != nil {
 			return nil, err
 		}
-		nd, err := vmm.NewNetDevice(rt, c.cfg.Replicas)
+	}
+	c.refreshPeers(g)
+	if err := c.ingress.RegisterGuest(id, g.dom0s()); err != nil {
+		return nil, err
+	}
+	c.guests[id] = g
+	if c.started {
+		c.startGuest(g)
+	}
+	return g, nil
+}
+
+// wireReplica builds and wires replica slot k of guest g on the given
+// host. With rt == nil a fresh runtime is created (initial deployment);
+// otherwise the caller supplies a reconstructed replacement runtime. Peer
+// lists are left to refreshPeers.
+func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
+	hn := c.hostNodes[hostIdx]
+	id := g.ID
+	var app guest.App
+	if rt == nil {
+		app = g.factory()
+		var err error
+		rt, err = vmm.NewRuntime(c.hosts[hostIdx], id, app, g.boots)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		// Proposal exchange: reliable multicast to peer Dom0s.
-		peers := make([]netsim.Addr, 0, len(dom0s)-1)
-		for kk, a := range dom0s {
+	} else {
+		app = rt.VM().App()
+	}
+	nd, err := vmm.NewNetDevice(rt, c.cfg.Replicas)
+	if err != nil {
+		return err
+	}
+	w := &replicaWiring{
+		hostIdx:  hostIdx,
+		hostName: c.hosts[hostIdx].Name(),
+		dom0:     hn.addr,
+		rt:       rt,
+		nd:       nd,
+		app:      app,
+		propSrc:  netsim.Addr(fmt.Sprintf("prop:%s/%s", c.hosts[hostIdx].Name(), id)),
+	}
+	// Proposal exchange: reliable multicast to peer Dom0s. The group is a
+	// placeholder until refreshPeers fills in the real peer set (which can
+	// change over the guest's life as replicas are re-homed); a 1-replica
+	// "group" has no peers and fails here as it always has.
+	var placeholder []netsim.Addr
+	if c.cfg.Replicas > 1 {
+		placeholder = []netsim.Addr{hn.addr}
+	}
+	psnd, err := multicast.NewSender(c.net, c.loop, multicast.SenderConfig{Src: w.propSrc, Group: placeholder})
+	if err != nil {
+		return err
+	}
+	w.psnd = psnd
+	// Attach replaces any stale node from an earlier tenancy of this host
+	// (guest ids are unique, so no live holder can exist).
+	if err := c.net.Attach(&netsim.FuncNode{Addr: w.propSrc, Fn: func(p *netsim.Packet) { psnd.Handle(p) }}); err != nil {
+		return err
+	}
+	nd.SendProposal = func(seq uint64, v vtime.Virtual) {
+		w.psnd.Multicast("swprop", 64, propMsg{GuestID: id, Seq: seq, Virt: v})
+	}
+	// Journal every resolved delivery — the determinism log replica
+	// replacement replays (identical at every replica; first write wins).
+	nd.OnResolve = g.journal.Record
+	// Pacing: unicast reports to peer Dom0s (periodic, loss-tolerant).
+	rt.OnPace = func(v vtime.Virtual) {
+		for _, dst := range w.peers {
+			c.net.Send(&netsim.Packet{
+				Src: w.dom0, Dst: dst, Size: 48, Kind: "swpace",
+				Payload: paceMsg{GuestID: id, Host: w.hostName, Virt: v},
+			})
+		}
+	}
+	// Egress tunnelling of guest outputs (Sec. VI).
+	host := c.hosts[hostIdx]
+	rt.OnSend = func(a guest.IOAction) {
+		host.Loop().After(hostIODelay(host), "sw:tunnel", func() {
+			c.net.Send(&netsim.Packet{
+				Src: w.dom0, Dst: c.egress.Addr(), Size: a.Size, Kind: "egress:tunnel",
+				Payload: vmm.EgressMsg{
+					GuestID: id, Replica: w.hostName, Seq: a.Seq,
+					OrigDst: a.Dst, Size: a.Size, Data: a.Data,
+				},
+			})
+		})
+	}
+	// Optional Sec. IV-A epoch re-synchronization.
+	if c.cfg.VMM.EpochInstr > 0 {
+		ec, err := vmm.NewEpochCoordinator(rt, c.cfg.VMM.EpochInstr, c.cfg.Replicas)
+		if err != nil {
+			return err
+		}
+		ec.SendSample = func(epoch int64, s vtime.EpochSample) {
+			for _, dst := range w.peers {
+				c.net.Send(&netsim.Packet{
+					Src: w.dom0, Dst: dst, Size: 56, Kind: "swepoch",
+					Payload: epochMsg{GuestID: id, Epoch: epoch, Sample: s},
+				})
+			}
+		}
+		w.ec = ec
+		hn.epochs[id] = ec
+		if k < len(g.Epochs) {
+			g.Epochs[k] = ec
+		} else {
+			g.Epochs = append(g.Epochs, ec)
+		}
+	}
+	hn.netdevs[id] = nd
+	hn.runtimes[id] = rt
+	g.Hosts[k] = hostIdx
+	g.Runtimes[k] = rt
+	g.NetDevs[k] = nd
+	g.Apps[k] = app
+	g.replicas[k] = w
+	return nil
+}
+
+// dom0s returns the guest's replica Dom0 addresses in slot order.
+func (g *Guest) dom0s() []netsim.Addr {
+	out := make([]netsim.Addr, len(g.replicas))
+	for k, w := range g.replicas {
+		out[k] = w.dom0
+	}
+	return out
+}
+
+// refreshPeers recomputes every replica's peer list and repoints its
+// proposal multicast group — after deployment and after each replacement.
+func (c *Cluster) refreshPeers(g *Guest) {
+	addrs := g.dom0s()
+	for k, w := range g.replicas {
+		peers := make([]netsim.Addr, 0, len(addrs)-1)
+		for kk, a := range addrs {
 			if kk != k {
 				peers = append(peers, a)
 			}
 		}
-		propSrc := netsim.Addr(fmt.Sprintf("prop:%s/%s", c.hosts[i].Name(), id))
-		psnd, err := multicast.NewSender(c.net, c.loop, multicast.SenderConfig{Src: propSrc, Group: peers})
-		if err != nil {
-			return nil, err
+		w.peers = peers
+		if len(peers) > 0 {
+			_ = w.psnd.SetGroup(peers)
 		}
-		if err := c.net.Attach(&netsim.FuncNode{Addr: propSrc, Fn: func(p *netsim.Packet) { psnd.Handle(p) }}); err != nil {
-			return nil, err
-		}
-		gid := id
-		nd.SendProposal = func(seq uint64, v vtime.Virtual) {
-			psnd.Multicast("swprop", 64, propMsg{GuestID: gid, Seq: seq, Virt: v})
-		}
-		// Pacing: unicast reports to peer Dom0s (periodic, loss-tolerant).
-		hostName := c.hosts[i].Name()
-		peersCopy := append([]netsim.Addr(nil), peers...)
-		rt.OnPace = func(v vtime.Virtual) {
-			for _, dst := range peersCopy {
-				c.net.Send(&netsim.Packet{
-					Src: hn.addr, Dst: dst, Size: 48, Kind: "swpace",
-					Payload: paceMsg{GuestID: gid, Host: hostName, Virt: v},
-				})
-			}
-		}
-		// Egress tunnelling of guest outputs (Sec. VI).
-		host := c.hosts[i]
-		replica := host.Name()
-		rt.OnSend = func(a guest.IOAction) {
-			host.Loop().After(hostIODelay(host), "sw:tunnel", func() {
-				c.net.Send(&netsim.Packet{
-					Src: hn.addr, Dst: c.egress.Addr(), Size: a.Size, Kind: "egress:tunnel",
-					Payload: vmm.EgressMsg{
-						GuestID: gid, Replica: replica, Seq: a.Seq,
-						OrigDst: a.Dst, Size: a.Size, Data: a.Data,
-					},
-				})
-			})
-		}
-		// Optional Sec. IV-A epoch re-synchronization.
-		if c.cfg.VMM.EpochInstr > 0 {
-			ec, err := vmm.NewEpochCoordinator(rt, c.cfg.VMM.EpochInstr, c.cfg.Replicas)
-			if err != nil {
-				return nil, err
-			}
-			ec.SendSample = func(epoch int64, s vtime.EpochSample) {
-				for _, dst := range peersCopy {
-					c.net.Send(&netsim.Packet{
-						Src: hn.addr, Dst: dst, Size: 56, Kind: "swepoch",
-						Payload: epochMsg{GuestID: gid, Epoch: epoch, Sample: s},
-					})
-				}
-			}
-			hn.epochs[id] = ec
-			g.Epochs = append(g.Epochs, ec)
-		}
-		hn.netdevs[id] = nd
-		hn.runtimes[id] = rt
-		g.Runtimes = append(g.Runtimes, rt)
-		g.NetDevs = append(g.NetDevs, nd)
-		g.Apps = append(g.Apps, app)
 	}
-	if err := c.ingress.RegisterGuest(id, dom0s); err != nil {
-		return nil, err
-	}
-	c.guests[id] = g
-	return g, nil
 }
 
-// Start boots all deployed guests.
-func (c *Cluster) Start() {
-	for _, g := range c.guests {
-		if g.Baseline != nil {
-			g.Baseline.Start()
-		}
-		for _, rt := range g.Runtimes {
-			rt.Start()
-		}
+// startGuest boots one guest's runtimes.
+func (c *Cluster) startGuest(g *Guest) {
+	if g.Baseline != nil {
+		g.Baseline.Start()
+	}
+	for _, rt := range g.Runtimes {
+		rt.Start()
 	}
 }
+
+// Start boots all deployed guests. Guests deployed after Start (online
+// admissions) boot at deployment time.
+func (c *Cluster) Start() {
+	c.started = true
+	for _, g := range c.guests {
+		c.startGuest(g)
+	}
+}
+
+// Started reports whether the cluster has been started.
+func (c *Cluster) Started() bool { return c.started }
 
 // Run advances the simulation to the given time.
 func (c *Cluster) Run(until sim.Time) error {
@@ -513,6 +645,7 @@ func (c *Cluster) NewClient(addr netsim.Addr) (*transport.Client, error) {
 			return nil, err
 		}
 	}
+	c.clients = append(c.clients, addr)
 	return cl, nil
 }
 

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+
+	"stopwatch/internal/gateway"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vmm"
+)
+
+// This file is the cluster's dynamic path: guests leave (Undeploy) and
+// failed replicas are re-homed onto fresh hosts (ReplaceReplica) while the
+// cloud keeps running. The control plane (internal/controlplane) drives
+// these against its placement pool; the cluster owns the mechanics.
+
+// Undeploy evicts a guest: replicas stop and detach from their hosts'
+// schedulers, all fabric wiring (service address, ingress stream, proposal
+// streams) is torn down, and the id becomes reusable.
+func (c *Cluster) Undeploy(id string) error {
+	g, ok := c.guests[id]
+	if !ok {
+		return fmt.Errorf("%w: guest %q not deployed", ErrCluster, id)
+	}
+	if g.Baseline != nil {
+		g.Baseline.Release()
+		c.net.Detach(gateway.ServiceAddr(id))
+		delete(c.guests, id)
+		return nil
+	}
+	for _, w := range g.replicas {
+		c.releaseReplicaWiring(id, w)
+		// Drop peer-stream state so a later tenant reusing an address
+		// starts from sequence 1 instead of being discarded as duplicates.
+		for _, peer := range g.replicas {
+			if peer != w {
+				c.hostNodes[w.hostIdx].mrx.Forget(peer.propSrc)
+			}
+		}
+	}
+	if err := c.ingress.UnregisterGuest(id); err != nil {
+		return err
+	}
+	c.egress.DropGuest(id)
+	delete(c.guests, id)
+	return nil
+}
+
+// releaseReplicaWiring unwires one StopWatch replica from the fabric: the
+// runtime leaves its host's scheduler, the host node forgets the guest,
+// the proposal sender closes and detaches, and the ingress stream state is
+// dropped. Both eviction and replacement teardown go through here.
+func (c *Cluster) releaseReplicaWiring(id string, w *replicaWiring) {
+	w.rt.Release()
+	hn := c.hostNodes[w.hostIdx]
+	delete(hn.netdevs, id)
+	delete(hn.runtimes, id)
+	delete(hn.epochs, id)
+	w.psnd.Close()
+	c.net.Detach(w.propSrc)
+	hn.mrx.Forget(c.ingress.SourceAddr(id))
+}
+
+// GuestQuiescent reports whether every replica's device model has resolved
+// all inbound packets — the barrier replica replacement requires. Pause the
+// guest's ingress stream and wait a network-drain interval to reach it.
+func (c *Cluster) GuestQuiescent(id string) bool {
+	g, ok := c.guests[id]
+	if !ok || g.Baseline != nil {
+		return false
+	}
+	for _, w := range g.replicas {
+		if w.nd.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReplaceReplica re-homes guest id's replica from deadHost onto newHost:
+// the Sec. VII recovery path, where the crashed replica's state is
+// reconstructed from the survivors. The new replica is rebuilt by replaying
+// the guest's determinism journal to a survivor's exact instruction count,
+// wired into the proposal/pacing/egress fabric, and started in lockstep.
+//
+// Preconditions — the control plane's barrier establishes them:
+//   - the guest's ingress stream is paused (no replication in flight), and
+//   - GuestQuiescent(id) holds (no unresolved delivery proposals).
+//
+// The failed replica itself may be long dead; only its VMM-side wiring is
+// torn down here.
+func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
+	g, ok := c.guests[id]
+	if !ok {
+		return fmt.Errorf("%w: guest %q not deployed", ErrCluster, id)
+	}
+	if g.Baseline != nil {
+		return fmt.Errorf("%w: baseline guests have no replicas to replace", ErrCluster)
+	}
+	if c.cfg.VMM.EpochInstr > 0 {
+		return fmt.Errorf("%w: replica replacement requires epoch re-sync disabled", ErrCluster)
+	}
+	if newHost < 0 || newHost >= len(c.hosts) {
+		return fmt.Errorf("%w: host index %d out of range", ErrCluster, newHost)
+	}
+	slot := -1
+	for k, w := range g.replicas {
+		if w.hostIdx == deadHost {
+			slot = k
+		}
+		if w.hostIdx == newHost {
+			return fmt.Errorf("%w: guest %q already has a replica on host %d", ErrCluster, id, newHost)
+		}
+	}
+	if slot < 0 {
+		return fmt.Errorf("%w: guest %q has no replica on host %d", ErrCluster, id, deadHost)
+	}
+	if !c.ingress.Paused(id) {
+		return fmt.Errorf("%w: replacement of %q needs the ingress stream paused", ErrCluster, id)
+	}
+	if !c.GuestQuiescent(id) {
+		return fmt.Errorf("%w: guest %q has unresolved inbound packets — not quiescent", ErrCluster, id)
+	}
+
+	dead := g.replicas[slot]
+	survivors := make([]*replicaWiring, 0, len(g.replicas)-1)
+	for _, w := range g.replicas {
+		if w != dead {
+			survivors = append(survivors, w)
+		}
+	}
+	if len(survivors) == 0 {
+		return fmt.Errorf("%w: guest %q has no survivors to recover from", ErrCluster, id)
+	}
+
+	// Reconstruct the replica FIRST — replay can fail, and until it has
+	// succeeded the dead replica's wiring must stay up (its device model
+	// still proposes, which is what keeps the 3-proposal median and hence
+	// the guest's inbound path alive in the crashed-guest regime). The
+	// target is the most advanced survivor's instruction count (replicas
+	// differ only in real-time skew; any exit point is a consistent state).
+	target := survivors[0].rt.Instr()
+	for _, w := range survivors[1:] {
+		if w.rt.Instr() > target {
+			target = w.rt.Instr()
+		}
+	}
+	rt, err := vmm.NewReplacementRuntime(c.hosts[newHost], id, g.factory(), g.boots, g.journal, target)
+	if err != nil {
+		return fmt.Errorf("replace %q: %w", id, err)
+	}
+
+	// Point of no return: tear down the dead replica's wiring.
+	c.releaseReplicaWiring(id, dead)
+	hnDead := c.hostNodes[dead.hostIdx]
+	for _, w := range survivors {
+		c.hostNodes[w.hostIdx].mrx.Forget(dead.propSrc)
+		w.rt.DropPeer(dead.hostName)
+		hnDead.mrx.Forget(w.propSrc)
+	}
+
+	if err := c.wireReplica(g, slot, newHost, rt); err != nil {
+		rt.Release()
+		return fmt.Errorf("replace %q: %w", id, err)
+	}
+
+	// Join the in-progress streams at their current sequence: the new
+	// member must not NAK history from before it existed, and survivors
+	// must not hold stale state for a reused proposal address.
+	hnNew := c.hostNodes[newHost]
+	next, err := c.ingress.NextSeq(id)
+	if err != nil {
+		return err
+	}
+	hnNew.mrx.Prime(c.ingress.SourceAddr(id), next)
+	fresh := g.replicas[slot]
+	for _, w := range survivors {
+		hnNew.mrx.Prime(w.propSrc, w.psnd.NextSeq())
+		c.hostNodes[w.hostIdx].mrx.Forget(fresh.propSrc)
+	}
+
+	c.refreshPeers(g)
+	if err := c.ingress.UpdateGroup(id, g.dom0s()); err != nil {
+		return err
+	}
+	// Free the crash window's forwarded output groups: for sequences up to
+	// the replayed send count the third copy will never arrive (the dead
+	// replica is gone and the replacement suppresses replayed sends). A
+	// second sweep after a generous tunnel-drain interval catches groups
+	// whose last survivor copy was still in flight at switchover; by then
+	// the guest may have been evicted, which DropGuest makes a no-op.
+	boundary := uint64(g.Runtimes[slot].VM().Stats().PacketsSent)
+	c.egress.ReclaimForwardedUpTo(id, boundary)
+	c.loop.After(100*sim.Millisecond, "egress:reclaim", func() {
+		c.egress.ReclaimForwardedUpTo(id, boundary)
+	})
+	g.Replaced++
+	if c.started {
+		fresh.rt.Start()
+	}
+	return nil
+}
+
+// CheckLockstepPrefix verifies the replicas agree on their common output
+// prefix. Unlike CheckLockstep it tolerates the bounded skew of a running
+// guest (the fastest replica may have emitted a few packets the slowest
+// has not), so it is the mid-flight health check; at quiesce the two
+// checks coincide.
+func (g *Guest) CheckLockstepPrefix() error {
+	return g.CheckLockstepPrefixExcluding()
+}
+
+// CheckLockstepPrefixExcluding is CheckLockstepPrefix over a subset of
+// replicas: the listed slots are skipped. It is the health check for a
+// degraded guest — one whose replica died and could not be re-homed —
+// where the frozen replica would otherwise drag the common prefix
+// arbitrarily far behind the digest history.
+func (g *Guest) CheckLockstepPrefixExcluding(slots ...int) error {
+	skip := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		skip[s] = true
+	}
+	m, live := -1, 0
+	for k, rt := range g.Runtimes {
+		if skip[k] {
+			continue
+		}
+		live++
+		if n := rt.VM().OutputCount(); m < 0 || n < m {
+			m = n
+		}
+	}
+	if live < 2 {
+		return nil
+	}
+	var want uint64
+	first := true
+	for k, rt := range g.Runtimes {
+		if skip[k] {
+			continue
+		}
+		d, ok := rt.VM().OutputLog().DigestAt(m)
+		if !ok {
+			return fmt.Errorf("%w: guest %s replica %d skewed past digest history (out=%d, prefix=%d)",
+				ErrCluster, g.ID, k, rt.VM().OutputCount(), m)
+		}
+		if first {
+			want, first = d, false
+			continue
+		}
+		if d != want {
+			return fmt.Errorf("%w: guest %s replica %d diverged within first %d outputs", ErrCluster, g.ID, k, m)
+		}
+	}
+	return nil
+}

@@ -43,6 +43,10 @@ type Ingress struct {
 
 	senders map[string]*multicast.Sender
 
+	// paused guests buffer client packets instead of replicating them —
+	// the quiesce barrier replica replacement rewires the group behind.
+	paused map[string][]*netsim.Packet
+
 	replicated uint64
 }
 
@@ -56,6 +60,7 @@ func NewIngress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr) (*Ingress
 		loop:    loop,
 		addr:    addr,
 		senders: make(map[string]*multicast.Sender),
+		paused:  make(map[string][]*netsim.Packet),
 	}, nil
 }
 
@@ -100,6 +105,10 @@ func (in *Ingress) forward(guestID string, p *netsim.Packet) {
 	if !ok {
 		return
 	}
+	if buf, isPaused := in.paused[guestID]; isPaused {
+		in.paused[guestID] = append(buf, p.Clone())
+		return
+	}
 	in.replicated++
 	snd.Multicast("swin", p.Size, InboundMsg{
 		ClientSrc: p.Src,
@@ -107,6 +116,70 @@ func (in *Ingress) forward(guestID string, p *netsim.Packet) {
 		Size:      p.Size,
 		Data:      p.Payload,
 	})
+}
+
+// Pause starts buffering a guest's inbound traffic instead of replicating
+// it: the first half of the make-before-break barrier used while a replica
+// group is reconfigured. Pausing an already-paused guest is a no-op.
+func (in *Ingress) Pause(guestID string) {
+	if _, ok := in.paused[guestID]; !ok {
+		in.paused[guestID] = []*netsim.Packet{}
+	}
+}
+
+// Paused reports whether the guest's inbound stream is paused.
+func (in *Ingress) Paused(guestID string) bool {
+	_, ok := in.paused[guestID]
+	return ok
+}
+
+// Resume ends a guest's pause, flushing the buffered packets (in arrival
+// order) to the — possibly reconfigured — replica group.
+func (in *Ingress) Resume(guestID string) {
+	buf, ok := in.paused[guestID]
+	if !ok {
+		return
+	}
+	delete(in.paused, guestID)
+	for _, p := range buf {
+		in.forward(guestID, p)
+	}
+}
+
+// UpdateGroup repoints a guest's replication group — the rewire step of
+// replica replacement. The joining member must be primed with NextSeq.
+func (in *Ingress) UpdateGroup(guestID string, replicaHosts []netsim.Addr) error {
+	snd, ok := in.senders[guestID]
+	if !ok {
+		return fmt.Errorf("%w: guest %q not registered", ErrGateway, guestID)
+	}
+	return snd.SetGroup(replicaHosts)
+}
+
+// NextSeq returns the next stream sequence for the guest's ingress
+// multicast — what a joining receiver primes with.
+func (in *Ingress) NextSeq(guestID string) (uint64, error) {
+	snd, ok := in.senders[guestID]
+	if !ok {
+		return 0, fmt.Errorf("%w: guest %q not registered", ErrGateway, guestID)
+	}
+	return snd.NextSeq(), nil
+}
+
+// UnregisterGuest tears down a guest's ingress wiring: the public service
+// address and the stream source detach from the fabric, and buffered
+// paused traffic is dropped. The guest id becomes reusable.
+func (in *Ingress) UnregisterGuest(guestID string) error {
+	snd, ok := in.senders[guestID]
+	if !ok {
+		return fmt.Errorf("%w: guest %q not registered", ErrGateway, guestID)
+	}
+	snd.Close()
+	delete(in.senders, guestID)
+	delete(in.paused, guestID)
+	in.net.Detach(ServiceAddr(guestID))
+	in.net.Detach(in.SourceAddr(guestID))
+	return nil
 }
 
 // Replicated reports how many client packets were replicated.
@@ -195,6 +268,27 @@ func (e *Egress) deliver(p *netsim.Packet) {
 
 // Forwarded reports packets forwarded to their destinations.
 func (e *Egress) Forwarded() uint64 { return e.forwarded }
+
+// DropGuest discards the copy-counting state of an evicted guest so a later
+// tenant reusing the id starts from a clean slate.
+func (e *Egress) DropGuest(guestID string) { delete(e.copies, guestID) }
+
+// ReclaimForwardedUpTo discards a guest's already-forwarded copy groups
+// with sequence <= maxSeq. After a replica replacement this frees the
+// crash window's groups: for outputs up to the replayed send count the
+// dead replica's copy will never arrive (and the reconstructed replica
+// suppresses replayed sends), so once forwarded they could only wait
+// forever. Sequences beyond maxSeq are left alone — the replacement
+// emits those live, and deleting a group whose final copy is still in
+// flight would resurrect it as a bogus stuck entry.
+func (e *Egress) ReclaimForwardedUpTo(guestID string, maxSeq uint64) {
+	byGuest := e.copies[guestID]
+	for seq, n := range byGuest {
+		if seq <= maxSeq && n >= e.forwardOn {
+			delete(byGuest, seq)
+		}
+	}
+}
 
 // PendingGroups reports output sequences still awaiting their forwarding
 // copy (tests / liveness checks).

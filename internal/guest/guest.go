@@ -183,12 +183,18 @@ func New(id string, app App, clock ClockView) (*VM, error) {
 // ID returns the guest identity.
 func (vm *VM) ID() string { return vm.id }
 
+// App returns the hosted workload instance.
+func (vm *VM) App() App { return vm.app }
+
 // Stats returns a copy of the guest counters.
 func (vm *VM) Stats() Stats { return vm.stats }
 
 // OutputDigest returns the FNV-64 digest of the output log; identical
 // across correct replicas.
 func (vm *VM) OutputDigest() uint64 { return vm.outLog.Digest() }
+
+// OutputLog exposes the output log (prefix-digest lockstep checks).
+func (vm *VM) OutputLog() *OutputLog { return vm.outLog }
 
 // OutputCount returns the number of logged outputs.
 func (vm *VM) OutputCount() int { return vm.outLog.Len() }
@@ -379,16 +385,24 @@ func (c vmCtx) SetTimer(d vtime.Virtual, tag string) {
 func (c vmCtx) Clock() ClockView { return c.vm.clock }
 func (c vmCtx) ID() string       { return c.vm.id }
 
+// digestHistory bounds how many per-output digests the log retains for
+// prefix comparison. Replica skew is bounded by pacing (MaxLead), which at
+// any sane send rate is far fewer than this many outputs.
+const digestHistory = 512
+
 // OutputLog records the guest's outbound packets for divergence detection.
 type OutputLog struct {
 	n      int
 	digest uint64
+	empty  uint64   // digest of the empty log (n == 0)
+	hist   []uint64 // ring: hist[(i-1)%digestHistory] = digest after i outputs
 }
 
 func newOutputLog() *OutputLog {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte("stopwatch-output-log"))
-	return &OutputLog{digest: h.Sum64()}
+	d := h.Sum64()
+	return &OutputLog{digest: d, empty: d, hist: make([]uint64, digestHistory)}
 }
 
 // Append folds an output record into the rolling digest.
@@ -397,6 +411,22 @@ func (l *OutputLog) Append(seq uint64, dst netsim.Addr, size int, data any) {
 	fmt.Fprintf(h, "%d|%d|%s|%d|%v", l.digest, seq, dst, size, data)
 	l.digest = h.Sum64()
 	l.n++
+	l.hist[(l.n-1)%digestHistory] = l.digest
+}
+
+// DigestAt returns the digest as of the first n outputs, if still within
+// the retained history. It lets replicas that are transiently skewed by a
+// few packets be compared on their common prefix.
+func (l *OutputLog) DigestAt(n int) (uint64, bool) {
+	switch {
+	case n < 0 || n > l.n:
+		return 0, false
+	case n == 0:
+		return l.empty, true
+	case l.n-n >= digestHistory:
+		return 0, false
+	}
+	return l.hist[(n-1)%digestHistory], true
 }
 
 // Len returns the number of records folded in.

@@ -66,6 +66,7 @@ type Sender struct {
 	winLo uint64 // lowest seq retained
 
 	spmPending bool
+	closed     bool
 
 	sent     uint64
 	retrans  uint64
@@ -96,8 +97,13 @@ func NewSender(net *netsim.Network, loop *sim.Loop, cfg SenderConfig) (*Sender, 
 }
 
 // Multicast sends (kind, payload) of the given wire size to every group
-// member reliably, returning the assigned sequence number.
+// member reliably, returning the assigned sequence number. On a closed
+// sender nothing is sent and 0 is returned (sequence numbers start at 1,
+// so 0 is unambiguous).
 func (s *Sender) Multicast(kind string, size int, payload any) uint64 {
+	if s.closed {
+		return 0
+	}
 	s.seq++
 	msg := dataMsg{Seq: s.seq, Kind: kind, Payload: payload}
 	s.win[s.seq] = msg
@@ -116,13 +122,13 @@ func (s *Sender) Multicast(kind string, size int, payload any) uint64 {
 }
 
 func (s *Sender) armSPM() {
-	if s.spmPending {
+	if s.spmPending || s.closed {
 		return
 	}
 	s.spmPending = true
 	s.loop.After(s.cfg.SPMInterval, "pgm:spm", func() {
 		s.spmPending = false
-		if s.seq == 0 {
+		if s.seq == 0 || s.closed {
 			return
 		}
 		for _, dst := range s.cfg.Group {
@@ -136,6 +142,32 @@ func (s *Sender) armSPM() {
 			s.armSPM()
 		}
 	})
+}
+
+// SetGroup replaces the receiver group — membership reconfiguration when a
+// replica is re-homed. Future data, SPMs and repairs go to the new group;
+// a joining member must be primed (Receiver.Prime) with NextSeq so it does
+// not NAK history from before it joined.
+func (s *Sender) SetGroup(group []netsim.Addr) error {
+	if len(group) == 0 {
+		return fmt.Errorf("%w: empty group", ErrMulticast)
+	}
+	s.cfg.Group = append([]netsim.Addr(nil), group...)
+	return nil
+}
+
+// NextSeq returns the sequence number the next Multicast call will use.
+// New group members prime their receiver state with it.
+func (s *Sender) NextSeq() uint64 { return s.seq + 1 }
+
+// Close retires the sender: no further data, repairs, or SPM heartbeats
+// (the pending one, if armed, becomes a no-op). Teardown paths must call
+// it — an abandoned sender would otherwise heartbeat forever (its window
+// only drains by overflow) and resurrect receiver stream state that
+// Receiver.Forget has already discarded.
+func (s *Sender) Close() {
+	s.closed = true
+	s.win = make(map[uint64]dataMsg)
 }
 
 // Handle consumes NAKs addressed to this sender; it returns true when the
@@ -248,6 +280,31 @@ func (r *Receiver) Handle(pkt *netsim.Packet) bool {
 	default:
 		return false
 	}
+}
+
+// Prime (re)initializes this receiver's per-source state to expect seq
+// `next` from src, discarding any held-back or NAK state. It is how a
+// member joins an in-progress stream (a re-homed replica joining the
+// ingress and peer-proposal streams mid-sequence) without NAKing the
+// stream's entire history.
+func (r *Receiver) Prime(src netsim.Addr, next uint64) {
+	if next == 0 {
+		next = 1
+	}
+	if st, ok := r.srcs[src]; ok && st.timer != nil {
+		r.loop.Cancel(st.timer)
+	}
+	r.srcs[src] = &sourceState{next: next, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+}
+
+// Forget drops this receiver's state for a source stream (the stream's
+// guest was evicted). A later stream reusing the same source address starts
+// fresh at seq 1.
+func (r *Receiver) Forget(src netsim.Addr) {
+	if st, ok := r.srcs[src]; ok && st.timer != nil {
+		r.loop.Cancel(st.timer)
+	}
+	delete(r.srcs, src)
 }
 
 func (r *Receiver) state(src netsim.Addr) *sourceState {

@@ -1,0 +1,304 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ErrNoCapacity reports that an admission or re-home request cannot be
+// satisfied by the current pool state: every candidate triangle (or host)
+// either reuses an occupied K_n edge or exceeds a machine's capacity. It is
+// the expected online analogue of Theorem 1's packing bound, not a bug.
+var ErrNoCapacity = fmt.Errorf("%w: no nonoverlapping capacity available", ErrPlacement)
+
+// Pool is the incremental counterpart of GreedyPack/PlaceTheorem2: it
+// maintains an edge-disjoint triangle packing of K_n under online guest
+// arrivals (Admit), departures (Release) and replica re-homing after a
+// failure (Rehome), instead of recomputing a static Bose packing.
+//
+// Invariants, preserved by every mutation:
+//
+//  1. Edge-disjointness: each undirected edge {a,b} of K_n is held by at
+//     most one resident guest (the paper's replica-nonoverlap constraint —
+//     two guests may share at most one machine).
+//  2. Capacity: each machine hosts at most Capacity resident replicas
+//     (when Capacity > 0).
+//  3. Conservation: Release and Rehome return a departing replica's edges
+//     and capacity to the pool exactly once.
+//
+// Host selection is deterministic: candidates are scanned least-loaded
+// first with the machine index as tie-break, so a seeded scenario replays
+// bit-identically.
+type Pool struct {
+	n        int
+	capacity int
+
+	// used maps each occupied normalized edge to the guest holding it.
+	used map[[2]int]string
+	// load is the resident replica count per machine.
+	load []int
+	// tris is the triangle of each resident guest.
+	tris map[string]Triangle
+}
+
+// NewPool creates an empty pool over n machines of per-machine capacity c
+// (c <= 0 means unbounded).
+func NewPool(n, c int) (*Pool, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrPlacement, n)
+	}
+	return &Pool{
+		n:        n,
+		capacity: c,
+		used:     make(map[[2]int]string),
+		load:     make([]int, n),
+		tris:     make(map[string]Triangle),
+	}, nil
+}
+
+// N returns the machine count.
+func (p *Pool) N() int { return p.n }
+
+// Capacity returns the per-machine capacity (<= 0: unbounded).
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Guests returns the number of resident guests.
+func (p *Pool) Guests() int { return len(p.tris) }
+
+// Load returns machine i's resident replica count.
+func (p *Pool) Load(i int) int {
+	if i < 0 || i >= p.n {
+		return 0
+	}
+	return p.load[i]
+}
+
+// EdgesUsed returns the number of occupied K_n edges (3 per guest).
+func (p *Pool) EdgesUsed() int { return len(p.used) }
+
+// Utilization returns resident replicas over total machine capacity, in
+// [0,1]. With unbounded capacity it returns 0.
+func (p *Pool) Utilization() float64 {
+	if p.capacity <= 0 || p.n == 0 {
+		return 0
+	}
+	return float64(3*len(p.tris)) / float64(p.n*p.capacity)
+}
+
+// Triangle returns the resident guest's triangle.
+func (p *Pool) Triangle(id string) (Triangle, bool) {
+	t, ok := p.tris[id]
+	return t, ok
+}
+
+// edge normalizes an undirected edge.
+func poolEdge(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// hostOrder returns machine indices sorted least-loaded first, index as
+// tie-break — the deterministic scan order for all placement decisions.
+func (p *Pool) hostOrder() []int {
+	order := make([]int, p.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if p.load[order[i]] != p.load[order[j]] {
+			return p.load[order[i]] < p.load[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// hostFull reports whether machine i is at capacity.
+func (p *Pool) hostFull(i int) bool {
+	return p.capacity > 0 && p.load[i] >= p.capacity
+}
+
+// Admit places a new guest on the least-loaded non-conflicting triangle and
+// records it under id. It fails with ErrNoCapacity when no edge-disjoint
+// triangle with spare capacity exists.
+func (p *Pool) Admit(id string) (Triangle, error) {
+	if id == "" {
+		return Triangle{}, fmt.Errorf("%w: empty guest id", ErrPlacement)
+	}
+	if _, dup := p.tris[id]; dup {
+		return Triangle{}, fmt.Errorf("%w: guest %q already resident", ErrPlacement, id)
+	}
+	order := p.hostOrder()
+	for ia, a := range order {
+		if p.hostFull(a) {
+			continue
+		}
+		for ib := ia + 1; ib < len(order); ib++ {
+			b := order[ib]
+			if p.hostFull(b) || p.edgeUsed(a, b) {
+				continue
+			}
+			for ic := ib + 1; ic < len(order); ic++ {
+				c := order[ic]
+				if p.hostFull(c) || p.edgeUsed(a, c) || p.edgeUsed(b, c) {
+					continue
+				}
+				t := Triangle{a, b, c}.normalize()
+				p.commit(id, t)
+				return t, nil
+			}
+		}
+	}
+	return Triangle{}, fmt.Errorf("admit %q: %w", id, ErrNoCapacity)
+}
+
+// AdmitTriangle places a guest on an explicit triangle (e.g. replaying a
+// stored assignment), enforcing the pool invariants.
+func (p *Pool) AdmitTriangle(id string, t Triangle) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty guest id", ErrPlacement)
+	}
+	if _, dup := p.tris[id]; dup {
+		return fmt.Errorf("%w: guest %q already resident", ErrPlacement, id)
+	}
+	t = t.normalize()
+	if t[0] == t[1] || t[1] == t[2] {
+		return fmt.Errorf("%w: degenerate triangle %v", ErrPlacement, t)
+	}
+	for _, v := range t {
+		if v < 0 || v >= p.n {
+			return fmt.Errorf("%w: machine %d out of range", ErrPlacement, v)
+		}
+		if p.hostFull(v) {
+			return fmt.Errorf("admit %q on %v: %w", id, t, ErrNoCapacity)
+		}
+	}
+	for _, e := range t.edges() {
+		if owner, busy := p.used[e]; busy {
+			return fmt.Errorf("admit %q on %v: edge %v held by %q: %w", id, t, e, owner, ErrNoCapacity)
+		}
+	}
+	p.commit(id, t)
+	return nil
+}
+
+func (p *Pool) edgeUsed(a, b int) bool {
+	_, ok := p.used[poolEdge(a, b)]
+	return ok
+}
+
+func (p *Pool) commit(id string, t Triangle) {
+	for _, e := range t.edges() {
+		p.used[e] = id
+	}
+	for _, v := range t {
+		p.load[v]++
+	}
+	p.tris[id] = t
+}
+
+// Release evicts a resident guest, returning its edges and capacity to the
+// pool, and reports the triangle it occupied.
+func (p *Pool) Release(id string) (Triangle, error) {
+	t, ok := p.tris[id]
+	if !ok {
+		return Triangle{}, fmt.Errorf("%w: guest %q not resident", ErrPlacement, id)
+	}
+	for _, e := range t.edges() {
+		delete(p.used, e)
+	}
+	for _, v := range t {
+		p.load[v]--
+	}
+	delete(p.tris, id)
+	return t, nil
+}
+
+// Rehome moves guest id's replica off machine dead onto a fresh machine
+// whose edges to both survivors are free (the paper's Sec. VII replacement:
+// the two surviving replicas re-create the third elsewhere). The dead
+// machine itself is excluded. It returns the updated triangle and the
+// chosen machine.
+func (p *Pool) Rehome(id string, dead int) (Triangle, int, error) {
+	t, ok := p.tris[id]
+	if !ok {
+		return Triangle{}, 0, fmt.Errorf("%w: guest %q not resident", ErrPlacement, id)
+	}
+	slot := -1
+	for i, v := range t {
+		if v == dead {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		return Triangle{}, 0, fmt.Errorf("%w: guest %q has no replica on machine %d", ErrPlacement, id, dead)
+	}
+	s1, s2 := t[(slot+1)%3], t[(slot+2)%3]
+	for _, h := range p.hostOrder() {
+		if h == dead || h == s1 || h == s2 || p.hostFull(h) {
+			continue
+		}
+		if p.edgeUsed(s1, h) || p.edgeUsed(s2, h) {
+			continue
+		}
+		// Free the dead replica's two edges and capacity, claim the new ones.
+		delete(p.used, poolEdge(s1, dead))
+		delete(p.used, poolEdge(s2, dead))
+		p.load[dead]--
+		nt := Triangle{s1, s2, h}.normalize()
+		for _, e := range nt.edges() {
+			p.used[e] = id
+		}
+		p.load[h]++
+		p.tris[id] = nt
+		return nt, h, nil
+	}
+	return Triangle{}, 0, fmt.Errorf("rehome %q off machine %d: %w", id, dead, ErrNoCapacity)
+}
+
+// IDs returns the resident guest ids in sorted order.
+func (p *Pool) IDs() []string {
+	ids := make([]string, 0, len(p.tris))
+	for id := range p.tris {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Snapshot returns the current packing as a Placement (for Verify and for
+// interop with the offline tooling). Triangles are ordered by guest id.
+func (p *Pool) Snapshot() *Placement {
+	ids := p.IDs()
+	tris := make([]Triangle, 0, len(ids))
+	for _, id := range ids {
+		tris = append(tris, p.tris[id])
+	}
+	return &Placement{N: p.n, Capacity: p.capacity, Triangles: tris}
+}
+
+// Verify checks the full pool state against the StopWatch constraints via
+// the same checker the offline constructions use, plus the pool's own
+// bookkeeping (edge count and load consistency).
+func (p *Pool) Verify() error {
+	if err := p.Snapshot().Verify(); err != nil {
+		return err
+	}
+	if len(p.used) != 3*len(p.tris) {
+		return fmt.Errorf("%w: %d edges recorded for %d guests", ErrPlacement, len(p.used), len(p.tris))
+	}
+	want := make([]int, p.n)
+	for _, t := range p.tris {
+		for _, v := range t {
+			want[v]++
+		}
+	}
+	for i, l := range p.load {
+		if l != want[i] {
+			return fmt.Errorf("%w: machine %d load %d, triangles say %d", ErrPlacement, i, l, want[i])
+		}
+	}
+	return nil
+}

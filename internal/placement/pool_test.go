@@ -1,0 +1,212 @@
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestPoolAdmitUntilFull(t *testing.T) {
+	// Admitting greedily must stay within Theorem 1's bound and match the
+	// offline greedy packer's order of magnitude.
+	for _, tc := range []struct{ n, c int }{{9, 4}, {15, 7}, {20, 5}, {21, 10}} {
+		p, err := NewPool(tc.n, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted := 0
+		for {
+			if _, err := p.Admit(fmt.Sprintf("g%d", admitted)); err != nil {
+				if !errors.Is(err, ErrNoCapacity) {
+					t.Fatalf("n=%d c=%d: %v", tc.n, tc.c, err)
+				}
+				break
+			}
+			admitted++
+			if err := p.Verify(); err != nil {
+				t.Fatalf("n=%d c=%d after %d admits: %v", tc.n, tc.c, admitted, err)
+			}
+		}
+		max, err := Theorem1Max(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if admitted > max {
+			t.Fatalf("n=%d: admitted %d > Theorem 1 bound %d", tc.n, admitted, max)
+		}
+		g, err := GreedyPack(tc.n, tc.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The balanced online packer should land within 2x of the offline
+		// lexicographic greedy (both are constant-factor approximations).
+		if 2*admitted < g.Guests() {
+			t.Fatalf("n=%d c=%d: pool admitted %d, offline greedy packs %d", tc.n, tc.c, admitted, g.Guests())
+		}
+	}
+}
+
+// TestPoolChurnPropertyEdgeDisjoint is the admit-until-full then
+// evict-and-readmit property test: across random interleavings of arrivals
+// and departures, every intermediate state preserves edge-disjointness,
+// capacity, and bookkeeping conservation.
+func TestPoolChurnPropertyEdgeDisjoint(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewPool(21, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resident := map[string]Triangle{}
+		next := 0
+		for step := 0; step < 400; step++ {
+			if len(resident) == 0 || rng.Intn(3) != 0 {
+				id := fmt.Sprintf("g%d", next)
+				next++
+				tri, err := p.Admit(id)
+				if errors.Is(err, ErrNoCapacity) {
+					// Full: evict someone instead.
+					for victim := range resident {
+						got, err := p.Release(victim)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got != resident[victim] {
+							t.Fatalf("seed %d: released %v, admitted as %v", seed, got, resident[victim])
+						}
+						delete(resident, victim)
+						break
+					}
+				} else if err != nil {
+					t.Fatal(err)
+				} else {
+					resident[id] = tri
+				}
+			} else {
+				for victim := range resident {
+					if _, err := p.Release(victim); err != nil {
+						t.Fatal(err)
+					}
+					delete(resident, victim)
+					break
+				}
+			}
+			if err := p.Verify(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if p.Guests() != len(resident) {
+				t.Fatalf("seed %d: pool says %d guests, model says %d", seed, p.Guests(), len(resident))
+			}
+		}
+		// Drain completely: the pool must return to pristine.
+		for id := range resident {
+			if _, err := p.Release(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if p.EdgesUsed() != 0 || p.Guests() != 0 {
+			t.Fatalf("seed %d: drained pool still holds %d edges, %d guests", seed, p.EdgesUsed(), p.Guests())
+		}
+		for i := 0; i < p.N(); i++ {
+			if p.Load(i) != 0 {
+				t.Fatalf("seed %d: machine %d load %d after drain", seed, i, p.Load(i))
+			}
+		}
+	}
+}
+
+func TestPoolRehome(t *testing.T) {
+	p, err := NewPool(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, err := p.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit("b"); err != nil {
+		t.Fatal(err)
+	}
+	dead := t0[2]
+	nt, host, err := p.Rehome("a", dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host == dead || host == t0[0] || host == t0[1] {
+		t.Fatalf("rehomed onto %d from triangle %v", host, t0)
+	}
+	found := false
+	for _, v := range nt {
+		if v == host {
+			found = true
+		}
+		if v == dead {
+			t.Fatalf("dead machine %d still in triangle %v", dead, nt)
+		}
+	}
+	if !found {
+		t.Fatalf("new triangle %v missing chosen host %d", nt, host)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The freed edges are reusable: a guest placed across the dead machine
+	// and the survivors must admit cleanly.
+	if err := p.AdmitTriangle("c", Triangle{t0[0], t0[1] /* survivors' shared edge is taken */, dead}); err == nil {
+		t.Fatal("survivors' shared edge should still be held")
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRehomeExhaustion(t *testing.T) {
+	// 3 machines: a failure has nowhere to go.
+	p, err := NewPool(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := p.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Rehome("a", tri[0]); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if tr, _ := p.Triangle("a"); tr != tri {
+		t.Fatalf("failed rehome mutated triangle: %v != %v", tr, tri)
+	}
+}
+
+func TestPoolAdmitTriangleValidation(t *testing.T) {
+	p, err := NewPool(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdmitTriangle("a", Triangle{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdmitTriangle("b", Triangle{0, 1, 3}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("edge reuse: want ErrNoCapacity, got %v", err)
+	}
+	if err := p.AdmitTriangle("b", Triangle{1, 1, 3}); err == nil {
+		t.Fatal("degenerate triangle admitted")
+	}
+	if err := p.AdmitTriangle("b", Triangle{5, 6, 9}); err == nil {
+		t.Fatal("out-of-range machine admitted")
+	}
+	if err := p.AdmitTriangle("a", Triangle{3, 4, 5}); err == nil {
+		t.Fatal("duplicate id admitted")
+	}
+	if err := p.AdmitTriangle("b", Triangle{0, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Machines 0 and 1 are now at capacity 2.
+	if err := p.AdmitTriangle("c", Triangle{0, 5, 6}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("capacity: want ErrNoCapacity, got %v", err)
+	}
+}

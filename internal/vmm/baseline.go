@@ -106,6 +106,13 @@ func (rt *BaselineRuntime) Start() { rt.ex.start() }
 // Stop halts the replica.
 func (rt *BaselineRuntime) Stop() { rt.ex.stop() }
 
+// Release permanently stops the guest and detaches it from its host's
+// scheduler (eviction teardown).
+func (rt *BaselineRuntime) Release() {
+	rt.ex.stop()
+	rt.host.unregister(&rt.ex)
+}
+
 // HandleInbound accepts a packet from the fabric: after the device-model
 // processing delay it becomes deliverable at the next guest exit.
 func (rt *BaselineRuntime) HandleInbound(p guest.Payload) {

@@ -46,12 +46,18 @@ func (e *exec) start() {
 	e.arm()
 }
 
-// stop halts execution permanently (end of scenario).
+// stop halts execution permanently (end of scenario, or a replica being
+// evicted/replaced). The host's busy-population accounting is released so
+// surviving residents stop paying contention for a corpse.
 func (e *exec) stop() {
 	e.stopped = true
 	if e.ev != nil {
 		e.loop.Cancel(e.ev)
 		e.ev = nil
+	}
+	if e.busy {
+		e.busy = false
+		e.host.setBusy(-1)
 	}
 }
 

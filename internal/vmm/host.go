@@ -65,6 +65,17 @@ func (h *Host) register(c cpuConsumer) {
 	h.consumers = append(h.consumers, c)
 }
 
+// unregister removes a CPU consumer (an evicted or replaced replica) so
+// the host's rescale fan-out does not grow without bound under churn.
+func (h *Host) unregister(c cpuConsumer) {
+	for i, have := range h.consumers {
+		if have == c {
+			h.consumers = append(h.consumers[:i], h.consumers[i+1:]...)
+			return
+		}
+	}
+}
+
 // setBusy reports a consumer's busy/idle transition and triggers a rescale
 // of everyone when the busy population changes.
 func (h *Host) setBusy(delta int) {

@@ -39,6 +39,10 @@ type NetDevice struct {
 	SendProposal func(seq uint64, v vtime.Virtual)
 	// OnPropose observes this replica's own proposals (experiments).
 	OnPropose func(seq uint64, v vtime.Virtual)
+	// OnResolve observes each resolved delivery decision — the cluster
+	// journals these for replica replacement (all replicas resolve
+	// identical medians, so any replica's stream is authoritative).
+	OnResolve func(seq uint64, deliver vtime.Virtual, p guest.Payload)
 
 	proposed uint64
 	resolved uint64
@@ -136,6 +140,9 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 	}
 	st.done = true
 	nd.resolved++
+	if nd.OnResolve != nil {
+		nd.OnResolve(seq, deliver, *st.payload)
+	}
 	nd.rt.EnqueueNetDelivery(seq, deliver, *st.payload)
 	delete(nd.props, seq)
 }

@@ -1,0 +1,166 @@
+package vmm
+
+import (
+	"fmt"
+	"sort"
+
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// This file implements the Sec. VII replica-replacement sketch: "the state
+// of the crashed VM can be recovered from the other two replicas". Because
+// a StopWatch guest is a deterministic function of (boot median, the
+// median-agreed interrupt schedule), copying a survivor's state is
+// equivalent to re-executing the guest against the recorded schedule. The
+// cluster keeps that schedule in a Journal; NewReplacementRuntime replays
+// it synchronously (state transfer takes no guest-visible time — it is the
+// control plane's copy, not guest execution) and hands back a Runtime that
+// is instruction-for-instruction level with the chosen survivor.
+
+// JournalRecord is one resolved network delivery: the median-agreed virtual
+// delivery time for an ingress sequence number, identical at every replica.
+type JournalRecord struct {
+	Seq     uint64
+	Deliver vtime.Virtual
+	Payload guest.Payload
+}
+
+// Journal is a guest's determinism log: every resolved network-interrupt
+// delivery since boot. Replicas resolve identical medians, so the journal
+// is replica-independent; the cluster records it once per guest and replica
+// replacement replays it. Disk and timer interrupts need no journal — their
+// delivery times are pure functions of the instruction stream (V+Δd and the
+// virtual PIT).
+type Journal struct {
+	recs map[uint64]JournalRecord
+}
+
+// NewJournal returns an empty journal.
+func NewJournal() *Journal {
+	return &Journal{recs: make(map[uint64]JournalRecord)}
+}
+
+// Record stores a resolution. Replicas record identical values for a seq;
+// the first write wins and later duplicates are ignored.
+func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
+	if _, dup := j.recs[seq]; dup {
+		return
+	}
+	j.recs[seq] = JournalRecord{Seq: seq, Deliver: deliver, Payload: p}
+}
+
+// Len returns the number of recorded deliveries.
+func (j *Journal) Len() int { return len(j.recs) }
+
+// Sorted returns the records in delivery order (Deliver, then Seq) — the
+// order the runtime's pending queue maintains.
+func (j *Journal) Sorted() []JournalRecord {
+	out := make([]JournalRecord, 0, len(j.recs))
+	for _, r := range j.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Deliver != out[k].Deliver {
+			return out[i].Deliver < out[k].Deliver
+		}
+		return out[i].Seq < out[k].Seq
+	})
+	return out
+}
+
+// NewReplacementRuntime reconstructs a replica on `host` by replaying the
+// guest's journal up to targetInstr — a surviving replica's current
+// instruction count. The returned runtime holds the same virtual clock,
+// PIT, op-queue, app state, output digest and pending interrupt queues the
+// survivor holds at that instruction count, and has not been started:
+// the caller wires OnSend/OnPace/SendProposal and calls Start, after which
+// the replica executes live and in lockstep.
+//
+// Replayed guest outputs are suppressed — the survivors already tunnelled
+// those packets and the egress has forwarded them. Replayed disk requests
+// do not touch the new host's disk model (the data arrives with the state
+// copy); their interrupts still fire at the deterministic V+Δd points.
+//
+// Preconditions (returned as errors): the journal must hold every delivery
+// the survivors resolved (quiesce the ingress first), epochs must be
+// disabled (EpochInstr == 0 — epoch re-fits depend on peer samples the
+// journal does not carry), and bootTimes must be the guest's original boot
+// median inputs.
+func NewReplacementRuntime(host *Host, guestID string, app guest.App, bootTimes []sim.Time, j *Journal, targetInstr int64) (*Runtime, error) {
+	if j == nil {
+		return nil, fmt.Errorf("%w: replacement needs a journal", ErrVMM)
+	}
+	if targetInstr < 0 {
+		return nil, fmt.Errorf("%w: target instruction count %d", ErrVMM, targetInstr)
+	}
+	if host != nil && host.Config().EpochInstr > 0 {
+		return nil, fmt.Errorf("%w: replica replacement requires epoch re-sync disabled (EpochInstr=0)", ErrVMM)
+	}
+	rt, err := NewRuntime(host, guestID, app, bootTimes)
+	if err != nil {
+		return nil, err
+	}
+	// Preload the full resolved schedule; deliveries due during the replay
+	// fire at their deterministic exits, the rest stay pending exactly as
+	// they are pending at the survivors.
+	for _, rec := range j.Sorted() {
+		rt.pendingNet = append(rt.pendingNet, netDelivery{deliverVirt: rec.Deliver, seq: rec.Seq, payload: rec.Payload})
+	}
+	rt.vm.Boot()
+	for rt.ex.instr < targetInstr {
+		boundary := (rt.ex.instr/rt.cfg.ExitEvery + 1) * rt.cfg.ExitEvery
+		budget := boundary - rt.ex.instr
+		if toIO, has := rt.vm.BranchesToNextIO(); has && toIO+1 < budget {
+			budget = toIO + 1
+		}
+		partial := false
+		if rem := targetInstr - rt.ex.instr; rem < budget {
+			// The survivor materialized partial chunk progress (a pacing
+			// pause or contention rescale); mirror the cut.
+			budget, partial = rem, true
+		}
+		res := rt.vm.Step(budget)
+		if res.Executed <= 0 {
+			rt.Release()
+			return nil, fmt.Errorf("%w: replay stalled at instr %d (target %d)", ErrVMM, rt.ex.instr, targetInstr)
+		}
+		rt.ex.instr += res.Executed
+		if res.IO == nil && partial {
+			continue // mid-chunk materialization: not an exit
+		}
+		rt.replayExit(res)
+	}
+	if rt.ex.instr != targetInstr {
+		rt.Release()
+		return nil, fmt.Errorf("%w: replay overshot target %d at %d", ErrVMM, targetInstr, rt.ex.instr)
+	}
+	return rt, nil
+}
+
+// replayExit mirrors Runtime.exit for synchronous replay: same virtual
+// clock update and interrupt injection order, but outputs are suppressed,
+// disk requests skip the real disk model, and pacing/epoch logic (which
+// depends on live peers) does not run.
+func (rt *Runtime) replayExit(res guest.StepResult) {
+	virt := rt.vclock.At(rt.ex.instr)
+	rt.virtLastExit = virt
+	if res.IO != nil {
+		if res.IO.IsSend() {
+			rt.stats.ReplayedSends++
+		} else {
+			rt.diskSeq++
+			rt.enqueueDisk(diskDelivery{
+				deliverVirt: virt + rt.cfg.DeltaD,
+				seq:         rt.diskSeq,
+				readyReal:   rt.host.Loop().Now(),
+				done:        guest.DiskDone{Tag: res.IO.Tag, Bytes: res.IO.Bytes, Write: res.IO.Write},
+			})
+		}
+	}
+	if n := rt.pit.Due(virt); n > 0 {
+		rt.vm.DeliverTimerTicks(n)
+	}
+	rt.deliverDue(virt)
+}

@@ -38,6 +38,9 @@ type RuntimeStats struct {
 	NetDelivered int
 	// Pauses counts pacing pauses ("slowing the fastest replica").
 	Pauses int
+	// ReplayedSends counts outputs suppressed during replacement replay
+	// (the survivors already emitted them).
+	ReplayedSends int
 }
 
 // Runtime hosts one replica of a guest under the StopWatch VMM: it owns the
@@ -165,6 +168,14 @@ func (rt *Runtime) Start() {
 // Stop halts the replica.
 func (rt *Runtime) Stop() { rt.ex.stop() }
 
+// Release permanently stops the replica and detaches it from its host's
+// scheduler — the teardown path for eviction and replacement, after which
+// the runtime costs the host nothing.
+func (rt *Runtime) Release() {
+	rt.ex.stop()
+	rt.host.unregister(&rt.ex)
+}
+
 func (rt *Runtime) paceTick() {
 	if rt.ex.stopped {
 		return
@@ -173,10 +184,25 @@ func (rt *Runtime) paceTick() {
 	rt.host.Loop().After(rt.cfg.PaceInterval, "vmm:pace", rt.paceTick)
 }
 
+// DropPeer forgets a peer replica's pacing state — the peer was declared
+// dead and replaced; its frozen progress report must not linger in the
+// max-lead comparison. A paced pause is re-evaluated against the remaining
+// peers.
+func (rt *Runtime) DropPeer(peer string) {
+	delete(rt.peerVirt, peer)
+	rt.maybeResume()
+}
+
 // OnPeerVirt records a peer replica's progress report and resumes a paced
 // pause if the gap has closed (never an epoch barrier).
 func (rt *Runtime) OnPeerVirt(peer string, v vtime.Virtual) {
 	rt.peerVirt[peer] = v
+	rt.maybeResume()
+}
+
+// maybeResume lifts a pacing pause once the lead has closed, unless the
+// replica is held at an epoch barrier.
+func (rt *Runtime) maybeResume() {
 	if rt.ex.paused && !rt.tooFarAhead() && (rt.epochWait == nil || !rt.epochWait()) {
 		rt.ex.resume()
 	}
@@ -227,12 +253,17 @@ func (rt *Runtime) requestDisk(a guest.IOAction, atVirt vtime.Virtual) {
 	ready := rt.host.diskService(a.Bytes)
 	rt.host.Loop().At(ready, "vmm:diskdone", rt.host.ioEnd)
 	rt.diskSeq++
-	d := diskDelivery{
+	rt.enqueueDisk(diskDelivery{
 		deliverVirt: atVirt + rt.cfg.DeltaD,
 		seq:         rt.diskSeq,
 		readyReal:   ready,
 		done:        guest.DiskDone{Tag: a.Tag, Bytes: a.Bytes, Write: a.Write},
-	}
+	})
+}
+
+// enqueueDisk inserts a disk delivery in (deliverVirt, seq) order — the
+// one ordering live execution and replacement replay must share exactly.
+func (rt *Runtime) enqueueDisk(d diskDelivery) {
 	i := sort.Search(len(rt.pendingDisk), func(i int) bool {
 		if rt.pendingDisk[i].deliverVirt != d.deliverVirt {
 			return rt.pendingDisk[i].deliverVirt > d.deliverVirt

@@ -44,6 +44,7 @@ package stopwatch
 
 import (
 	"stopwatch/internal/apps"
+	"stopwatch/internal/controlplane"
 	"stopwatch/internal/core"
 	"stopwatch/internal/gateway"
 	"stopwatch/internal/guest"
@@ -224,3 +225,39 @@ func PlaceTheorem2(n, c int) (*Placement, error) { return placement.PlaceTheorem
 
 // GreedyPack packs triangles for arbitrary n.
 func GreedyPack(n, c int) (*Placement, error) { return placement.GreedyPack(n, c) }
+
+// Pool is the incremental triangle packer: it keeps an edge-disjoint
+// packing under online guest arrivals, departures and replica re-homing.
+type Pool = placement.Pool
+
+// NewPool creates an empty incremental packer over n machines of capacity c.
+func NewPool(n, c int) (*Pool, error) { return placement.NewPool(n, c) }
+
+// Control-plane re-exports: the online orchestrator over a running cloud.
+
+// ControlPlane serves the online guest lifecycle: Admit places a guest on
+// an edge-disjoint replica triangle and boots it, Evict returns its edges
+// and capacity to the pool, and ReplaceReplica re-homes a failed replica
+// and re-syncs it into lockstep from the survivors' state.
+type ControlPlane = controlplane.ControlPlane
+
+// ControlPlaneConfig tunes the orchestrator.
+type ControlPlaneConfig = controlplane.Config
+
+// ControlPlaneStats counts lifecycle decisions.
+type ControlPlaneStats = controlplane.Stats
+
+// ErrAdmissionRejected marks admissions the placement pool cannot satisfy
+// (no edge-disjoint triangle with spare capacity); check with errors.Is.
+var ErrAdmissionRejected = controlplane.ErrRejected
+
+// NewControlPlane builds a control plane over a StopWatch-mode cluster.
+func NewControlPlane(c *Cluster, cfg ControlPlaneConfig) (*ControlPlane, error) {
+	return controlplane.New(c, cfg)
+}
+
+// DefaultControlPlaneConfig returns orchestrator defaults for the given
+// per-host capacity.
+func DefaultControlPlaneConfig(capacity int) ControlPlaneConfig {
+	return controlplane.DefaultConfig(capacity)
+}
