@@ -81,7 +81,7 @@ func TestPublicAPISeededDeterminism(t *testing.T) {
 		if err := cloud.Run(Seconds(20)); err != nil {
 			t.Fatal(err)
 		}
-		return lat, web.Runtimes[0].VM().OutputDigest()
+		return lat, web.Replica(0).Runtime().VM().OutputDigest()
 	}
 	lat1, dig1 := run()
 	lat2, dig2 := run()

@@ -7,6 +7,7 @@ package stopwatch
 // the internal experiment tests; these benches measure and report.
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -188,6 +189,117 @@ func BenchmarkFig8NoiseComparison(b *testing.B) {
 	b.ReportMetric(top.EDelayNoise, "noise-delay@0.99")
 	b.ReportMetric(top.NoiseBound, "noise-b@0.99")
 	b.ReportMetric(top.ObsNeeded, "obs@0.99")
+}
+
+// benchPinger is a minimal deterministic guest workload for the lifecycle
+// benchmarks: periodic compute+send, no inbound dependencies.
+type benchPinger struct{ n int64 }
+
+func (p *benchPinger) Boot(ctx Ctx) { ctx.SetTimer(Virtual(2*Millisecond), "tick") }
+func (p *benchPinger) OnTimer(ctx Ctx, tag string) {
+	p.n++
+	ctx.Compute(200_000)
+	ctx.Send("bench-sink", 128, p.n)
+	ctx.SetTimer(Virtual(2*Millisecond), "tick")
+}
+func (p *benchPinger) OnPacket(ctx Ctx, in Payload)   {}
+func (p *benchPinger) OnDiskDone(ctx Ctx, d DiskDone) {}
+
+// BenchmarkChurn measures control-plane guest-lifecycle throughput: each
+// iteration admits one guest onto an edge-disjoint triangle (deploying and
+// wiring all three replicas), evicting the oldest resident first when the
+// pool is full. It records the Admit/Evict hot path — incremental packing
+// plus full fabric wiring and teardown.
+func BenchmarkChurn(b *testing.B) {
+	cfg := DefaultClusterConfig()
+	cfg.Hosts = 24
+	c, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := NewControlPlane(c, DefaultControlPlaneConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() App { return &benchPinger{} }
+	var resident []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		_, _, err := cp.Admit(id, factory)
+		if errors.Is(err, ErrAdmissionRejected) {
+			if err = cp.Evict(resident[0]); err != nil {
+				b.Fatal(err)
+			}
+			resident = resident[1:]
+			_, _, err = cp.Admit(id, factory)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		resident = append(resident, id)
+	}
+	b.StopTimer()
+	st := cp.Stats()
+	b.ReportMetric(float64(st.Admitted), "admitted")
+	b.ReportMetric(float64(st.Evicted), "evicted")
+	b.ReportMetric(cp.Utilization(), "utilization")
+}
+
+// BenchmarkReplaceReplica measures the full Sec. VII replacement protocol
+// on a running cloud: crash a replica mid-run, pause/quiesce the guest's
+// ingress, re-home through the pool, reconstruct from the determinism
+// journal, and re-sync into strict lockstep.
+func BenchmarkReplaceReplica(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Cluster construction, admission and warm-up are setup, not the
+		// protocol under measurement: keep them off the timer.
+		b.StopTimer()
+		cfg := DefaultClusterConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.Hosts = 5
+		c, err := NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := NewControlPlane(c, DefaultControlPlaneConfig(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, tri, err := cp.Admit("web", func() App { return &benchPinger{} })
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		if err := c.Run(Millis(200)); err != nil {
+			b.Fatal(err)
+		}
+		slot, _ := g.SlotOnHost(tri[0])
+		g.Replica(slot).Runtime().Stop()
+		done := false
+		b.StartTimer()
+		if err := cp.ReplaceReplica("web", tri[0], func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for until := Millis(250); !done && until < Seconds(10); until += Millis(50) {
+			if err := c.Run(until); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if !done {
+			b.Fatal("replacement never completed")
+		}
+		if err := g.CheckLockstepPrefix(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 }
 
 // BenchmarkTheorem1Packing regenerates the Theorem-1 maximum packing counts.

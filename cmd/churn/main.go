@@ -1,16 +1,19 @@
 // Command churn exercises the online control plane: a Poisson stream of
-// tenant arrivals, departures and injected replica failures over tens of
-// hosts, all in one deterministic simulation. Every placement decision is
-// re-verified for edge-disjointness as it happens, failed replicas are
-// replaced from the survivors' journal, and the run ends with a strict
-// lockstep audit of every surviving guest.
+// tenant arrivals, departures, injected replica failures, and host
+// maintenance drains over tens of hosts, all in one deterministic
+// simulation. Every placement decision is re-verified for edge-disjointness
+// as it happens, failed replicas are replaced from the survivors' journal,
+// drained machines are evacuated resident by resident and later re-admitted
+// to the pool, and the run ends with a strict lockstep audit of every
+// surviving guest.
 //
 // Usage:
 //
-//	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4
+//	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4 -drains 2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +24,7 @@ import (
 	"stopwatch/internal/core"
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
+	"stopwatch/internal/placement"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/vtime"
 )
@@ -40,6 +44,7 @@ type options struct {
 	arrivalRate float64
 	meanLife    float64
 	failures    int
+	drains      int
 	pingEvery   float64
 	seed        uint64
 }
@@ -53,6 +58,7 @@ func parse(args []string) (options, error) {
 	fs.Float64Var(&o.arrivalRate, "arrival-rate", 2.5, "tenant arrivals per second (Poisson)")
 	fs.Float64Var(&o.meanLife, "mean-lifetime", 8, "mean tenant lifetime (seconds, exponential)")
 	fs.IntVar(&o.failures, "failures", 4, "replica failures to inject")
+	fs.IntVar(&o.drains, "drains", 2, "host maintenance drains to inject (evacuate, later re-admit)")
 	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
 	if err := fs.Parse(args); err != nil {
@@ -125,10 +131,43 @@ type scenario struct {
 	replacementErrs     []error
 	prefixErrs          []error
 	echoesReceived      int
-	// degraded maps guests whose replacement was abandoned (e.g. no
-	// non-conflicting capacity) to the dead replica's slot: they keep
-	// serving on two replicas and are audited on the live pair only.
-	degraded map[string]int
+	// infeasible counts replacement and evacuation attempts the packing
+	// could not place (ErrNoFeasibleHost): an expected outcome of a
+	// saturated pool, skipped gracefully rather than reported as failures.
+	infeasible int
+	// drain/maintenance outcomes
+	drainsStarted, drainsDone int
+	drainErrs                 []error
+}
+
+// frozenSlots returns the slots of g's replicas whose guest execution is
+// halted — crashed, or frozen by a move that was then abandoned (e.g. no
+// non-conflicting capacity). Such a guest serves degraded on its live
+// replicas, and audits must exclude the frozen ones, which necessarily
+// trail. Reading the runtimes directly (instead of bookkeeping updated at
+// operation completion) closes the window where a replica is already
+// frozen but its lifecycle operation has not yet reported back.
+func frozenSlots(g *core.Guest) []int {
+	var slots []int
+	for _, r := range g.Replicas() {
+		if r.Runtime().Stopped() {
+			slots = append(slots, r.Slot())
+		}
+	}
+	return slots
+}
+
+// auditLockstep checks the guest's replica agreement: frozen replicas are
+// excluded and flagged as degraded; strict escalates fully-live guests to
+// the exact digest+count check (the end-of-run audit).
+func auditLockstep(g *core.Guest, strict bool) (degraded bool, err error) {
+	if dead := frozenSlots(g); len(dead) > 0 {
+		return true, g.CheckLockstepPrefixExcluding(dead...)
+	}
+	if strict {
+		return false, g.CheckLockstep()
+	}
+	return false, g.CheckLockstepPrefix()
 }
 
 func run(args []string, out io.Writer) error {
@@ -155,7 +194,6 @@ func run(args []string, out io.Writer) error {
 		out:        out,
 		trafficEnd: sim.FromSeconds(o.duration - 2),
 		end:        sim.FromSeconds(o.duration),
-		degraded:   make(map[string]int),
 	}
 	// The clients' and beacons' counterparties.
 	if err := c.Net().Attach(&netsim.FuncNode{Addr: "churn-client", Fn: func(p *netsim.Packet) {
@@ -172,6 +210,7 @@ func run(args []string, out io.Writer) error {
 	c.Start()
 	s.scheduleArrival()
 	s.scheduleFailures()
+	s.scheduleDrains()
 	s.schedulePings()
 	if err := c.Run(s.end); err != nil {
 		return err
@@ -246,15 +285,9 @@ func (s *scenario) depart(id string) {
 		s.c.Loop().After(500*sim.Millisecond, "churn:departure", func() { s.depart(id) })
 		return
 	}
-	// Exit audit: a degraded guest (abandoned replacement) is checked on
-	// its live replicas only — the frozen one necessarily trails.
-	var err error
-	if deadSlot, isDegraded := s.degraded[id]; isDegraded {
-		err = g.CheckLockstepPrefixExcluding(deadSlot)
-	} else {
-		err = g.CheckLockstepPrefix()
-	}
-	if err != nil {
+	// Exit audit: a degraded guest (abandoned replacement or evacuation)
+	// is checked on its live replicas only.
+	if _, err := auditLockstep(g, false); err != nil {
 		s.prefixErrs = append(s.prefixErrs, err)
 	}
 	if err := s.cp.Evict(id); err != nil {
@@ -297,27 +330,124 @@ func (s *scenario) fail() {
 	}
 	// Don't crash a guest whose lifecycle is mid-operation (a rejected
 	// replacement request would leave the replica dead with no recovery),
-	// or one already degraded by an abandoned replacement.
+	// or one already degraded by a frozen replica.
 	_, busy := s.cp.InFlight(id)
-	if _, isDegraded := s.degraded[id]; busy || isDegraded {
+	if busy || len(frozenSlots(g)) > 0 {
 		s.c.Loop().After(sim.Second, "churn:failure", func() { s.fail() })
 		return
 	}
-	slot := s.rng.Intn(len(g.Hosts))
-	deadHost := g.Hosts[slot]
-	g.Runtimes[slot].Stop() // the crash
+	victim := g.Replica(s.rng.Intn(g.NumReplicas()))
+	deadHost := victim.Host()
+	victim.Runtime().Stop() // the crash
 	s.failuresInjected++
 	err := s.cp.ReplaceReplica(id, deadHost, func(err error) {
 		if err != nil {
-			s.replacementErrs = append(s.replacementErrs, fmt.Errorf("%s: %w", id, err))
-			s.degraded[id] = slot
+			s.replacementAbandoned(id, err)
 			return
 		}
 		s.verify("replace " + id)
 	})
 	if err != nil {
-		s.replacementErrs = append(s.replacementErrs, fmt.Errorf("%s: %w", id, err))
-		s.degraded[id] = slot
+		s.replacementAbandoned(id, err)
+	}
+}
+
+// unjoin flattens an errors.Join result into its members (or the error
+// itself when it is not a join).
+func unjoin(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+// replacementAbandoned records a replacement that could not complete: the
+// guest degrades to its live pair (its frozen replica is excluded from
+// audits via frozenSlots). An infeasible packing (ErrNoFeasibleHost,
+// expected at high utilization) is counted and skipped; anything else is a
+// real error.
+func (s *scenario) replacementAbandoned(id string, err error) {
+	if errors.Is(err, placement.ErrNoFeasibleHost) {
+		s.infeasible++
+		return
+	}
+	s.replacementErrs = append(s.replacementErrs, fmt.Errorf("%s: %w", id, err))
+}
+
+func (s *scenario) scheduleDrains() {
+	if s.o.drains <= 0 {
+		return
+	}
+	// Like failures, spread maintenance over the middle of the traffic
+	// window so every evacuation and re-admission completes inside the run.
+	lo, hi := s.trafficEnd/4, s.trafficEnd*3/5
+	times := make([]sim.Time, s.o.drains)
+	for i := range times {
+		times[i] = lo + s.rng.UniformDur(0, hi-lo)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, at := range times {
+		s.c.Loop().At(at, "churn:drain", func() { s.drain() })
+	}
+}
+
+// drain takes a random live machine down for maintenance: capacity out of
+// the pool, every resident evacuated through the replacement barrier, and
+// the machine re-admitted after an exponential maintenance window.
+func (s *scenario) drain() {
+	var candidates []int
+	for m := 0; m < s.o.hosts; m++ {
+		if !s.cp.Pool().Drained(m) {
+			candidates = append(candidates, m)
+		}
+	}
+	// Keep a placement-viable cloud: draining below 5 machines would leave
+	// replacements nowhere to go at all.
+	if len(candidates) <= 5 {
+		return
+	}
+	m := candidates[s.rng.Intn(len(candidates))]
+	affected := s.cp.Pool().Residents(m)
+	s.drainsStarted++
+	err := s.cp.DrainHost(m, func(err error) {
+		s.drainsDone++
+		if err != nil {
+			// DrainHost joins the per-resident evacuation errors: classify
+			// each member, not the join — an infeasible packing (expected,
+			// skipped; the guest serves degraded with its frozen replica
+			// excluded by frozenSlots) must not mask a genuine failure
+			// alongside it.
+			for _, sub := range unjoin(err) {
+				if errors.Is(sub, placement.ErrNoFeasibleHost) {
+					s.infeasible++
+				} else {
+					s.drainErrs = append(s.drainErrs, fmt.Errorf("drain host %d: %w", m, sub))
+				}
+			}
+		}
+		s.verify(fmt.Sprintf("drain host %d", m))
+		// Evacuated guests must still be in lockstep right after the move.
+		for _, id := range affected {
+			g, ok := s.c.Guest(id)
+			if !ok {
+				continue
+			}
+			if _, aerr := auditLockstep(g, false); aerr != nil {
+				s.prefixErrs = append(s.prefixErrs, aerr)
+			}
+		}
+		// Maintenance done: the machine's capacity returns to the pool.
+		s.c.Loop().After(s.rng.ExpDur(2*sim.Second), "churn:undrain", func() {
+			if err := s.cp.UndrainHost(m); err != nil {
+				s.drainErrs = append(s.drainErrs, fmt.Errorf("undrain host %d: %w", m, err))
+				return
+			}
+			s.verify(fmt.Sprintf("undrain host %d", m))
+		})
+	})
+	if err != nil {
+		s.drainsDone++
+		s.drainErrs = append(s.drainErrs, fmt.Errorf("drain host %d: %w", m, err))
 	}
 }
 
@@ -347,25 +477,19 @@ func (s *scenario) report() error {
 		if !ok {
 			continue
 		}
-		var err error
-		if deadSlot, isDegraded := s.degraded[id]; isDegraded {
-			// Replacement was abandoned (counted above): the dead replica
-			// necessarily trails. Audit agreement of the live pair only.
-			err = g.CheckLockstepPrefixExcluding(deadSlot)
-			if err == nil {
-				degradedOK++
-			}
-		} else {
-			err = g.CheckLockstep()
-			if err == nil {
-				lockstepOK++
-			}
-		}
-		if err != nil {
+		// A degraded guest (abandoned replacement or evacuation) is audited
+		// on its live replicas; the frozen ones necessarily trail.
+		degraded, err := auditLockstep(g, true)
+		switch {
+		case err != nil:
 			lockstepBad++
 			if firstBad == nil {
 				firstBad = err
 			}
+		case degraded:
+			degradedOK++
+		default:
+			lockstepOK++
 		}
 		divergences += g.Divergences()
 	}
@@ -380,13 +504,20 @@ func (s *scenario) report() error {
 		offered, st.Admitted, st.Rejected, admissionRate)
 	fmt.Fprintf(s.out, "  evicted=%d resident-at-end=%d final-utilization=%.2f\n",
 		st.Evicted, s.cp.Residents(), s.cp.Utilization())
-	fmt.Fprintf(s.out, "  failures injected=%d replaced=%d replacement-failures=%d drain-retries=%d\n",
-		s.failuresInjected, st.Replacements, st.ReplacementFailures, st.DrainRetries)
+	// Evacuation moves also count in Stats.Replacements; subtract them so
+	// this line reports failure recoveries only (drains have their own).
+	fmt.Fprintf(s.out, "  failures injected=%d replaced=%d replacement-failures=%d infeasible-skipped=%d drain-retries=%d\n",
+		s.failuresInjected, st.Replacements-st.Evacuations, len(s.replacementErrs), s.infeasible, st.DrainRetries)
+	fmt.Fprintf(s.out, "  maintenance: drains=%d/%d evacuated=%d evacuation-failures=%d drain-errors=%d\n",
+		s.drainsDone, s.drainsStarted, st.Evacuations, st.EvacuationFailures, len(s.drainErrs))
 	fmt.Fprintf(s.out, "  placement: every decision verified, violations=%d\n", s.placementViolations)
 	fmt.Fprintf(s.out, "  lockstep: ok=%d degraded-ok=%d diverged=%d prefix-errors=%d divergences=%d echoes=%d egress-stuck=%d\n",
 		lockstepOK, degradedOK, lockstepBad, len(s.prefixErrs), divergences, s.echoesReceived, s.c.Egress().StuckBelowForward())
 	for _, err := range s.replacementErrs {
 		fmt.Fprintf(s.out, "  replacement error: %v\n", err)
+	}
+	for _, err := range s.drainErrs {
+		fmt.Fprintf(s.out, "  drain error: %v\n", err)
 	}
 	if s.placementViolations > 0 {
 		return fmt.Errorf("%d placement violations", s.placementViolations)
@@ -396,6 +527,9 @@ func (s *scenario) report() error {
 	}
 	if len(s.prefixErrs) > 0 {
 		return fmt.Errorf("%d mid-run lockstep prefix failures: %v", len(s.prefixErrs), s.prefixErrs[0])
+	}
+	if len(s.drainErrs) > 0 {
+		return fmt.Errorf("%d drain errors: %v", len(s.drainErrs), s.drainErrs[0])
 	}
 	return nil
 }

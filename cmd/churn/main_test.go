@@ -10,8 +10,9 @@ import (
 
 // TestChurnScenarioHealthy is the acceptance scenario: ≥20 hosts, ≥30
 // guests through the lifecycle, ≥3 injected replica failures with
-// replacement — every placement decision verified edge-disjoint, every
-// surviving guest in strict lockstep at the end.
+// replacement, and host maintenance drains that evacuate live machines —
+// every placement decision verified edge-disjoint, every surviving guest in
+// strict lockstep at the end.
 func TestChurnScenarioHealthy(t *testing.T) {
 	args := []string{"-hosts", "21", "-duration", "15", "-arrival-rate", "4", "-failures", "3", "-seed", "7"}
 	var out bytes.Buffer
@@ -32,6 +33,18 @@ func TestChurnScenarioHealthy(t *testing.T) {
 	if rf := extractInt(t, text, `replacement-failures=(\d+)`); rf != 0 {
 		t.Fatalf("%d replacement failures:\n%s", rf, text)
 	}
+	if drains := extractInt(t, text, `drains=(\d+)`); drains != 2 {
+		t.Fatalf("completed %d/2 maintenance drains:\n%s", drains, text)
+	}
+	if ev := extractInt(t, text, `evacuated=(\d+)`); ev == 0 {
+		t.Fatalf("drains evacuated nothing:\n%s", text)
+	}
+	if ef := extractInt(t, text, `evacuation-failures=(\d+)`); ef != 0 {
+		t.Fatalf("%d evacuation failures:\n%s", ef, text)
+	}
+	if de := extractInt(t, text, `drain-errors=(\d+)`); de != 0 {
+		t.Fatalf("%d drain errors:\n%s", de, text)
+	}
 	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
 		t.Fatalf("placement violations:\n%s", text)
 	}
@@ -43,6 +56,29 @@ func TestChurnScenarioHealthy(t *testing.T) {
 	}
 	if e := extractInt(t, text, `echoes=(\d+)`); e == 0 {
 		t.Fatalf("client traffic never flowed:\n%s", text)
+	}
+}
+
+// TestChurnSaturatedPackingSkipsInfeasible: at utilization 1.0 (6 hosts,
+// capacity 1, both feasible triangles resident) a crashed replica has
+// nowhere to go. The scenario must count the ErrNoFeasibleHost outcomes and
+// keep running degraded instead of failing opaquely.
+func TestChurnSaturatedPackingSkipsInfeasible(t *testing.T) {
+	args := []string{"-hosts", "6", "-capacity", "1", "-duration", "10",
+		"-arrival-rate", "4", "-failures", "2", "-drains", "0", "-seed", "1"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("saturated churn must degrade gracefully, got: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if inf := extractInt(t, text, `infeasible-skipped=(\d+)`); inf != 2 {
+		t.Fatalf("infeasible-skipped=%d, want both failures skipped:\n%s", inf, text)
+	}
+	if rf := extractInt(t, text, `replacement-failures=(\d+)`); rf != 0 {
+		t.Fatalf("infeasible replacements reported as failures:\n%s", text)
+	}
+	if d := extractInt(t, text, `degraded-ok=(\d+)`); d == 0 {
+		t.Fatalf("no degraded guest audited:\n%s", text)
 	}
 }
 

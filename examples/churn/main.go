@@ -81,9 +81,9 @@ func main() {
 	tri, _ := cp.Pool().Triangle("tenant-0")
 	cloud.Loop().At(stopwatch.Millis(500), "fail", func() {
 		fmt.Printf("t=0.5s: killing tenant-0's replica on host %d\n", tri[0])
-		for k, h := range g.Hosts {
-			if h == tri[0] {
-				g.Runtimes[k].Stop()
+		for _, r := range g.Replicas() {
+			if r.Host() == tri[0] {
+				r.Runtime().Stop()
 			}
 		}
 		err := cp.ReplaceReplica("tenant-0", tri[0], func(err error) {
@@ -93,6 +93,28 @@ func main() {
 			nt, _ := cp.Pool().Triangle("tenant-0")
 			fmt.Printf("t=%.2fs: replica replaced, new triangle %v\n",
 				float64(cloud.Loop().Now())/1e9, nt)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	// Planned maintenance: drain a whole machine. Its capacity leaves the
+	// pool and every resident replica is evacuated through the same
+	// pause→quiesce→rehome→replace→resume barrier, one guest at a time.
+	cloud.Loop().At(stopwatch.Millis(1500), "drain", func() {
+		victim := 0
+		residents := cp.Pool().Residents(victim)
+		fmt.Printf("t=1.5s: draining host %d (%d resident replicas)\n", victim, len(residents))
+		err := cp.DrainHost(victim, func(err error) {
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%.2fs: host %d empty — %d guests evacuated, back in the pool after maintenance\n",
+				float64(cloud.Loop().Now())/1e9, victim, len(residents))
+			if err := cp.UndrainHost(victim); err != nil {
+				log.Fatal(err)
+			}
 		})
 		if err != nil {
 			log.Fatal(err)

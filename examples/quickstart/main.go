@@ -70,10 +70,10 @@ func main() {
 	}
 	fmt.Println("replica lockstep: ok — identical output digests across all 3 replicas")
 	fmt.Printf("synchrony violations (divergences): %d\n", web.Divergences())
-	for i, rt := range web.Runtimes {
-		s := rt.VM().Stats()
+	for _, r := range web.Replicas() {
+		s := r.Runtime().VM().Stats()
 		fmt.Printf("replica %d on %-6s: %4d net interrupts, %2d disk interrupts, digest %016x\n",
-			i, rt.Host().Name(), s.NetInterrupts, s.DiskInterrupts, rt.VM().OutputDigest())
+			r.Slot(), r.HostName(), s.NetInterrupts, s.DiskInterrupts, r.Runtime().VM().OutputDigest())
 	}
 
 	fmt.Println()

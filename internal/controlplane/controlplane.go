@@ -33,7 +33,7 @@ var ErrControlPlane = errors.New("controlplane: invalid")
 
 // ErrRejected reports an admission the placement pool cannot satisfy: no
 // edge-disjoint triangle with spare capacity exists. It wraps
-// placement.ErrNoCapacity.
+// placement.ErrNoFeasibleHost.
 var ErrRejected = fmt.Errorf("%w: admission rejected", ErrControlPlane)
 
 // Config tunes the control plane.
@@ -64,10 +64,14 @@ type Stats struct {
 	// Evicted counts completed evictions.
 	Evicted int
 	// Replacements counts completed replica replacements;
-	// ReplacementFailures counts abandoned ones.
+	// ReplacementFailures counts abandoned ones. Evacuation moves are
+	// replacements too and count here as well.
 	Replacements, ReplacementFailures int
 	// DrainRetries counts quiescence re-checks beyond the first.
 	DrainRetries int
+	// HostDrains counts DrainHost operations started; Evacuations and
+	// EvacuationFailures count the per-resident moves they performed.
+	HostDrains, Evacuations, EvacuationFailures int
 }
 
 // ControlPlane orchestrates guest lifecycle over a running cluster.
@@ -79,6 +83,10 @@ type ControlPlane struct {
 	// inflight guards per-guest lifecycle exclusivity (a guest being
 	// replaced must not concurrently evict).
 	inflight map[string]string
+
+	// draining marks machines with an evacuation in progress (drained in
+	// the pool, residents not yet all moved).
+	draining map[int]bool
 
 	stats Stats
 }
@@ -106,7 +114,13 @@ func New(c *core.Cluster, cfg Config) (*ControlPlane, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ControlPlane{c: c, pool: pool, cfg: cfg, inflight: make(map[string]string)}, nil
+	return &ControlPlane{
+		c:        c,
+		pool:     pool,
+		cfg:      cfg,
+		inflight: make(map[string]string),
+		draining: make(map[int]bool),
+	}, nil
 }
 
 // Cluster returns the governed cluster.
@@ -143,7 +157,7 @@ func (cp *ControlPlane) Admit(id string, factory func() guest.App) (*core.Guest,
 	}
 	tri, err := cp.pool.Admit(id)
 	if err != nil {
-		if errors.Is(err, placement.ErrNoCapacity) {
+		if errors.Is(err, placement.ErrNoFeasibleHost) {
 			cp.stats.Rejected++
 			return nil, placement.Triangle{}, fmt.Errorf("%w: %v", ErrRejected, err)
 		}
@@ -272,12 +286,13 @@ func (cp *ControlPlane) Verify() error {
 		}
 		tri, _ := cp.pool.Triangle(id)
 		want := map[int]bool{tri[0]: true, tri[1]: true, tri[2]: true}
-		if len(g.Hosts) != 3 {
-			return fmt.Errorf("%w: guest %q has %d replicas", ErrControlPlane, id, len(g.Hosts))
+		hosts := g.HostIndexes()
+		if len(hosts) != 3 {
+			return fmt.Errorf("%w: guest %q has %d replicas", ErrControlPlane, id, len(hosts))
 		}
-		for _, h := range g.Hosts {
+		for _, h := range hosts {
 			if !want[h] {
-				return fmt.Errorf("%w: guest %q deployed on %v, pool says %v", ErrControlPlane, id, g.Hosts, tri)
+				return fmt.Errorf("%w: guest %q deployed on %v, pool says %v", ErrControlPlane, id, hosts, tri)
 			}
 		}
 	}

@@ -125,7 +125,7 @@ func TestOnlineAdmissionBootsIntoRunningCluster(t *testing.T) {
 	if !ok {
 		t.Fatal("late guest missing")
 	}
-	if n := late.Runtimes[0].VM().OutputCount(); n == 0 {
+	if n := late.Replica(0).Runtime().VM().OutputCount(); n == 0 {
 		t.Fatal("late-admitted guest never ran")
 	}
 	if err := late.CheckLockstepPrefix(); err != nil {
@@ -148,19 +148,14 @@ func TestReplaceReplicaProtocol(t *testing.T) {
 	}
 	c.Start()
 	deadHost := tri[1]
-	var deadRT = func() int {
-		for k, h := range g.Hosts {
-			if h == deadHost {
-				return k
-			}
-		}
+	deadRT, onHost := g.SlotOnHost(deadHost)
+	if !onHost {
 		t.Fatal("dead host not in guest")
-		return -1
-	}()
+	}
 	var result error
 	doneAt := sim.Time(-1)
 	c.Loop().At(300*sim.Millisecond, "fail", func() {
-		g.Runtimes[deadRT].Stop() // crash the replica
+		g.Replica(deadRT).Runtime().Stop() // crash the replica
 		if err := cp.ReplaceReplica("web", deadHost, func(err error) {
 			result = err
 			doneAt = c.Loop().Now()
@@ -191,9 +186,9 @@ func TestReplaceReplicaProtocol(t *testing.T) {
 	if newTri == tri {
 		t.Fatal("pool triangle unchanged by replacement")
 	}
-	for _, h := range g.Hosts {
+	for _, h := range g.HostIndexes() {
 		if h == deadHost {
-			t.Fatalf("dead host %d still in %v", deadHost, g.Hosts)
+			t.Fatalf("dead host %d still in %v", deadHost, g.HostIndexes())
 		}
 	}
 	if err := g.CheckLockstepPrefix(); err != nil {

@@ -1,0 +1,113 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Host drain: planned whole-machine evacuation. Each resident replica is
+// moved with the ordinary pause→quiesce→rehome→replace→resume barrier. The
+// guest's execution on the drained machine is frozen just before its
+// barrier starts while the machine's VMM stays live and keeps proposing —
+// the paper's footnote-4 regime, so the 3-proposal median never stalls —
+// which guarantees the survivors are at or past the frozen replica's
+// instruction count by switchover (the reclaim window the egress already
+// handles for crash recovery). Residents move one after another, in
+// guest-id order, and the machine ends empty with every affected guest
+// still in strict lockstep.
+
+// DrainHost starts evacuating machine: its capacity is removed from the
+// placement pool immediately (no new replicas land on it), and every
+// resident replica is re-homed sequentially, in guest-id order, via the
+// replacement barrier. onDone (optional) fires once the last resident has
+// been processed, with the joined errors of any evacuations that failed —
+// e.g. ErrNoFeasibleHost when a saturated packing leaves a guest nowhere to
+// go; such guests keep serving from their remaining replicas.
+//
+// The machine stays drained afterwards (ready for maintenance); call
+// UndrainHost to return its capacity to the pool.
+func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
+	if machine < 0 || machine >= cp.c.Hosts() {
+		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+	}
+	if err := cp.pool.Drain(machine); err != nil {
+		return err // typed placement.ErrDrained on a double drain
+	}
+	cp.draining[machine] = true
+	cp.stats.HostDrains++
+	residents := cp.pool.Residents(machine)
+	var errs []error
+	finish := func() {
+		delete(cp.draining, machine)
+		if onDone != nil {
+			onDone(errors.Join(errs...))
+		}
+	}
+	var next func(i, attempts int)
+	next = func(i, attempts int) {
+		if i >= len(residents) {
+			finish()
+			return
+		}
+		id := residents[i]
+		// The guest may have departed, or a concurrent failure replacement
+		// may already have moved it off the machine: both are a completed
+		// evacuation from this drain's point of view.
+		tri, resident := cp.pool.Triangle(id)
+		if !resident || (tri[0] != machine && tri[1] != machine && tri[2] != machine) {
+			next(i+1, 0)
+			return
+		}
+		if _, busy := cp.inflight[id]; busy {
+			// Another lifecycle op holds the guest (e.g. a failure
+			// replacement racing the drain): wait a window and retry,
+			// bounded like the quiescence barrier.
+			if attempts+1 >= cp.cfg.MaxDrainAttempts {
+				cp.stats.EvacuationFailures++
+				errs = append(errs, fmt.Errorf("%w: evacuating %q off machine %d: lifecycle op still in flight", ErrControlPlane, id, machine))
+				next(i+1, 0)
+				return
+			}
+			cp.c.Loop().After(cp.cfg.DrainWindow, "cp:evacuate-retry", func() { next(i, attempts+1) })
+			return
+		}
+		// Freeze the resident's guest execution (its VMM keeps proposing)
+		// so the survivors are at or past its instruction count when the
+		// replacement switches over — the same regime as crash recovery.
+		if g, ok := cp.c.Guest(id); ok {
+			if slot, on := g.SlotOnHost(machine); on {
+				g.Replica(slot).Runtime().Stop()
+			}
+		}
+		err := cp.ReplaceReplica(id, machine, func(err error) {
+			if err != nil {
+				cp.stats.EvacuationFailures++
+				errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
+			} else {
+				cp.stats.Evacuations++
+			}
+			next(i+1, 0)
+		})
+		if err != nil {
+			// Validation failure with the replica already frozen: record it
+			// and move on — the guest serves degraded from the survivors.
+			cp.stats.EvacuationFailures++
+			errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
+			next(i+1, 0)
+		}
+	}
+	next(0, 0)
+	return nil
+}
+
+// UndrainHost returns a drained machine's capacity to the placement pool.
+// It refuses while the evacuation is still moving residents.
+func (cp *ControlPlane) UndrainHost(machine int) error {
+	if cp.draining[machine] {
+		return fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine)
+	}
+	return cp.pool.Undrain(machine)
+}
+
+// Draining reports whether machine has an evacuation in progress.
+func (cp *ControlPlane) Draining(machine int) bool { return cp.draining[machine] }

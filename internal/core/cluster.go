@@ -115,29 +115,27 @@ type Cluster struct {
 	started bool
 }
 
-// Guest is a deployed guest VM (all its replicas).
+// Guest is a deployed guest VM (all its replicas). Per-slot replica state
+// is owned by the internal wiring and read through the slot-addressed
+// accessors (Replica, Replicas, HostIndexes) in replica.go.
 type Guest struct {
-	ID    string
-	Hosts []int
-
-	// StopWatch mode:
-	Runtimes []*vmm.Runtime
-	NetDevs  []*vmm.NetDevice
-	Apps     []guest.App
-	// Epochs holds the per-replica epoch coordinators when the optional
-	// Sec. IV-A re-synchronization is enabled (VMM.EpochInstr > 0).
-	Epochs []*vmm.EpochCoordinator
+	ID string
 	// Replaced counts replica replacements performed on this guest.
 	Replaced int
 
 	// Baseline mode:
 	Baseline *vmm.BaselineRuntime
 
-	// Online-lifecycle state (StopWatch mode).
+	// Online-lifecycle state (StopWatch mode). replicas is the single
+	// source of truth for per-slot wiring.
 	factory  func() guest.App
 	boots    []sim.Time
 	journal  *vmm.Journal
 	replicas []*replicaWiring
+
+	// Baseline-mode placement and app (no replica wiring exists).
+	baselineHost int
+	baselineApp  guest.App
 }
 
 // replicaWiring is one replica's full fabric wiring. Peer lists are read
@@ -156,25 +154,17 @@ type replicaWiring struct {
 	peers    []netsim.Addr
 }
 
-// App returns replica i's app instance (replica 0 for baseline).
-func (g *Guest) App(i int) guest.App {
-	if len(g.Apps) == 0 {
-		return nil
-	}
-	return g.Apps[i%len(g.Apps)]
-}
-
 // CheckLockstep verifies all replicas produced identical outputs.
 func (g *Guest) CheckLockstep() error {
-	if len(g.Runtimes) < 2 {
+	if len(g.replicas) < 2 {
 		return nil
 	}
-	d0 := g.Runtimes[0].VM().OutputDigest()
-	n0 := g.Runtimes[0].VM().OutputCount()
-	for i, rt := range g.Runtimes[1:] {
-		if rt.VM().OutputDigest() != d0 || rt.VM().OutputCount() != n0 {
+	d0 := g.replicas[0].rt.VM().OutputDigest()
+	n0 := g.replicas[0].rt.VM().OutputCount()
+	for i, w := range g.replicas[1:] {
+		if w.rt.VM().OutputDigest() != d0 || w.rt.VM().OutputCount() != n0 {
 			return fmt.Errorf("%w: guest %s replica %d diverged (outputs %d vs %d)",
-				ErrCluster, g.ID, i+1, rt.VM().OutputCount(), n0)
+				ErrCluster, g.ID, i+1, w.rt.VM().OutputCount(), n0)
 		}
 	}
 	return nil
@@ -183,8 +173,8 @@ func (g *Guest) CheckLockstep() error {
 // Divergences sums the runtime divergence counters across replicas.
 func (g *Guest) Divergences() int {
 	n := 0
-	for _, rt := range g.Runtimes {
-		n += rt.Stats().Divergences
+	for _, w := range g.replicas {
+		n += w.rt.Stats().Divergences
 	}
 	return n
 }
@@ -399,7 +389,7 @@ func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.
 	}}); err != nil {
 		return nil, err
 	}
-	g := &Guest{ID: id, Hosts: hostIdx, Baseline: rt, Apps: []guest.App{app}}
+	g := &Guest{ID: id, Baseline: rt, baselineHost: hostIdx[0], baselineApp: app}
 	c.guests[id] = g
 	if c.started {
 		c.startGuest(g)
@@ -433,13 +423,9 @@ func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest
 	}
 	g := &Guest{
 		ID:       id,
-		Hosts:    append([]int(nil), hostIdx...),
 		factory:  factory,
 		boots:    boots,
 		journal:  vmm.NewJournal(),
-		Runtimes: make([]*vmm.Runtime, len(hostIdx)),
-		NetDevs:  make([]*vmm.NetDevice, len(hostIdx)),
-		Apps:     make([]guest.App, len(hostIdx)),
 		replicas: make([]*replicaWiring, len(hostIdx)),
 	}
 	for k, i := range hostIdx {
@@ -551,18 +537,9 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 		}
 		w.ec = ec
 		hn.epochs[id] = ec
-		if k < len(g.Epochs) {
-			g.Epochs[k] = ec
-		} else {
-			g.Epochs = append(g.Epochs, ec)
-		}
 	}
 	hn.netdevs[id] = nd
 	hn.runtimes[id] = rt
-	g.Hosts[k] = hostIdx
-	g.Runtimes[k] = rt
-	g.NetDevs[k] = nd
-	g.Apps[k] = app
 	g.replicas[k] = w
 	return nil
 }
@@ -599,8 +576,8 @@ func (c *Cluster) startGuest(g *Guest) {
 	if g.Baseline != nil {
 		g.Baseline.Start()
 	}
-	for _, rt := range g.Runtimes {
-		rt.Start()
+	for _, w := range g.replicas {
+		w.rt.Start()
 	}
 }
 
@@ -627,8 +604,8 @@ func (c *Cluster) Stop() {
 		if g.Baseline != nil {
 			g.Baseline.Stop()
 		}
-		for _, rt := range g.Runtimes {
-			rt.Stop()
+		for _, w := range g.replicas {
+			w.rt.Stop()
 		}
 	}
 }

@@ -99,9 +99,9 @@ func TestStopWatchEndToEndDownload(t *testing.T) {
 	if g.Divergences() != 0 {
 		t.Fatalf("divergences: %d", g.Divergences())
 	}
-	for i := range g.Apps {
-		if g.App(i).(*apps.FileServer).Served() != 1 {
-			t.Fatalf("replica %d served %d", i, g.App(i).(*apps.FileServer).Served())
+	for _, r := range g.Replicas() {
+		if r.App().(*apps.FileServer).Served() != 1 {
+			t.Fatalf("replica %d served %d", r.Slot(), r.App().(*apps.FileServer).Served())
 		}
 	}
 	// Latency must include the Δn tax on inbound packets: well above the

@@ -22,8 +22,10 @@ func TestEpochResyncEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Epochs) != 3 {
-		t.Fatalf("epoch coordinators: %d", len(g.Epochs))
+	for _, r := range g.Replicas() {
+		if r.Epoch() == nil {
+			t.Fatalf("replica %d has no epoch coordinator", r.Slot())
+		}
 	}
 	cl, err := c.NewClient("laptop")
 	if err != nil {
@@ -59,9 +61,9 @@ func TestEpochResyncEndToEnd(t *testing.T) {
 	}
 	// Epoch adjustments actually happened, and consistently across
 	// replicas (counts may straggle by one at the cutoff).
-	minAdj, maxAdj := g.Epochs[0].Adjustments(), g.Epochs[0].Adjustments()
-	for _, ec := range g.Epochs[1:] {
-		if a := ec.Adjustments(); a < minAdj {
+	minAdj, maxAdj := g.Replica(0).Epoch().Adjustments(), g.Replica(0).Epoch().Adjustments()
+	for _, r := range g.Replicas()[1:] {
+		if a := r.Epoch().Adjustments(); a < minAdj {
 			minAdj = a
 		} else if a > maxAdj {
 			maxAdj = a

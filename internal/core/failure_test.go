@@ -82,7 +82,7 @@ func TestServiceSurvivesDeadReplica(t *testing.T) {
 	c.Start()
 	// Stop replica 2's guest execution after its boot; its VMM/device
 	// models stay up (proposals still flow), but it emits no outputs.
-	c.Loop().At(10*sim.Millisecond, "kill", func() { g.Runtimes[2].Stop() })
+	c.Loop().At(10*sim.Millisecond, "kill", func() { g.Replica(2).Runtime().Stop() })
 	done := 0
 	dl := apps.NewDownloader(cl)
 	c.Loop().At(50*sim.Millisecond, "fetch", func() {
@@ -95,7 +95,7 @@ func TestServiceSurvivesDeadReplica(t *testing.T) {
 		t.Fatalf("download with dead replica: %d/1 (egress stuck=%d)", done, c.Egress().StuckBelowForward())
 	}
 	// The two live replicas stayed in lockstep with each other.
-	if g.Runtimes[0].VM().OutputDigest() != g.Runtimes[1].VM().OutputDigest() {
+	if g.Replica(0).Runtime().VM().OutputDigest() != g.Replica(1).Runtime().VM().OutputDigest() {
 		t.Fatal("live replicas diverged")
 	}
 }
@@ -136,7 +136,7 @@ func TestDeadReplicaIsReplacedAndRejoinsLockstep(t *testing.T) {
 	c.Loop().At(20*sim.Millisecond, "fetch", kick)
 
 	// Replica 2 crashes at t=300ms, mid-traffic.
-	c.Loop().At(300*sim.Millisecond, "kill", func() { g.Runtimes[2].Stop() })
+	c.Loop().At(300*sim.Millisecond, "kill", func() { g.Replica(2).Runtime().Stop() })
 
 	// The replacement barrier: pause the ingress stream, let the fabric and
 	// proposal exchange drain, then switch over and resume.
@@ -175,7 +175,7 @@ func TestDeadReplicaIsReplacedAndRejoinsLockstep(t *testing.T) {
 	if g.Replaced != 1 {
 		t.Fatalf("Replaced = %d, want 1", g.Replaced)
 	}
-	if got := g.Hosts; got[0] != 0 || got[1] != 1 || got[2] != 3 {
+	if got := g.HostIndexes(); got[0] != 0 || got[1] != 1 || got[2] != 3 {
 		t.Fatalf("replica hosts after replacement: %v", got)
 	}
 	// The reconstructed replica is byte-for-byte level with the survivors:
@@ -184,14 +184,14 @@ func TestDeadReplicaIsReplacedAndRejoinsLockstep(t *testing.T) {
 	if err := g.CheckLockstep(); err != nil {
 		t.Fatal(err)
 	}
-	if n := g.Runtimes[2].VM().OutputCount(); n == 0 {
+	if n := g.Replica(2).Runtime().VM().OutputCount(); n == 0 {
 		t.Fatal("replacement replica emitted nothing")
 	}
 	// And it actually served post-switchover traffic (live sends beyond the
 	// replayed prefix).
-	if s := g.Runtimes[2].Stats(); s.ReplayedSends == 0 {
+	if s := g.Replica(2).Runtime().Stats(); s.ReplayedSends == 0 {
 		t.Fatal("replacement did not replay any survivor outputs")
-	} else if int(g.Runtimes[2].VM().Stats().PacketsSent) <= s.ReplayedSends {
+	} else if int(g.Replica(2).Runtime().VM().Stats().PacketsSent) <= s.ReplayedSends {
 		t.Fatal("replacement emitted no live outputs after the switchover")
 	}
 }
@@ -243,7 +243,7 @@ func TestBackgroundBroadcastNoise(t *testing.T) {
 	if bc.Sent() < 150 {
 		t.Fatalf("broadcast rounds: %d", bc.Sent())
 	}
-	if got := g.Runtimes[0].VM().Stats().NetInterrupts; got < int64(bc.Sent()) {
+	if got := g.Replica(0).Runtime().VM().Stats().NetInterrupts; got < int64(bc.Sent()) {
 		t.Fatalf("guest saw %d net interrupts, want >= %d broadcasts", got, bc.Sent())
 	}
 }

@@ -188,7 +188,7 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	// second sweep after a generous tunnel-drain interval catches groups
 	// whose last survivor copy was still in flight at switchover; by then
 	// the guest may have been evicted, which DropGuest makes a no-op.
-	boundary := uint64(g.Runtimes[slot].VM().Stats().PacketsSent)
+	boundary := uint64(fresh.rt.VM().Stats().PacketsSent)
 	c.egress.ReclaimForwardedUpTo(id, boundary)
 	c.loop.After(100*sim.Millisecond, "egress:reclaim", func() {
 		c.egress.ReclaimForwardedUpTo(id, boundary)
@@ -220,12 +220,12 @@ func (g *Guest) CheckLockstepPrefixExcluding(slots ...int) error {
 		skip[s] = true
 	}
 	m, live := -1, 0
-	for k, rt := range g.Runtimes {
+	for k, w := range g.replicas {
 		if skip[k] {
 			continue
 		}
 		live++
-		if n := rt.VM().OutputCount(); m < 0 || n < m {
+		if n := w.rt.VM().OutputCount(); m < 0 || n < m {
 			m = n
 		}
 	}
@@ -234,14 +234,14 @@ func (g *Guest) CheckLockstepPrefixExcluding(slots ...int) error {
 	}
 	var want uint64
 	first := true
-	for k, rt := range g.Runtimes {
+	for k, w := range g.replicas {
 		if skip[k] {
 			continue
 		}
-		d, ok := rt.VM().OutputLog().DigestAt(m)
+		d, ok := w.rt.VM().OutputLog().DigestAt(m)
 		if !ok {
 			return fmt.Errorf("%w: guest %s replica %d skewed past digest history (out=%d, prefix=%d)",
-				ErrCluster, g.ID, k, rt.VM().OutputCount(), m)
+				ErrCluster, g.ID, k, w.rt.VM().OutputCount(), m)
 		}
 		if first {
 			want, first = d, false

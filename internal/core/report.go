@@ -57,17 +57,18 @@ func (c *Cluster) Report() Report {
 			gr.DiskInterrupts = s.DiskInterrupts
 			gr.TimerInterrupts = s.TimerInterrupts
 		} else {
-			gr.Replicas = len(g.Runtimes)
+			gr.Replicas = len(g.replicas)
 			gr.Lockstep = g.CheckLockstep()
-			if len(g.Runtimes) > 0 {
-				s := g.Runtimes[0].VM().Stats()
-				gr.Outputs = g.Runtimes[0].VM().OutputCount()
+			if len(g.replicas) > 0 {
+				vm := g.replicas[0].rt.VM()
+				s := vm.Stats()
+				gr.Outputs = vm.OutputCount()
 				gr.NetInterrupts = s.NetInterrupts
 				gr.DiskInterrupts = s.DiskInterrupts
 				gr.TimerInterrupts = s.TimerInterrupts
 			}
-			for _, rt := range g.Runtimes {
-				st := rt.Stats()
+			for _, w := range g.replicas {
+				st := w.rt.Stats()
 				gr.Divergences += st.Divergences
 				gr.DiskOverruns += st.DiskOverruns
 				gr.Pauses += st.Pauses

@@ -99,7 +99,7 @@ func TestReportFlagsDivergence(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force a synchrony violation on one replica.
-	g.Runtimes[0].EnqueueNetDelivery(999, g.Runtimes[0].VirtAtLastExit()-1, guestPayload())
+	g.Replica(0).Runtime().EnqueueNetDelivery(999, g.Replica(0).Runtime().VirtAtLastExit()-1, guestPayload())
 	if err := c.Run(100 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}

@@ -99,7 +99,7 @@ func calibOne(cfg CalibConfig, deltaNMS float64) (CalibPoint, error) {
 	var latencies []sim.Time
 	base := c.Net()
 	_ = base
-	att.Runtimes[0].OnNetDeliver = func(seq uint64, v vtime.Virtual, real sim.Time) {
+	att.Replica(0).Runtime().OnNetDeliver = func(seq uint64, v vtime.Virtual, real sim.Time) {
 		if t0, ok := sentAt[seq]; ok {
 			latencies = append(latencies, real-t0)
 		}

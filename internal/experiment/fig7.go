@@ -134,7 +134,7 @@ func fig7One(cfg Fig7Config, prof apps.ParsecProfile, mode core.Mode) (sim.Time,
 	if g.Baseline != nil {
 		ints = g.Baseline.VM().Stats().DiskInterrupts
 	} else {
-		ints = g.Runtimes[0].VM().Stats().DiskInterrupts
+		ints = g.Replica(0).Runtime().VM().Stats().DiskInterrupts
 	}
 	return doneAt, ints, nil
 }

@@ -65,8 +65,8 @@ func RunLeader(cfg LeaderConfig) (*LeaderResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, nd := range att.NetDevs {
-			nd.Policy = policy
+		for _, r := range att.Replicas() {
+			r.NetDev().Policy = policy
 		}
 		if withVictim {
 			if _, err := c.Deploy("victim", []int{2, 3, 4}, func() guest.App {

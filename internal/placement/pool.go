@@ -5,11 +5,22 @@ import (
 	"sort"
 )
 
-// ErrNoCapacity reports that an admission or re-home request cannot be
+// ErrNoFeasibleHost reports that an admission or re-home request cannot be
 // satisfied by the current pool state: every candidate triangle (or host)
-// either reuses an occupied K_n edge or exceeds a machine's capacity. It is
-// the expected online analogue of Theorem 1's packing bound, not a bug.
-var ErrNoCapacity = fmt.Errorf("%w: no nonoverlapping capacity available", ErrPlacement)
+// either reuses an occupied K_n edge, exceeds a machine's capacity, or
+// lands on a drained machine. It is the expected online analogue of
+// Theorem 1's packing bound, not a bug; callers check it with errors.Is and
+// degrade gracefully (reject the tenant, keep serving on two replicas, skip
+// the move).
+var ErrNoFeasibleHost = fmt.Errorf("%w: no feasible host", ErrPlacement)
+
+// ErrNoCapacity is the historical name for ErrNoFeasibleHost; they are the
+// same value, so errors.Is matches either.
+var ErrNoCapacity = ErrNoFeasibleHost
+
+// ErrDrained reports a drain-state misuse (draining a machine twice,
+// undraining a live one).
+var ErrDrained = fmt.Errorf("%w: drain state", ErrPlacement)
 
 // Pool is the incremental counterpart of GreedyPack/PlaceTheorem2: it
 // maintains an edge-disjoint triangle packing of K_n under online guest
@@ -39,6 +50,10 @@ type Pool struct {
 	load []int
 	// tris is the triangle of each resident guest.
 	tris map[string]Triangle
+	// drained marks machines removed from placement (planned maintenance):
+	// they keep their current residents until evacuated but receive no new
+	// replicas.
+	drained []bool
 }
 
 // NewPool creates an empty pool over n machines of per-machine capacity c
@@ -53,6 +68,7 @@ func NewPool(n, c int) (*Pool, error) {
 		used:     make(map[[2]int]string),
 		load:     make([]int, n),
 		tris:     make(map[string]Triangle),
+		drained:  make([]bool, n),
 	}, nil
 }
 
@@ -76,13 +92,68 @@ func (p *Pool) Load(i int) int {
 // EdgesUsed returns the number of occupied K_n edges (3 per guest).
 func (p *Pool) EdgesUsed() int { return len(p.used) }
 
-// Utilization returns resident replicas over total machine capacity, in
-// [0,1]. With unbounded capacity it returns 0.
+// Utilization returns resident replicas over the total capacity of the
+// undrained machines, in [0,1] — transiently above 1 while a drained
+// machine still holds residents awaiting evacuation. With unbounded
+// capacity (or everything drained) it returns 0.
 func (p *Pool) Utilization() float64 {
 	if p.capacity <= 0 || p.n == 0 {
 		return 0
 	}
-	return float64(3*len(p.tris)) / float64(p.n*p.capacity)
+	avail := 0
+	for i := 0; i < p.n; i++ {
+		if !p.drained[i] {
+			avail++
+		}
+	}
+	if avail == 0 {
+		return 0
+	}
+	return float64(3*len(p.tris)) / float64(avail*p.capacity)
+}
+
+// Drain removes machine i from placement: it keeps its current residents
+// (evacuating them is the control plane's job) but Admit/Rehome will not
+// put new replicas on it until Undrain.
+func (p *Pool) Drain(i int) error {
+	if i < 0 || i >= p.n {
+		return fmt.Errorf("%w: machine %d out of range", ErrPlacement, i)
+	}
+	if p.drained[i] {
+		return fmt.Errorf("%w: machine %d already drained", ErrDrained, i)
+	}
+	p.drained[i] = true
+	return nil
+}
+
+// Undrain returns a drained machine's capacity to the pool.
+func (p *Pool) Undrain(i int) error {
+	if i < 0 || i >= p.n {
+		return fmt.Errorf("%w: machine %d out of range", ErrPlacement, i)
+	}
+	if !p.drained[i] {
+		return fmt.Errorf("%w: machine %d not drained", ErrDrained, i)
+	}
+	p.drained[i] = false
+	return nil
+}
+
+// Drained reports whether machine i is removed from placement.
+func (p *Pool) Drained(i int) bool {
+	return i >= 0 && i < p.n && p.drained[i]
+}
+
+// Residents returns the ids of guests with a replica on machine i, sorted —
+// the deterministic evacuation order for a host drain.
+func (p *Pool) Residents(i int) []string {
+	var ids []string
+	for id, t := range p.tris {
+		if t[0] == i || t[1] == i || t[2] == i {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // Triangle returns the resident guest's triangle.
@@ -115,13 +186,14 @@ func (p *Pool) hostOrder() []int {
 	return order
 }
 
-// hostFull reports whether machine i is at capacity.
+// hostFull reports whether machine i can take no further replica: at
+// capacity, or drained for maintenance.
 func (p *Pool) hostFull(i int) bool {
-	return p.capacity > 0 && p.load[i] >= p.capacity
+	return p.drained[i] || (p.capacity > 0 && p.load[i] >= p.capacity)
 }
 
 // Admit places a new guest on the least-loaded non-conflicting triangle and
-// records it under id. It fails with ErrNoCapacity when no edge-disjoint
+// records it under id. It fails with ErrNoFeasibleHost when no edge-disjoint
 // triangle with spare capacity exists.
 func (p *Pool) Admit(id string) (Triangle, error) {
 	if id == "" {
@@ -151,11 +223,15 @@ func (p *Pool) Admit(id string) (Triangle, error) {
 			}
 		}
 	}
-	return Triangle{}, fmt.Errorf("admit %q: %w", id, ErrNoCapacity)
+	return Triangle{}, fmt.Errorf("admit %q: %w", id, ErrNoFeasibleHost)
 }
 
 // AdmitTriangle places a guest on an explicit triangle (e.g. replaying a
-// stored assignment), enforcing the pool invariants.
+// stored assignment, or restoring one after a failed replacement),
+// enforcing edge-disjointness and capacity. Unlike Admit it will place on
+// a drained machine: the caller named the triangle deliberately, and the
+// rollback of a replica move must be able to restore the pre-move state
+// mid-drain.
 func (p *Pool) AdmitTriangle(id string, t Triangle) error {
 	if id == "" {
 		return fmt.Errorf("%w: empty guest id", ErrPlacement)
@@ -171,13 +247,13 @@ func (p *Pool) AdmitTriangle(id string, t Triangle) error {
 		if v < 0 || v >= p.n {
 			return fmt.Errorf("%w: machine %d out of range", ErrPlacement, v)
 		}
-		if p.hostFull(v) {
-			return fmt.Errorf("admit %q on %v: %w", id, t, ErrNoCapacity)
+		if p.capacity > 0 && p.load[v] >= p.capacity {
+			return fmt.Errorf("admit %q on %v: %w", id, t, ErrNoFeasibleHost)
 		}
 	}
 	for _, e := range t.edges() {
 		if owner, busy := p.used[e]; busy {
-			return fmt.Errorf("admit %q on %v: edge %v held by %q: %w", id, t, e, owner, ErrNoCapacity)
+			return fmt.Errorf("admit %q on %v: edge %v held by %q: %w", id, t, e, owner, ErrNoFeasibleHost)
 		}
 	}
 	p.commit(id, t)
@@ -255,7 +331,7 @@ func (p *Pool) Rehome(id string, dead int) (Triangle, int, error) {
 		p.tris[id] = nt
 		return nt, h, nil
 	}
-	return Triangle{}, 0, fmt.Errorf("rehome %q off machine %d: %w", id, dead, ErrNoCapacity)
+	return Triangle{}, 0, fmt.Errorf("rehome %q off machine %d: %w", id, dead, ErrNoFeasibleHost)
 }
 
 // IDs returns the resident guest ids in sorted order.

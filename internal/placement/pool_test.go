@@ -210,3 +210,87 @@ func TestPoolAdmitTriangleValidation(t *testing.T) {
 		t.Fatalf("capacity: want ErrNoCapacity, got %v", err)
 	}
 }
+
+func TestPoolDrainExcludesMachine(t *testing.T) {
+	p, err := NewPool(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Drain an empty machine: no future triangle may touch it.
+	victim := 8
+	if p.Load(victim) != 0 {
+		t.Fatalf("machine %d unexpectedly loaded", victim)
+	}
+	if err := p.Drain(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(victim); !errors.Is(err, ErrDrained) {
+		t.Fatalf("double drain: want ErrDrained, got %v", err)
+	}
+	if !p.Drained(victim) {
+		t.Fatal("machine not marked drained")
+	}
+	for i := 0; ; i++ {
+		tri, err := p.Admit(fmt.Sprintf("g%d", i))
+		if err != nil {
+			if !errors.Is(err, ErrNoFeasibleHost) {
+				t.Fatal(err)
+			}
+			break
+		}
+		for _, v := range tri {
+			if v == victim {
+				t.Fatalf("admitted onto drained machine: %v", tri)
+			}
+		}
+		if err := p.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rehome must skip the drained machine too.
+	triA, _ := p.Triangle("a")
+	if nt, h, err := p.Rehome("a", triA[0]); err == nil {
+		if h == victim || nt[0] == victim || nt[1] == victim || nt[2] == victim {
+			t.Fatalf("rehomed onto drained machine: %v via %d", nt, h)
+		}
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Undrain restores the capacity; edges stay conserved throughout.
+	if err := p.Undrain(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Undrain(victim); !errors.Is(err, ErrDrained) {
+		t.Fatalf("double undrain: want ErrDrained, got %v", err)
+	}
+	if p.EdgesUsed() != 3*p.Guests() {
+		t.Fatalf("%d edges for %d guests", p.EdgesUsed(), p.Guests())
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolResidents(t *testing.T) {
+	p, err := NewPool(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdmitTriangle("b", Triangle{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdmitTriangle("a", Triangle{0, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Residents(0)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Residents(0) = %v, want sorted [a b]", got)
+	}
+	if r := p.Residents(5); len(r) != 0 {
+		t.Fatalf("Residents(5) = %v", r)
+	}
+}

@@ -168,6 +168,10 @@ func (rt *Runtime) Start() {
 // Stop halts the replica.
 func (rt *Runtime) Stop() { rt.ex.stop() }
 
+// Stopped reports whether the replica's guest execution is halted (crashed,
+// or frozen for evacuation); the VMM-side device models stay live.
+func (rt *Runtime) Stopped() bool { return rt.ex.stopped }
+
 // Release permanently stops the replica and detaches it from its host's
 // scheduler — the teardown path for eviction and replacement, after which
 // the runtime costs the host nothing.

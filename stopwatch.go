@@ -88,6 +88,12 @@ type ClusterConfig = core.ClusterConfig
 // Guest is a deployed guest VM (all of its replicas).
 type Guest = core.Guest
 
+// Replica is a slot-addressed, read-through view of one guest replica:
+// Guest.Replica(slot) / Guest.Replicas() expose the current host, runtime,
+// device model, app and epoch coordinator of each slot. Views stay valid
+// across replica replacement — they read the slot's current occupant.
+type Replica = core.Replica
+
 // Mode selects the hypervisor under test.
 type Mode = core.Mode
 
@@ -237,8 +243,10 @@ func NewPool(n, c int) (*Pool, error) { return placement.NewPool(n, c) }
 
 // ControlPlane serves the online guest lifecycle: Admit places a guest on
 // an edge-disjoint replica triangle and boots it, Evict returns its edges
-// and capacity to the pool, and ReplaceReplica re-homes a failed replica
-// and re-syncs it into lockstep from the survivors' state.
+// and capacity to the pool, ReplaceReplica re-homes a failed replica and
+// re-syncs it into lockstep from the survivors' state, and DrainHost
+// evacuates every resident of a machine for planned maintenance
+// (UndrainHost re-admits it afterwards).
 type ControlPlane = controlplane.ControlPlane
 
 // ControlPlaneConfig tunes the orchestrator.
@@ -250,6 +258,11 @@ type ControlPlaneStats = controlplane.Stats
 // ErrAdmissionRejected marks admissions the placement pool cannot satisfy
 // (no edge-disjoint triangle with spare capacity); check with errors.Is.
 var ErrAdmissionRejected = controlplane.ErrRejected
+
+// ErrNoFeasibleHost is the typed infeasibility outcome of the placement
+// pool: no candidate triangle or host satisfies edge-disjointness, capacity
+// and drain state. Expected at high utilization; check with errors.Is.
+var ErrNoFeasibleHost = placement.ErrNoFeasibleHost
 
 // NewControlPlane builds a control plane over a StopWatch-mode cluster.
 func NewControlPlane(c *Cluster, cfg ControlPlaneConfig) (*ControlPlane, error) {
