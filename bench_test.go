@@ -302,6 +302,78 @@ func BenchmarkReplaceReplica(b *testing.B) {
 	}
 }
 
+// BenchmarkEvacuateFailedHost measures the whole crashed-machine recovery
+// path on a running multi-tenant cloud: kill a machine's VMM outright,
+// reconfigure every resident guest onto its live quorum (unwedging the
+// delivery medians), evacuate the residents through the replacement
+// barrier, and repair the machine.
+func BenchmarkEvacuateFailedHost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultClusterConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.Hosts = 9
+		c, err := NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := NewControlPlane(c, DefaultControlPlaneConfig(3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range []string{"ga", "gb", "gc", "gd", "ge"} {
+			if _, _, err := cp.Admit(id, func() App { return &benchPinger{} }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.Start()
+		if err := c.Run(Millis(200)); err != nil {
+			b.Fatal(err)
+		}
+		// The machine hosting the most guests, lowest index as tie-break.
+		machine := 0
+		for m := 1; m < cfg.Hosts; m++ {
+			if len(cp.Pool().Residents(m)) > len(cp.Pool().Residents(machine)) {
+				machine = m
+			}
+		}
+		affected := cp.Pool().Residents(machine)
+		done := false
+		b.StartTimer()
+		if err := cp.FailHost(machine); err != nil {
+			b.Fatal(err)
+		}
+		if err := cp.EvacuateFailedHost(machine, func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			done = true
+		}); err != nil {
+			b.Fatal(err)
+		}
+		for until := Millis(250); !done && until < Seconds(30); until += Millis(50) {
+			if err := c.Run(until); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if !done {
+			b.Fatal("evacuation never completed")
+		}
+		if err := cp.RepairHost(machine); err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range affected {
+			g, _ := c.Guest(id)
+			if err := g.CheckLockstepPrefix(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(affected)), "residents-moved")
+		b.StartTimer()
+	}
+}
+
 // BenchmarkTheorem1Packing regenerates the Theorem-1 maximum packing counts.
 func BenchmarkTheorem1Packing(b *testing.B) {
 	var total int

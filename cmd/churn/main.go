@@ -1,15 +1,16 @@
 // Command churn exercises the online control plane: a Poisson stream of
-// tenant arrivals, departures, injected replica failures, and host
-// maintenance drains over tens of hosts, all in one deterministic
-// simulation. Every placement decision is re-verified for edge-disjointness
-// as it happens, failed replicas are replaced from the survivors' journal,
-// drained machines are evacuated resident by resident and later re-admitted
-// to the pool, and the run ends with a strict lockstep audit of every
-// surviving guest.
+// tenant arrivals, departures, injected replica failures, host maintenance
+// drains, and whole-machine crashes over tens of hosts, all in one
+// deterministic simulation. Every placement decision is re-verified for
+// edge-disjointness as it happens, failed replicas are replaced from the
+// survivors' journal, drained machines are evacuated resident by resident
+// and later re-admitted to the pool, crashed machines are reconfigured onto
+// their guests' live quorums, evacuated and repaired, and the run ends with
+// a strict lockstep audit of every surviving guest.
 //
 // Usage:
 //
-//	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4 -drains 2
+//	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4 -drains 2 -crashes 1
 package main
 
 import (
@@ -45,6 +46,7 @@ type options struct {
 	meanLife    float64
 	failures    int
 	drains      int
+	crashes     int
 	pingEvery   float64
 	seed        uint64
 }
@@ -59,6 +61,7 @@ func parse(args []string) (options, error) {
 	fs.Float64Var(&o.meanLife, "mean-lifetime", 8, "mean tenant lifetime (seconds, exponential)")
 	fs.IntVar(&o.failures, "failures", 4, "replica failures to inject")
 	fs.IntVar(&o.drains, "drains", 2, "host maintenance drains to inject (evacuate, later re-admit)")
+	fs.IntVar(&o.crashes, "crashes", 1, "whole-machine VMM crashes to inject (fail, reconfigure, evacuate, repair)")
 	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
 	if err := fs.Parse(args); err != nil {
@@ -138,6 +141,9 @@ type scenario struct {
 	// drain/maintenance outcomes
 	drainsStarted, drainsDone int
 	drainErrs                 []error
+	// whole-machine crash outcomes
+	crashesStarted, crashesDone int
+	crashErrs                   []error
 }
 
 // frozenSlots returns the slots of g's replicas whose guest execution is
@@ -211,6 +217,7 @@ func run(args []string, out io.Writer) error {
 	s.scheduleArrival()
 	s.scheduleFailures()
 	s.scheduleDrains()
+	s.scheduleCrashes()
 	s.schedulePings()
 	if err := c.Run(s.end); err != nil {
 		return err
@@ -451,6 +458,122 @@ func (s *scenario) drain() {
 	}
 }
 
+func (s *scenario) scheduleCrashes() {
+	if s.o.crashes <= 0 {
+		return
+	}
+	// Crashes land in the middle of the traffic window, like failures and
+	// drains, so every reconfiguration, evacuation and repair completes
+	// inside the run.
+	lo, hi := s.trafficEnd/4, s.trafficEnd*3/5
+	times := make([]sim.Time, s.o.crashes)
+	for i := range times {
+		times[i] = lo + s.rng.UniformDur(0, hi-lo)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, at := range times {
+		s.c.Loop().At(at, "churn:crash", func() { s.crash() })
+	}
+}
+
+// crash kills a random live machine outright (its VMM dies): the control
+// plane reconfigures every resident guest onto its live quorum, evacuates
+// the residents through the replacement barrier, and the machine is
+// repaired (rejoining the pool) after an exponential reboot window.
+func (s *scenario) crash() {
+	// Candidates: undrained, unfailed machines with residents, none of them
+	// mid-lifecycle; prefer machines hosting >= 2 guests so the crash
+	// exercises a real multi-tenant evacuation.
+	var candidates, rich []int
+	undrained := 0
+	for m := 0; m < s.o.hosts; m++ {
+		if s.cp.Pool().Drained(m) || s.cp.Failed(m) {
+			continue
+		}
+		undrained++
+		residents := s.cp.Pool().Residents(m)
+		if len(residents) == 0 {
+			continue
+		}
+		busy := false
+		for _, id := range residents {
+			if _, b := s.cp.InFlight(id); b {
+				busy = true
+				break
+			}
+		}
+		if busy {
+			continue
+		}
+		candidates = append(candidates, m)
+		if len(residents) >= 2 {
+			rich = append(rich, m)
+		}
+	}
+	// Keep a placement-viable cloud, like drains do.
+	if undrained <= 5 || len(candidates) == 0 {
+		s.c.Loop().After(sim.Second, "churn:crash", func() { s.crash() })
+		return
+	}
+	pick := candidates
+	if len(rich) > 0 {
+		pick = rich
+	}
+	m := pick[s.rng.Intn(len(pick))]
+	affected := s.cp.Pool().Residents(m)
+	s.crashesStarted++
+	if err := s.cp.FailHost(m); err != nil {
+		s.crashesDone++
+		s.crashErrs = append(s.crashErrs, fmt.Errorf("fail host %d: %w", m, err))
+		return
+	}
+	s.verify(fmt.Sprintf("fail host %d", m))
+	err := s.cp.EvacuateFailedHost(m, func(err error) {
+		s.crashesDone++
+		if err != nil {
+			// Classify each joined member like drains do: an infeasible
+			// packing is expected and skipped (the guest serves degraded on
+			// its live pair); anything else is a real error.
+			for _, sub := range unjoin(err) {
+				if errors.Is(sub, placement.ErrNoFeasibleHost) {
+					s.infeasible++
+				} else {
+					s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, sub))
+				}
+			}
+		}
+		s.verify(fmt.Sprintf("evacuate failed host %d", m))
+		// Every evacuated guest is back in lockstep right after its move.
+		for _, id := range affected {
+			g, ok := s.c.Guest(id)
+			if !ok {
+				continue
+			}
+			if _, aerr := auditLockstep(g, false); aerr != nil {
+				s.prefixErrs = append(s.prefixErrs, aerr)
+			}
+		}
+		// Reboot done: the machine rejoins the pool — unless a degraded
+		// guest is still stuck on it (infeasible move under a saturated
+		// packing), in which case it stays failed; RepairHost would
+		// rightly refuse.
+		s.c.Loop().After(s.rng.ExpDur(2*sim.Second), "churn:repair", func() {
+			if len(s.cp.Pool().Residents(m)) > 0 {
+				return
+			}
+			if err := s.cp.RepairHost(m); err != nil {
+				s.crashErrs = append(s.crashErrs, fmt.Errorf("repair host %d: %w", m, err))
+				return
+			}
+			s.verify(fmt.Sprintf("repair host %d", m))
+		})
+	})
+	if err != nil {
+		s.crashesDone++
+		s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, err))
+	}
+}
+
 func (s *scenario) schedulePings() {
 	var tick func()
 	tick = func() {
@@ -504,12 +627,14 @@ func (s *scenario) report() error {
 		offered, st.Admitted, st.Rejected, admissionRate)
 	fmt.Fprintf(s.out, "  evicted=%d resident-at-end=%d final-utilization=%.2f\n",
 		st.Evicted, s.cp.Residents(), s.cp.Utilization())
-	// Evacuation moves also count in Stats.Replacements; subtract them so
-	// this line reports failure recoveries only (drains have their own).
+	// Evacuation moves (drain and crash) also count in Stats.Replacements;
+	// subtract them so this line reports failure recoveries only.
 	fmt.Fprintf(s.out, "  failures injected=%d replaced=%d replacement-failures=%d infeasible-skipped=%d drain-retries=%d\n",
-		s.failuresInjected, st.Replacements-st.Evacuations, len(s.replacementErrs), s.infeasible, st.DrainRetries)
+		s.failuresInjected, st.Replacements-st.Evacuations-st.CrashEvacuations, len(s.replacementErrs), s.infeasible, st.DrainRetries)
 	fmt.Fprintf(s.out, "  maintenance: drains=%d/%d evacuated=%d evacuation-failures=%d drain-errors=%d\n",
 		s.drainsDone, s.drainsStarted, st.Evacuations, st.EvacuationFailures, len(s.drainErrs))
+	fmt.Fprintf(s.out, "  host crashes: crashes=%d/%d crash-evacuated=%d crash-evacuation-failures=%d crash-errors=%d\n",
+		s.crashesDone, s.crashesStarted, st.CrashEvacuations, st.CrashEvacuationFailures, len(s.crashErrs))
 	fmt.Fprintf(s.out, "  placement: every decision verified, violations=%d\n", s.placementViolations)
 	fmt.Fprintf(s.out, "  lockstep: ok=%d degraded-ok=%d diverged=%d prefix-errors=%d divergences=%d echoes=%d egress-stuck=%d\n",
 		lockstepOK, degradedOK, lockstepBad, len(s.prefixErrs), divergences, s.echoesReceived, s.c.Egress().StuckBelowForward())
@@ -518,6 +643,9 @@ func (s *scenario) report() error {
 	}
 	for _, err := range s.drainErrs {
 		fmt.Fprintf(s.out, "  drain error: %v\n", err)
+	}
+	for _, err := range s.crashErrs {
+		fmt.Fprintf(s.out, "  crash error: %v\n", err)
 	}
 	if s.placementViolations > 0 {
 		return fmt.Errorf("%d placement violations", s.placementViolations)
@@ -530,6 +658,9 @@ func (s *scenario) report() error {
 	}
 	if len(s.drainErrs) > 0 {
 		return fmt.Errorf("%d drain errors: %v", len(s.drainErrs), s.drainErrs[0])
+	}
+	if len(s.crashErrs) > 0 {
+		return fmt.Errorf("%d crash errors: %v", len(s.crashErrs), s.crashErrs[0])
 	}
 	return nil
 }

@@ -82,6 +82,66 @@ func TestChurnSaturatedPackingSkipsInfeasible(t *testing.T) {
 	}
 }
 
+// TestChurnCrashEvacuation is the crashed-machine acceptance scenario: a
+// whole machine's VMM dies mid-traffic, every resident guest is
+// reconfigured onto its live quorum, evacuated through the replacement
+// barrier and ends in lockstep — with zero synchrony divergences (the
+// re-proposal round keeps unwedged deliveries in every replica's future)
+// and no barrier abandoned to the quiescence leak (any MaxDrainAttempts
+// abandonment would surface as a crash error and fail the run).
+func TestChurnCrashEvacuation(t *testing.T) {
+	args := []string{"-hosts", "21", "-duration", "15", "-arrival-rate", "4",
+		"-failures", "0", "-drains", "0", "-crashes", "2", "-seed", "11"}
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("crash churn run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if got := extractInt(t, text, `crashes=(\d+)`); got != 2 {
+		t.Fatalf("completed %d/2 crashes:\n%s", got, text)
+	}
+	if ev := extractInt(t, text, `crash-evacuated=(\d+)`); ev < 2 {
+		t.Fatalf("crash evacuated %d < 2 residents (machine not multi-tenant?):\n%s", ev, text)
+	}
+	if ef := extractInt(t, text, `crash-evacuation-failures=(\d+)`); ef != 0 {
+		t.Fatalf("%d crash evacuation failures:\n%s", ef, text)
+	}
+	if ce := extractInt(t, text, `crash-errors=(\d+)`); ce != 0 {
+		t.Fatalf("%d crash errors:\n%s", ce, text)
+	}
+	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
+		t.Fatalf("placement violations:\n%s", text)
+	}
+	if d := extractInt(t, text, `diverged=(\d+)`); d != 0 {
+		t.Fatalf("diverged guests:\n%s", text)
+	}
+	if d := extractInt(t, text, `divergences=(\d+)`); d != 0 {
+		t.Fatalf("synchrony divergences:\n%s", text)
+	}
+	if p := extractInt(t, text, `prefix-errors=(\d+)`); p != 0 {
+		t.Fatalf("lockstep prefix errors:\n%s", text)
+	}
+}
+
+// TestChurnCrashDeterminism: crash injection replays byte-identically.
+func TestChurnCrashDeterminism(t *testing.T) {
+	args := []string{"-hosts", "20", "-duration", "10", "-arrival-rate", "3",
+		"-failures", "1", "-drains", "1", "-crashes", "2", "-seed", "5"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("first run: %v\n%s", err, a.String())
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("second run: %v\n%s", err, b.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("runs differ:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "crash-errors=0") {
+		t.Fatalf("crash errors:\n%s", a.String())
+	}
+}
+
 // TestChurnDeterminism: the same seed replays bit-identically.
 func TestChurnDeterminism(t *testing.T) {
 	args := []string{"-hosts", "20", "-duration", "8", "-arrival-rate", "3", "-failures", "2", "-seed", "3"}

@@ -72,6 +72,10 @@ type Stats struct {
 	// HostDrains counts DrainHost operations started; Evacuations and
 	// EvacuationFailures count the per-resident moves they performed.
 	HostDrains, Evacuations, EvacuationFailures int
+	// HostFailures counts FailHost operations (crashed machines);
+	// CrashEvacuations and CrashEvacuationFailures count the per-resident
+	// moves EvacuateFailedHost performed off them.
+	HostFailures, CrashEvacuations, CrashEvacuationFailures int
 }
 
 // ControlPlane orchestrates guest lifecycle over a running cluster.
@@ -88,7 +92,29 @@ type ControlPlane struct {
 	// the pool, residents not yet all moved).
 	draining map[int]bool
 
+	// failures tracks crashed machines (FailHost → RepairHost). Each
+	// failure epoch is one *hostFailure; pointer identity doubles as the
+	// epoch check, so a reconfiguration closure scheduled in one epoch
+	// cannot open a later epoch's evacuation gate.
+	failures map[int]*hostFailure
+
 	stats Stats
+}
+
+// hostFailure is one machine's crash epoch, created by FailHost and
+// deleted by RepairHost.
+type hostFailure struct {
+	// reconfigured flips once the post-crash group reconfiguration has
+	// been broadcast, after the proposal settle window — the gate
+	// EvacuateFailedHost waits on.
+	reconfigured bool
+	// drainedByFail records whether FailHost itself pulled the machine's
+	// capacity (false: the operator had drained it for maintenance before
+	// the crash, and repair must not undo that).
+	drainedByFail bool
+	// reconfigErrs collects reconfiguration failures for the evacuation
+	// outcome.
+	reconfigErrs []error
 }
 
 // New builds a control plane over the cluster. The cluster must be in
@@ -120,6 +146,7 @@ func New(c *core.Cluster, cfg Config) (*ControlPlane, error) {
 		cfg:      cfg,
 		inflight: make(map[string]string),
 		draining: make(map[int]bool),
+		failures: make(map[int]*hostFailure),
 	}, nil
 }
 
@@ -225,13 +252,7 @@ func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(erro
 	if !ok {
 		return fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id)
 	}
-	onTriangle := false
-	for _, v := range tri {
-		if v == deadHost {
-			onTriangle = true
-		}
-	}
-	if !onTriangle {
+	if !tri.Contains(deadHost) {
 		return fmt.Errorf("%w: guest %q has no replica on host %d", ErrControlPlane, id, deadHost)
 	}
 	cp.inflight[id] = "replacement"
@@ -258,9 +279,14 @@ func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(erro
 			// Roll the pool back to the original triangle: the data plane
 			// still has the (dead) replica on deadHost. The whole barrier
 			// step is one simulated instant, so the freed edges cannot
-			// have been claimed in between.
-			_, _ = cp.pool.Release(id)
-			_ = cp.pool.AdmitTriangle(id, tri)
+			// have been claimed in between. A rollback failure leaves pool
+			// and cluster divergent — join it into the outcome so it is
+			// never swallowed; Verify() flags the divergence it leaves.
+			if _, rbErr := cp.pool.Release(id); rbErr != nil {
+				err = errors.Join(err, fmt.Errorf("rollback release %q: %w", id, rbErr))
+			} else if rbErr := cp.pool.AdmitTriangle(id, tri); rbErr != nil {
+				err = errors.Join(err, fmt.Errorf("rollback restore %q on %v: %w", id, tri, rbErr))
+			}
 			finish(err)
 			return
 		}
@@ -273,11 +299,17 @@ func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(erro
 
 // Verify checks the control plane's placement invariants (edge-disjoint
 // triangles, capacity, bookkeeping) and that the pool agrees with the
-// cluster's deployed residency. Scenario drivers call it after every
-// lifecycle decision.
+// cluster's deployed residency — in both directions, so a half-completed
+// rollback (pool lost a guest the cluster still runs) cannot hide.
+// Scenario drivers call it after every lifecycle decision.
 func (cp *ControlPlane) Verify() error {
 	if err := cp.pool.Verify(); err != nil {
 		return err
+	}
+	for _, id := range cp.c.GuestIDs() {
+		if _, ok := cp.pool.Triangle(id); !ok {
+			return fmt.Errorf("%w: cluster deploys %q but the pool does not hold it", ErrControlPlane, id)
+		}
 	}
 	for _, id := range cp.pool.IDs() {
 		g, ok := cp.c.Guest(id)

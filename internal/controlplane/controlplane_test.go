@@ -224,6 +224,88 @@ func TestReplaceReplicaValidation(t *testing.T) {
 	}
 }
 
+// TestReplaceReplicaRollbackRestoresPool drives the rollback path: on an
+// epoch-enabled cluster the data-plane switchover is guaranteed to fail
+// (core.ReplaceReplica refuses EpochInstr > 0) after the pool has already
+// re-homed, so the control plane must restore the original triangle, report
+// the failure (with any rollback error joined in, never swallowed), and
+// leave pool and cluster coherent under Verify.
+func TestReplaceReplicaRollbackRestoresPool(t *testing.T) {
+	cfg := core.DefaultClusterConfig()
+	cfg.Seed = 67
+	cfg.Hosts = 7
+	cfg.VMM.EpochInstr = 2 * cfg.VMM.ExitEvery
+	c, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := New(c, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, tri, err := cp.Admit("web", beaconFactory(vtime.Virtual(4*sim.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	var result error
+	done := false
+	c.Loop().At(300*sim.Millisecond, "fail", func() {
+		slot, _ := g.SlotOnHost(tri[0])
+		g.Replica(slot).Runtime().Stop()
+		if err := cp.ReplaceReplica("web", tri[0], func(err error) { result, done = err, true }); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := c.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("replacement never finished")
+	}
+	if result == nil {
+		t.Fatal("epoch-mode switchover should have failed")
+	}
+	if errors.Is(result, placement.ErrNoFeasibleHost) {
+		t.Fatalf("wrong failure: %v", result)
+	}
+	if got, _ := cp.Pool().Triangle("web"); got != tri {
+		t.Fatalf("rollback did not restore the triangle: %v != %v", got, tri)
+	}
+	if st := cp.Stats(); st.ReplacementFailures != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatalf("pool/cluster diverged after rollback: %v", err)
+	}
+}
+
+// TestVerifyCatchesPoolClusterDivergence pins the audit a swallowed
+// rollback error used to escape: a guest the cluster runs but the pool lost
+// (the exact state a failed rollback restore leaves) must fail Verify.
+func TestVerifyCatchesPoolClusterDivergence(t *testing.T) {
+	cp := newTestPlane(t, 7, 3, 69)
+	if _, _, err := cp.Admit("web", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	tri, _ := cp.Pool().Triangle("web")
+	if _, err := cp.Pool().Release("web"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err == nil {
+		t.Fatal("Verify missed a cluster-deployed guest absent from the pool")
+	}
+	if err := cp.Pool().AdmitTriangle("web", tri); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	cfg := core.DefaultClusterConfig()
 	cfg.Mode = core.ModeBaseline

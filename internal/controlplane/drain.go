@@ -15,6 +15,11 @@ import (
 // handles for crash recovery). Residents move one after another, in
 // guest-id order, and the machine ends empty with every affected guest
 // still in strict lockstep.
+//
+// The same per-resident loop also serves EvacuateFailedHost (failure.go),
+// where the machine's VMM is dead: there the replicas are already stopped
+// (no freeze) and the loop waits for the post-crash group reconfiguration
+// before starting.
 
 // DrainHost starts evacuating machine: its capacity is removed from the
 // placement pool immediately (no new replicas land on it), and every
@@ -30,17 +35,46 @@ func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
 	if machine < 0 || machine >= cp.c.Hosts() {
 		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
 	}
+	if cp.Failed(machine) {
+		return fmt.Errorf("%w: machine %d crashed — evacuate it with EvacuateFailedHost", ErrControlPlane, machine)
+	}
 	if err := cp.pool.Drain(machine); err != nil {
 		return err // typed placement.ErrDrained on a double drain
 	}
 	cp.draining[machine] = true
 	cp.stats.HostDrains++
+	cp.evacuateResidents(machine, true, nil, onDone)
+	return nil
+}
+
+// evacuateResidents moves every resident replica off machine through the
+// replacement barrier, sequentially in guest-id order. freeze stops the
+// resident's guest execution first (planned drain: the VMM stays live and
+// keeps proposing); a crashed machine's replicas are already stopped.
+// ready, when non-nil, gates the start of the loop (the crash path must not
+// run barriers before the group reconfiguration has unwedged quiescence);
+// it is re-checked every DrainWindow, bounded by MaxDrainAttempts.
+func (cp *ControlPlane) evacuateResidents(machine int, freeze bool, ready func() bool, onDone func(error)) {
 	residents := cp.pool.Residents(machine)
 	var errs []error
 	finish := func() {
 		delete(cp.draining, machine)
 		if onDone != nil {
 			onDone(errors.Join(errs...))
+		}
+	}
+	countOK := func() {
+		if freeze {
+			cp.stats.Evacuations++
+		} else {
+			cp.stats.CrashEvacuations++
+		}
+	}
+	countBad := func() {
+		if freeze {
+			cp.stats.EvacuationFailures++
+		} else {
+			cp.stats.CrashEvacuationFailures++
 		}
 	}
 	var next func(i, attempts int)
@@ -54,7 +88,7 @@ func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
 		// may already have moved it off the machine: both are a completed
 		// evacuation from this drain's point of view.
 		tri, resident := cp.pool.Triangle(id)
-		if !resident || (tri[0] != machine && tri[1] != machine && tri[2] != machine) {
+		if !resident || !tri.Contains(machine) {
 			next(i+1, 0)
 			return
 		}
@@ -63,7 +97,7 @@ func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
 			// replacement racing the drain): wait a window and retry,
 			// bounded like the quiescence barrier.
 			if attempts+1 >= cp.cfg.MaxDrainAttempts {
-				cp.stats.EvacuationFailures++
+				countBad()
 				errs = append(errs, fmt.Errorf("%w: evacuating %q off machine %d: lifecycle op still in flight", ErrControlPlane, id, machine))
 				next(i+1, 0)
 				return
@@ -74,37 +108,60 @@ func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
 		// Freeze the resident's guest execution (its VMM keeps proposing)
 		// so the survivors are at or past its instruction count when the
 		// replacement switches over — the same regime as crash recovery.
-		if g, ok := cp.c.Guest(id); ok {
-			if slot, on := g.SlotOnHost(machine); on {
-				g.Replica(slot).Runtime().Stop()
+		if freeze {
+			if g, ok := cp.c.Guest(id); ok {
+				if slot, on := g.SlotOnHost(machine); on {
+					g.Replica(slot).Runtime().Stop()
+				}
 			}
 		}
 		err := cp.ReplaceReplica(id, machine, func(err error) {
 			if err != nil {
-				cp.stats.EvacuationFailures++
+				countBad()
 				errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
 			} else {
-				cp.stats.Evacuations++
+				countOK()
 			}
 			next(i+1, 0)
 		})
 		if err != nil {
 			// Validation failure with the replica already frozen: record it
-			// and move on — the guest serves degraded from the survivors.
-			cp.stats.EvacuationFailures++
+			// and move on — the guest serves degraded on its live replicas.
+			countBad()
 			errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
 			next(i+1, 0)
 		}
 	}
-	next(0, 0)
-	return nil
+	start := func() { next(0, 0) }
+	if ready == nil {
+		start()
+		return
+	}
+	var gate func(attempts int)
+	gate = func(attempts int) {
+		if ready() {
+			start()
+			return
+		}
+		if attempts+1 >= cp.cfg.MaxDrainAttempts {
+			errs = append(errs, fmt.Errorf("%w: machine %d group reconfiguration never completed", ErrControlPlane, machine))
+			finish()
+			return
+		}
+		cp.c.Loop().After(cp.cfg.DrainWindow, "cp:evacuate-wait", func() { gate(attempts + 1) })
+	}
+	gate(0)
 }
 
 // UndrainHost returns a drained machine's capacity to the placement pool.
-// It refuses while the evacuation is still moving residents.
+// It refuses while the evacuation is still moving residents, and refuses
+// crashed machines (RepairHost is their way back).
 func (cp *ControlPlane) UndrainHost(machine int) error {
 	if cp.draining[machine] {
 		return fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine)
+	}
+	if cp.Failed(machine) {
+		return fmt.Errorf("%w: machine %d crashed — RepairHost returns it", ErrControlPlane, machine)
 	}
 	return cp.pool.Undrain(machine)
 }

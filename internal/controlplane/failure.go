@@ -1,0 +1,167 @@
+package controlplane
+
+// Crashed machines as a first-class failure domain. A planned drain
+// (drain.go) can rely on the machine's live VMM to keep the 3-proposal
+// median flowing; a crashed (VMM-dead) machine cannot — before this path
+// existed, every co-resident guest stalled forever waiting for proposals
+// that would never arrive. The recovery protocol, Paxos-style
+// reconfiguration made concrete on the StopWatch data plane:
+//
+//  1. FailHost marks the machine failed: its capacity leaves the placement
+//     pool (reusing the drain plumbing), the data plane kills its runtimes
+//     and proposal senders, and — one DrainWindow later, so the dead VMM's
+//     in-flight proposals land everywhere — every resident guest's group is
+//     reconfigured (multicast groups, pacing peers, device live views,
+//     ingress replication) to the live quorum. Pending and future delivery
+//     proposals then resolve on the live set and the guests keep serving
+//     degraded 2-of-3.
+//  2. EvacuateFailedHost repairs membership: every resident is moved, in
+//     guest-id order, through the ordinary replacement barrier — journal
+//     replay already reconstructs the replica; it only needed medians that
+//     keep resolving.
+//  3. RepairHost returns the (rebooted, empty) machine to the pool.
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/placement"
+)
+
+// FailHost marks machine as crashed (its VMM died). The machine's capacity
+// leaves the placement pool immediately, its replicas' guest execution and
+// proposal senders are killed, and one DrainWindow later — once the dead
+// VMM's in-flight proposals have settled at every survivor — every resident
+// guest's replica group is reconfigured onto its live quorum, unwedging the
+// delivery medians. Call EvacuateFailedHost afterwards (any time: the
+// reconfiguration is awaited) to re-home the residents.
+//
+// A machine can crash while a DrainHost evacuation of it is still in
+// flight: the drain loop adopts the situation safely — its remaining
+// barriers simply wait out quiescence until the reconfiguration fires, and
+// its moves keep counting as (drain) Evacuations — while EvacuateFailedHost
+// is refused until that loop finishes and can then pick up any residents
+// whose moves it abandoned.
+func (cp *ControlPlane) FailHost(machine int) error {
+	if machine < 0 || machine >= cp.c.Hosts() {
+		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+	}
+	if cp.failures[machine] != nil {
+		return fmt.Errorf("%w: machine %d already failed", ErrControlPlane, machine)
+	}
+	if err := cp.c.FailMachine(machine); err != nil {
+		return err
+	}
+	f := &hostFailure{}
+	// Reuse the drain plumbing to pull the machine's capacity: a machine
+	// mid-maintenance (already drained) can crash too and simply keeps its
+	// drained state — and keeps it across repair.
+	switch err := cp.pool.Drain(machine); {
+	case err == nil:
+		f.drainedByFail = true
+	case !errors.Is(err, placement.ErrDrained):
+		return err
+	}
+	cp.failures[machine] = f
+	cp.stats.HostFailures++
+	residents := cp.pool.Residents(machine)
+	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:fail-reconfig", func() {
+		// The failure epoch may have ended (RepairHost) — or ended and
+		// restarted — while this closure was in flight; only the closure
+		// belonging to the current, still-active epoch may open the
+		// evacuation gate.
+		if cp.failures[machine] != f {
+			return
+		}
+		for _, id := range residents {
+			// A guest that departed or was already re-homed (a racing
+			// failure replacement) needs no reconfiguration.
+			tri, ok := cp.pool.Triangle(id)
+			if !ok || !tri.Contains(machine) {
+				continue
+			}
+			// A failure here (e.g. a guest whose every machine has crashed
+			// has no live quorum) must reach the evacuation outcome, not
+			// vanish; the gate still opens so the reconfigured guests'
+			// barriers proceed.
+			if err := cp.c.MarkReplicaDead(id, machine); err != nil {
+				f.reconfigErrs = append(f.reconfigErrs,
+					fmt.Errorf("reconfigure %q after machine %d crash: %w", id, machine, err))
+			}
+		}
+		f.reconfigured = true
+	})
+	return nil
+}
+
+// EvacuateFailedHost re-homes every resident of a crashed machine through
+// the replacement barrier, sequentially in guest-id order, starting once
+// the post-crash group reconfiguration has unwedged quiescence. onDone
+// (optional) fires with the joined errors of the moves that failed — e.g.
+// ErrNoFeasibleHost under a saturated packing, where the guest keeps
+// serving degraded on its live pair. The machine stays failed afterwards;
+// RepairHost returns it.
+func (cp *ControlPlane) EvacuateFailedHost(machine int, onDone func(error)) error {
+	if machine < 0 || machine >= cp.c.Hosts() {
+		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+	}
+	f := cp.failures[machine]
+	if f == nil {
+		return fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine)
+	}
+	if cp.draining[machine] {
+		return fmt.Errorf("%w: machine %d already evacuating", ErrControlPlane, machine)
+	}
+	cp.draining[machine] = true
+	// Reconfiguration failures surface through the evacuation outcome,
+	// joined ahead of the per-resident move errors, and are consumed on
+	// report so a documented evacuate-retry does not double-count them.
+	// With no callback they stay stored for a later retry that has one.
+	wrapped := onDone
+	if onDone != nil {
+		wrapped = func(err error) {
+			if re := errors.Join(f.reconfigErrs...); re != nil {
+				err = errors.Join(re, err)
+			}
+			f.reconfigErrs = nil
+			onDone(err)
+		}
+	}
+	cp.evacuateResidents(machine, false, func() bool { return f.reconfigured }, wrapped)
+	return nil
+}
+
+// RepairHost returns a crashed machine to service after its evacuation: the
+// (rebooted, empty) machine's capacity rejoins the placement pool and new
+// replicas may land on it — unless the operator had drained it for
+// maintenance before the crash, in which case it stays drained.
+//
+// It refuses while any resident remains (e.g. a degraded guest whose move
+// was infeasible under a saturated packing): the Failed mark is what keeps
+// the guest's dead replica — whose proposal sender is permanently closed —
+// out of quiescence checks and group reconfigurations, so reviving the
+// machine under it would re-wedge the guest. Evacuate first (retry once
+// capacity frees), then repair.
+func (cp *ControlPlane) RepairHost(machine int) error {
+	if cp.draining[machine] {
+		return fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine)
+	}
+	f := cp.failures[machine]
+	if f == nil {
+		return fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine)
+	}
+	if left := cp.pool.Residents(machine); len(left) > 0 {
+		return fmt.Errorf("%w: machine %d still hosts %v — evacuate before repairing", ErrControlPlane, machine, left)
+	}
+	if err := cp.c.ReviveMachine(machine); err != nil {
+		return err
+	}
+	delete(cp.failures, machine)
+	if f.drainedByFail {
+		return cp.pool.Undrain(machine)
+	}
+	return nil
+}
+
+// Failed reports whether machine is marked crashed.
+func (cp *ControlPlane) Failed(machine int) bool { return cp.failures[machine] != nil }

@@ -132,6 +132,10 @@ type Guest struct {
 	boots    []sim.Time
 	journal  *vmm.Journal
 	replicas []*replicaWiring
+	// view is the guest's group-view number, bumped on every group
+	// reconfiguration (deploy, replica replacement, failure reconfig) and
+	// installed into every live replica's device model in the same instant.
+	view uint64
 
 	// Baseline-mode placement and app (no replica wiring exists).
 	baselineHost int
@@ -197,6 +201,8 @@ type hostNode struct {
 
 type propMsg struct {
 	GuestID string
+	Host    string // origin host name: proposals are deduped per origin
+	View    uint64 // group-view number the proposal was made under
 	Seq     uint64
 	Virt    vtime.Virtual
 }
@@ -346,6 +352,9 @@ func (c *Cluster) Deploy(id string, hostIdx []int, factory func() guest.App) (*G
 		if i < 0 || i >= len(c.hosts) {
 			return nil, fmt.Errorf("%w: host index %d out of range", ErrCluster, i)
 		}
+		if c.hosts[i].Failed() {
+			return nil, fmt.Errorf("%w: host %d is failed — a replica placed there would be born dead", ErrCluster, i)
+		}
 	}
 	var g *Guest
 	var err error
@@ -433,8 +442,16 @@ func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest
 			return nil, err
 		}
 	}
-	c.refreshPeers(g)
 	if err := c.ingress.RegisterGuest(id, g.dom0s()); err != nil {
+		return nil, err
+	}
+	if err := c.reconcileGroups(g); err != nil {
+		// Unwind so the id stays deployable: unlike its refreshPeers
+		// predecessor, reconcileGroups is fallible.
+		for _, w := range g.replicas {
+			c.releaseReplicaWiring(id, w)
+		}
+		_ = c.ingress.UnregisterGuest(id)
 		return nil, err
 	}
 	c.guests[id] = g
@@ -493,8 +510,8 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	if err := c.net.Attach(&netsim.FuncNode{Addr: w.propSrc, Fn: func(p *netsim.Packet) { psnd.Handle(p) }}); err != nil {
 		return err
 	}
-	nd.SendProposal = func(seq uint64, v vtime.Virtual) {
-		w.psnd.Multicast("swprop", 64, propMsg{GuestID: id, Seq: seq, Virt: v})
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {
+		w.psnd.Multicast("swprop", 64, propMsg{GuestID: id, Host: w.hostName, View: view, Seq: seq, Virt: v})
 	}
 	// Journal every resolved delivery — the determinism log replica
 	// replacement replays (identical at every replica; first write wins).
@@ -553,22 +570,52 @@ func (g *Guest) dom0s() []netsim.Addr {
 	return out
 }
 
-// refreshPeers recomputes every replica's peer list and repoints its
-// proposal multicast group — after deployment and after each replacement.
-func (c *Cluster) refreshPeers(g *Guest) {
-	addrs := g.dom0s()
-	for k, w := range g.replicas {
-		peers := make([]netsim.Addr, 0, len(addrs)-1)
-		for kk, a := range addrs {
-			if kk != k {
+// reconcileGroups recomputes guest g's whole group configuration from the
+// current liveness of its replicas' machines (vmm.Host.Failed): every live
+// replica's pacing peer list, proposal multicast group and device-model
+// live view (under a freshly bumped view number, installed in all live
+// members within this one simulated instant), plus the ingress replication
+// group. Deployment, replica replacement and dead-machine reconfiguration
+// all go through it, so a replacement that overlaps an unevacuated failure
+// cannot resurrect a dead member into the group.
+func (c *Cluster) reconcileGroups(g *Guest) error {
+	liveNames := make([]string, 0, len(g.replicas))
+	liveDom0s := make([]netsim.Addr, 0, len(g.replicas))
+	var deadNames []string
+	for _, w := range g.replicas {
+		if c.hosts[w.hostIdx].Failed() {
+			deadNames = append(deadNames, w.hostName)
+			continue
+		}
+		liveNames = append(liveNames, w.hostName)
+		liveDom0s = append(liveDom0s, w.dom0)
+	}
+	if len(liveDom0s) == 0 {
+		return fmt.Errorf("%w: guest %q has no live replicas", ErrCluster, g.ID)
+	}
+	g.view++
+	for _, w := range g.replicas {
+		if c.hosts[w.hostIdx].Failed() {
+			continue
+		}
+		peers := make([]netsim.Addr, 0, len(liveDom0s)-1)
+		for _, a := range liveDom0s {
+			if a != w.dom0 {
 				peers = append(peers, a)
 			}
 		}
 		w.peers = peers
-		if len(peers) > 0 {
-			_ = w.psnd.SetGroup(peers)
+		// An empty peer set (sole survivor) silences the sender — its SPM
+		// heartbeats must not keep reaching dead or repaired machines.
+		_ = w.psnd.SetGroup(peers)
+		for _, d := range deadNames {
+			w.rt.DropPeer(d)
 		}
+		// Install the live view last: it re-proposes pending sequences
+		// through the freshly repointed multicast group.
+		w.nd.SetLiveReplicas(g.view, liveNames)
 	}
+	return c.ingress.UpdateGroup(g.ID, liveDom0s)
 }
 
 // startGuest boots one guest's runtimes.
@@ -631,6 +678,9 @@ func ServiceAddr(guestID string) netsim.Addr { return gateway.ServiceAddr(guestI
 
 // deliver handles unicast packets to the Dom0 node.
 func (hn *hostNode) deliver(p *netsim.Packet) {
+	if hn.host.Failed() {
+		return // a dead machine's fabric endpoint is silent
+	}
 	if hn.mrx.Handle(p) {
 		return
 	}
@@ -660,6 +710,9 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 // onMulticastData dispatches reliable-multicast payloads: ingress streams
 // ("ingress/<guest>") and peer proposals ("prop:<host>/<guest>").
 func (hn *hostNode) onMulticastData(src netsim.Addr, seq uint64, kind string, payload any) {
+	if hn.host.Failed() {
+		return
+	}
 	switch kind {
 	case "swin":
 		msg, ok := payload.(gateway.InboundMsg)
@@ -676,7 +729,7 @@ func (hn *hostNode) onMulticastData(src netsim.Addr, seq uint64, kind string, pa
 			return
 		}
 		if nd, ok := hn.netdevs[msg.GuestID]; ok {
-			nd.HandlePeerProposal(msg.Seq, msg.Virt)
+			nd.HandlePeerProposal(msg.Host, msg.View, msg.Seq, msg.Virt)
 		}
 	}
 }

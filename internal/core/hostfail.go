@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the crashed-machine failure domain (Sec. VII: "the state of
+// the crashed VM can be recovered from the other two replicas"). A planned
+// drain keeps the machine's VMM proposing (footnote-4 regime); a crash does
+// not — the dead device models would stall every co-resident guest's
+// 3-proposal median forever. FailMachine models the crash instant;
+// MarkReplicaDead installs the degraded live-group view that lets the
+// survivors resolve on the live quorum until the control plane repairs
+// membership through the ordinary replacement barrier.
+
+// GuestIDs returns the deployed guest ids in sorted order — the
+// deterministic iteration order for whole-machine operations.
+func (c *Cluster) GuestIDs() []string {
+	ids := make([]string, 0, len(c.guests))
+	for id := range c.guests {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// FailMachine models machine m's VMM dying at the current instant: every
+// resident replica's guest execution halts, its proposal sender closes (a
+// dead VMM neither proposes nor repairs), and the machine's fabric endpoint
+// goes silent. The replica wirings stay in place — replacement needs the
+// slots — and the surviving replicas keep running against the full group
+// view until MarkReplicaDead reconfigures them (callers wait a settle
+// window first so the dead VMM's in-flight proposals land everywhere and
+// every replica sees identical proposal sets).
+func (c *Cluster) FailMachine(m int) error {
+	if m < 0 || m >= len(c.hosts) {
+		return fmt.Errorf("%w: machine %d out of range", ErrCluster, m)
+	}
+	h := c.hosts[m]
+	if h.Failed() {
+		return fmt.Errorf("%w: machine %d already failed", ErrCluster, m)
+	}
+	h.Fail()
+	for _, id := range c.GuestIDs() {
+		g := c.guests[id]
+		if g.Baseline != nil {
+			if g.baselineHost == m {
+				g.Baseline.Stop()
+			}
+			continue
+		}
+		if slot, on := g.SlotOnHost(m); on {
+			w := g.replicas[slot]
+			w.rt.Stop()
+			w.psnd.Close()
+		}
+	}
+	return nil
+}
+
+// MarkReplicaDead reconfigures guest id's group after its replica's machine
+// (deadHost, already failed via FailMachine) died: the survivors' proposal
+// multicast groups, pacing peer lists and device live views drop the dead
+// member, and the ingress stops replicating to it. Pending delivery
+// proposals are re-proposed among the live members and resolve on the live
+// quorum, so the guest's inbound path is unwedged; the dead replica's own
+// wiring is left for the replacement barrier to tear down.
+//
+// Call it one settle window after FailMachine: the degraded view is only
+// deterministic once the dead VMM's in-flight proposals have landed at
+// every survivor (guaranteed on a loss-free fabric; with loss, repair must
+// have completed before the sender died).
+func (c *Cluster) MarkReplicaDead(id string, deadHost int) error {
+	g, ok := c.guests[id]
+	if !ok {
+		return fmt.Errorf("%w: guest %q not deployed", ErrCluster, id)
+	}
+	if g.Baseline != nil {
+		return fmt.Errorf("%w: baseline guests have no replica groups", ErrCluster)
+	}
+	if deadHost < 0 || deadHost >= len(c.hosts) {
+		return fmt.Errorf("%w: machine %d out of range", ErrCluster, deadHost)
+	}
+	if !c.hosts[deadHost].Failed() {
+		return fmt.Errorf("%w: machine %d is not failed", ErrCluster, deadHost)
+	}
+	if _, on := g.SlotOnHost(deadHost); !on {
+		return fmt.Errorf("%w: guest %q has no replica on host %d", ErrCluster, id, deadHost)
+	}
+	return c.reconcileGroups(g)
+}
+
+// ReviveMachine clears a failed machine's mark after repair: the machine
+// rejoins the cloud empty (its residents were evacuated or replaced) and
+// can host new replicas again.
+func (c *Cluster) ReviveMachine(m int) error {
+	if m < 0 || m >= len(c.hosts) {
+		return fmt.Errorf("%w: machine %d out of range", ErrCluster, m)
+	}
+	if !c.hosts[m].Failed() {
+		return fmt.Errorf("%w: machine %d is not failed", ErrCluster, m)
+	}
+	c.hosts[m].Revive()
+	return nil
+}

@@ -60,15 +60,20 @@ func (c *Cluster) releaseReplicaWiring(id string, w *replicaWiring) {
 	hn.mrx.Forget(c.ingress.SourceAddr(id))
 }
 
-// GuestQuiescent reports whether every replica's device model has resolved
-// all inbound packets — the barrier replica replacement requires. Pause the
-// guest's ingress stream and wait a network-drain interval to reach it.
+// GuestQuiescent reports whether every live replica's device model has
+// resolved all inbound packets — the barrier replica replacement requires.
+// Pause the guest's ingress stream and wait a network-drain interval to
+// reach it. Replicas on failed (VMM-dead) machines are excluded: their
+// device models resolve nothing and are torn down wholesale at switchover.
 func (c *Cluster) GuestQuiescent(id string) bool {
 	g, ok := c.guests[id]
 	if !ok || g.Baseline != nil {
 		return false
 	}
 	for _, w := range g.replicas {
+		if c.hosts[w.hostIdx].Failed() {
+			continue
+		}
 		if w.nd.Pending() > 0 {
 			return false
 		}
@@ -101,6 +106,9 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	}
 	if newHost < 0 || newHost >= len(c.hosts) {
 		return fmt.Errorf("%w: host index %d out of range", ErrCluster, newHost)
+	}
+	if c.hosts[newHost].Failed() {
+		return fmt.Errorf("%w: host %d is failed — a replica placed there would be born dead", ErrCluster, newHost)
 	}
 	slot := -1
 	for k, w := range g.replicas {
@@ -173,13 +181,15 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	}
 	hnNew.mrx.Prime(c.ingress.SourceAddr(id), next)
 	fresh := g.replicas[slot]
+	// The fresh device must not treat the stream's history — resolved by
+	// its predecessors and replayed from the journal — as forever-pending.
+	fresh.nd.PrimeResolved(next - 1)
 	for _, w := range survivors {
 		hnNew.mrx.Prime(w.propSrc, w.psnd.NextSeq())
 		c.hostNodes[w.hostIdx].mrx.Forget(fresh.propSrc)
 	}
 
-	c.refreshPeers(g)
-	if err := c.ingress.UpdateGroup(id, g.dom0s()); err != nil {
+	if err := c.reconcileGroups(g); err != nil {
 		return err
 	}
 	// Free the crash window's forwarded output groups: for sequences up to

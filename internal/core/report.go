@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -41,12 +40,7 @@ type Report struct {
 // Report collects the current run summary.
 func (c *Cluster) Report() Report {
 	r := Report{Mode: c.cfg.Mode}
-	ids := make([]string, 0, len(c.guests))
-	for id := range c.guests {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range c.GuestIDs() {
 		g := c.guests[id]
 		gr := GuestReport{ID: id}
 		if g.Baseline != nil {

@@ -166,6 +166,17 @@ func (in *Ingress) NextSeq(guestID string) (uint64, error) {
 	return snd.NextSeq(), nil
 }
 
+// Group returns the guest's current replication group (replica Dom0
+// addresses) — the membership audit for group reconfiguration: a dead
+// machine's Dom0 must leave the group, a replacement's must join it.
+func (in *Ingress) Group(guestID string) ([]netsim.Addr, error) {
+	snd, ok := in.senders[guestID]
+	if !ok {
+		return nil, fmt.Errorf("%w: guest %q not registered", ErrGateway, guestID)
+	}
+	return snd.Group(), nil
+}
+
 // UnregisterGuest tears down a guest's ingress wiring: the public service
 // address and the stream source detach from the fabric, and buffered
 // paused traffic is dropped. The guest id becomes reusable.

@@ -147,11 +147,12 @@ func (s *Sender) armSPM() {
 // SetGroup replaces the receiver group — membership reconfiguration when a
 // replica is re-homed. Future data, SPMs and repairs go to the new group;
 // a joining member must be primed (Receiver.Prime) with NextSeq so it does
-// not NAK history from before it joined.
+// not NAK history from before it joined. An empty group is allowed and
+// silences the sender (a sole-survivor replica has no peers left): nothing
+// is transmitted — not even SPM heartbeats, which would otherwise resurrect
+// receiver stream state on departed or repaired members — until a later
+// SetGroup restores receivers.
 func (s *Sender) SetGroup(group []netsim.Addr) error {
-	if len(group) == 0 {
-		return fmt.Errorf("%w: empty group", ErrMulticast)
-	}
 	s.cfg.Group = append([]netsim.Addr(nil), group...)
 	return nil
 }
@@ -159,6 +160,15 @@ func (s *Sender) SetGroup(group []netsim.Addr) error {
 // NextSeq returns the sequence number the next Multicast call will use.
 // New group members prime their receiver state with it.
 func (s *Sender) NextSeq() uint64 { return s.seq + 1 }
+
+// Group returns a copy of the current receiver group — the membership
+// audits group reconfiguration (drain, crash) relies on.
+func (s *Sender) Group() []netsim.Addr {
+	return append([]netsim.Addr(nil), s.cfg.Group...)
+}
+
+// Closed reports whether the sender has been retired.
+func (s *Sender) Closed() bool { return s.closed }
 
 // Close retires the sender: no further data, repairs, or SPM heartbeats
 // (the pending one, if armed, becomes a no-op). Teardown paths must call

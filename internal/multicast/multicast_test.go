@@ -84,6 +84,58 @@ func TestLosslessDelivery(t *testing.T) {
 	}
 }
 
+// TestSetGroupEmptySilencesSender covers the sole-survivor reconfiguration:
+// an empty group silences the sender (no data, no SPM heartbeats that
+// would resurrect stream state on departed members) without closing it —
+// a later SetGroup restores delivery to primed receivers, and only Close
+// retires the sender for good.
+func TestSetGroupEmptySilencesSender(t *testing.T) {
+	loop, snd, members := buildGroup(t, 0, 21)
+	snd.Multicast("msg", 64, "one")
+	if err := loop.RunUntil(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.SetGroup(nil); err != nil {
+		t.Fatalf("empty group rejected: %v", err)
+	}
+	if seq := snd.Multicast("msg", 64, "two"); seq != 2 {
+		t.Fatalf("silenced sender still numbers messages: seq=%d", seq)
+	}
+	if err := loop.RunUntil(500 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		if len(m.got) != 1 {
+			t.Fatalf("%s heard %d messages from a silenced sender", m.addr, len(m.got))
+		}
+	}
+	if snd.Closed() {
+		t.Fatal("silenced sender reports closed")
+	}
+	// One member returns, primed at the current sequence.
+	if err := snd.SetGroup([]netsim.Addr{members[0].addr}); err != nil {
+		t.Fatal(err)
+	}
+	members[0].rx.Prime("ingress", snd.NextSeq())
+	snd.Multicast("msg", 64, "three")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(members[0].got) != 2 || len(members[1].got) != 1 {
+		t.Fatalf("restored group delivery wrong: %d/%d", len(members[0].got), len(members[1].got))
+	}
+	if got := len(snd.Group()); got != 1 {
+		t.Fatalf("Group() reports %d members", got)
+	}
+	snd.Close()
+	if !snd.Closed() {
+		t.Fatal("closed sender reports open")
+	}
+	if seq := snd.Multicast("msg", 64, "four"); seq != 0 {
+		t.Fatalf("closed sender accepted a message: seq=%d", seq)
+	}
+}
+
 func TestLossRecovery(t *testing.T) {
 	loop, snd, members := buildGroup(t, 0.2, 7)
 	const n = 200

@@ -22,6 +22,13 @@ var ErrPlacement = errors.New("placement: invalid")
 // Triangle is one guest VM's replica placement: three distinct machines.
 type Triangle [3]int
 
+// Contains reports whether machine v is one of the triangle's vertices —
+// the residency test lifecycle operations (replacement validation, drain
+// and crash evacuation) share.
+func (t Triangle) Contains(v int) bool {
+	return t[0] == v || t[1] == v || t[2] == v
+}
+
 // normalize returns the triangle with sorted vertices.
 func (t Triangle) normalize() Triangle {
 	a, b, c := t[0], t[1], t[2]

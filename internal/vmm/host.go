@@ -35,6 +35,10 @@ type Host struct {
 	// ioInFlight counts device-model work in progress (packets being
 	// processed, disk requests outstanding) across all residents.
 	ioInFlight int
+
+	// failed marks a machine whose VMM died: its device models process
+	// nothing and its fabric endpoint goes silent until Revive.
+	failed bool
 }
 
 // NewHost creates a host.
@@ -59,6 +63,18 @@ func (h *Host) Loop() *sim.Loop { return h.loop }
 
 // Config returns the host configuration.
 func (h *Host) Config() Config { return h.cfg }
+
+// Fail marks the machine's VMM dead: the whole-machine failure domain. The
+// cluster stops the resident runtimes and silences the host's fabric
+// endpoint; the flag is what device models and liveness checks consult.
+func (h *Host) Fail() { h.failed = true }
+
+// Failed reports whether the machine's VMM is dead.
+func (h *Host) Failed() bool { return h.failed }
+
+// Revive clears the failed mark after repair — the machine rejoins the
+// cloud empty (its previous residents were evacuated or torn down).
+func (h *Host) Revive() { h.failed = false }
 
 // register adds a CPU consumer (called by runtimes at construction).
 func (h *Host) register(c cpuConsumer) {

@@ -50,11 +50,12 @@ func TestReplicaLockstepProperty(t *testing.T) {
 		}
 		for i := range nds {
 			i := i
-			nds[i].SendProposal = func(seq uint64, v vtime.Virtual) {
+			origin := rts[i].Host().Name()
+			nds[i].SendProposal = func(view, seq uint64, v vtime.Virtual) {
 				for j := range nds {
 					if j != i {
 						j := j
-						loop.After(400*sim.Microsecond, "prop", func() { nds[j].HandlePeerProposal(seq, v) })
+						loop.After(400*sim.Microsecond, "prop", func() { nds[j].HandlePeerProposal(origin, view, seq, v) })
 					}
 				}
 			}

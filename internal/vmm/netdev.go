@@ -2,9 +2,11 @@ package vmm
 
 import (
 	"fmt"
+	"sort"
 
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
 	"stopwatch/internal/vtime"
 )
 
@@ -25,18 +27,53 @@ const (
 // (Fig. 3): it buffers inbound packets hidden from the guest, forms a
 // proposed delivery time virt_lastexit+Δn, exchanges proposals with the
 // peer replicas' device models, and hands the median to the runtime.
+//
+// The device carries a live-group view (SetLiveReplicas) so a machine whose
+// VMM died does not stall the median forever: when the cluster reconfigures
+// the group, pending sequences are re-proposed among the live members and
+// resolve on the live set (upper median for the degraded even counts), and
+// proposals from dead members or earlier views are discarded. Each view
+// change is identified by a monotonically increasing view number that the
+// cluster installs in every live member in the same simulated instant, so
+// the re-proposal round stays deterministic across replicas.
 type NetDevice struct {
 	rt       *Runtime
-	replicas int // total replica count (3, or 5 for the Sec. IX ablation)
+	replicas int    // total replica count (3, or 5 for the Sec. IX ablation)
+	self     string // this replica's origin (host name) in the proposal map
 
 	// Policy defaults to PolicyMedian.
 	Policy DeliveryPolicy
 
 	props map[uint64]*propState
 
+	// live, when non-nil, is the group view: the origins (host names,
+	// this replica's own included) currently believed alive. nil means the
+	// full group of `replicas` members is assumed live.
+	live map[string]bool
+	// view is the group-view number proposals are exchanged under; it only
+	// moves via SetLiveReplicas and must match across live members.
+	view uint64
+
+	// Resolved-sequence watermark: every seq <= resolvedLo has resolved
+	// (or predates this device's join); resolvedHi holds resolved seqs
+	// above the watermark awaiting compaction. Straggler proposals for
+	// resolved seqs are dropped instead of resurrecting a propState that
+	// could never resolve and would wedge quiescence forever.
+	resolvedLo uint64
+	resolvedHi map[uint64]bool
+
+	// ProposalDeadline, when positive, arms a host-loop timer per proposed
+	// sequence; OnStall fires if the sequence has not resolved by then —
+	// the hook a failure detector uses to notice a dead peer VMM. Disabled
+	// (zero) by default.
+	ProposalDeadline sim.Time
+	// OnStall observes sequences that missed their proposal deadline.
+	OnStall func(seq uint64)
+
 	// SendProposal transmits this replica's proposal for an ingress
-	// sequence number to the peer device models (wired by the cluster).
-	SendProposal func(seq uint64, v vtime.Virtual)
+	// sequence number, under the given group view, to the peer device
+	// models (wired by the cluster).
+	SendProposal func(view, seq uint64, v vtime.Virtual)
 	// OnPropose observes this replica's own proposals (experiments).
 	OnPropose func(seq uint64, v vtime.Virtual)
 	// OnResolve observes each resolved delivery decision — the cluster
@@ -46,14 +83,20 @@ type NetDevice struct {
 
 	proposed uint64
 	resolved uint64
+
+	staleDrops uint64 // proposals for already-resolved seqs
+	dupDrops   uint64 // second proposal from one origin for one seq
+	viewDrops  uint64 // proposals from an earlier view or a dead origin
 }
 
+// propState accumulates one sequence's proposals, keyed by origin so a
+// duplicated or replayed proposal from one peer can never displace (or
+// stand in for) another's.
 type propState struct {
-	payload  *guest.Payload
-	proposal []vtime.Virtual
-	own      bool
-	ownVirt  vtime.Virtual
-	done     bool
+	payload *guest.Payload
+	props   map[string]vtime.Virtual
+	own     bool
+	ownVirt vtime.Virtual
 }
 
 // NewNetDevice builds the device model for a runtime participating in a
@@ -66,10 +109,12 @@ func NewNetDevice(rt *Runtime, replicas int) (*NetDevice, error) {
 		return nil, fmt.Errorf("%w: replica count %d must be odd", ErrVMM, replicas)
 	}
 	return &NetDevice{
-		rt:       rt,
-		replicas: replicas,
-		Policy:   PolicyMedian,
-		props:    make(map[uint64]*propState),
+		rt:         rt,
+		replicas:   replicas,
+		self:       rt.Host().Name(),
+		Policy:     PolicyMedian,
+		props:      make(map[uint64]*propState),
+		resolvedHi: make(map[uint64]bool),
 	}, nil
 }
 
@@ -78,9 +123,20 @@ func NewNetDevice(rt *Runtime, replicas int) (*NetDevice, error) {
 // time as of its last VM exit, adds Δn, and multicasts the proposal.
 func (nd *NetDevice) HandleInbound(seq uint64, p guest.Payload) {
 	host := nd.rt.Host()
+	if host.Failed() {
+		return // a dead VMM's device model processes nothing
+	}
+	if nd.isResolved(seq) {
+		nd.staleDrops++
+		return
+	}
 	host.ioBegin()
 	host.Loop().After(host.ioDelay(), "netdev:process", func() {
 		host.ioEnd()
+		if nd.isResolved(seq) {
+			nd.staleDrops++
+			return
+		}
 		st := nd.state(seq)
 		if st.payload == nil {
 			cp := p
@@ -88,39 +144,104 @@ func (nd *NetDevice) HandleInbound(seq uint64, p guest.Payload) {
 		}
 		if !st.own {
 			st.own = true
-			prop := nd.rt.VirtAtLastExit() + nd.rt.cfg.DeltaN
-			st.ownVirt = prop
-			st.proposal = append(st.proposal, prop)
-			nd.proposed++
-			if nd.OnPropose != nil {
-				nd.OnPropose(seq, prop)
-			}
-			if nd.SendProposal != nil {
-				nd.SendProposal(seq, prop)
-			}
+			nd.propose(seq, st)
 		}
 		nd.maybeResolve(seq, st)
 	})
 }
 
-// HandlePeerProposal records a proposal from a peer replica's device model.
-func (nd *NetDevice) HandlePeerProposal(seq uint64, v vtime.Virtual) {
+// propose forms this replica's delivery-time proposal for seq at the current
+// virtual time and sends it to the peers under the current view.
+func (nd *NetDevice) propose(seq uint64, st *propState) {
+	prop := nd.rt.VirtAtLastExit() + nd.rt.cfg.DeltaN
+	st.ownVirt = prop
+	st.props[nd.self] = prop
+	nd.proposed++
+	if nd.OnPropose != nil {
+		nd.OnPropose(seq, prop)
+	}
+	if nd.SendProposal != nil {
+		nd.SendProposal(nd.view, seq, prop)
+	}
+	nd.armDeadline(seq)
+}
+
+// HandlePeerProposal records a proposal from the peer device model on host
+// `origin` under group view `view`. Stragglers for already-resolved
+// sequences, duplicates from one origin, and proposals from dead members or
+// stale views are dropped.
+func (nd *NetDevice) HandlePeerProposal(origin string, view, seq uint64, v vtime.Virtual) {
+	if nd.isResolved(seq) {
+		nd.staleDrops++
+		return
+	}
+	if view != nd.view || (nd.live != nil && !nd.live[origin]) {
+		nd.viewDrops++
+		return
+	}
 	st := nd.state(seq)
-	st.proposal = append(st.proposal, v)
+	if _, dup := st.props[origin]; dup {
+		nd.dupDrops++
+		return
+	}
+	st.props[origin] = v
 	nd.maybeResolve(seq, st)
+}
+
+// SetLiveReplicas installs a new group view: `origins` are the host names
+// currently believed alive (this replica's own host included), `view` the
+// group-synchronized view number. Every pending sequence is re-proposed
+// from scratch under the new view — the proposals of the previous view are
+// discarded wholesale, so all live members resolve each sequence from the
+// same proposal multiset, and the fresh Δn offset keeps the agreed delivery
+// time in every live replica's future (no synchrony divergence from the
+// stall window). The cluster must install the same (view, origins) in every
+// live member within one simulated instant.
+func (nd *NetDevice) SetLiveReplicas(view uint64, origins []string) {
+	live := make(map[string]bool, len(origins))
+	for _, o := range origins {
+		live[o] = true
+	}
+	nd.live = live
+	nd.view = view
+	seqs := make([]uint64, 0, len(nd.props))
+	for seq := range nd.props {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		st := nd.props[seq]
+		st.props = make(map[string]vtime.Virtual)
+		if st.own {
+			nd.propose(seq, st)
+		}
+		nd.maybeResolve(seq, st)
+	}
+}
+
+// View returns the current group-view number.
+func (nd *NetDevice) View() uint64 { return nd.view }
+
+// liveCount returns the proposal count a resolution needs: the live-set
+// size under an installed view, the full group otherwise.
+func (nd *NetDevice) liveCount() int {
+	if nd.live != nil {
+		return len(nd.live)
+	}
+	return nd.replicas
 }
 
 func (nd *NetDevice) state(seq uint64) *propState {
 	st, ok := nd.props[seq]
 	if !ok {
-		st = &propState{}
+		st = &propState{props: make(map[string]vtime.Virtual)}
 		nd.props[seq] = st
 	}
 	return st
 }
 
 func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
-	if st.done || st.payload == nil || !st.own {
+	if st.payload == nil || !st.own {
 		return
 	}
 	var deliver vtime.Virtual
@@ -129,22 +250,78 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 		// Prior-work ablation: the local replica dictates its own timing.
 		deliver = st.ownVirt
 	default:
-		if len(st.proposal) < nd.replicas {
+		if len(st.props) < nd.liveCount() {
 			return
 		}
-		med, err := MedianVirtual(st.proposal[:nd.replicas])
-		if err != nil {
-			return
+		vs := make([]vtime.Virtual, 0, len(st.props))
+		for _, v := range st.props {
+			vs = append(vs, v)
 		}
-		deliver = med
+		deliver = GroupMedian(vs)
 	}
-	st.done = true
 	nd.resolved++
+	nd.markResolved(seq)
+	delete(nd.props, seq)
 	if nd.OnResolve != nil {
 		nd.OnResolve(seq, deliver, *st.payload)
 	}
 	nd.rt.EnqueueNetDelivery(seq, deliver, *st.payload)
-	delete(nd.props, seq)
+}
+
+// markResolved records seq as resolved, compacting into the watermark.
+func (nd *NetDevice) markResolved(seq uint64) {
+	switch {
+	case seq == nd.resolvedLo+1:
+		nd.resolvedLo++
+		for nd.resolvedHi[nd.resolvedLo+1] {
+			nd.resolvedLo++
+			delete(nd.resolvedHi, nd.resolvedLo)
+		}
+	case seq > nd.resolvedLo:
+		nd.resolvedHi[seq] = true
+	}
+}
+
+// isResolved reports whether seq has already resolved (or predates this
+// device's join point).
+func (nd *NetDevice) isResolved(seq uint64) bool {
+	return seq <= nd.resolvedLo || nd.resolvedHi[seq]
+}
+
+// PrimeResolved declares every sequence <= seq already handled — how a
+// replacement replica's device joins an in-progress ingress stream without
+// treating the stream's history (resolved by its predecessors and replayed
+// from the journal) as forever-pending.
+func (nd *NetDevice) PrimeResolved(seq uint64) {
+	if seq > nd.resolvedLo {
+		nd.resolvedLo = seq
+	}
+	for s := range nd.resolvedHi {
+		if s <= nd.resolvedLo {
+			delete(nd.resolvedHi, s)
+		}
+	}
+	for nd.resolvedHi[nd.resolvedLo+1] {
+		nd.resolvedLo++
+		delete(nd.resolvedHi, nd.resolvedLo)
+	}
+	for s := range nd.props {
+		if s <= nd.resolvedLo {
+			delete(nd.props, s)
+		}
+	}
+}
+
+// armDeadline schedules the per-seq proposal deadline on the host loop.
+func (nd *NetDevice) armDeadline(seq uint64) {
+	if nd.ProposalDeadline <= 0 {
+		return
+	}
+	nd.rt.Host().Loop().After(nd.ProposalDeadline, "netdev:deadline", func() {
+		if !nd.isResolved(seq) && nd.OnStall != nil {
+			nd.OnStall(seq)
+		}
+	})
 }
 
 // Pending returns the number of unresolved inbound packets (tests).
@@ -155,6 +332,28 @@ func (nd *NetDevice) Proposed() uint64 { return nd.proposed }
 
 // Resolved reports how many packets reached a median decision here.
 func (nd *NetDevice) Resolved() uint64 { return nd.resolved }
+
+// StaleDrops reports proposals dropped for already-resolved sequences.
+func (nd *NetDevice) StaleDrops() uint64 { return nd.staleDrops }
+
+// DuplicateDrops reports second-proposal-per-origin drops.
+func (nd *NetDevice) DuplicateDrops() uint64 { return nd.dupDrops }
+
+// ViewDrops reports stale-view and dead-origin proposal drops.
+func (nd *NetDevice) ViewDrops() uint64 { return nd.viewDrops }
+
+// GroupMedian returns the delivery time agreed from a proposal set: the
+// median for the odd counts of a healthy group, and the upper median (the
+// later of the two middle values) for the even counts of a degraded group —
+// the deterministic 2-of-3 tie-rule, biased into the future and so away
+// from synchrony violations. It panics on an empty set; callers guarantee
+// at least the local proposal is present.
+func GroupMedian(vs []vtime.Virtual) vtime.Virtual {
+	s := make([]vtime.Virtual, len(vs))
+	copy(s, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
 
 // EgressMsg is the tunnelled form of a guest output packet, sent by each
 // replica's device model to the egress node (Sec. VI).

@@ -1,0 +1,218 @@
+package vmm
+
+import (
+	"testing"
+
+	"stopwatch/internal/guest"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// Regression tests for the NetDevice group protocol: the resolved-seq
+// watermark (late stragglers must not resurrect a propState and wedge
+// quiescence), per-origin proposal dedupe (a duplicated proposal must not
+// displace another peer's), the live-group view (2-of-3 resolution after a
+// VMM death, with deterministic re-proposal), and the per-seq proposal
+// deadline (the failure-detector hook).
+
+func groupTestDevice(t *testing.T, seed uint64) (*sim.Loop, *Runtime, *NetDevice) {
+	t.Helper()
+	loop := sim.NewLoop()
+	src := sim.NewSource(seed)
+	h := testHost(t, "A", loop, src, 0, 0)
+	rt, err := NewRuntime(h, "g", &recordApp{}, []sim.Time{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.OnSend = func(a guest.IOAction) {}
+	nd, err := NewNetDevice(rt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
+	return loop, rt, nd
+}
+
+// TestLateProposalAfterResolveIsDropped is the quiescence-leak regression:
+// a straggler proposal arriving after maybeResolve has retired the seq used
+// to re-create an unresolvable propState, pinning Pending() above zero
+// forever and wedging every later replacement barrier for the guest.
+func TestLateProposalAfterResolveIsDropped(t *testing.T) {
+	loop, rt, nd := groupTestDevice(t, 71)
+	delivered := 0
+	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) { delivered++ }
+	rt.Start()
+	loop.At(10*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
+	loop.At(15*sim.Millisecond, "peerB", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(30*sim.Millisecond)) })
+	loop.At(16*sim.Millisecond, "peerC", func() { nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(31*sim.Millisecond)) })
+	// The straggle: a duplicate retransmission of C's proposal lands long
+	// after the seq resolved.
+	loop.At(80*sim.Millisecond, "straggler", func() { nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(31*sim.Millisecond)) })
+	if err := loop.RunUntil(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 || nd.Resolved() != 1 {
+		t.Fatalf("delivered=%d resolved=%d", delivered, nd.Resolved())
+	}
+	if nd.Pending() != 0 {
+		t.Fatalf("straggler resurrected a propState: Pending()=%d", nd.Pending())
+	}
+	if nd.StaleDrops() != 1 {
+		t.Fatalf("stale drops = %d, want 1", nd.StaleDrops())
+	}
+}
+
+// TestDuplicatePeerProposalDoesNotSkewMedian pins per-origin dedupe: before
+// the fix, a peer's replayed proposal displaced the missing third proposal
+// and the median resolved early over a skewed sample.
+func TestDuplicatePeerProposalDoesNotSkewMedian(t *testing.T) {
+	loop, rt, nd := groupTestDevice(t, 73)
+	var deliveredAt []vtime.Virtual
+	rt.OnNetDeliver = func(_ uint64, v vtime.Virtual, _ sim.Time) { deliveredAt = append(deliveredAt, v) }
+	var own vtime.Virtual
+	nd.OnPropose = func(_ uint64, v vtime.Virtual) { own = v }
+	rt.Start()
+	vB := vtime.Virtual(200 * sim.Millisecond)
+	vC := vtime.Virtual(90 * sim.Millisecond)
+	loop.At(10*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
+	loop.At(15*sim.Millisecond, "peerB", func() { nd.HandlePeerProposal("B", 0, 1, vB) })
+	loop.At(16*sim.Millisecond, "peerB-dup", func() { nd.HandlePeerProposal("B", 0, 1, vB) })
+	loop.At(40*sim.Millisecond, "check", func() {
+		if len(deliveredAt) != 0 {
+			t.Errorf("resolved on a duplicated proposal: %v", deliveredAt)
+		}
+	})
+	loop.At(50*sim.Millisecond, "peerC", func() { nd.HandlePeerProposal("C", 0, 1, vC) })
+	if err := loop.RunUntil(400 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if nd.DuplicateDrops() != 1 {
+		t.Fatalf("duplicate drops = %d, want 1", nd.DuplicateDrops())
+	}
+	if len(deliveredAt) != 1 {
+		t.Fatalf("delivered %d packets", len(deliveredAt))
+	}
+	want := GroupMedian([]vtime.Virtual{own, vB, vC})
+	if deliveredAt[0] != want {
+		t.Fatalf("delivered at %v, want true 3-way median %v (own=%v)", deliveredAt[0], want, own)
+	}
+}
+
+// TestSetLiveReplicasResolvesTwoOfThree exercises the degraded regime: a
+// seq stalls because peer C's VMM died before proposing; installing the
+// live view re-proposes among the live pair under the new view number and
+// resolves on their upper median, while C's straggling old-view proposal
+// is discarded.
+func TestSetLiveReplicasResolvesTwoOfThree(t *testing.T) {
+	loop, rt, nd := groupTestDevice(t, 75)
+	var deliveredAt []vtime.Virtual
+	rt.OnNetDeliver = func(_ uint64, v vtime.Virtual, _ sim.Time) { deliveredAt = append(deliveredAt, v) }
+	var reProposed []vtime.Virtual
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {
+		if view == 1 {
+			reProposed = append(reProposed, v)
+		}
+	}
+	rt.Start()
+	loop.At(10*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
+	loop.At(15*sim.Millisecond, "peerB", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(30*sim.Millisecond)) })
+	// C is dead; the group is reconfigured onto {A, B} at view 1.
+	vB2 := vtime.Virtual(500 * sim.Millisecond)
+	loop.At(60*sim.Millisecond, "mark", func() {
+		if nd.Pending() != 1 {
+			t.Errorf("seq should be stalled pre-reconfig, Pending()=%d", nd.Pending())
+		}
+		nd.SetLiveReplicas(1, []string{"A", "B"})
+		if len(reProposed) != 1 {
+			t.Errorf("pending seq not re-proposed under the new view: %v", reProposed)
+		}
+		// C's straggling view-0 proposal lands between the reconfiguration
+		// and B's round-2 proposal: it must be dropped, not counted.
+		nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(31*sim.Millisecond))
+		// B's own re-proposal for the stalled seq arrives under view 1.
+		loop.After(sim.Millisecond, "peerB2", func() { nd.HandlePeerProposal("B", 1, 1, vB2) })
+	})
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveredAt) != 1 {
+		t.Fatalf("degraded pair never resolved: delivered=%d pending=%d", len(deliveredAt), nd.Pending())
+	}
+	// Upper median of {own re-proposal, vB2}: vB2 is far later, so it wins.
+	if deliveredAt[0] != vB2 {
+		t.Fatalf("delivered at %v, want upper median %v", deliveredAt[0], vB2)
+	}
+	if nd.Pending() != 0 {
+		t.Fatalf("Pending()=%d after live-set resolution", nd.Pending())
+	}
+	if nd.ViewDrops() == 0 {
+		t.Fatal("stale-view straggler was not dropped")
+	}
+}
+
+// TestGroupMedianTieRule pins the deterministic tie-rule: odd counts take
+// the true median, even (degraded) counts the upper median.
+func TestGroupMedianTieRule(t *testing.T) {
+	if m := GroupMedian([]vtime.Virtual{30, 10, 20}); m != 20 {
+		t.Fatalf("median of 3 = %v", m)
+	}
+	if m := GroupMedian([]vtime.Virtual{40, 10}); m != 40 {
+		t.Fatalf("upper median of 2 = %v, want 40", m)
+	}
+	if m := GroupMedian([]vtime.Virtual{7}); m != 7 {
+		t.Fatalf("median of 1 = %v", m)
+	}
+}
+
+// TestProposalDeadlineFiresOnStall exercises the failure-detector hook: a
+// seq that cannot resolve (a peer never proposes) trips OnStall at the
+// host-loop deadline; a resolving seq does not.
+func TestProposalDeadlineFiresOnStall(t *testing.T) {
+	loop, rt, nd := groupTestDevice(t, 77)
+	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) {}
+	nd.ProposalDeadline = 40 * sim.Millisecond
+	var stalled []uint64
+	nd.OnStall = func(seq uint64) { stalled = append(stalled, seq) }
+	rt.Start()
+	// Seq 1 resolves in time; seq 2 stalls (C never proposes for it).
+	loop.At(10*sim.Millisecond, "pkt1", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
+	loop.At(12*sim.Millisecond, "b1", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(30*sim.Millisecond)) })
+	loop.At(13*sim.Millisecond, "c1", func() { nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(31*sim.Millisecond)) })
+	loop.At(20*sim.Millisecond, "pkt2", func() { nd.HandleInbound(2, guest.Payload{Src: "c", Size: 64}) })
+	loop.At(22*sim.Millisecond, "b2", func() { nd.HandlePeerProposal("B", 0, 2, vtime.Virtual(40*sim.Millisecond)) })
+	if err := loop.RunUntil(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(stalled) != 1 || stalled[0] != 2 {
+		t.Fatalf("OnStall fired for %v, want [2]", stalled)
+	}
+}
+
+// TestPrimeResolvedDiscardsHistory: a replacement replica joining an
+// in-progress stream must treat the stream's history as handled, both for
+// already-pending states and future stragglers.
+func TestPrimeResolvedDiscardsHistory(t *testing.T) {
+	loop, rt, nd := groupTestDevice(t, 79)
+	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) {}
+	rt.Start()
+	loop.At(5*sim.Millisecond, "old", func() { nd.HandlePeerProposal("B", 0, 3, vtime.Virtual(30*sim.Millisecond)) })
+	loop.At(10*sim.Millisecond, "prime", func() {
+		if nd.Pending() != 1 {
+			t.Errorf("pre-prime pending = %d", nd.Pending())
+		}
+		nd.PrimeResolved(7)
+		if nd.Pending() != 0 {
+			t.Errorf("PrimeResolved left pending = %d", nd.Pending())
+		}
+	})
+	loop.At(20*sim.Millisecond, "straggler", func() { nd.HandlePeerProposal("C", 0, 5, vtime.Virtual(31*sim.Millisecond)) })
+	if err := loop.RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if nd.Pending() != 0 {
+		t.Fatalf("historic straggler resurrected state: Pending()=%d", nd.Pending())
+	}
+	if nd.StaleDrops() == 0 {
+		t.Fatal("historic straggler was not counted as stale")
+	}
+}

@@ -26,7 +26,7 @@ func TestPolicyOwnDeliversAtOwnProposal(t *testing.T) {
 	}
 	nd.Policy = PolicyOwn
 	sentProposals := 0
-	nd.SendProposal = func(seq uint64, v vtime.Virtual) { sentProposals++ }
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) { sentProposals++ }
 	var deliveredAt []vtime.Virtual
 	var proposed []vtime.Virtual
 	nd.OnPropose = func(seq uint64, v vtime.Virtual) { proposed = append(proposed, v) }
@@ -69,13 +69,13 @@ func TestPolicyMedianWaitsForAllProposals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.SendProposal = func(seq uint64, v vtime.Virtual) {}
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
 	delivered := 0
 	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) { delivered++ }
 	rt.Start()
 	loop.At(10*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
 	// Only one peer proposal arrives — median of 3 cannot resolve.
-	loop.At(15*sim.Millisecond, "peer1", func() { nd.HandlePeerProposal(1, vtime.Virtual(30*sim.Millisecond)) })
+	loop.At(15*sim.Millisecond, "peer1", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(30*sim.Millisecond)) })
 	if err := loop.RunUntil(100 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestPolicyMedianWaitsForAllProposals(t *testing.T) {
 		t.Fatalf("delivered=%d pending=%d before full proposal set", delivered, nd.Pending())
 	}
 	// The last proposal arrives: delivery proceeds.
-	loop.At(110*sim.Millisecond, "peer2", func() { nd.HandlePeerProposal(1, vtime.Virtual(120*sim.Millisecond)) })
+	loop.At(110*sim.Millisecond, "peer2", func() { nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(120*sim.Millisecond)) })
 	if err := loop.RunUntil(300 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +107,13 @@ func TestProposalBeforePayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.SendProposal = func(seq uint64, v vtime.Virtual) {}
+	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
 	delivered := 0
 	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) { delivered++ }
 	rt.Start()
 	// Peers propose first; local data arrives later.
-	loop.At(5*sim.Millisecond, "peer1", func() { nd.HandlePeerProposal(1, vtime.Virtual(40*sim.Millisecond)) })
-	loop.At(6*sim.Millisecond, "peer2", func() { nd.HandlePeerProposal(1, vtime.Virtual(45*sim.Millisecond)) })
+	loop.At(5*sim.Millisecond, "peer1", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(40*sim.Millisecond)) })
+	loop.At(6*sim.Millisecond, "peer2", func() { nd.HandlePeerProposal("C", 0, 1, vtime.Virtual(45*sim.Millisecond)) })
 	loop.At(20*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
 	if err := loop.RunUntil(200 * sim.Millisecond); err != nil {
 		t.Fatal(err)

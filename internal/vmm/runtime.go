@@ -339,14 +339,3 @@ func (rt *Runtime) deliverDue(virt vtime.Virtual) {
 		rt.vm.DeliverPacket(d.payload)
 	}
 }
-
-// MedianVirtual returns the median of an odd number of proposals.
-func MedianVirtual(vs []vtime.Virtual) (vtime.Virtual, error) {
-	if len(vs) == 0 || len(vs)%2 == 0 {
-		return 0, fmt.Errorf("%w: median needs an odd sample count, got %d", ErrVMM, len(vs))
-	}
-	s := make([]vtime.Virtual, len(vs))
-	copy(s, vs)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2], nil
-}

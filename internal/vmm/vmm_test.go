@@ -118,20 +118,9 @@ func TestHostDiskFIFO(t *testing.T) {
 	}
 }
 
-func TestMedianVirtual(t *testing.T) {
-	m, err := MedianVirtual([]vtime.Virtual{30, 10, 20})
-	if err != nil || m != 20 {
-		t.Fatalf("median = %v, %v", m, err)
-	}
-	m, err = MedianVirtual([]vtime.Virtual{5, 1, 9, 3, 7})
-	if err != nil || m != 5 {
-		t.Fatalf("median5 = %v, %v", m, err)
-	}
-	if _, err := MedianVirtual(nil); !errors.Is(err, ErrVMM) {
-		t.Fatal("empty median should fail")
-	}
-	if _, err := MedianVirtual([]vtime.Virtual{1, 2}); !errors.Is(err, ErrVMM) {
-		t.Fatal("even median should fail")
+func TestGroupMedianOddCounts(t *testing.T) {
+	if m := GroupMedian([]vtime.Virtual{5, 1, 9, 3, 7}); m != 5 {
+		t.Fatalf("median5 = %v", m)
 	}
 }
 
@@ -204,13 +193,14 @@ func buildReplicaSet(t *testing.T, seed uint64, app guest.App, propDelay sim.Tim
 	// Wire proposals and pacing across replicas with a fixed link delay.
 	for i := range rs.nds {
 		i := i
-		rs.nds[i].SendProposal = func(seq uint64, v vtime.Virtual) {
+		origin := rs.rts[i].Host().Name()
+		rs.nds[i].SendProposal = func(view, seq uint64, v vtime.Virtual) {
 			for j := range rs.nds {
 				if j == i {
 					continue
 				}
 				j := j
-				loop.After(propDelay, "prop", func() { rs.nds[j].HandlePeerProposal(seq, v) })
+				loop.After(propDelay, "prop", func() { rs.nds[j].HandlePeerProposal(origin, view, seq, v) })
 			}
 		}
 		rs.rts[i].OnPace = func(v vtime.Virtual) {

@@ -246,7 +246,12 @@ func NewPool(n, c int) (*Pool, error) { return placement.NewPool(n, c) }
 // and capacity to the pool, ReplaceReplica re-homes a failed replica and
 // re-syncs it into lockstep from the survivors' state, and DrainHost
 // evacuates every resident of a machine for planned maintenance
-// (UndrainHost re-admits it afterwards).
+// (UndrainHost re-admits it afterwards). Crashed machines are a separate
+// failure domain: FailHost marks a machine whose VMM died and reconfigures
+// every resident guest onto its live quorum (the degraded 2-of-3 regime, so
+// delivery medians keep resolving), EvacuateFailedHost re-homes the
+// residents through the replacement barrier, and RepairHost returns the
+// rebooted machine to the pool.
 type ControlPlane = controlplane.ControlPlane
 
 // ControlPlaneConfig tunes the orchestrator.
