@@ -4,6 +4,9 @@ package stopwatch
 // deliberately written only against the root package.
 
 import (
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -179,5 +182,75 @@ func TestPublicNFSAndParsecTypes(t *testing.T) {
 	probe := NewProbeApp()
 	if probe == nil {
 		t.Fatal("probe nil")
+	}
+}
+
+// TestPublicOperationsAPI drives the unified operations surface through the
+// façade only: typed Ops through Apply, the Watch event stream, the
+// append-only log, folded stats, and the uniform infeasibility sentinel.
+func TestPublicOperationsAPI(t *testing.T) {
+	cfg := DefaultClusterConfig()
+	cfg.Seed = 77
+	cfg.Hosts = 6
+	cloud, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewControlPlane(cloud, DefaultControlPlaneConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []OpEvent
+	cancel := cp.Watch(func(ev OpEvent) { events = append(events, ev) })
+	factory := func() App { return &benchPinger{} }
+	// 6 hosts at capacity 1 fit exactly two edge-disjoint triangles.
+	var outcomes []*Outcome
+	for i := 0; i < 3; i++ {
+		outcomes = append(outcomes, cp.Apply(AdmitOp{GuestID: fmt.Sprintf("g%d", i), Factory: factory}))
+	}
+	if outcomes[0].Err != nil || outcomes[1].Err != nil {
+		t.Fatalf("admissions failed: %v, %v", outcomes[0].Err, outcomes[1].Err)
+	}
+	if !errors.Is(outcomes[2].Err, ErrNoFeasibleHost) {
+		t.Fatalf("full pool rejection not ErrNoFeasibleHost: %v", outcomes[2].Err)
+	}
+	if outcomes[0].Guest == nil || outcomes[0].Triangle == outcomes[1].Triangle {
+		t.Fatal("admit outcomes incomplete")
+	}
+	if oc := cp.Apply(EvictOp{GuestID: "g1"}); oc.Err != nil {
+		t.Fatal(oc.Err)
+	}
+	log := cp.Log()
+	if len(log) != 4 {
+		t.Fatalf("op log has %d entries, want 4", len(log))
+	}
+	st := FoldOpStats(log)
+	if st.Admitted != 2 || st.Rejected != 1 || st.Evicted != 1 {
+		t.Fatalf("folded stats %+v", st)
+	}
+	if st != cp.Stats() {
+		t.Fatalf("Stats() %+v != fold %+v", cp.Stats(), st)
+	}
+	if FormatOpLog(log) == "" || !strings.Contains(FormatOpLog(log), "admit g0") {
+		t.Fatal("op log renders nothing")
+	}
+	// The stream saw every op start and complete; cancel stops delivery.
+	starts, ends := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case OpStarted:
+			starts++
+		case OpCompleted, OpFailed:
+			ends++
+		}
+	}
+	if starts != 4 || ends != 4 {
+		t.Fatalf("watch saw %d starts, %d completions, want 4/4", starts, ends)
+	}
+	cancel()
+	before := len(events)
+	cp.Apply(EvictOp{GuestID: "ghost"})
+	if len(events) != before {
+		t.Fatal("cancelled watcher still receiving")
 	}
 }

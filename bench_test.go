@@ -227,7 +227,7 @@ func BenchmarkChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		id := fmt.Sprintf("bench-%d", i)
 		_, _, err := cp.Admit(id, factory)
-		if errors.Is(err, ErrAdmissionRejected) {
+		if errors.Is(err, ErrNoFeasibleHost) {
 			if err = cp.Evict(resident[0]); err != nil {
 				b.Fatal(err)
 			}
@@ -244,6 +244,89 @@ func BenchmarkChurn(b *testing.B) {
 	b.ReportMetric(float64(st.Admitted), "admitted")
 	b.ReportMetric(float64(st.Evicted), "evicted")
 	b.ReportMetric(cp.Utilization(), "utilization")
+}
+
+// BenchmarkApplyAdmit measures the unified operations API's dispatch
+// overhead on the admission hot path: each iteration submits one AdmitOp
+// through Apply (op-log append, event emission, placement, full fabric
+// wiring), evicting the oldest resident first when the pool is full — the
+// same loop as BenchmarkChurn, through the typed surface.
+func BenchmarkApplyAdmit(b *testing.B) {
+	cfg := DefaultClusterConfig()
+	cfg.Hosts = 24
+	c, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := NewControlPlane(c, DefaultControlPlaneConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := func() App { return &benchPinger{} }
+	var resident []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		oc := cp.Apply(AdmitOp{GuestID: id, Factory: factory})
+		if errors.Is(oc.Err, ErrNoFeasibleHost) {
+			if evicted := cp.Apply(EvictOp{GuestID: resident[0]}); evicted.Err != nil {
+				b.Fatal(evicted.Err)
+			}
+			resident = resident[1:]
+			oc = cp.Apply(AdmitOp{GuestID: id, Factory: factory})
+		}
+		if oc.Err != nil {
+			b.Fatal(oc.Err)
+		}
+		resident = append(resident, id)
+	}
+	b.StopTimer()
+	st := FoldOpStats(cp.Log())
+	b.ReportMetric(float64(st.Admitted), "admitted")
+	b.ReportMetric(float64(len(cp.Log()))/float64(b.N), "ops-per-iter")
+}
+
+// BenchmarkWatchThroughput measures the event stream's fan-out cost: three
+// subscribers (the detector pipeline, a scenario auditor and a metrics
+// sink are the typical trio) observe every event of an admit/evict churn.
+func BenchmarkWatchThroughput(b *testing.B) {
+	cfg := DefaultClusterConfig()
+	cfg.Hosts = 24
+	c, err := NewCluster(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := NewControlPlane(c, DefaultControlPlaneConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := 0
+	for s := 0; s < 3; s++ {
+		cp.Watch(func(OpEvent) { events++ })
+	}
+	factory := func() App { return &benchPinger{} }
+	var resident []string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("bench-%d", i)
+		oc := cp.Apply(AdmitOp{GuestID: id, Factory: factory})
+		if errors.Is(oc.Err, ErrNoFeasibleHost) {
+			if evicted := cp.Apply(EvictOp{GuestID: resident[0]}); evicted.Err != nil {
+				b.Fatal(evicted.Err)
+			}
+			resident = resident[1:]
+			oc = cp.Apply(AdmitOp{GuestID: id, Factory: factory})
+		}
+		if oc.Err != nil {
+			b.Fatal(oc.Err)
+		}
+		resident = append(resident, id)
+	}
+	b.StopTimer()
+	if events == 0 {
+		b.Fatal("watchers saw nothing")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events-per-op")
 }
 
 // BenchmarkReplaceReplica measures the full Sec. VII replacement protocol

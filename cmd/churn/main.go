@@ -1,22 +1,29 @@
-// Command churn exercises the online control plane: a Poisson stream of
-// tenant arrivals, departures, injected replica failures, host maintenance
-// drains, and whole-machine crashes over tens of hosts, all in one
-// deterministic simulation. Every placement decision is re-verified for
-// edge-disjointness as it happens, failed replicas are replaced from the
-// survivors' journal, drained machines are evacuated resident by resident
-// and later re-admitted to the pool, crashed machines are reconfigured onto
-// their guests' live quorums, evacuated and repaired, and the run ends with
-// a strict lockstep audit of every surviving guest.
+// Command churn exercises the online control plane through its unified
+// operations API: a Poisson stream of tenant arrivals, departures, injected
+// replica failures, host maintenance drains, and whole-machine crashes over
+// tens of hosts, all in one deterministic simulation. Every mutation is a
+// typed Op submitted through ControlPlane.Apply; the placement invariants
+// are re-audited once per completed top-level operation, keyed off the
+// event stream; and the run ends with a strict lockstep audit of every
+// surviving guest plus a digest of the append-only operations log — byte-
+// identical across runs with the same seed.
+//
+// With -autodetect the injected machine crashes are data-plane kills only:
+// no FailHost call anywhere. The control plane's stall detector notices the
+// dead VMM through missed proposal deadlines and drives the whole
+// fail → reconfigure → evacuate pipeline itself.
 //
 // Usage:
 //
 //	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4 -drains 2 -crashes 1
+//	churn -hosts 21 -duration 15 -crashes 2 -autodetect
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"sort"
@@ -47,6 +54,7 @@ type options struct {
 	failures    int
 	drains      int
 	crashes     int
+	autodetect  bool
 	pingEvery   float64
 	seed        uint64
 }
@@ -62,6 +70,7 @@ func parse(args []string) (options, error) {
 	fs.IntVar(&o.failures, "failures", 4, "replica failures to inject")
 	fs.IntVar(&o.drains, "drains", 2, "host maintenance drains to inject (evacuate, later re-admit)")
 	fs.IntVar(&o.crashes, "crashes", 1, "whole-machine VMM crashes to inject (fail, reconfigure, evacuate, repair)")
+	fs.BoolVar(&o.autodetect, "autodetect", false, "kill crashed machines at the data plane only; the stall detector submits the FailOp")
 	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
 	if err := fs.Parse(args); err != nil {
@@ -130,6 +139,7 @@ type scenario struct {
 
 	// outcomes
 	placementViolations int
+	opsAudited          int
 	failuresInjected    int
 	replacementErrs     []error
 	prefixErrs          []error
@@ -201,6 +211,33 @@ func run(args []string, out io.Writer) error {
 		trafficEnd: sim.FromSeconds(o.duration - 2),
 		end:        sim.FromSeconds(o.duration),
 	}
+	// One placement audit per completed top-level operation, keyed off the
+	// event stream — instead of scattering Verify calls through every
+	// injection path (which used to audit the evacuate path twice). Child
+	// moves (Parent != 0) are covered by their parent's completion audit.
+	cp.Watch(func(ev controlplane.Event) {
+		if ev.Parent != 0 || (ev.Kind != controlplane.OpCompleted && ev.Kind != controlplane.OpFailed) {
+			return
+		}
+		s.opsAudited++
+		s.verify(ev.Op.String())
+	})
+	if o.autodetect {
+		// The detector turns missed proposal deadlines into FailOps and
+		// chains the evacuation; the driver only watches for the evacuation
+		// outcome (accounting + repair scheduling below).
+		if err := cp.EnableStallDetector(0); err != nil {
+			return err
+		}
+		cp.Watch(func(ev controlplane.Event) {
+			op, ok := ev.Op.(controlplane.EvacuateOp)
+			if !ok || (ev.Kind != controlplane.OpCompleted && ev.Kind != controlplane.OpFailed) {
+				return
+			}
+			oc, _ := cp.Outcome(ev.Seq)
+			s.evacuationFinished(op.Machine, oc)
+		})
+	}
 	// The clients' and beacons' counterparties.
 	if err := c.Net().Attach(&netsim.FuncNode{Addr: "churn-client", Fn: func(p *netsim.Packet) {
 		if p.Kind == "guest:data" {
@@ -267,11 +304,10 @@ func (s *scenario) arrive() {
 	factory := func() guest.App {
 		return &tenantApp{period: period, deadline: deadline, sink: "churn-sink"}
 	}
-	if _, _, err := s.cp.Admit(id, factory); err != nil {
-		return // rejection is a counted, expected outcome
+	if oc := s.cp.Apply(controlplane.AdmitOp{GuestID: id, Factory: factory}); oc.Err != nil {
+		return // rejection is a logged, expected outcome
 	}
 	s.addResident(id)
-	s.verify("admit " + id)
 	// Departure after an exponential lifetime, inside the traffic window.
 	life := s.rng.ExpDur(sim.FromSeconds(s.o.meanLife))
 	depart := s.c.Loop().Now() + life
@@ -297,13 +333,12 @@ func (s *scenario) depart(id string) {
 	if _, err := auditLockstep(g, false); err != nil {
 		s.prefixErrs = append(s.prefixErrs, err)
 	}
-	if err := s.cp.Evict(id); err != nil {
+	if oc := s.cp.Apply(controlplane.EvictOp{GuestID: id}); oc.Err != nil {
 		// Raced a lifecycle op that started this instant: retry shortly.
 		s.c.Loop().After(500*sim.Millisecond, "churn:departure", func() { s.depart(id) })
 		return
 	}
 	s.dropResident(id)
-	s.verify("evict " + id)
 }
 
 func (s *scenario) scheduleFailures() {
@@ -347,16 +382,11 @@ func (s *scenario) fail() {
 	deadHost := victim.Host()
 	victim.Runtime().Stop() // the crash
 	s.failuresInjected++
-	err := s.cp.ReplaceReplica(id, deadHost, func(err error) {
-		if err != nil {
-			s.replacementAbandoned(id, err)
-			return
+	s.cp.Apply(controlplane.ReplaceOp{GuestID: id, DeadHost: deadHost, Done: func(oc *controlplane.Outcome) {
+		if oc.Err != nil {
+			s.replacementAbandoned(id, oc.Err)
 		}
-		s.verify("replace " + id)
-	})
-	if err != nil {
-		s.replacementAbandoned(id, err)
-	}
+	}})
 }
 
 // unjoin flattens an errors.Join result into its members (or the error
@@ -399,8 +429,9 @@ func (s *scenario) scheduleDrains() {
 }
 
 // drain takes a random live machine down for maintenance: capacity out of
-// the pool, every resident evacuated through the replacement barrier, and
-// the machine re-admitted after an exponential maintenance window.
+// the pool, every resident evacuated through child ReplaceOps of one
+// DrainOp, and the machine re-admitted after an exponential maintenance
+// window.
 func (s *scenario) drain() {
 	var candidates []int
 	for m := 0; m < s.o.hosts; m++ {
@@ -414,17 +445,16 @@ func (s *scenario) drain() {
 		return
 	}
 	m := candidates[s.rng.Intn(len(candidates))]
-	affected := s.cp.Pool().Residents(m)
 	s.drainsStarted++
-	err := s.cp.DrainHost(m, func(err error) {
+	s.cp.Apply(controlplane.DrainOp{Machine: m, Done: func(oc *controlplane.Outcome) {
 		s.drainsDone++
-		if err != nil {
-			// DrainHost joins the per-resident evacuation errors: classify
+		if oc.Err != nil {
+			// The drain outcome joins the per-resident move errors: classify
 			// each member, not the join — an infeasible packing (expected,
 			// skipped; the guest serves degraded with its frozen replica
 			// excluded by frozenSlots) must not mask a genuine failure
 			// alongside it.
-			for _, sub := range unjoin(err) {
+			for _, sub := range unjoin(oc.Err) {
 				if errors.Is(sub, placement.ErrNoFeasibleHost) {
 					s.infeasible++
 				} else {
@@ -432,9 +462,8 @@ func (s *scenario) drain() {
 				}
 			}
 		}
-		s.verify(fmt.Sprintf("drain host %d", m))
 		// Evacuated guests must still be in lockstep right after the move.
-		for _, id := range affected {
+		for _, id := range oc.Guests {
 			g, ok := s.c.Guest(id)
 			if !ok {
 				continue
@@ -443,19 +472,16 @@ func (s *scenario) drain() {
 				s.prefixErrs = append(s.prefixErrs, aerr)
 			}
 		}
+		if oc.Rejected() {
+			return // capacity never left the pool; nothing to undrain
+		}
 		// Maintenance done: the machine's capacity returns to the pool.
 		s.c.Loop().After(s.rng.ExpDur(2*sim.Second), "churn:undrain", func() {
-			if err := s.cp.UndrainHost(m); err != nil {
-				s.drainErrs = append(s.drainErrs, fmt.Errorf("undrain host %d: %w", m, err))
-				return
+			if oc := s.cp.Apply(controlplane.UndrainOp{Machine: m}); oc.Err != nil {
+				s.drainErrs = append(s.drainErrs, fmt.Errorf("undrain host %d: %w", m, oc.Err))
 			}
-			s.verify(fmt.Sprintf("undrain host %d", m))
 		})
-	})
-	if err != nil {
-		s.drainsDone++
-		s.drainErrs = append(s.drainErrs, fmt.Errorf("drain host %d: %w", m, err))
-	}
+	}})
 }
 
 func (s *scenario) scheduleCrashes() {
@@ -476,10 +502,11 @@ func (s *scenario) scheduleCrashes() {
 	}
 }
 
-// crash kills a random live machine outright (its VMM dies): the control
-// plane reconfigures every resident guest onto its live quorum, evacuates
-// the residents through the replacement barrier, and the machine is
-// repaired (rejoining the pool) after an exponential reboot window.
+// crash kills a random live machine outright (its VMM dies). In scripted
+// mode the driver submits the FailOp and EvacuateOp itself; in -autodetect
+// mode the kill is data-plane only and the control plane's stall detector
+// drives the fail → reconfigure → evacuate pipeline. Either way the machine
+// is repaired (rejoining the pool) after an exponential reboot window.
 func (s *scenario) crash() {
 	// Candidates: undrained, unfailed machines with residents, none of them
 	// mid-lifecycle; prefer machines hosting >= 2 guests so the crash
@@ -487,7 +514,7 @@ func (s *scenario) crash() {
 	var candidates, rich []int
 	undrained := 0
 	for m := 0; m < s.o.hosts; m++ {
-		if s.cp.Pool().Drained(m) || s.cp.Failed(m) {
+		if s.cp.Pool().Drained(m) || s.cp.Failed(m) || s.c.Host(m).Failed() {
 			continue
 		}
 		undrained++
@@ -520,58 +547,72 @@ func (s *scenario) crash() {
 		pick = rich
 	}
 	m := pick[s.rng.Intn(len(pick))]
-	affected := s.cp.Pool().Residents(m)
 	s.crashesStarted++
-	if err := s.cp.FailHost(m); err != nil {
-		s.crashesDone++
-		s.crashErrs = append(s.crashErrs, fmt.Errorf("fail host %d: %w", m, err))
+	if s.o.autodetect {
+		// Data-plane kill only: no FailOp is scripted anywhere. The stall
+		// detector will notice the silent VMM through missed proposal
+		// deadlines, auto-fail the machine and chain the evacuation; the
+		// driver's watch subscription picks the outcome up in
+		// evacuationFinished.
+		if err := s.c.FailMachine(m); err != nil {
+			s.crashesDone++
+			s.crashErrs = append(s.crashErrs, fmt.Errorf("kill host %d: %w", m, err))
+		}
 		return
 	}
-	s.verify(fmt.Sprintf("fail host %d", m))
-	err := s.cp.EvacuateFailedHost(m, func(err error) {
+	if oc := s.cp.Apply(controlplane.FailOp{Machine: m}); oc.Rejected() {
 		s.crashesDone++
-		if err != nil {
-			// Classify each joined member like drains do: an infeasible
-			// packing is expected and skipped (the guest serves degraded on
-			// its live pair); anything else is a real error.
-			for _, sub := range unjoin(err) {
-				if errors.Is(sub, placement.ErrNoFeasibleHost) {
-					s.infeasible++
-				} else {
-					s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, sub))
-				}
-			}
-		}
-		s.verify(fmt.Sprintf("evacuate failed host %d", m))
-		// Every evacuated guest is back in lockstep right after its move.
-		for _, id := range affected {
-			g, ok := s.c.Guest(id)
-			if !ok {
-				continue
-			}
-			if _, aerr := auditLockstep(g, false); aerr != nil {
-				s.prefixErrs = append(s.prefixErrs, aerr)
-			}
-		}
-		// Reboot done: the machine rejoins the pool — unless a degraded
-		// guest is still stuck on it (infeasible move under a saturated
-		// packing), in which case it stays failed; RepairHost would
-		// rightly refuse.
-		s.c.Loop().After(s.rng.ExpDur(2*sim.Second), "churn:repair", func() {
-			if len(s.cp.Pool().Residents(m)) > 0 {
-				return
-			}
-			if err := s.cp.RepairHost(m); err != nil {
-				s.crashErrs = append(s.crashErrs, fmt.Errorf("repair host %d: %w", m, err))
-				return
-			}
-			s.verify(fmt.Sprintf("repair host %d", m))
-		})
-	})
-	if err != nil {
-		s.crashesDone++
-		s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, err))
+		s.crashErrs = append(s.crashErrs, fmt.Errorf("fail host %d: %w", m, oc.Err))
+		return
 	}
+	oc := s.cp.Apply(controlplane.EvacuateOp{Machine: m, Done: func(oc *controlplane.Outcome) {
+		s.evacuationFinished(m, oc)
+	}})
+	if oc.Rejected() {
+		s.crashesDone++
+		s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, oc.Err))
+	}
+}
+
+// evacuationFinished handles a crashed machine's completed evacuation —
+// whether the driver submitted it (scripted mode) or the detector pipeline
+// did (-autodetect): classify the joined move errors, audit the affected
+// guests, and schedule the repair.
+func (s *scenario) evacuationFinished(m int, oc *controlplane.Outcome) {
+	s.crashesDone++
+	if oc.Err != nil {
+		// Classify each joined member like drains do: an infeasible packing
+		// is expected and skipped (the guest serves degraded on its live
+		// pair); anything else is a real error.
+		for _, sub := range unjoin(oc.Err) {
+			if errors.Is(sub, placement.ErrNoFeasibleHost) {
+				s.infeasible++
+			} else {
+				s.crashErrs = append(s.crashErrs, fmt.Errorf("evacuate failed host %d: %w", m, sub))
+			}
+		}
+	}
+	// Every evacuated guest is back in lockstep right after its move.
+	for _, id := range oc.Guests {
+		g, ok := s.c.Guest(id)
+		if !ok {
+			continue
+		}
+		if _, aerr := auditLockstep(g, false); aerr != nil {
+			s.prefixErrs = append(s.prefixErrs, aerr)
+		}
+	}
+	// Reboot done: the machine rejoins the pool — unless a degraded guest
+	// is still stuck on it (infeasible move under a saturated packing), in
+	// which case it stays failed; a RepairOp would rightly refuse.
+	s.c.Loop().After(s.rng.ExpDur(2*sim.Second), "churn:repair", func() {
+		if len(s.cp.Pool().Residents(m)) > 0 {
+			return
+		}
+		if oc := s.cp.Apply(controlplane.RepairOp{Machine: m}); oc.Err != nil {
+			s.crashErrs = append(s.crashErrs, fmt.Errorf("repair host %d: %w", m, oc.Err))
+		}
+	})
 }
 
 func (s *scenario) schedulePings() {
@@ -591,7 +632,8 @@ func (s *scenario) schedulePings() {
 }
 
 func (s *scenario) report() error {
-	st := s.cp.Stats()
+	log := s.cp.Log()
+	st := controlplane.FoldStats(log)
 	lockstepOK, lockstepBad, degradedOK := 0, 0, 0
 	divergences := 0
 	var firstBad error
@@ -621,8 +663,18 @@ func (s *scenario) report() error {
 	if offered > 0 {
 		admissionRate = float64(st.Admitted) / float64(offered)
 	}
-	fmt.Fprintf(s.out, "churn scenario: %d hosts, capacity %d, %.0fs, seed %d\n",
-		s.o.hosts, s.o.capacity, s.o.duration, s.o.seed)
+	byKind := map[controlplane.OpKind]int{}
+	detected := 0
+	for _, oc := range log {
+		byKind[oc.Op.Kind()]++
+		if f, ok := oc.Op.(controlplane.FailOp); ok && f.Detected {
+			detected++
+		}
+	}
+	digest := fnv.New64a()
+	_, _ = digest.Write([]byte(controlplane.FormatLog(log)))
+	fmt.Fprintf(s.out, "churn scenario: %d hosts, capacity %d, %.0fs, seed %d, autodetect=%v\n",
+		s.o.hosts, s.o.capacity, s.o.duration, s.o.seed, s.o.autodetect)
 	fmt.Fprintf(s.out, "  offered %d tenants: admitted=%d rejected=%d (admission rate %.2f)\n",
 		offered, st.Admitted, st.Rejected, admissionRate)
 	fmt.Fprintf(s.out, "  evicted=%d resident-at-end=%d final-utilization=%.2f\n",
@@ -633,9 +685,14 @@ func (s *scenario) report() error {
 		s.failuresInjected, st.Replacements-st.Evacuations-st.CrashEvacuations, len(s.replacementErrs), s.infeasible, st.DrainRetries)
 	fmt.Fprintf(s.out, "  maintenance: drains=%d/%d evacuated=%d evacuation-failures=%d drain-errors=%d\n",
 		s.drainsDone, s.drainsStarted, st.Evacuations, st.EvacuationFailures, len(s.drainErrs))
-	fmt.Fprintf(s.out, "  host crashes: crashes=%d/%d crash-evacuated=%d crash-evacuation-failures=%d crash-errors=%d\n",
-		s.crashesDone, s.crashesStarted, st.CrashEvacuations, st.CrashEvacuationFailures, len(s.crashErrs))
-	fmt.Fprintf(s.out, "  placement: every decision verified, violations=%d\n", s.placementViolations)
+	fmt.Fprintf(s.out, "  host crashes: crashes=%d/%d auto-detected=%d crash-evacuated=%d crash-evacuation-failures=%d crash-errors=%d\n",
+		s.crashesDone, s.crashesStarted, detected, st.CrashEvacuations, st.CrashEvacuationFailures, len(s.crashErrs))
+	fmt.Fprintf(s.out, "  ops: total=%d admits=%d evicts=%d replaces=%d drains=%d undrains=%d fails=%d evacuates=%d repairs=%d audited=%d\n",
+		len(log), byKind[controlplane.KindAdmit], byKind[controlplane.KindEvict], byKind[controlplane.KindReplace],
+		byKind[controlplane.KindDrain], byKind[controlplane.KindUndrain], byKind[controlplane.KindFail],
+		byKind[controlplane.KindEvacuate], byKind[controlplane.KindRepair], s.opsAudited)
+	fmt.Fprintf(s.out, "  op-log: digest=%016x\n", digest.Sum64())
+	fmt.Fprintf(s.out, "  placement: every top-level outcome audited, violations=%d\n", s.placementViolations)
 	fmt.Fprintf(s.out, "  lockstep: ok=%d degraded-ok=%d diverged=%d prefix-errors=%d divergences=%d echoes=%d egress-stuck=%d\n",
 		lockstepOK, degradedOK, lockstepBad, len(s.prefixErrs), divergences, s.echoesReceived, s.c.Egress().StuckBelowForward())
 	for _, err := range s.replacementErrs {

@@ -181,3 +181,55 @@ func extractInt(t *testing.T, text, pattern string) int {
 	}
 	return n
 }
+
+// TestChurnAutodetectPipeline is the detector acceptance scenario: machine
+// crashes are data-plane kills only — no scripted FailHost call exists on
+// this path — and the control plane's stall detector must notice each dead
+// VMM, auto-submit the FailOp and chain the evacuation, ending with every
+// machine recovered, zero divergences, and the op log byte-identical
+// across runs with the same seed.
+func TestChurnAutodetectPipeline(t *testing.T) {
+	args := []string{"-hosts", "21", "-duration", "15", "-arrival-rate", "4",
+		"-failures", "0", "-drains", "0", "-crashes", "2", "-seed", "11", "-autodetect"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("autodetect churn run failed: %v\n%s", err, a.String())
+	}
+	text := a.String()
+	if got := extractInt(t, text, `crashes=(\d+)`); got != 2 {
+		t.Fatalf("completed %d/2 detector-driven crashes:\n%s", got, text)
+	}
+	if det := extractInt(t, text, `auto-detected=(\d+)`); det != 2 {
+		t.Fatalf("auto-detected %d/2 machine deaths:\n%s", det, text)
+	}
+	if ce := extractInt(t, text, `crash-errors=(\d+)`); ce != 0 {
+		t.Fatalf("%d crash errors:\n%s", ce, text)
+	}
+	if ev := extractInt(t, text, `crash-evacuated=(\d+)`); ev == 0 {
+		t.Fatalf("detector pipeline evacuated nothing:\n%s", text)
+	}
+	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
+		t.Fatalf("placement violations:\n%s", text)
+	}
+	if d := extractInt(t, text, `diverged=(\d+)`); d != 0 {
+		t.Fatalf("diverged guests:\n%s", text)
+	}
+	if d := extractInt(t, text, `divergences=(\d+)`); d != 0 {
+		t.Fatalf("synchrony divergences:\n%s", text)
+	}
+	if p := extractInt(t, text, `prefix-errors=(\d+)`); p != 0 {
+		t.Fatalf("lockstep prefix errors:\n%s", text)
+	}
+	// Every FailOp on the log was the detector's (the "fails=N" ops all
+	// carry auto-detected=N above), and the run replays byte-identically —
+	// op-log digest included.
+	if fails := extractInt(t, text, `fails=(\d+)`); fails != 2 {
+		t.Fatalf("%d FailOps logged, want exactly the 2 detected ones:\n%s", fails, text)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatalf("second run: %v\n%s", err, b.String())
+	}
+	if a.String() != b.String() {
+		t.Fatalf("autodetect runs differ:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
+	}
+}

@@ -1,6 +1,9 @@
 // Command stopwatch-sim runs one cloud scenario and prints what happened:
-// a file download, an NFS load, a compute workload, or an attacker/victim
-// side-channel measurement — under the StopWatch VMM or the baseline.
+// a file download, an NFS load, a compute workload, an attacker/victim
+// side-channel measurement — under the StopWatch VMM or the baseline — or a
+// control-plane lifecycle walkthrough driven through the unified operations
+// API (typed Ops, the Watch event stream, and a detector-driven machine
+// failure).
 //
 // Usage:
 //
@@ -8,6 +11,7 @@
 //	stopwatch-sim -scenario nfs -mode baseline -rate 100
 //	stopwatch-sim -scenario parsec -app dedup -mode stopwatch
 //	stopwatch-sim -scenario sidechannel -duration 20
+//	stopwatch-sim -scenario lifecycle -duration 5
 package main
 
 import (
@@ -17,10 +21,13 @@ import (
 
 	"stopwatch"
 	"stopwatch/internal/apps"
+	"stopwatch/internal/controlplane"
 	"stopwatch/internal/core"
 	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/stats"
+	"stopwatch/internal/vtime"
 )
 
 func main() {
@@ -32,7 +39,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("stopwatch-sim", flag.ContinueOnError)
-	scenario := fs.String("scenario", "download", "download | nfs | parsec | sidechannel")
+	scenario := fs.String("scenario", "download", "download | nfs | parsec | sidechannel | lifecycle")
 	mode := fs.String("mode", "stopwatch", "stopwatch | baseline")
 	sizeKB := fs.Int("size", 100, "download size in KB")
 	transportFlag := fs.String("transport", "tcp", "tcp | udp (download scenario)")
@@ -63,9 +70,134 @@ func run(args []string) error {
 		return runParsec(*seed, m, *app)
 	case "sidechannel":
 		return runSideChannel(*seed, sim.FromSeconds(*duration))
+	case "lifecycle":
+		return runLifecycle(*seed, sim.FromSeconds(*duration))
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
+}
+
+// runLifecycle walks the unified operations API on a small live cloud:
+// tenants admitted through AdmitOp, one evicted, one machine killed at the
+// data plane and recovered by the stall detector's fail → reconfigure →
+// evacuate pipeline, every operation streaming its phases over Watch and
+// landing in the append-only op log.
+func runLifecycle(seed uint64, dur sim.Time) error {
+	if dur < 3*sim.Second {
+		dur = 3 * sim.Second
+	}
+	cfg := core.DefaultClusterConfig()
+	cfg.Seed = seed
+	cfg.Hosts = 9
+	c, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	cp, err := controlplane.New(c, controlplane.DefaultConfig(3))
+	if err != nil {
+		return err
+	}
+	// Stream every top-level operation's lifecycle as it happens.
+	cp.Watch(func(ev controlplane.Event) {
+		switch ev.Kind {
+		case controlplane.OpStarted:
+			if ev.Parent == 0 {
+				fmt.Printf("t=%7.3fs  op #%d started: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op)
+			}
+		case controlplane.PhaseReached:
+			fmt.Printf("t=%7.3fs    op #%d %s: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op, ev.Phase)
+		case controlplane.OpCompleted:
+			fmt.Printf("t=%7.3fs  op #%d completed: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op)
+		case controlplane.OpFailed:
+			fmt.Printf("t=%7.3fs  op #%d FAILED: %s: %v\n", float64(ev.At)/1e9, ev.Seq, ev.Op, ev.Err)
+		}
+	})
+	// The detector turns a silent VMM into a FailOp and chains the
+	// evacuation — no scripted FailHost below.
+	if err := cp.EnableStallDetector(0); err != nil {
+		return err
+	}
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "sink", Fn: func(*netsim.Packet) {}}); err != nil {
+		return err
+	}
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "probe", Fn: func(*netsim.Packet) {}}); err != nil {
+		return err
+	}
+	ids := []string{"ga", "gb", "gc", "gd"}
+	for _, id := range ids {
+		oc := cp.Apply(controlplane.AdmitOp{GuestID: id, Factory: func() guest.App {
+			// A sustainable burst profile: the default beacon's 64KB read
+			// every 4ms would saturate a shared disk (and with it the Dom0
+			// I/O path) once two replicas co-reside — a regime where no
+			// proposal deadline separates slow from dead.
+			b := apps.NewBeaconApp(vtime.Virtual(5 * sim.Millisecond))
+			b.Compute = 500_000
+			b.DiskBytes = 0
+			b.Sink = "sink"
+			return b
+		}})
+		if oc.Err != nil {
+			return oc.Err
+		}
+	}
+	c.Start()
+	// Inbound pings keep the proposal path busy so a dead VMM's silence is
+	// observable (stall detection needs pending delivery proposals).
+	var tick func()
+	tick = func() {
+		if c.Loop().Now() >= dur-sim.Second {
+			return
+		}
+		for _, id := range ids {
+			if _, ok := c.Guest(id); ok {
+				c.Net().Send(&netsim.Packet{Src: "probe", Dst: core.ServiceAddr(id), Size: 128, Kind: "ping"})
+			}
+		}
+		c.Loop().After(20*sim.Millisecond, "ping", tick)
+	}
+	c.Loop().At(50*sim.Millisecond, "ping", tick)
+	// One tenant departs; later one machine's VMM dies.
+	c.Loop().At(400*sim.Millisecond, "evict", func() {
+		cp.Apply(controlplane.EvictOp{GuestID: "gb"})
+	})
+	victim := 0
+	c.Loop().At(sim.Second, "kill", func() {
+		// The machine hosting the most guests dies at the data plane only.
+		for m := 1; m < cfg.Hosts; m++ {
+			if len(cp.Pool().Residents(m)) > len(cp.Pool().Residents(victim)) {
+				victim = m
+			}
+		}
+		fmt.Printf("t=%7.3fs  KILL machine %d (data plane only — detector takes it from here)\n",
+			float64(c.Loop().Now())/1e9, victim)
+		if err := c.FailMachine(victim); err != nil {
+			fmt.Println("kill:", err)
+		}
+	})
+	if err := c.Run(dur); err != nil {
+		return err
+	}
+	log := cp.Log()
+	st := controlplane.FoldStats(log)
+	fmt.Printf("op log: %d ops — admitted=%d evicted=%d failures=%d crash-evacuated=%d replacements=%d\n",
+		len(log), st.Admitted, st.Evicted, st.HostFailures, st.CrashEvacuations, st.Replacements)
+	if err := cp.Verify(); err != nil {
+		return err
+	}
+	for _, id := range ids {
+		g, ok := c.Guest(id)
+		if !ok {
+			continue
+		}
+		if err := g.CheckLockstepPrefix(); err != nil {
+			return err
+		}
+	}
+	if st.HostFailures == 0 {
+		return fmt.Errorf("the detector never failed machine %d", victim)
+	}
+	fmt.Println("lockstep: ok (every surviving guest agrees)")
+	return nil
 }
 
 func newCluster(seed uint64, mode core.Mode) (*core.Cluster, []int, error) {

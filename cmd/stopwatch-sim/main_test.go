@@ -33,3 +33,9 @@ func TestRunRejectsUnknowns(t *testing.T) {
 		}
 	}
 }
+
+func TestRunLifecycle(t *testing.T) {
+	if err := run([]string{"-scenario", "lifecycle", "-duration", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

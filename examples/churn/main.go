@@ -1,9 +1,11 @@
-// Churn walkthrough: run a StopWatch cloud as a multi-tenant service with
-// an online control plane. Guests are admitted onto edge-disjoint replica
-// triangles chosen by the incremental packer, evicted to free capacity, and
-// a crashed replica is replaced mid-run — reconstructed from the survivors'
-// determinism journal and re-synced into lockstep, the recovery path the
-// paper sketches in Sec. VII.
+// Churn walkthrough: run a StopWatch cloud as a multi-tenant service
+// driven through the unified operations API. Every lifecycle mutation —
+// admitting tenants onto edge-disjoint replica triangles, evicting one,
+// replacing a crashed replica from the survivors' determinism journal,
+// draining a whole machine for maintenance — is a typed Op submitted
+// through ControlPlane.Apply; a Watch subscription streams each operation's
+// barrier phases as they happen, and the append-only op log summarizes the
+// run at the end.
 package main
 
 import (
@@ -46,37 +48,46 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Stream the replacement barrier's phases as the operations run:
+	// pause → quiesce → rehome → replace → resume, each stamped in
+	// simulated time. The same stream carries OpStarted / OpCompleted /
+	// OpFailed for every op, child evacuation moves included.
+	cp.Watch(func(ev stopwatch.OpEvent) {
+		if _, isReplace := ev.Op.(stopwatch.ReplaceOp); isReplace && ev.Kind == stopwatch.PhaseReached {
+			fmt.Printf("    t=%.3fs  #%d %s: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op, ev.Phase)
+		}
+	})
 	cloud.Start()
 
 	// Admit tenants online — each gets a replica triangle no two of which
 	// share more than one machine (the nonoverlap constraint). We stop
 	// short of packing the cloud solid: replacement needs headroom, since a
 	// re-homed replica must land on a machine whose edges to both survivors
-	// are still free. (Admitting until ErrAdmissionRejected is how you find
-	// the packing limit — cmd/churn drives that regime.)
+	// are still free. (Admitting until the pool rejects is how you find the
+	// packing limit — cmd/churn drives that regime.)
 	factory := func() stopwatch.App { return &pinger{} }
 	for i := 0; i < 7; i++ {
 		id := fmt.Sprintf("tenant-%d", i)
-		_, tri, err := cp.Admit(id, factory)
-		if err != nil {
-			log.Fatal(err)
+		oc := cp.Apply(stopwatch.AdmitOp{GuestID: id, Factory: factory})
+		if oc.Err != nil {
+			log.Fatal(oc.Err)
 		}
-		fmt.Printf("%s admitted on triangle %v\n", id, tri)
+		fmt.Printf("%s admitted on triangle %v\n", id, oc.Triangle)
 	}
 
 	// Evict a tenant mid-run: its edges and capacity return to the pool.
 	cloud.Loop().At(stopwatch.Millis(300), "evict", func() {
-		if err := cp.Evict("tenant-1"); err != nil {
-			log.Fatal(err)
+		if oc := cp.Apply(stopwatch.EvictOp{GuestID: "tenant-1"}); oc.Err != nil {
+			log.Fatal(oc.Err)
 		}
 		fmt.Printf("t=0.3s: evicted tenant-1 (utilization %.2f)\n", cp.Utilization())
 	})
 
 	// Crash tenant-0's replica on the first machine of its triangle, then
-	// ask the control plane to replace it. The protocol pauses the guest's
-	// ingress stream, drains in-flight proposals, re-homes the replica via
-	// the pool, replays the journal to the survivors' instruction count,
-	// and resumes.
+	// submit a ReplaceOp. The barrier pauses the guest's ingress stream,
+	// drains in-flight proposals, re-homes the replica via the pool, replays
+	// the journal to the survivors' instruction count, and resumes — watch
+	// the phases stream above.
 	g, _ := cloud.Guest("tenant-0")
 	tri, _ := cp.Pool().Triangle("tenant-0")
 	cloud.Loop().At(stopwatch.Millis(500), "fail", func() {
@@ -86,52 +97,50 @@ func main() {
 				r.Runtime().Stop()
 			}
 		}
-		err := cp.ReplaceReplica("tenant-0", tri[0], func(err error) {
-			if err != nil {
-				log.Fatal(err)
+		cp.Apply(stopwatch.ReplaceOp{GuestID: "tenant-0", DeadHost: tri[0], Done: func(oc *stopwatch.Outcome) {
+			if oc.Err != nil {
+				log.Fatal(oc.Err)
 			}
-			nt, _ := cp.Pool().Triangle("tenant-0")
-			fmt.Printf("t=%.2fs: replica replaced, new triangle %v\n",
-				float64(cloud.Loop().Now())/1e9, nt)
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+			pause, _ := oc.PhaseAt("pause")
+			resume, _ := oc.PhaseAt("resume")
+			fmt.Printf("t=%.2fs: replica replaced, new triangle %v (barrier %.0fms)\n",
+				float64(cloud.Loop().Now())/1e9, oc.Triangle, float64(resume-pause)/1e6)
+		}})
 	})
 
 	// Planned maintenance: drain a whole machine. Its capacity leaves the
-	// pool and every resident replica is evacuated through the same
-	// pause→quiesce→rehome→replace→resume barrier, one guest at a time.
+	// pool and every resident replica is evacuated through a child
+	// ReplaceOp of the one DrainOp, one guest at a time.
 	cloud.Loop().At(stopwatch.Millis(1500), "drain", func() {
 		victim := 0
 		residents := cp.Pool().Residents(victim)
 		fmt.Printf("t=1.5s: draining host %d (%d resident replicas)\n", victim, len(residents))
-		err := cp.DrainHost(victim, func(err error) {
-			if err != nil {
-				log.Fatal(err)
+		cp.Apply(stopwatch.DrainOp{Machine: victim, Done: func(oc *stopwatch.Outcome) {
+			if oc.Err != nil {
+				log.Fatal(oc.Err)
 			}
 			fmt.Printf("t=%.2fs: host %d empty — %d guests evacuated, back in the pool after maintenance\n",
-				float64(cloud.Loop().Now())/1e9, victim, len(residents))
-			if err := cp.UndrainHost(victim); err != nil {
-				log.Fatal(err)
+				float64(cloud.Loop().Now())/1e9, victim, len(oc.Guests))
+			if oc := cp.Apply(stopwatch.UndrainOp{Machine: victim}); oc.Err != nil {
+				log.Fatal(oc.Err)
 			}
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
+		}})
 	})
 
-	// A late arrival takes whatever capacity the churn left behind.
+	// A late arrival takes whatever capacity the churn left behind. An
+	// admission the packing cannot satisfy is a typed, logged outcome —
+	// errors.Is(oc.Err, ErrNoFeasibleHost) is the one infeasibility check
+	// across every operation.
 	cloud.Loop().At(stopwatch.Seconds(1), "late-admit", func() {
-		_, tri, err := cp.Admit("tenant-late", factory)
-		if errors.Is(err, stopwatch.ErrAdmissionRejected) {
+		oc := cp.Apply(stopwatch.AdmitOp{GuestID: "tenant-late", Factory: factory})
+		if errors.Is(oc.Err, stopwatch.ErrNoFeasibleHost) {
 			fmt.Println("t=1s: tenant-late rejected — cloud still full")
 			return
 		}
-		if err != nil {
-			log.Fatal(err)
+		if oc.Err != nil {
+			log.Fatal(oc.Err)
 		}
-		fmt.Printf("t=1s: admitted tenant-late on %v\n", tri)
+		fmt.Printf("t=1s: admitted tenant-late on %v\n", oc.Triangle)
 	})
 
 	if err := cloud.Run(stopwatch.Seconds(3)); err != nil {
@@ -146,6 +155,9 @@ func main() {
 	if err := g.CheckLockstepPrefix(); err != nil {
 		log.Fatal(err)
 	}
+	st := stopwatch.FoldOpStats(cp.Log())
 	fmt.Printf("final: %d tenants resident, utilization %.2f, tenant-0 in lockstep after %d replacement(s)\n",
 		cp.Residents(), cp.Utilization(), g.Replaced)
+	fmt.Printf("op log: %d ops — admitted=%d evicted=%d replacements=%d drains=%d evacuations=%d (stats folded from the log)\n",
+		len(cp.Log()), st.Admitted, st.Evicted, st.Replacements, st.HostDrains, st.Evacuations)
 }

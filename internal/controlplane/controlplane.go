@@ -1,21 +1,21 @@
 // Package controlplane is the online orchestrator over the StopWatch
 // cluster: it owns the live host inventory (capacity, residency, used K_n
-// edges) and serves the guest lifecycle a real cloud needs —
+// edges) and serves the guest lifecycle a real cloud needs.
 //
-//   - Admit places a new guest on an edge-disjoint replica triangle chosen
-//     by the incremental packer (placement.Pool) and boots it into the
-//     running cluster;
-//   - Evict tears a guest down and returns its triangle's edges and
-//     capacity to the pool;
-//   - ReplaceReplica runs the Sec. VII recovery protocol for a failed
-//     replica: quiesce the guest's inbound stream behind an ingress
-//     barrier, re-home the replica onto a fresh non-conflicting host,
-//     reconstruct its state from the survivors' determinism journal, and
-//     re-sync it into lockstep.
+// Every mutation is one value of the typed Op sum — AdmitOp, EvictOp,
+// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp — submitted
+// through the single entry point Apply, which returns a structured Outcome
+// (typed result, per-phase barrier timings, affected guests, pool deltas),
+// appends it to the operations log (Log), and streams progress to Watch
+// subscribers. Stats is a pure fold over the log. The verb methods (Admit,
+// Evict, ReplaceReplica, DrainHost, UndrainHost, FailHost,
+// EvacuateFailedHost, RepairHost) are thin wrappers over Apply kept for
+// call-site convenience.
 //
 // The data plane (cluster, VMMs, gateways) stays mechanism; every policy
 // decision — which triangle, which replacement host, when a switchover is
-// safe — lives here.
+// safe, when a silent machine is declared dead (EnableStallDetector) —
+// lives here.
 package controlplane
 
 import (
@@ -27,14 +27,6 @@ import (
 	"stopwatch/internal/placement"
 	"stopwatch/internal/sim"
 )
-
-// ErrControlPlane reports invalid control-plane configuration or use.
-var ErrControlPlane = errors.New("controlplane: invalid")
-
-// ErrRejected reports an admission the placement pool cannot satisfy: no
-// edge-disjoint triangle with spare capacity exists. It wraps
-// placement.ErrNoFeasibleHost.
-var ErrRejected = fmt.Errorf("%w: admission rejected", ErrControlPlane)
 
 // Config tunes the control plane.
 type Config struct {
@@ -57,32 +49,16 @@ func DefaultConfig(capacity int) Config {
 	return Config{Capacity: capacity, DrainWindow: 50 * sim.Millisecond, MaxDrainAttempts: 40}
 }
 
-// Stats counts control-plane decisions.
-type Stats struct {
-	// Admitted and Rejected count Admit outcomes.
-	Admitted, Rejected int
-	// Evicted counts completed evictions.
-	Evicted int
-	// Replacements counts completed replica replacements;
-	// ReplacementFailures counts abandoned ones. Evacuation moves are
-	// replacements too and count here as well.
-	Replacements, ReplacementFailures int
-	// DrainRetries counts quiescence re-checks beyond the first.
-	DrainRetries int
-	// HostDrains counts DrainHost operations started; Evacuations and
-	// EvacuationFailures count the per-resident moves they performed.
-	HostDrains, Evacuations, EvacuationFailures int
-	// HostFailures counts FailHost operations (crashed machines);
-	// CrashEvacuations and CrashEvacuationFailures count the per-resident
-	// moves EvacuateFailedHost performed off them.
-	HostFailures, CrashEvacuations, CrashEvacuationFailures int
-}
-
 // ControlPlane orchestrates guest lifecycle over a running cluster.
 type ControlPlane struct {
 	c    *core.Cluster
 	pool *placement.Pool
 	cfg  Config
+
+	// log is the append-only operation record; every Apply opens an entry.
+	log opLog
+	// watchers are the live Watch subscriptions, in subscription order.
+	watchers []*watcher
 
 	// inflight guards per-guest lifecycle exclusivity (a guest being
 	// replaced must not concurrently evict).
@@ -92,29 +68,16 @@ type ControlPlane struct {
 	// the pool, residents not yet all moved).
 	draining map[int]bool
 
-	// failures tracks crashed machines (FailHost → RepairHost). Each
-	// failure epoch is one *hostFailure; pointer identity doubles as the
-	// epoch check, so a reconfiguration closure scheduled in one epoch
-	// cannot open a later epoch's evacuation gate.
+	// failures tracks crashed machines (FailOp → RepairOp). Each failure
+	// epoch is one *hostFailure; pointer identity doubles as the epoch
+	// check, so a reconfiguration closure scheduled in one epoch cannot
+	// open a later epoch's evacuation gate.
 	failures map[int]*hostFailure
 
-	stats Stats
-}
-
-// hostFailure is one machine's crash epoch, created by FailHost and
-// deleted by RepairHost.
-type hostFailure struct {
-	// reconfigured flips once the post-crash group reconfiguration has
-	// been broadcast, after the proposal settle window — the gate
-	// EvacuateFailedHost waits on.
-	reconfigured bool
-	// drainedByFail records whether FailHost itself pulled the machine's
-	// capacity (false: the operator had drained it for maintenance before
-	// the crash, and repair must not undo that).
-	drainedByFail bool
-	// reconfigErrs collects reconfiguration failures for the evacuation
-	// outcome.
-	reconfigErrs []error
+	// suspected marks machines the stall detector has already reported, so
+	// one dead machine's many stalled sequences submit one FailOp; cleared
+	// by RepairOp so a repaired machine can be re-detected.
+	suspected map[int]bool
 }
 
 // New builds a control plane over the cluster. The cluster must be in
@@ -141,12 +104,13 @@ func New(c *core.Cluster, cfg Config) (*ControlPlane, error) {
 		return nil, err
 	}
 	return &ControlPlane{
-		c:        c,
-		pool:     pool,
-		cfg:      cfg,
-		inflight: make(map[string]string),
-		draining: make(map[int]bool),
-		failures: make(map[int]*hostFailure),
+		c:         c,
+		pool:      pool,
+		cfg:       cfg,
+		inflight:  make(map[string]string),
+		draining:  make(map[int]bool),
+		failures:  make(map[int]*hostFailure),
+		suspected: make(map[int]bool),
 	}, nil
 }
 
@@ -156,9 +120,6 @@ func (cp *ControlPlane) Cluster() *core.Cluster { return cp.c }
 // Pool returns the live placement pool (read it, don't mutate around the
 // control plane).
 func (cp *ControlPlane) Pool() *placement.Pool { return cp.pool }
-
-// Stats returns decision counters.
-func (cp *ControlPlane) Stats() Stats { return cp.stats }
 
 // Utilization returns resident replicas over total capacity, in [0,1].
 func (cp *ControlPlane) Utilization() float64 { return cp.pool.Utilization() }
@@ -174,52 +135,138 @@ func (cp *ControlPlane) InFlight(id string) (string, bool) {
 	return op, busy
 }
 
-// Admit places and deploys a new guest on an edge-disjoint triangle. When
-// the pool has no capacity the guest is rejected with ErrRejected (check
-// with errors.Is) and counted; any deployment error rolls the placement
-// back.
-func (cp *ControlPlane) Admit(id string, factory func() guest.App) (*core.Guest, placement.Triangle, error) {
-	if op, busy := cp.inflight[id]; busy {
-		return nil, placement.Triangle{}, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+// Apply submits one operation. The returned Outcome is the op's permanent
+// record in the operations log: synchronous ops (admit, evict, undrain,
+// repair) complete before Apply returns; asynchronous ops (replace, drain,
+// fail, evacuate) complete as the simulation advances — observe completion
+// via Outcome.Done, the op's Done callback, or the Watch event stream. A
+// validation rejection completes immediately with Outcome.Rejected() true
+// and no state changed.
+func (cp *ControlPlane) Apply(op Op) *Outcome {
+	return cp.apply(op, 0)
+}
+
+// apply opens the log entry and dispatches; parent links a child op (an
+// evacuation's per-resident move) to the op that submitted it.
+func (cp *ControlPlane) apply(op Op, parent uint64) *Outcome {
+	oc := cp.log.open(op, parent, cp.c.Loop().Now(), cp.pool.Guests(), cp.pool.Utilization())
+	if op == nil {
+		cp.finish(oc, fmt.Errorf("%w: nil op", ErrControlPlane))
+		return oc
+	}
+	cp.emit(Event{Kind: OpStarted, Seq: oc.Seq, Parent: oc.Parent, Op: op, At: oc.Submitted})
+	switch op := op.(type) {
+	case AdmitOp:
+		cp.applyAdmit(op, oc)
+	case EvictOp:
+		cp.applyEvict(op, oc)
+	case ReplaceOp:
+		cp.applyReplace(op, oc)
+	case DrainOp:
+		cp.applyDrain(op, oc)
+	case UndrainOp:
+		cp.applyUndrain(op, oc)
+	case FailOp:
+		cp.applyFail(op, oc)
+	case EvacuateOp:
+		cp.applyEvacuate(op, oc)
+	case RepairOp:
+		cp.applyRepair(op, oc)
+	default:
+		cp.finish(oc, fmt.Errorf("%w: unknown op %T", ErrControlPlane, op))
+	}
+	return oc
+}
+
+// phase stamps the outcome with a reached phase and streams it.
+func (cp *ControlPlane) phase(oc *Outcome, p Phase) {
+	at := cp.c.Loop().Now()
+	oc.Phases = append(oc.Phases, PhaseTiming{Phase: p, At: at})
+	cp.emit(Event{Kind: PhaseReached, Seq: oc.Seq, Parent: oc.Parent, Op: oc.Op, Phase: p, At: at})
+}
+
+// finish completes an outcome: final error, completion time, post-op pool
+// state, the completion event, and the op's Done callback — in that order,
+// so a callback already observes the finished record.
+func (cp *ControlPlane) finish(oc *Outcome, err error) {
+	oc.Err = err
+	oc.done = true
+	oc.Completed = cp.c.Loop().Now()
+	oc.Pool.GuestsAfter = cp.pool.Guests()
+	oc.Pool.UtilAfter = cp.pool.Utilization()
+	kind := OpCompleted
+	if err != nil {
+		kind = OpFailed
+	}
+	cp.emit(Event{Kind: kind, Seq: oc.Seq, Parent: oc.Parent, Op: oc.Op, At: oc.Completed, Err: err})
+	if done := doneFn(oc.Op); done != nil {
+		done(oc)
+	}
+}
+
+// applyAdmit places and deploys a new guest on an edge-disjoint triangle.
+// When the pool has no capacity the guest is rejected with ErrRejected;
+// any deployment error rolls the placement back.
+func (cp *ControlPlane) applyAdmit(op AdmitOp, oc *Outcome) {
+	id := op.GuestID
+	if op.Factory == nil {
+		cp.finish(oc, fmt.Errorf("%w: admit %q needs an app factory", ErrControlPlane, id))
+		return
+	}
+	if verb, busy := cp.inflight[id]; busy {
+		cp.finish(oc, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, verb))
+		return
 	}
 	tri, err := cp.pool.Admit(id)
 	if err != nil {
 		if errors.Is(err, placement.ErrNoFeasibleHost) {
-			cp.stats.Rejected++
-			return nil, placement.Triangle{}, fmt.Errorf("%w: %v", ErrRejected, err)
+			cp.finish(oc, fmt.Errorf("%w: %v", ErrRejected, err))
+			return
 		}
-		return nil, placement.Triangle{}, err
+		cp.finish(oc, err)
+		return
 	}
-	g, err := cp.c.Deploy(id, tri[:], factory)
+	oc.Guests = []string{id}
+	cp.phase(oc, PhasePlace)
+	g, err := cp.c.Deploy(id, tri[:], op.Factory)
 	if err != nil {
 		_, _ = cp.pool.Release(id)
-		return nil, placement.Triangle{}, err
+		cp.finish(oc, err)
+		return
 	}
-	cp.stats.Admitted++
-	return g, tri, nil
+	oc.Guest, oc.Triangle = g, tri
+	cp.phase(oc, PhaseDeploy)
+	cp.finish(oc, nil)
 }
 
-// Evict undeploys a guest and returns its edges and capacity to the pool.
-func (cp *ControlPlane) Evict(id string) error {
-	if op, busy := cp.inflight[id]; busy {
-		return fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+// applyEvict undeploys a guest and returns its edges and capacity to the
+// pool.
+func (cp *ControlPlane) applyEvict(op EvictOp, oc *Outcome) {
+	id := op.GuestID
+	if verb, busy := cp.inflight[id]; busy {
+		cp.finish(oc, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, verb))
+		return
 	}
 	if _, ok := cp.pool.Triangle(id); !ok {
-		return fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id)
+		cp.finish(oc, fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id))
+		return
 	}
+	oc.Guests = []string{id}
 	if err := cp.c.Undeploy(id); err != nil {
-		return err
+		cp.finish(oc, err)
+		return
 	}
 	if _, err := cp.pool.Release(id); err != nil {
-		return err
+		cp.finish(oc, err)
+		return
 	}
-	cp.stats.Evicted++
-	return nil
+	cp.phase(oc, PhaseRelease)
+	cp.finish(oc, nil)
 }
 
-// ReplaceReplica initiates the asynchronous replacement of guest id's
-// replica on deadHost (reported failed by whatever detector the caller
-// runs). The protocol, all in simulated time:
+// applyReplace runs the Sec. VII replacement barrier for guest id's replica
+// on op.DeadHost (reported failed by whatever detector submitted the op).
+// The protocol, all in simulated time:
 //
 //  1. pause the guest's ingress stream (client packets buffer at the edge);
 //  2. wait DrainWindow for in-flight fabric traffic and delivery proposals
@@ -230,54 +277,57 @@ func (cp *ControlPlane) Evict(id string) error {
 //     multicast groups over (core.Cluster.ReplaceReplica);
 //  5. resume the ingress stream, flushing the buffered packets.
 //
-// onDone (optional) fires with the outcome; on failure the ingress is
-// resumed so the surviving replicas keep serving degraded.
-func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(error)) error {
-	finish := func(err error) {
-		delete(cp.inflight, id)
-		if err != nil {
-			cp.stats.ReplacementFailures++
-			cp.c.Ingress().Resume(id)
-		} else {
-			cp.stats.Replacements++
-		}
-		if onDone != nil {
-			onDone(err)
-		}
-	}
-	if op, busy := cp.inflight[id]; busy {
-		return fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, op)
+// On failure the ingress is resumed so the surviving replicas keep serving
+// degraded.
+func (cp *ControlPlane) applyReplace(op ReplaceOp, oc *Outcome) {
+	id := op.GuestID
+	if verb, busy := cp.inflight[id]; busy {
+		cp.finish(oc, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, verb))
+		return
 	}
 	tri, ok := cp.pool.Triangle(id)
 	if !ok {
-		return fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id)
+		cp.finish(oc, fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id))
+		return
 	}
-	if !tri.Contains(deadHost) {
-		return fmt.Errorf("%w: guest %q has no replica on host %d", ErrControlPlane, id, deadHost)
+	if !tri.Contains(op.DeadHost) {
+		cp.finish(oc, fmt.Errorf("%w: guest %q has no replica on host %d", ErrControlPlane, id, op.DeadHost))
+		return
 	}
+	oc.Guests = []string{id}
 	cp.inflight[id] = "replacement"
 	cp.c.Ingress().Pause(id)
+	cp.phase(oc, PhasePause)
+	done := func(err error) {
+		delete(cp.inflight, id)
+		if err != nil {
+			cp.c.Ingress().Resume(id)
+		}
+		cp.finish(oc, err)
+	}
 	attempts := 0
 	var barrier func()
 	barrier = func() {
 		if !cp.c.GuestQuiescent(id) {
 			attempts++
 			if attempts >= cp.cfg.MaxDrainAttempts {
-				finish(fmt.Errorf("%w: guest %q never quiesced after %d drain windows", ErrControlPlane, id, attempts))
+				done(fmt.Errorf("%w: guest %q never quiesced after %d drain windows", ErrControlPlane, id, attempts))
 				return
 			}
-			cp.stats.DrainRetries++
+			oc.QuiesceRetries++
 			cp.c.Loop().After(cp.cfg.DrainWindow, "cp:drain", barrier)
 			return
 		}
-		_, newHost, err := cp.pool.Rehome(id, deadHost)
+		cp.phase(oc, PhaseQuiesce)
+		newTri, newHost, err := cp.pool.Rehome(id, op.DeadHost)
 		if err != nil {
-			finish(err)
+			done(err)
 			return
 		}
-		if err := cp.c.ReplaceReplica(id, deadHost, newHost); err != nil {
+		cp.phase(oc, PhaseRehome)
+		if err := cp.c.ReplaceReplica(id, op.DeadHost, newHost); err != nil {
 			// Roll the pool back to the original triangle: the data plane
-			// still has the (dead) replica on deadHost. The whole barrier
+			// still has the (dead) replica on op.DeadHost. The whole barrier
 			// step is one simulated instant, so the freed edges cannot
 			// have been claimed in between. A rollback failure leaves pool
 			// and cluster divergent — join it into the outcome so it is
@@ -287,13 +337,48 @@ func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(erro
 			} else if rbErr := cp.pool.AdmitTriangle(id, tri); rbErr != nil {
 				err = errors.Join(err, fmt.Errorf("rollback restore %q on %v: %w", id, tri, rbErr))
 			}
-			finish(err)
+			done(err)
 			return
 		}
+		oc.Triangle = newTri
+		cp.phase(oc, PhaseReplace)
 		cp.c.Ingress().Resume(id)
-		finish(nil)
+		cp.phase(oc, PhaseResume)
+		done(nil)
 	}
 	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:drain", barrier)
+}
+
+// Admit is the verb wrapper over Apply(AdmitOp): it places and deploys a
+// new guest, returning the deployed guest and triangle, or ErrRejected
+// (check with errors.Is) when the pool has no capacity.
+func (cp *ControlPlane) Admit(id string, factory func() guest.App) (*core.Guest, placement.Triangle, error) {
+	oc := cp.Apply(AdmitOp{GuestID: id, Factory: factory})
+	return oc.Guest, oc.Triangle, oc.Err
+}
+
+// Evict is the verb wrapper over Apply(EvictOp).
+func (cp *ControlPlane) Evict(id string) error {
+	return cp.Apply(EvictOp{GuestID: id}).Err
+}
+
+// ReplaceReplica is the verb wrapper over Apply(ReplaceOp): it initiates
+// the asynchronous replacement of guest id's replica on deadHost. A
+// validation rejection is returned synchronously; otherwise onDone
+// (optional) fires with the barrier's outcome.
+func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(error)) error {
+	op := ReplaceOp{GuestID: id, DeadHost: deadHost}
+	op.Done = func(oc *Outcome) {
+		if oc.Rejected() {
+			return // reported synchronously below
+		}
+		if onDone != nil {
+			onDone(oc.Err)
+		}
+	}
+	if oc := cp.Apply(op); oc.Rejected() {
+		return oc.Err
+	}
 	return nil
 }
 
@@ -301,7 +386,10 @@ func (cp *ControlPlane) ReplaceReplica(id string, deadHost int, onDone func(erro
 // triangles, capacity, bookkeeping) and that the pool agrees with the
 // cluster's deployed residency — in both directions, so a half-completed
 // rollback (pool lost a guest the cluster still runs) cannot hide.
-// Scenario drivers call it after every lifecycle decision.
+// Scenario drivers run it once per completed top-level op, keyed off the
+// event stream (subscribe Watch, audit on OpCompleted/OpFailed of ops with
+// a zero Parent) — one post-outcome audit instead of re-running the
+// residency sweep at every step inside an evacuation.
 func (cp *ControlPlane) Verify() error {
 	if err := cp.pool.Verify(); err != nil {
 		return err

@@ -5,77 +5,73 @@ import (
 	"fmt"
 )
 
-// Host drain: planned whole-machine evacuation. Each resident replica is
-// moved with the ordinary pause→quiesce→rehome→replace→resume barrier. The
-// guest's execution on the drained machine is frozen just before its
-// barrier starts while the machine's VMM stays live and keeps proposing —
-// the paper's footnote-4 regime, so the 3-proposal median never stalls —
-// which guarantees the survivors are at or past the frozen replica's
-// instruction count by switchover (the reclaim window the egress already
-// handles for crash recovery). Residents move one after another, in
+// Host drain: planned whole-machine evacuation, now one DrainOp. Each
+// resident replica is moved with an ordinary child ReplaceOp (the
+// pause→quiesce→rehome→replace→resume barrier), logged with the drain as
+// its parent. The guest's execution on the drained machine is frozen just
+// before its barrier starts while the machine's VMM stays live and keeps
+// proposing — the paper's footnote-4 regime, so the 3-proposal median never
+// stalls — which guarantees the survivors are at or past the frozen
+// replica's instruction count by switchover (the reclaim window the egress
+// already handles for crash recovery). Residents move one after another, in
 // guest-id order, and the machine ends empty with every affected guest
 // still in strict lockstep.
 //
-// The same per-resident loop also serves EvacuateFailedHost (failure.go),
-// where the machine's VMM is dead: there the replicas are already stopped
-// (no freeze) and the loop waits for the post-crash group reconfiguration
-// before starting.
+// The same per-resident loop also serves EvacuateOp (failure.go), where the
+// machine's VMM is dead: there the replicas are already stopped (no freeze)
+// and the loop waits for the post-crash group reconfiguration before
+// starting.
 
-// DrainHost starts evacuating machine: its capacity is removed from the
+// applyDrain starts evacuating machine: its capacity is removed from the
 // placement pool immediately (no new replicas land on it), and every
-// resident replica is re-homed sequentially, in guest-id order, via the
-// replacement barrier. onDone (optional) fires once the last resident has
-// been processed, with the joined errors of any evacuations that failed —
-// e.g. ErrNoFeasibleHost when a saturated packing leaves a guest nowhere to
-// go; such guests keep serving from their remaining replicas.
+// resident replica is re-homed sequentially, in guest-id order, via child
+// ReplaceOps. The op completes once the last resident has been processed,
+// with the joined errors of any moves that failed — e.g. ErrNoFeasibleHost
+// when a saturated packing leaves a guest nowhere to go; such guests keep
+// serving from their remaining replicas.
 //
-// The machine stays drained afterwards (ready for maintenance); call
-// UndrainHost to return its capacity to the pool.
-func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
+// The machine stays drained afterwards (ready for maintenance); UndrainOp
+// returns its capacity to the pool.
+func (cp *ControlPlane) applyDrain(op DrainOp, oc *Outcome) {
+	machine := op.Machine
 	if machine < 0 || machine >= cp.c.Hosts() {
-		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine))
+		return
 	}
 	if cp.Failed(machine) {
-		return fmt.Errorf("%w: machine %d crashed — evacuate it with EvacuateFailedHost", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d crashed — evacuate it with EvacuateOp", ErrControlPlane, machine))
+		return
 	}
 	if err := cp.pool.Drain(machine); err != nil {
-		return err // typed placement.ErrDrained on a double drain
+		cp.finish(oc, err) // typed placement.ErrDrained on a double drain
+		return
 	}
 	cp.draining[machine] = true
-	cp.stats.HostDrains++
-	cp.evacuateResidents(machine, true, nil, onDone)
-	return nil
+	cp.phase(oc, PhaseDrain)
+	cp.evacuateResidents(oc, machine, causeDrain, nil, nil)
 }
 
-// evacuateResidents moves every resident replica off machine through the
-// replacement barrier, sequentially in guest-id order. freeze stops the
+// evacuateResidents moves every resident replica off machine through child
+// ReplaceOps, sequentially in guest-id order, and completes the parent
+// outcome with the joined move errors. cause causeDrain freezes each
 // resident's guest execution first (planned drain: the VMM stays live and
 // keeps proposing); a crashed machine's replicas are already stopped.
 // ready, when non-nil, gates the start of the loop (the crash path must not
 // run barriers before the group reconfiguration has unwedged quiescence);
-// it is re-checked every DrainWindow, bounded by MaxDrainAttempts.
-func (cp *ControlPlane) evacuateResidents(machine int, freeze bool, ready func() bool, onDone func(error)) {
+// it is re-checked every DrainWindow, bounded by MaxDrainAttempts. pre,
+// when non-nil, contributes errors joined ahead of the move errors (the
+// crash path's reconfiguration failures).
+func (cp *ControlPlane) evacuateResidents(parent *Outcome, machine int, cause opCause, ready func() bool, pre func() []error) {
 	residents := cp.pool.Residents(machine)
+	parent.Guests = residents
 	var errs []error
 	finish := func() {
 		delete(cp.draining, machine)
-		if onDone != nil {
-			onDone(errors.Join(errs...))
+		var all []error
+		if pre != nil {
+			all = append(all, pre()...)
 		}
-	}
-	countOK := func() {
-		if freeze {
-			cp.stats.Evacuations++
-		} else {
-			cp.stats.CrashEvacuations++
-		}
-	}
-	countBad := func() {
-		if freeze {
-			cp.stats.EvacuationFailures++
-		} else {
-			cp.stats.CrashEvacuationFailures++
-		}
+		cp.finish(parent, errors.Join(append(all, errs...)...))
 	}
 	var next func(i, attempts int)
 	next = func(i, attempts int) {
@@ -92,45 +88,38 @@ func (cp *ControlPlane) evacuateResidents(machine int, freeze bool, ready func()
 			next(i+1, 0)
 			return
 		}
-		if _, busy := cp.inflight[id]; busy {
+		_, busy := cp.inflight[id]
+		if busy && attempts+1 < cp.cfg.MaxDrainAttempts {
 			// Another lifecycle op holds the guest (e.g. a failure
 			// replacement racing the drain): wait a window and retry,
-			// bounded like the quiescence barrier.
-			if attempts+1 >= cp.cfg.MaxDrainAttempts {
-				countBad()
-				errs = append(errs, fmt.Errorf("%w: evacuating %q off machine %d: lifecycle op still in flight", ErrControlPlane, id, machine))
-				next(i+1, 0)
-				return
-			}
+			// bounded like the quiescence barrier. Once the bound is hit the
+			// move is submitted anyway — its rejection is then on record in
+			// the op log instead of a counter nobody can replay.
 			cp.c.Loop().After(cp.cfg.DrainWindow, "cp:evacuate-retry", func() { next(i, attempts+1) })
 			return
 		}
 		// Freeze the resident's guest execution (its VMM keeps proposing)
 		// so the survivors are at or past its instruction count when the
-		// replacement switches over — the same regime as crash recovery.
-		if freeze {
+		// replacement switches over — the same regime as crash recovery. A
+		// move that is then rejected leaves the guest serving degraded on
+		// its live replicas. A guest another op still holds at the retry
+		// bound is left running — that op owns it; only the move's
+		// rejection goes on record.
+		if cause == causeDrain && !busy {
 			if g, ok := cp.c.Guest(id); ok {
 				if slot, on := g.SlotOnHost(machine); on {
 					g.Replica(slot).Runtime().Stop()
 				}
 			}
 		}
-		err := cp.ReplaceReplica(id, machine, func(err error) {
-			if err != nil {
-				countBad()
-				errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
-			} else {
-				countOK()
+		move := ReplaceOp{GuestID: id, DeadHost: machine, cause: cause, parent: parent.Seq}
+		move.Done = func(coc *Outcome) {
+			if coc.Err != nil {
+				errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, coc.Err))
 			}
 			next(i+1, 0)
-		})
-		if err != nil {
-			// Validation failure with the replica already frozen: record it
-			// and move on — the guest serves degraded on its live replicas.
-			countBad()
-			errs = append(errs, fmt.Errorf("evacuate %q off machine %d: %w", id, machine, err))
-			next(i+1, 0)
 		}
+		cp.apply(move, parent.Seq)
 	}
 	start := func() { next(0, 0) }
 	if ready == nil {
@@ -140,6 +129,7 @@ func (cp *ControlPlane) evacuateResidents(machine int, freeze bool, ready func()
 	var gate func(attempts int)
 	gate = func(attempts int) {
 		if ready() {
+			cp.phase(parent, PhaseReconfigure)
 			start()
 			return
 		}
@@ -153,17 +143,49 @@ func (cp *ControlPlane) evacuateResidents(machine int, freeze bool, ready func()
 	gate(0)
 }
 
-// UndrainHost returns a drained machine's capacity to the placement pool.
+// applyUndrain returns a drained machine's capacity to the placement pool.
 // It refuses while the evacuation is still moving residents, and refuses
-// crashed machines (RepairHost is their way back).
-func (cp *ControlPlane) UndrainHost(machine int) error {
+// crashed machines (RepairOp is their way back).
+func (cp *ControlPlane) applyUndrain(op UndrainOp, oc *Outcome) {
+	machine := op.Machine
 	if cp.draining[machine] {
-		return fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine))
+		return
 	}
 	if cp.Failed(machine) {
-		return fmt.Errorf("%w: machine %d crashed — RepairHost returns it", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d crashed — RepairOp returns it", ErrControlPlane, machine))
+		return
 	}
-	return cp.pool.Undrain(machine)
+	if err := cp.pool.Undrain(machine); err != nil {
+		cp.finish(oc, err)
+		return
+	}
+	cp.phase(oc, PhaseUndrain)
+	cp.finish(oc, nil)
+}
+
+// DrainHost is the verb wrapper over Apply(DrainOp): a validation rejection
+// is returned synchronously; otherwise onDone (optional) fires once the
+// last resident has been processed, with the joined move errors.
+func (cp *ControlPlane) DrainHost(machine int, onDone func(error)) error {
+	op := DrainOp{Machine: machine}
+	op.Done = func(oc *Outcome) {
+		if oc.Rejected() {
+			return // reported synchronously below
+		}
+		if onDone != nil {
+			onDone(oc.Err)
+		}
+	}
+	if oc := cp.Apply(op); oc.Rejected() {
+		return oc.Err
+	}
+	return nil
+}
+
+// UndrainHost is the verb wrapper over Apply(UndrainOp).
+func (cp *ControlPlane) UndrainHost(machine int) error {
+	return cp.Apply(UndrainOp{Machine: machine}).Err
 }
 
 // Draining reports whether machine has an evacuation in progress.

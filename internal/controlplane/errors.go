@@ -1,0 +1,31 @@
+package controlplane
+
+// The control plane's typed errors, consolidated. Every infeasibility —
+// admission rejection, replacement with no non-conflicting host, evacuation
+// under a saturated packing — wraps the placement pool's single sentinel,
+// so callers check one thing: errors.Is(outcome.Err, ErrNoFeasibleHost).
+
+import (
+	"errors"
+	"fmt"
+
+	"stopwatch/internal/placement"
+)
+
+// ErrControlPlane reports invalid control-plane configuration or use,
+// including operations rejected at validation (wrong machine, guest not
+// resident, a lifecycle op already in flight).
+var ErrControlPlane = errors.New("controlplane: invalid")
+
+// ErrNoFeasibleHost is the uniform infeasibility sentinel: no candidate
+// triangle or host satisfies edge-disjointness, capacity and drain state.
+// It is the placement pool's sentinel re-exported, so control-plane callers
+// need not import placement; expected at high utilization.
+var ErrNoFeasibleHost = placement.ErrNoFeasibleHost
+
+// ErrRejected reports an admission the placement pool cannot satisfy: no
+// edge-disjoint triangle with spare capacity exists. It wraps both
+// ErrControlPlane and ErrNoFeasibleHost, so
+// errors.Is(outcome.Err, ErrNoFeasibleHost) holds uniformly across every
+// infeasible operation, admissions included.
+var ErrRejected = fmt.Errorf("%w: admission rejected: %w", ErrControlPlane, placement.ErrNoFeasibleHost)

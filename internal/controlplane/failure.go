@@ -7,19 +7,25 @@ package controlplane
 // that would never arrive. The recovery protocol, Paxos-style
 // reconfiguration made concrete on the StopWatch data plane:
 //
-//  1. FailHost marks the machine failed: its capacity leaves the placement
+//  1. FailOp marks the machine failed: its capacity leaves the placement
 //     pool (reusing the drain plumbing), the data plane kills its runtimes
 //     and proposal senders, and — one DrainWindow later, so the dead VMM's
 //     in-flight proposals land everywhere — every resident guest's group is
 //     reconfigured (multicast groups, pacing peers, device live views,
-//     ingress replication) to the live quorum. Pending and future delivery
-//     proposals then resolve on the live set and the guests keep serving
-//     degraded 2-of-3.
-//  2. EvacuateFailedHost repairs membership: every resident is moved, in
-//     guest-id order, through the ordinary replacement barrier — journal
-//     replay already reconstructs the replica; it only needed medians that
-//     keep resolving.
-//  3. RepairHost returns the (rebooted, empty) machine to the pool.
+//     ingress replication, egress live count) to the live quorum. Pending
+//     and future delivery proposals then resolve on the live set and the
+//     guests keep serving degraded 2-of-3. The op completes at the
+//     reconfiguration (PhaseReconfigure).
+//  2. EvacuateOp repairs membership: every resident is moved, in guest-id
+//     order, through ordinary child ReplaceOps — journal replay already
+//     reconstructs the replica; it only needed medians that keep resolving.
+//  3. RepairOp returns the (rebooted, empty) machine to the pool.
+//
+// FailOps are submitted two ways: scripted (an operator or scenario driver
+// calls Apply), or detector-driven — EnableStallDetector (detector.go)
+// turns a stalled proposal group into a FailOp{Detected: true} and chains
+// the EvacuateOp off the fail's completion event, making
+// fail → reconfigure → evacuate a pipeline rather than a call sequence.
 
 import (
 	"errors"
@@ -28,29 +34,60 @@ import (
 	"stopwatch/internal/placement"
 )
 
-// FailHost marks machine as crashed (its VMM died). The machine's capacity
+// hostFailure is one machine's crash epoch, created by FailOp and deleted
+// by RepairOp.
+type hostFailure struct {
+	// reconfigured flips once the post-crash group reconfiguration has
+	// been broadcast, after the proposal settle window — the gate
+	// EvacuateOp waits on.
+	reconfigured bool
+	// drainedByFail records whether the FailOp itself pulled the machine's
+	// capacity (false: the operator had drained it for maintenance before
+	// the crash, and repair must not undo that).
+	drainedByFail bool
+	// reconfigErrs collects reconfiguration failures for the evacuation
+	// outcome.
+	reconfigErrs []error
+}
+
+// applyFail marks machine as crashed (its VMM died). The machine's capacity
 // leaves the placement pool immediately, its replicas' guest execution and
 // proposal senders are killed, and one DrainWindow later — once the dead
 // VMM's in-flight proposals have settled at every survivor — every resident
 // guest's replica group is reconfigured onto its live quorum, unwedging the
-// delivery medians. Call EvacuateFailedHost afterwards (any time: the
-// reconfiguration is awaited) to re-home the residents.
+// delivery medians; the op completes then. Submit an EvacuateOp afterwards
+// (any time: the reconfiguration is awaited) to re-home the residents.
 //
-// A machine can crash while a DrainHost evacuation of it is still in
-// flight: the drain loop adopts the situation safely — its remaining
-// barriers simply wait out quiescence until the reconfiguration fires, and
-// its moves keep counting as (drain) Evacuations — while EvacuateFailedHost
-// is refused until that loop finishes and can then pick up any residents
-// whose moves it abandoned.
-func (cp *ControlPlane) FailHost(machine int) error {
+// A Detected fail (submitted by the stall detector) requires the machine to
+// already be dead at the data plane — the detector reacted to its silence —
+// and skips the kill; suspecting a live machine is rejected, on record.
+//
+// A machine can crash while a DrainOp evacuation of it is still in flight:
+// the drain loop adopts the situation safely — its remaining barriers
+// simply wait out quiescence until the reconfiguration fires, and its moves
+// keep counting as (drain) Evacuations — while an EvacuateOp is refused
+// until that loop finishes and can then pick up any residents whose moves
+// it abandoned.
+func (cp *ControlPlane) applyFail(op FailOp, oc *Outcome) {
+	machine := op.Machine
 	if machine < 0 || machine >= cp.c.Hosts() {
-		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine))
+		return
 	}
 	if cp.failures[machine] != nil {
-		return fmt.Errorf("%w: machine %d already failed", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d already failed", ErrControlPlane, machine))
+		return
 	}
-	if err := cp.c.FailMachine(machine); err != nil {
-		return err
+	if op.Detected {
+		if !cp.c.Host(machine).Failed() {
+			cp.finish(oc, fmt.Errorf("%w: detector suspected machine %d but its VMM is alive", ErrControlPlane, machine))
+			return
+		}
+		// The machine is already dead at the data plane; there is nothing
+		// to kill, only control-plane recovery to run.
+	} else if err := cp.c.FailMachine(machine); err != nil {
+		cp.finish(oc, err)
+		return
 	}
 	f := &hostFailure{}
 	// Reuse the drain plumbing to pull the machine's capacity: a machine
@@ -60,17 +97,21 @@ func (cp *ControlPlane) FailHost(machine int) error {
 	case err == nil:
 		f.drainedByFail = true
 	case !errors.Is(err, placement.ErrDrained):
-		return err
+		cp.finish(oc, err)
+		return
 	}
 	cp.failures[machine] = f
-	cp.stats.HostFailures++
+	cp.phase(oc, PhaseDrain)
 	residents := cp.pool.Residents(machine)
+	oc.Guests = residents
 	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:fail-reconfig", func() {
-		// The failure epoch may have ended (RepairHost) — or ended and
+		// The failure epoch may have ended (RepairOp) — or ended and
 		// restarted — while this closure was in flight; only the closure
 		// belonging to the current, still-active epoch may open the
-		// evacuation gate.
+		// evacuation gate. A superseded fail still completes, with the
+		// reconfiguration it never performed absent from its phases.
 		if cp.failures[machine] != f {
+			cp.finish(oc, nil)
 			return
 		}
 		for _, id := range residents {
@@ -90,50 +131,49 @@ func (cp *ControlPlane) FailHost(machine int) error {
 			}
 		}
 		f.reconfigured = true
+		cp.phase(oc, PhaseReconfigure)
+		cp.finish(oc, nil)
 	})
-	return nil
 }
 
-// EvacuateFailedHost re-homes every resident of a crashed machine through
-// the replacement barrier, sequentially in guest-id order, starting once
-// the post-crash group reconfiguration has unwedged quiescence. onDone
-// (optional) fires with the joined errors of the moves that failed — e.g.
-// ErrNoFeasibleHost under a saturated packing, where the guest keeps
-// serving degraded on its live pair. The machine stays failed afterwards;
-// RepairHost returns it.
-func (cp *ControlPlane) EvacuateFailedHost(machine int, onDone func(error)) error {
+// applyEvacuate re-homes every resident of a crashed machine through child
+// ReplaceOps, sequentially in guest-id order, starting once the post-crash
+// group reconfiguration has unwedged quiescence. The op completes with the
+// joined errors of the moves that failed — reconfiguration failures joined
+// ahead of them — e.g. ErrNoFeasibleHost under a saturated packing, where
+// the guest keeps serving degraded on its live pair. The machine stays
+// failed afterwards; RepairOp returns it.
+func (cp *ControlPlane) applyEvacuate(op EvacuateOp, oc *Outcome) {
+	machine := op.Machine
 	if machine < 0 || machine >= cp.c.Hosts() {
-		return fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d out of range", ErrControlPlane, machine))
+		return
 	}
 	f := cp.failures[machine]
 	if f == nil {
-		return fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine))
+		return
 	}
 	if cp.draining[machine] {
-		return fmt.Errorf("%w: machine %d already evacuating", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d already evacuating", ErrControlPlane, machine))
+		return
 	}
 	cp.draining[machine] = true
+	cp.phase(oc, PhaseEvacuate)
 	// Reconfiguration failures surface through the evacuation outcome,
 	// joined ahead of the per-resident move errors, and are consumed on
 	// report so a documented evacuate-retry does not double-count them.
-	// With no callback they stay stored for a later retry that has one.
-	wrapped := onDone
-	if onDone != nil {
-		wrapped = func(err error) {
-			if re := errors.Join(f.reconfigErrs...); re != nil {
-				err = errors.Join(re, err)
-			}
-			f.reconfigErrs = nil
-			onDone(err)
-		}
+	pre := func() []error {
+		re := f.reconfigErrs
+		f.reconfigErrs = nil
+		return re
 	}
-	cp.evacuateResidents(machine, false, func() bool { return f.reconfigured }, wrapped)
-	return nil
+	cp.evacuateResidents(oc, machine, causeCrash, func() bool { return f.reconfigured }, pre)
 }
 
-// RepairHost returns a crashed machine to service after its evacuation: the
-// (rebooted, empty) machine's capacity rejoins the placement pool and new
-// replicas may land on it — unless the operator had drained it for
+// applyRepair returns a crashed machine to service after its evacuation:
+// the (rebooted, empty) machine's capacity rejoins the placement pool and
+// new replicas may land on it — unless the operator had drained it for
 // maintenance before the crash, in which case it stays drained.
 //
 // It refuses while any resident remains (e.g. a degraded guest whose move
@@ -142,25 +182,68 @@ func (cp *ControlPlane) EvacuateFailedHost(machine int, onDone func(error)) erro
 // out of quiescence checks and group reconfigurations, so reviving the
 // machine under it would re-wedge the guest. Evacuate first (retry once
 // capacity frees), then repair.
-func (cp *ControlPlane) RepairHost(machine int) error {
+func (cp *ControlPlane) applyRepair(op RepairOp, oc *Outcome) {
+	machine := op.Machine
 	if cp.draining[machine] {
-		return fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d still evacuating", ErrControlPlane, machine))
+		return
 	}
 	f := cp.failures[machine]
 	if f == nil {
-		return fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine)
+		cp.finish(oc, fmt.Errorf("%w: machine %d is not failed", ErrControlPlane, machine))
+		return
 	}
 	if left := cp.pool.Residents(machine); len(left) > 0 {
-		return fmt.Errorf("%w: machine %d still hosts %v — evacuate before repairing", ErrControlPlane, machine, left)
+		cp.finish(oc, fmt.Errorf("%w: machine %d still hosts %v — evacuate before repairing", ErrControlPlane, machine, left))
+		return
 	}
 	if err := cp.c.ReviveMachine(machine); err != nil {
-		return err
+		cp.finish(oc, err)
+		return
 	}
 	delete(cp.failures, machine)
+	delete(cp.suspected, machine)
+	cp.phase(oc, PhasePlace)
 	if f.drainedByFail {
-		return cp.pool.Undrain(machine)
+		if err := cp.pool.Undrain(machine); err != nil {
+			cp.finish(oc, err)
+			return
+		}
+	}
+	cp.finish(oc, nil)
+}
+
+// FailHost is the verb wrapper over Apply(FailOp).
+func (cp *ControlPlane) FailHost(machine int) error {
+	oc := cp.Apply(FailOp{Machine: machine})
+	if oc.Rejected() {
+		return oc.Err
 	}
 	return nil
+}
+
+// EvacuateFailedHost is the verb wrapper over Apply(EvacuateOp): a
+// validation rejection is returned synchronously; otherwise onDone
+// (optional) fires with the joined errors of the moves that failed.
+func (cp *ControlPlane) EvacuateFailedHost(machine int, onDone func(error)) error {
+	op := EvacuateOp{Machine: machine}
+	op.Done = func(oc *Outcome) {
+		if oc.Rejected() {
+			return // reported synchronously below
+		}
+		if onDone != nil {
+			onDone(oc.Err)
+		}
+	}
+	if oc := cp.Apply(op); oc.Rejected() {
+		return oc.Err
+	}
+	return nil
+}
+
+// RepairHost is the verb wrapper over Apply(RepairOp).
+func (cp *ControlPlane) RepairHost(machine int) error {
+	return cp.Apply(RepairOp{Machine: machine}).Err
 }
 
 // Failed reports whether machine is marked crashed.

@@ -350,3 +350,62 @@ func TestFailHostValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSingleSurvivorEgressKeepsForwarding: a guest reduced to ONE live
+// replica (two machines of its triangle crash) keeps serving externally —
+// the egress's per-guest live view forwards its output at the sole copy
+// instead of waiting forever for a second emission (the ROADMAP's
+// single-survivor open item).
+func TestSingleSurvivorEgressKeepsForwarding(t *testing.T) {
+	cp := newTestPlane(t, 6, 1, 71)
+	c := cp.Cluster()
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "sink", Fn: func(*netsim.Packet) {}}); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the pool so evacuations are infeasible and the guest stays
+	// degraded in place.
+	for _, id := range []string{"g0", "g1"} {
+		if oc := cp.Apply(AdmitOp{GuestID: id, Factory: beaconFactory(vtime.Virtual(4 * sim.Millisecond))}); oc.Err != nil {
+			t.Fatal(oc.Err)
+		}
+	}
+	c.Start()
+	g, _ := c.Guest("g0")
+	tri, _ := cp.Pool().Triangle("g0")
+	var atOneDead, atTwoDead uint64
+	c.Loop().At(300*sim.Millisecond, "crash-1", func() {
+		atOneDead = c.Egress().Forwarded()
+		if oc := cp.Apply(FailOp{Machine: tri[0]}); oc.Rejected() {
+			t.Errorf("fail 1: %v", oc.Err)
+		}
+	})
+	c.Loop().At(2*sim.Second, "crash-2", func() {
+		atTwoDead = c.Egress().Forwarded()
+		if atTwoDead <= atOneDead {
+			t.Error("degraded pair stopped forwarding")
+		}
+		if oc := cp.Apply(FailOp{Machine: tri[1]}); oc.Rejected() {
+			t.Errorf("fail 2: %v", oc.Err)
+		}
+	})
+	if err := c.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The sole survivor kept executing (its beacon needs no inbound) and
+	// its outputs reached the sink at the single live copy.
+	if got := c.Egress().Forwarded(); got <= atTwoDead {
+		t.Fatalf("single survivor's output wedged: forwarded %d at two-dead, %d at end", atTwoDead, got)
+	}
+	live := -1
+	for _, r := range g.Replicas() {
+		if !r.Runtime().Stopped() {
+			live = r.Slot()
+		}
+	}
+	if live < 0 {
+		t.Fatal("no live replica left")
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

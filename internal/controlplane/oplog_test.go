@@ -1,0 +1,283 @@
+package controlplane
+
+// Property tests for the operations log: the full Outcome log (ops, phases,
+// errors) is byte-identical across two runs with the same seed, Stats
+// folded from the log equals the counters a legacy hand-kept implementation
+// would have incremented, and every barrier's phases arrive in protocol
+// order with coherent pool deltas.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"stopwatch/internal/netsim"
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// shadowStats is the hand-kept ledger the op-log fold replaced, maintained
+// here by the scenario driver exactly the way the legacy verbs incremented
+// it — the migration-window oracle the fold must reproduce.
+type shadowStats struct {
+	Stats
+}
+
+func (s *shadowStats) admit(oc *Outcome) {
+	switch {
+	case oc.Err == nil:
+		s.Admitted++
+	case errors.Is(oc.Err, ErrRejected):
+		s.Rejected++
+	}
+}
+
+func (s *shadowStats) evict(oc *Outcome) {
+	if oc.Err == nil {
+		s.Evicted++
+	}
+}
+
+func (s *shadowStats) replace(oc *Outcome) {
+	s.DrainRetries += oc.QuiesceRetries
+	switch {
+	case oc.Err == nil:
+		s.Replacements++
+	case !oc.Rejected():
+		s.ReplacementFailures++
+	}
+}
+
+// evacuation accounts a whole-machine evacuation outcome the way the
+// legacy per-move callbacks did: every resident still on the machine was
+// moved; each joined error is one failed move. Quiescence retries happened
+// inside the child barriers, which the legacy ledger also ticked — the
+// shadow reads just that field off the children, not the fold logic.
+func (s *shadowStats) evacuation(cp *ControlPlane, oc *Outcome, crash bool) {
+	failed := 0
+	if oc.Err != nil {
+		failed = len(unjoinT(oc.Err))
+	}
+	moved := len(oc.Guests) - failed
+	for _, child := range cp.Log() {
+		if child.Parent == oc.Seq {
+			s.DrainRetries += child.QuiesceRetries
+		}
+	}
+	if crash {
+		s.CrashEvacuations += moved
+		s.CrashEvacuationFailures += failed
+	} else {
+		s.Evacuations += moved
+		s.EvacuationFailures += failed
+	}
+	s.Replacements += moved
+	s.ReplacementFailures += failed
+}
+
+func unjoinT(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+// runOpLogScenario drives one deterministic mini-churn through every op
+// kind and returns the rendered log, the folded stats, and the shadow
+// ledger.
+func runOpLogScenario(t *testing.T, seed uint64) (string, Stats, Stats) {
+	t.Helper()
+	cp := newTestPlane(t, 9, 2, seed)
+	c := cp.Cluster()
+	if err := c.Net().Attach(&netsim.FuncNode{Addr: "probe", Fn: func(*netsim.Packet) {}}); err != nil {
+		t.Fatal(err)
+	}
+	var shadow shadowStats
+	// Admit until the pool rejects twice (both outcomes must log).
+	rejected := 0
+	var ids []string
+	for i := 0; rejected < 2 && i < 20; i++ {
+		id := []string{"ga", "gb", "gc", "gd", "ge", "gf", "gg", "gh", "gi", "gj",
+			"gk", "gl", "gm", "gn", "go", "gp", "gq", "gr", "gs", "gt"}[i]
+		oc := cp.Apply(AdmitOp{GuestID: id, Factory: beaconFactory(vtime.Virtual(4 * sim.Millisecond))})
+		shadow.admit(oc)
+		if oc.Err != nil {
+			if !errors.Is(oc.Err, ErrNoFeasibleHost) {
+				t.Fatalf("admit %s: %v", id, oc.Err)
+			}
+			rejected++
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) < 4 {
+		t.Fatalf("only %d guests admitted", len(ids))
+	}
+	// A validation rejection is an op-log record too.
+	if oc := cp.Apply(EvictOp{GuestID: "ghost"}); !oc.Rejected() {
+		t.Fatal("evicting an unknown guest must reject")
+	} else {
+		shadow.evict(oc)
+	}
+	evictID := ids[1]
+	if oc := cp.Apply(EvictOp{GuestID: evictID}); oc.Err != nil {
+		t.Fatal(oc.Err)
+	} else {
+		shadow.evict(oc)
+	}
+	c.Start()
+	startPings(t, c, ids, 20*sim.Millisecond, 8*sim.Second)
+
+	// Direct replacement of a crashed replica.
+	repID := ids[0]
+	c.Loop().At(300*sim.Millisecond, "crash-replica", func() {
+		g, _ := c.Guest(repID)
+		tri, _ := cp.Pool().Triangle(repID)
+		slot, _ := g.SlotOnHost(tri[0])
+		g.Replica(slot).Runtime().Stop()
+		cp.Apply(ReplaceOp{GuestID: repID, DeadHost: tri[0], Done: func(oc *Outcome) { shadow.replace(oc) }})
+	})
+	// Planned maintenance on the busiest machine, then undrain.
+	c.Loop().At(2*sim.Second, "drain", func() {
+		m := busiestMachine(cp)
+		cp.Apply(DrainOp{Machine: m, Done: func(oc *Outcome) {
+			shadow.HostDrains++
+			shadow.evacuation(cp, oc, false)
+			if oc := cp.Apply(UndrainOp{Machine: m}); oc.Err != nil {
+				t.Errorf("undrain: %v", oc.Err)
+			}
+		}})
+	})
+	// Whole-machine crash: fail, evacuate, repair.
+	c.Loop().At(4*sim.Second, "crash", func() {
+		m := busiestMachine(cp)
+		if oc := cp.Apply(FailOp{Machine: m}); oc.Rejected() {
+			t.Errorf("fail: %v", oc.Err)
+			return
+		}
+		shadow.HostFailures++
+		cp.Apply(EvacuateOp{Machine: m, Done: func(oc *Outcome) {
+			shadow.evacuation(cp, oc, true)
+			if oc := cp.Apply(RepairOp{Machine: m}); oc.Err != nil {
+				t.Errorf("repair: %v", oc.Err)
+			}
+		}})
+	})
+	if err := c.Run(9 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return FormatLog(cp.Log()), cp.Stats(), shadow.Stats
+}
+
+func busiestMachine(cp *ControlPlane) int {
+	m := 0
+	for i := 1; i < cp.Cluster().Hosts(); i++ {
+		if cp.Pool().Drained(i) || cp.Failed(i) {
+			continue
+		}
+		if cp.Pool().Drained(m) || cp.Failed(m) || len(cp.Pool().Residents(i)) > len(cp.Pool().Residents(m)) {
+			m = i
+		}
+	}
+	return m
+}
+
+// TestOpLogByteIdenticalAcrossRuns: the replay property. Two runs with the
+// same seed produce byte-identical operation logs — ops, phases, timings,
+// errors — and the Stats folded from the log equal the counters a legacy
+// hand-kept ledger accumulates over the same run.
+func TestOpLogByteIdenticalAcrossRuns(t *testing.T) {
+	for _, seed := range []uint64{101, 103} {
+		log1, fold1, shadow1 := runOpLogScenario(t, seed)
+		log2, fold2, _ := runOpLogScenario(t, seed)
+		if log1 != log2 {
+			t.Fatalf("seed %d: op logs differ:\n--- first ---\n%s\n--- second ---\n%s", seed, log1, log2)
+		}
+		if fold1 != fold2 {
+			t.Fatalf("seed %d: folded stats differ: %+v vs %+v", seed, fold1, fold2)
+		}
+		if fold1 != shadow1 {
+			t.Fatalf("seed %d: fold %+v != legacy shadow %+v\nlog:\n%s", seed, fold1, shadow1, log1)
+		}
+		// The scenario exercised the whole surface.
+		if fold1.Admitted == 0 || fold1.Rejected == 0 || fold1.Evicted == 0 ||
+			fold1.Replacements == 0 || fold1.HostDrains == 0 || fold1.HostFailures == 0 ||
+			fold1.Evacuations == 0 || fold1.CrashEvacuations == 0 {
+			t.Fatalf("seed %d: scenario too weak: %+v", seed, fold1)
+		}
+		if !strings.Contains(log1, "err=") {
+			t.Fatalf("seed %d: no rejection on the log:\n%s", seed, log1)
+		}
+	}
+}
+
+// TestOutcomePhaseAndPoolInvariants: each completed barrier's phases arrive
+// in protocol order with non-decreasing times, and every outcome's pool
+// delta matches what its op did.
+func TestOutcomePhaseAndPoolInvariants(t *testing.T) {
+	_, _, _ = runOpLogScenario(t, 107) // exercises the harness
+	cp := newTestPlane(t, 9, 2, 107)
+	c := cp.Cluster()
+	oc := cp.Apply(AdmitOp{GuestID: "web", Factory: beaconFactory(vtime.Virtual(4 * sim.Millisecond))})
+	if oc.Err != nil {
+		t.Fatal(oc.Err)
+	}
+	if oc.Pool.GuestsAfter != oc.Pool.GuestsBefore+1 {
+		t.Fatalf("admit pool delta %+v", oc.Pool)
+	}
+	if _, ok := oc.PhaseAt(PhasePlace); !ok {
+		t.Fatal("admit without place phase")
+	}
+	c.Start()
+	tri := oc.Triangle
+	var rep *Outcome
+	c.Loop().At(300*sim.Millisecond, "crash", func() {
+		g, _ := c.Guest("web")
+		slot, _ := g.SlotOnHost(tri[2])
+		g.Replica(slot).Runtime().Stop()
+		rep = cp.Apply(ReplaceOp{GuestID: "web", DeadHost: tri[2]})
+	})
+	if err := c.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || !rep.Done() || rep.Err != nil {
+		t.Fatalf("replacement outcome: %+v", rep)
+	}
+	want := []Phase{PhasePause, PhaseQuiesce, PhaseRehome, PhaseReplace, PhaseResume}
+	if len(rep.Phases) != len(want) {
+		t.Fatalf("phases %v, want %v", rep.Phases, want)
+	}
+	for i, pt := range rep.Phases {
+		if pt.Phase != want[i] {
+			t.Fatalf("phase[%d] = %s, want %s", i, pt.Phase, want[i])
+		}
+		if i > 0 && pt.At < rep.Phases[i-1].At {
+			t.Fatalf("phase %s at %v before %s", pt.Phase, pt.At, want[i-1])
+		}
+	}
+	if pause, _ := rep.PhaseAt(PhasePause); pause != rep.Submitted {
+		t.Fatalf("pause at %v, submitted %v", pause, rep.Submitted)
+	}
+	if rep.Completed < rep.Submitted {
+		t.Fatalf("completed %v before submitted %v", rep.Completed, rep.Submitted)
+	}
+	if rep.Triangle == tri || rep.Triangle.Contains(tri[2]) {
+		t.Fatalf("post-move triangle %v still matches %v", rep.Triangle, tri)
+	}
+	if rep.Pool.GuestsAfter != rep.Pool.GuestsBefore {
+		t.Fatalf("replacement changed residency: %+v", rep.Pool)
+	}
+	// The log indexes every op by Seq.
+	for i, oc := range cp.Log() {
+		if oc.Seq != uint64(i)+1 {
+			t.Fatalf("log[%d].Seq = %d", i, oc.Seq)
+		}
+		got, ok := cp.Outcome(oc.Seq)
+		if !ok || got != oc {
+			t.Fatalf("Outcome(%d) lookup broken", oc.Seq)
+		}
+	}
+}

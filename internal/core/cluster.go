@@ -98,8 +98,15 @@ type Cluster struct {
 	src  *sim.Source
 	net  *netsim.Network
 
-	hosts     []*vmm.Host
-	hostNodes []*hostNode
+	hosts         []*vmm.Host
+	hostNodes     []*hostNode
+	hostIdxByName map[string]int
+
+	// Stall-detector wiring (detect.go): a positive deadline arms every
+	// device model's per-sequence proposal deadline; onStallSuspect
+	// receives the machines named silent when one fires.
+	stallDeadline  sim.Time
+	onStallSuspect func(machine int)
 
 	ingress *gateway.Ingress
 	egress  *gateway.Egress
@@ -243,11 +250,12 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		loop:   loop,
-		src:    src,
-		net:    net,
-		guests: make(map[string]*Guest),
+		cfg:           cfg,
+		loop:          loop,
+		src:           src,
+		net:           net,
+		guests:        make(map[string]*Guest),
+		hostIdxByName: make(map[string]int, cfg.Hosts),
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		name := fmt.Sprintf("host%d", i)
@@ -264,6 +272,7 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 			return nil, err
 		}
 		c.hosts = append(c.hosts, h)
+		c.hostIdxByName[name] = i
 		hn := &hostNode{
 			c:        c,
 			host:     h,
@@ -558,6 +567,7 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	hn.netdevs[id] = nd
 	hn.runtimes[id] = rt
 	g.replicas[k] = w
+	c.armStallDetector(id, w)
 	return nil
 }
 
@@ -575,9 +585,11 @@ func (g *Guest) dom0s() []netsim.Addr {
 // replica's pacing peer list, proposal multicast group and device-model
 // live view (under a freshly bumped view number, installed in all live
 // members within this one simulated instant), plus the ingress replication
-// group. Deployment, replica replacement and dead-machine reconfiguration
-// all go through it, so a replacement that overlaps an unevacuated failure
-// cannot resurrect a dead member into the group.
+// group and the egress's per-guest live copy count (so a degraded guest's
+// output forwards at its live group's median copy — the sole copy for a
+// single survivor). Deployment, replica replacement and dead-machine
+// reconfiguration all go through it, so a replacement that overlaps an
+// unevacuated failure cannot resurrect a dead member into the group.
 func (c *Cluster) reconcileGroups(g *Guest) error {
 	liveNames := make([]string, 0, len(g.replicas))
 	liveDom0s := make([]netsim.Addr, 0, len(g.replicas))
@@ -615,6 +627,9 @@ func (c *Cluster) reconcileGroups(g *Guest) error {
 		// through the freshly repointed multicast group.
 		w.nd.SetLiveReplicas(g.view, liveNames)
 	}
+	if err := c.egress.SetLiveReplicas(g.ID, len(liveDom0s)); err != nil {
+		return err
+	}
 	return c.ingress.UpdateGroup(g.ID, liveDom0s)
 }
 
@@ -628,12 +643,14 @@ func (c *Cluster) startGuest(g *Guest) {
 	}
 }
 
-// Start boots all deployed guests. Guests deployed after Start (online
-// admissions) boot at deployment time.
+// Start boots all deployed guests, in guest-id order — iteration order is
+// observable (co-hosted runtimes draw from their host's seeded stream as
+// they boot), and a map walk here would make per-run timing diverge.
+// Guests deployed after Start (online admissions) boot at deployment time.
 func (c *Cluster) Start() {
 	c.started = true
-	for _, g := range c.guests {
-		c.startGuest(g)
+	for _, id := range c.GuestIDs() {
+		c.startGuest(c.guests[id])
 	}
 }
 
@@ -645,9 +662,11 @@ func (c *Cluster) Run(until sim.Time) error {
 	return c.loop.RunUntil(until)
 }
 
-// Stop halts all guests (drains idle spinning so the loop can quiesce).
+// Stop halts all guests (drains idle spinning so the loop can quiesce), in
+// guest-id order for the same determinism reason as Start.
 func (c *Cluster) Stop() {
-	for _, g := range c.guests {
+	for _, id := range c.GuestIDs() {
+		g := c.guests[id]
 		if g.Baseline != nil {
 			g.Baseline.Stop()
 		}

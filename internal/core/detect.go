@@ -1,0 +1,108 @@
+package core
+
+// Stall-detector plumb-through. The device model's per-sequence proposal
+// deadline (vmm.NetDevice.ProposalDeadline / OnStall) fires on a survivor
+// when a delivery proposal group misses its deadline; this file turns that
+// device-local observation into a cluster-level suspicion — "machine m is
+// silent" — for the control plane's detector to act on. The cluster only
+// names suspects; declaring a machine dead (and everything that follows)
+// is policy and stays above.
+
+import (
+	"fmt"
+
+	"stopwatch/internal/sim"
+)
+
+// SetStallDetector arms the per-sequence proposal deadline on every guest
+// replica device model — those already deployed and every one wired later
+// (admissions, replacements) — and reports the machines whose proposals are
+// missing when a sequence stalls past it. onSuspect may be invoked several
+// times for one dead machine (every guest it stalls reports); dedup is the
+// caller's job. Reports from devices that are themselves on failed
+// machines, or from wirings already replaced, are suppressed.
+func (c *Cluster) SetStallDetector(deadline sim.Time, onSuspect func(machine int)) error {
+	if deadline <= 0 {
+		return fmt.Errorf("%w: stall deadline %d", ErrCluster, deadline)
+	}
+	if onSuspect == nil {
+		return fmt.Errorf("%w: stall detector needs a suspect callback", ErrCluster)
+	}
+	c.stallDeadline = deadline
+	c.onStallSuspect = onSuspect
+	for _, id := range c.GuestIDs() {
+		g := c.guests[id]
+		for _, w := range g.replicas {
+			c.armStallDetector(id, w)
+		}
+	}
+	return nil
+}
+
+// armStallDetector wires one replica's device model into the detector; a
+// no-op until SetStallDetector has been called.
+func (c *Cluster) armStallDetector(id string, w *replicaWiring) {
+	if c.stallDeadline <= 0 {
+		return
+	}
+	w.nd.ProposalDeadline = c.stallDeadline
+	w.nd.OnStall = func(seq uint64) { c.reportStall(id, w, seq) }
+}
+
+// reportStall handles one device-level stall. A missed deadline alone is
+// not an accusation: a saturated Dom0 (the coresidency load coupling the
+// paper models) can legitimately hold a proposal past any snappy deadline,
+// so the stall is re-checked one further deadline later and only an origin
+// still silent then is reported. A dead VMM never catches up; a merely
+// slow one resolves the sequence in between and the alarm dissolves.
+//
+// The deadline timer outlives lifecycle churn, so stale sources are
+// filtered at both checks: a device on a failed machine resolves nothing
+// and reports nothing, and a wiring the guest no longer owns (evicted, or
+// replaced at switchover) is dead state.
+func (c *Cluster) reportStall(id string, w *replicaWiring, seq uint64) {
+	if !c.stallSourceLive(id, w) {
+		return
+	}
+	if len(w.nd.MissingProposals(seq)) == 0 {
+		return
+	}
+	view := w.nd.View()
+	c.loop.After(c.stallDeadline, "stall:confirm", func() {
+		if c.onStallSuspect == nil || !c.stallSourceLive(id, w) {
+			return
+		}
+		// A view change in between voids the observation: the
+		// reconfiguration wiped and re-proposed every pending sequence, so
+		// a proposal set that looks empty right now may just be the re-
+		// proposal round still in flight. The fresh proposals armed fresh
+		// deadlines; a genuine stall under the new view re-reports.
+		if w.nd.View() != view {
+			return
+		}
+		for _, origin := range w.nd.MissingProposals(seq) {
+			if m, ok := c.hostIdxByName[origin]; ok {
+				c.onStallSuspect(m)
+			}
+		}
+	})
+}
+
+// stallSourceLive reports whether a stall source is still worth listening
+// to: its own machine is alive and the wiring is still the guest's current
+// occupant of its slot.
+func (c *Cluster) stallSourceLive(id string, w *replicaWiring) bool {
+	if c.hosts[w.hostIdx].Failed() {
+		return false
+	}
+	g, ok := c.guests[id]
+	if !ok {
+		return false
+	}
+	for _, cur := range g.replicas {
+		if cur == w {
+			return true
+		}
+	}
+	return false
+}

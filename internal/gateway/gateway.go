@@ -8,6 +8,7 @@ package gateway
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"stopwatch/internal/multicast"
 	"stopwatch/internal/netsim"
@@ -204,12 +205,16 @@ type Egress struct {
 	loop *sim.Loop
 	addr netsim.Addr
 
-	// copies[guestID][seq] counts tunnel arrivals.
-	copies map[string]map[uint64]int
+	// copies[guestID][seq] tracks tunnel arrivals per output packet.
+	copies map[string]map[uint64]*copyGroup
 	// replicas is the expected copy count per packet (3 by default).
 	replicas int
 	// forwardOn is which copy triggers forwarding (2 = median of 3).
 	forwardOn int
+	// live, per guest, overrides the expected copy count while the guest's
+	// replica group is degraded — the egress-side mirror of the device
+	// models' live view. Absent means the full group.
+	live map[string]int
 
 	forwarded uint64
 	absorbed  uint64
@@ -231,9 +236,10 @@ func NewEgress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr, replicas i
 		net:       net,
 		loop:      loop,
 		addr:      addr,
-		copies:    make(map[string]map[uint64]int),
+		copies:    make(map[string]map[uint64]*copyGroup),
 		replicas:  replicas,
 		forwardOn: replicas/2 + 1,
+		live:      make(map[string]int),
 	}
 	if err := net.Attach(&netsim.FuncNode{Addr: addr, Fn: e.deliver}); err != nil {
 		return nil, err
@@ -244,6 +250,18 @@ func NewEgress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr, replicas i
 // Addr returns the egress fabric address replicas tunnel to.
 func (e *Egress) Addr() netsim.Addr { return e.addr }
 
+// copyGroup tracks one output packet's tunnel arrivals. forwarded is a
+// flag, not a count comparison: the forwarding threshold can change
+// between copies (a live-view change mid-group), so "has this packet been
+// sent" must be remembered, never re-derived. The message is kept (all
+// copies are identical — that is what lockstep means) so a group made
+// eligible by a later view shrink can still be flushed.
+type copyGroup struct {
+	n         int
+	forwarded bool
+	msg       vmm.EgressMsg
+}
+
 func (e *Egress) deliver(p *netsim.Packet) {
 	msg, ok := p.Payload.(vmm.EgressMsg)
 	if !ok {
@@ -251,38 +269,102 @@ func (e *Egress) deliver(p *netsim.Packet) {
 	}
 	byGuest, ok := e.copies[msg.GuestID]
 	if !ok {
-		byGuest = make(map[uint64]int)
+		byGuest = make(map[uint64]*copyGroup)
 		e.copies[msg.GuestID] = byGuest
 	}
-	byGuest[msg.Seq]++
-	n := byGuest[msg.Seq]
-	switch {
-	case n == e.forwardOn:
-		e.forwarded++
-		if e.OnForward != nil {
-			e.OnForward(msg.GuestID, msg.Seq, e.loop.Now())
-		}
-		e.net.Send(&netsim.Packet{
-			Src:     ServiceAddr(msg.GuestID),
-			Dst:     msg.OrigDst,
-			Size:    msg.Size,
-			Kind:    "guest:data",
-			Payload: msg.Data,
-		})
-	case n >= e.replicas:
-		e.absorbed++
-		delete(byGuest, msg.Seq)
-	default:
+	g, ok := byGuest[msg.Seq]
+	if !ok {
+		g = &copyGroup{msg: msg}
+		byGuest[msg.Seq] = g
+	}
+	g.n++
+	if !g.forwarded && g.n >= e.forwardOnFor(msg.GuestID) {
+		e.forward(g)
+	} else {
 		e.absorbed++
 	}
+	// Retire the group only at the FULL replica count: a degraded group's
+	// missing copies may still be in flight from the moment before their
+	// sender died, and deleting early would let such a straggler recreate
+	// the entry as a phantom stuck group nothing could ever clean up.
+	// Degraded groups that never see their remaining copies are reclaimed
+	// by ReclaimForwardedUpTo at replacement, like every crash window.
+	if g.n >= e.replicas {
+		delete(byGuest, msg.Seq)
+	}
+}
+
+// forward sends a group's packet to its true destination and marks it.
+func (e *Egress) forward(g *copyGroup) {
+	g.forwarded = true
+	e.forwarded++
+	if e.OnForward != nil {
+		e.OnForward(g.msg.GuestID, g.msg.Seq, e.loop.Now())
+	}
+	e.net.Send(&netsim.Packet{
+		Src:     ServiceAddr(g.msg.GuestID),
+		Dst:     g.msg.OrigDst,
+		Size:    g.msg.Size,
+		Kind:    "guest:data",
+		Payload: g.msg.Data,
+	})
+}
+
+// forwardOnFor returns the copy that triggers forwarding for a guest: the
+// median copy of the full group, or of the installed live count while the
+// group is degraded.
+func (e *Egress) forwardOnFor(guestID string) int {
+	if n, ok := e.live[guestID]; ok {
+		return n/2 + 1
+	}
+	return e.forwardOn
+}
+
+// SetLiveReplicas installs a guest's live replica count — the egress-side
+// mirror of the device models' live-group view, kept by the cluster's group
+// reconciliation. While degraded to n live replicas the guest's output is
+// forwarded at copy n/2+1: the later of a surviving pair's two emissions
+// (the upper-median bias the delivery side also uses), and the sole copy of
+// a single survivor — whose output would otherwise wait forever for a
+// second emission. Restoring n to the full group size clears the override.
+//
+// Pending groups made eligible by a shrink are flushed immediately, in
+// sequence order: a packet whose counted copies all came from now-dead
+// replicas will see no further emission, so its eligibility can only be
+// acted on here.
+func (e *Egress) SetLiveReplicas(guestID string, n int) error {
+	if n < 1 || n > e.replicas {
+		return fmt.Errorf("%w: live replica count %d of %d", ErrGateway, n, e.replicas)
+	}
+	if n == e.replicas {
+		delete(e.live, guestID)
+		return nil
+	}
+	e.live[guestID] = n
+	byGuest := e.copies[guestID]
+	forwardOn := n/2 + 1
+	seqs := make([]uint64, 0, len(byGuest))
+	for seq, g := range byGuest {
+		if !g.forwarded && g.n >= forwardOn {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		e.forward(byGuest[seq])
+	}
+	return nil
 }
 
 // Forwarded reports packets forwarded to their destinations.
 func (e *Egress) Forwarded() uint64 { return e.forwarded }
 
-// DropGuest discards the copy-counting state of an evicted guest so a later
-// tenant reusing the id starts from a clean slate.
-func (e *Egress) DropGuest(guestID string) { delete(e.copies, guestID) }
+// DropGuest discards the copy-counting and live-view state of an evicted
+// guest so a later tenant reusing the id starts from a clean slate.
+func (e *Egress) DropGuest(guestID string) {
+	delete(e.copies, guestID)
+	delete(e.live, guestID)
+}
 
 // ReclaimForwardedUpTo discards a guest's already-forwarded copy groups
 // with sequence <= maxSeq. After a replica replacement this frees the
@@ -294,15 +376,15 @@ func (e *Egress) DropGuest(guestID string) { delete(e.copies, guestID) }
 // flight would resurrect it as a bogus stuck entry.
 func (e *Egress) ReclaimForwardedUpTo(guestID string, maxSeq uint64) {
 	byGuest := e.copies[guestID]
-	for seq, n := range byGuest {
-		if seq <= maxSeq && n >= e.forwardOn {
+	for seq, g := range byGuest {
+		if seq <= maxSeq && g.forwarded {
 			delete(byGuest, seq)
 		}
 	}
 }
 
-// PendingGroups reports output sequences still awaiting their forwarding
-// copy (tests / liveness checks).
+// PendingGroups reports output sequences whose copy groups are still open
+// (tests / liveness checks).
 func (e *Egress) PendingGroups() int {
 	n := 0
 	for _, m := range e.copies {
@@ -311,13 +393,13 @@ func (e *Egress) PendingGroups() int {
 	return n
 }
 
-// StuckBelowForward reports output sequences that have NOT yet reached the
-// forwarding copy count — packets an external client is still waiting for.
+// StuckBelowForward reports output sequences that have NOT yet been
+// forwarded — packets an external client is still waiting for.
 func (e *Egress) StuckBelowForward() int {
 	n := 0
 	for _, m := range e.copies {
-		for _, c := range m {
-			if c < e.forwardOn {
+		for _, g := range m {
+			if !g.forwarded {
 				n++
 			}
 		}

@@ -334,3 +334,158 @@ func TestEgressValidation(t *testing.T) {
 		t.Fatal("zero replicas should fail")
 	}
 }
+
+// TestEgressSingleSurvivorForwardsSoleCopy: the per-guest live view. A
+// guest degraded to one live replica must have its output forwarded at the
+// sole copy instead of waiting forever for a second emission.
+func TestEgressSingleSurvivorForwardsSoleCopy(t *testing.T) {
+	net, loop := testFabric(t, 21, 0)
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eg.SetLiveReplicas("g1", 1); err != nil {
+		t.Fatal(err)
+	}
+	tunnel(net, "egress", "A", "g1", 1, "client", "x")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("single survivor's copy not forwarded (delivered=%d)", delivered)
+	}
+	if eg.StuckBelowForward() != 0 {
+		t.Fatalf("stuck=%d after sole-copy forward", eg.StuckBelowForward())
+	}
+	// The forwarded group lingers for possible stragglers; the replacement
+	// path's reclaim retires it.
+	eg.ReclaimForwardedUpTo("g1", 1)
+	if eg.PendingGroups() != 0 {
+		t.Fatalf("pending=%d after reclaim", eg.PendingGroups())
+	}
+}
+
+// TestEgressViewShrinkFlushesEligibleGroups: copies counted under the full
+// group must still forward when a view shrink makes them eligible — the
+// counted copies may all be from now-dead replicas, so no further emission
+// will ever re-trigger the check.
+func TestEgressViewShrinkFlushesEligibleGroups(t *testing.T) {
+	net, loop := testFabric(t, 27, 0)
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One copy arrives under the full group (forwardOn 2): absorbed.
+	tunnel(net, "egress", "A", "g1", 1, "client", "x")
+	if err := loop.RunUntil(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Fatal("forwarded below the median copy")
+	}
+	// The group degrades to a single survivor: the already-counted copy is
+	// now the whole group and must flush.
+	if err := eg.SetLiveReplicas("g1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("view shrink did not flush the eligible group (delivered=%d)", delivered)
+	}
+	if eg.StuckBelowForward() != 0 {
+		t.Fatalf("stuck=%d after flush", eg.StuckBelowForward())
+	}
+}
+
+// TestEgressLivePairForwardsOnSecondAndToleratesStraggler: a degraded pair
+// forwards at the later of its two emissions (the upper-median bias); the
+// group stays open for the dead replica's in-flight straggler copy, which
+// retires it at the full count instead of resurrecting a phantom stuck
+// entry.
+func TestEgressLivePairForwardsOnSecondAndToleratesStraggler(t *testing.T) {
+	net, loop := testFabric(t, 23, 0)
+	delivered := 0
+	if err := net.Attach(&netsim.FuncNode{Addr: "client", Fn: func(*netsim.Packet) { delivered++ }}); err != nil {
+		t.Fatal(err)
+	}
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eg.SetLiveReplicas("g1", 2); err != nil {
+		t.Fatal(err)
+	}
+	tunnel(net, "egress", "A", "g1", 1, "client", "x")
+	tunnel(net, "egress", "B", "g1", 1, "client", "x")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered=%d, want forward on second copy", delivered)
+	}
+	// The dead replica's copy — tunnelled just before its VMM died — lands
+	// late: absorbed, group retired, never re-forwarded, never stuck.
+	tunnel(net, "egress", "C", "g1", 1, "client", "x")
+	if err := loop.RunUntil(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("straggler re-forwarded (delivered=%d)", delivered)
+	}
+	if eg.PendingGroups() != 0 || eg.StuckBelowForward() != 0 {
+		t.Fatalf("straggler left pending=%d stuck=%d", eg.PendingGroups(), eg.StuckBelowForward())
+	}
+	// Restoring the full group clears the override: the next sequence
+	// needs two of three copies again.
+	if err := eg.SetLiveReplicas("g1", 3); err != nil {
+		t.Fatal(err)
+	}
+	tunnel(net, "egress", "A", "g1", 2, "client", "y")
+	if err := loop.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("restored group forwarded on first copy (delivered=%d)", delivered)
+	}
+	if eg.StuckBelowForward() != 1 {
+		t.Fatalf("stuck=%d, want the half-arrived seq 2", eg.StuckBelowForward())
+	}
+}
+
+// TestEgressSetLiveReplicasValidation pins the bounds and the DropGuest
+// cleanup.
+func TestEgressSetLiveReplicasValidation(t *testing.T) {
+	net, loop := testFabric(t, 25, 0)
+	eg, err := NewEgress(net, loop, "egress", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eg.SetLiveReplicas("g", 0); !errors.Is(err, ErrGateway) {
+		t.Fatal("live count 0 accepted")
+	}
+	if err := eg.SetLiveReplicas("g", 4); !errors.Is(err, ErrGateway) {
+		t.Fatal("live count beyond the group accepted")
+	}
+	if err := eg.SetLiveReplicas("g", 1); err != nil {
+		t.Fatal(err)
+	}
+	eg.DropGuest("g")
+	// A later tenant reusing the id starts from the full group again.
+	tunnel(net, "egress", "A", "g", 1, "client", "x")
+	if err := loop.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if eg.Forwarded() != 0 {
+		t.Fatal("stale live view survived DropGuest")
+	}
+}

@@ -312,6 +312,31 @@ func (nd *NetDevice) PrimeResolved(seq uint64) {
 	}
 }
 
+// MissingProposals names the group members whose proposal for a pending
+// sequence has not arrived — what a failure detector reads when OnStall
+// fires to turn "this sequence stalled" into "these machines are silent".
+// It requires an installed live view (the cluster installs one at every
+// deploy and reconfiguration); without one the device knows only peer
+// counts, not membership, and reports nothing. Resolved or unknown
+// sequences report nothing. The result is sorted for determinism.
+func (nd *NetDevice) MissingProposals(seq uint64) []string {
+	if nd.live == nil || nd.isResolved(seq) {
+		return nil
+	}
+	st, ok := nd.props[seq]
+	if !ok {
+		return nil
+	}
+	var missing []string
+	for origin := range nd.live {
+		if _, have := st.props[origin]; !have {
+			missing = append(missing, origin)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 // armDeadline schedules the per-seq proposal deadline on the host loop.
 func (nd *NetDevice) armDeadline(seq uint64) {
 	if nd.ProposalDeadline <= 0 {

@@ -216,3 +216,41 @@ func TestPrimeResolvedDiscardsHistory(t *testing.T) {
 		t.Fatal("historic straggler was not counted as stale")
 	}
 }
+
+// TestMissingProposalsNamesSilentOrigins: the detector read-out. With a
+// live view installed, a pending sequence names exactly the members whose
+// proposal has not arrived (sorted); resolved or unknown sequences, and
+// devices without a view, name nothing.
+func TestMissingProposalsNamesSilentOrigins(t *testing.T) {
+	loop, _, nd := groupTestDevice(t, 91)
+	// No live view yet: membership names are unknown to the device.
+	nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64})
+	if err := loop.RunUntil(5 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := nd.MissingProposals(1); got != nil {
+		t.Fatalf("no view installed, but MissingProposals = %v", got)
+	}
+	// Install the full view: B and C are now nameable.
+	nd.SetLiveReplicas(1, []string{"A", "B", "C"})
+	if got := nd.MissingProposals(1); len(got) != 2 || got[0] != "B" || got[1] != "C" {
+		t.Fatalf("missing = %v, want [B C]", got)
+	}
+	nd.HandlePeerProposal("B", 1, 1, vtime.Virtual(30*sim.Millisecond))
+	if got := nd.MissingProposals(1); len(got) != 1 || got[0] != "C" {
+		t.Fatalf("missing after B = %v, want [C]", got)
+	}
+	nd.HandlePeerProposal("C", 1, 1, vtime.Virtual(31*sim.Millisecond))
+	if err := loop.RunUntil(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if nd.Resolved() != 1 {
+		t.Fatalf("resolved=%d", nd.Resolved())
+	}
+	if got := nd.MissingProposals(1); got != nil {
+		t.Fatalf("resolved seq still names %v", got)
+	}
+	if got := nd.MissingProposals(99); got != nil {
+		t.Fatalf("unknown seq names %v", got)
+	}
+}

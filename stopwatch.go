@@ -241,33 +241,88 @@ func NewPool(n, c int) (*Pool, error) { return placement.NewPool(n, c) }
 
 // Control-plane re-exports: the online orchestrator over a running cloud.
 
-// ControlPlane serves the online guest lifecycle: Admit places a guest on
-// an edge-disjoint replica triangle and boots it, Evict returns its edges
-// and capacity to the pool, ReplaceReplica re-homes a failed replica and
-// re-syncs it into lockstep from the survivors' state, and DrainHost
-// evacuates every resident of a machine for planned maintenance
-// (UndrainHost re-admits it afterwards). Crashed machines are a separate
-// failure domain: FailHost marks a machine whose VMM died and reconfigures
-// every resident guest onto its live quorum (the degraded 2-of-3 regime, so
-// delivery medians keep resolving), EvacuateFailedHost re-homes the
-// residents through the replacement barrier, and RepairHost returns the
-// rebooted machine to the pool.
+// ControlPlane serves the online guest lifecycle through the unified
+// operations API: every mutation is a typed Op — AdmitOp, EvictOp,
+// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp — submitted
+// through Apply, which returns a structured Outcome (typed result,
+// per-phase barrier timings, affected guests, pool deltas), appends it to
+// the append-only operations log (Log), and streams progress to Watch
+// subscribers. Stats is a pure fold over the log, and EnableStallDetector
+// turns a stalled proposal group into a detector-driven
+// fail → reconfigure → evacuate pipeline. The verb methods (Admit, Evict,
+// ReplaceReplica, DrainHost, UndrainHost, FailHost, EvacuateFailedHost,
+// RepairHost) are thin wrappers over Apply.
 type ControlPlane = controlplane.ControlPlane
 
 // ControlPlaneConfig tunes the orchestrator.
 type ControlPlaneConfig = controlplane.Config
 
-// ControlPlaneStats counts lifecycle decisions.
+// ControlPlaneStats aggregates lifecycle decisions — a pure fold over the
+// operations log (see FoldOpStats).
 type ControlPlaneStats = controlplane.Stats
 
-// ErrAdmissionRejected marks admissions the placement pool cannot satisfy
-// (no edge-disjoint triangle with spare capacity); check with errors.Is.
-var ErrAdmissionRejected = controlplane.ErrRejected
+// Operations API re-exports.
 
-// ErrNoFeasibleHost is the typed infeasibility outcome of the placement
-// pool: no candidate triangle or host satisfies edge-disjointness, capacity
-// and drain state. Expected at high utilization; check with errors.Is.
-var ErrNoFeasibleHost = placement.ErrNoFeasibleHost
+// Op is one control-plane operation, submitted through ControlPlane.Apply.
+type Op = controlplane.Op
+
+// OpKind discriminates the Op sum.
+type OpKind = controlplane.OpKind
+
+// Outcome is an operation's record in the operations log.
+type Outcome = controlplane.Outcome
+
+// OpPhase is one stage of an operation's execution.
+type OpPhase = controlplane.Phase
+
+// OpEvent is one observation on the ControlPlane.Watch stream.
+type OpEvent = controlplane.Event
+
+// OpEventKind discriminates operation events.
+type OpEventKind = controlplane.EventKind
+
+// Operation event kinds.
+const (
+	OpStarted    = controlplane.OpStarted
+	PhaseReached = controlplane.PhaseReached
+	OpCompleted  = controlplane.OpCompleted
+	OpFailed     = controlplane.OpFailed
+)
+
+// The typed operations.
+type (
+	// AdmitOp places a new guest on an edge-disjoint replica triangle.
+	AdmitOp = controlplane.AdmitOp
+	// EvictOp undeploys a guest and frees its edges and capacity.
+	EvictOp = controlplane.EvictOp
+	// ReplaceOp re-homes a failed replica through the Sec. VII barrier.
+	ReplaceOp = controlplane.ReplaceOp
+	// DrainOp evacuates a machine for planned maintenance.
+	DrainOp = controlplane.DrainOp
+	// UndrainOp returns a drained machine's capacity to the pool.
+	UndrainOp = controlplane.UndrainOp
+	// FailOp marks a machine crashed and reconfigures its residents onto
+	// their live quorums.
+	FailOp = controlplane.FailOp
+	// EvacuateOp re-homes every resident of a crashed machine.
+	EvacuateOp = controlplane.EvacuateOp
+	// RepairOp returns a crashed, evacuated machine to service.
+	RepairOp = controlplane.RepairOp
+)
+
+// FoldOpStats derives decision counters from an operations log.
+func FoldOpStats(log []*Outcome) ControlPlaneStats { return controlplane.FoldStats(log) }
+
+// FormatOpLog renders an operations log deterministically, one line per
+// outcome — byte-identical across runs with the same seed.
+func FormatOpLog(log []*Outcome) string { return controlplane.FormatLog(log) }
+
+// ErrNoFeasibleHost is the uniform typed infeasibility sentinel: no
+// candidate triangle or host satisfies edge-disjointness, capacity and
+// drain state. Admission rejections, replacement and evacuation
+// infeasibility all wrap it — errors.Is(outcome.Err, ErrNoFeasibleHost) is
+// the one check. Expected at high utilization.
+var ErrNoFeasibleHost = controlplane.ErrNoFeasibleHost
 
 // NewControlPlane builds a control plane over a StopWatch-mode cluster.
 func NewControlPlane(c *Cluster, cfg ControlPlaneConfig) (*ControlPlane, error) {
