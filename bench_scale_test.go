@@ -1,0 +1,99 @@
+package stopwatch
+
+// BenchmarkClusterScale is the repo's perf yardstick for the discrete-event
+// hot path: a whole cloud (10/50/200 machines) under simultaneous tenant
+// churn and client traffic, measured as simulator event throughput. Unlike
+// the figure benches (which measure paper quantities), this one measures the
+// enforcement layer itself: events/sec is how fast the deterministic
+// timing-replication machinery runs on the hardware, and allocs/op (via
+// -benchmem) is the steady-state garbage the packet pipeline produces.
+// BENCH_5.json records the trajectory; CI fails on alloc regressions.
+
+import (
+	"fmt"
+	"testing"
+
+	"stopwatch/internal/controlplane"
+)
+
+// benchScale runs one cloud size: hosts machines at capacity 4, one tenant
+// per machine on average, client pings to every tenant plus a rolling
+// evict/re-admit churn through the middle of the run.
+func benchScale(b *testing.B, hosts int) {
+	const simMillis = 200.0
+	var fired, pkts uint64
+	var simSeconds float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultClusterConfig()
+		cfg.Hosts = hosts
+		cfg.Seed = uint64(i + 1)
+		c, err := NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cp, err := NewControlPlane(c, DefaultControlPlaneConfig(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		factory := func() App { return &benchPinger{} }
+		ids := make([]string, hosts)
+		for g := 0; g < hosts; g++ {
+			ids[g] = fmt.Sprintf("scale-%d", g)
+			if _, _, err := cp.Admit(ids[g], factory); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.Net().Attach(&FuncNode{Addr: "bench-sink"}); err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		// Client traffic: ping every tenant every 10 simulated ms.
+		var ping func()
+		ping = func() {
+			for _, id := range ids {
+				c.Net().Send(&Packet{Src: "bench-sink", Dst: GuestAddr(id), Size: 200, Kind: "ping"})
+			}
+			c.Loop().After(Millis(10), "scale:ping", ping)
+		}
+		c.Loop().After(Millis(5), "scale:ping", ping)
+		// Churn: one evict + re-admit per 20 simulated ms, round-robin.
+		victim := 0
+		var churn func()
+		churn = func() {
+			id := ids[victim%hosts]
+			if oc := cp.Apply(controlplane.EvictOp{GuestID: id}); oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+			ids[victim%hosts] = fmt.Sprintf("scale-%d-r%d", victim%hosts, victim)
+			if oc := cp.Apply(controlplane.AdmitOp{GuestID: ids[victim%hosts], Factory: factory}); oc.Err != nil {
+				b.Fatal(oc.Err)
+			}
+			victim++
+			c.Loop().After(Millis(20), "scale:churn", churn)
+		}
+		c.Loop().After(Millis(15), "scale:churn", churn)
+		b.StartTimer()
+		if err := c.Run(Millis(simMillis)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		fired += c.Loop().Fired()
+		pkts += c.Net().Stats().Delivered
+		simSeconds += simMillis / 1000
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(fired)/float64(b.N), "events/op")
+	b.ReportMetric(float64(pkts)/simSeconds, "pkts/simsec")
+}
+
+// BenchmarkClusterScale sweeps cloud sizes; /200 is the headline number the
+// ROADMAP perf trajectory tracks.
+func BenchmarkClusterScale(b *testing.B) {
+	for _, hosts := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("%d", hosts), func(b *testing.B) { benchScale(b, hosts) })
+	}
+}

@@ -1,0 +1,205 @@
+// Command benchjson turns `go test -bench` output into JSON and gates CI on
+// performance regressions. It is the tooling behind the repo's BENCH_*.json
+// perf trajectory (see README "Performance"):
+//
+//	go test -run XXX -bench 'BenchmarkChurn|BenchmarkClusterScale' -benchtime 20x -benchmem . |
+//	    tee bench.txt
+//	benchjson -in bench.txt -out bench-ci.json \
+//	    -check BENCH_5.json -bench BenchmarkChurn -metric allocs/op -max-regress 0.20
+//
+// The -check baseline may be a raw benchjson output ({"benchmarks": ...})
+// or a recorded BENCH_N.json trajectory file (the "after" section is used).
+// A measured value worse than baseline*(1+max-regress) exits non-zero.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's parsed result: iteration count plus every
+// reported metric (ns/op, B/op, allocs/op, and custom b.ReportMetric units).
+type Bench struct {
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is benchjson's output document.
+type Report struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// baselineFile covers both accepted -check layouts.
+type baselineFile struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+	After      *Report          `json:"after"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "write parsed JSON here (default stdout)")
+	check := fs.String("check", "", "baseline JSON to compare against (raw benchjson output or BENCH_N.json)")
+	benchName := fs.String("bench", "BenchmarkChurn", "benchmark to gate on with -check")
+	metric := fs.String("metric", "allocs/op", "metric to gate on with -check")
+	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional regression before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			return err
+		}
+	} else {
+		_, _ = stdout.Write(enc)
+	}
+
+	if *check == "" {
+		return nil
+	}
+	base, err := loadBaseline(*check)
+	if err != nil {
+		return err
+	}
+	return Gate(rep, base, *benchName, *metric, *maxRegress, stdout)
+}
+
+// Parse reads `go test -bench` output. Each benchmark line is
+//
+//	BenchmarkName[-P] <iterations> <value> <unit> [<value> <unit>]...
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so names are stable across machines.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Bench{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		rep.Benchmarks[name] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func loadBaseline(path string) (map[string]Bench, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.After != nil && len(bf.After.Benchmarks) > 0 {
+		return bf.After.Benchmarks, nil
+	}
+	if len(bf.Benchmarks) > 0 {
+		return bf.Benchmarks, nil
+	}
+	return nil, fmt.Errorf("%s: no benchmarks (expected .benchmarks or .after.benchmarks)", path)
+}
+
+// Gate fails (returns an error) when the measured metric regressed more
+// than maxRegress versus the baseline. Lower is assumed better — the gate
+// is meant for allocs/op, B/op and ns/op.
+func Gate(rep *Report, base map[string]Bench, bench, metric string, maxRegress float64, out io.Writer) error {
+	cur, ok := rep.Benchmarks[bench]
+	if !ok {
+		return fmt.Errorf("gate: %s not in measured input", bench)
+	}
+	curV, ok := cur.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("gate: %s has no %q metric (run with -benchmem?)", bench, metric)
+	}
+	b, ok := base[bench]
+	if !ok {
+		return fmt.Errorf("gate: %s not in baseline", bench)
+	}
+	baseV, ok := b.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("gate: baseline %s has no %q metric", bench, metric)
+	}
+	limit := baseV * (1 + maxRegress)
+	if curV > limit {
+		return fmt.Errorf("gate: %s %s regressed: %.2f > %.2f (baseline %.2f, +%d%% allowed)",
+			bench, metric, curV, limit, baseV, int(maxRegress*100))
+	}
+	fmt.Fprintf(out, "gate: %s %s ok: %.2f <= %.2f (baseline %.2f)\n", bench, metric, curV, limit, baseV)
+	return nil
+}

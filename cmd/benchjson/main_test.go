@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: stopwatch
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClusterScale/200         	      20	 430742306 ns/op	    873820 events/op	   2028637 events/sec	 26163101 B/op	  374610 allocs/op
+BenchmarkChurn-8                  	      20	      7363 ns/op	        20.00 admitted	   20864 B/op	      91 allocs/op
+PASS
+ok  	stopwatch	9.216s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.CPU == "" {
+		t.Fatalf("header not parsed: %+v", rep)
+	}
+	churn, ok := rep.Benchmarks["BenchmarkChurn"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", rep.Benchmarks)
+	}
+	if churn.Iterations != 20 || churn.Metrics["allocs/op"] != 91 || churn.Metrics["admitted"] != 20 {
+		t.Fatalf("churn metrics wrong: %+v", churn)
+	}
+	scale := rep.Benchmarks["BenchmarkClusterScale/200"]
+	if scale.Metrics["events/op"] != 873820 || scale.Metrics["ns/op"] != 430742306 {
+		t.Fatalf("scale metrics wrong: %+v", scale)
+	}
+}
+
+func TestGate(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]Bench{
+		"BenchmarkChurn": {Metrics: map[string]float64{"allocs/op": 80}},
+	}
+	var out strings.Builder
+	// 91 > 80*1.10 → fail
+	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.10, &out); err == nil {
+		t.Fatal("gate should fail at +10%")
+	}
+	// 91 <= 80*1.20 → pass
+	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.20, &out); err != nil {
+		t.Fatalf("gate should pass at +20%%: %v", err)
+	}
+	if err := Gate(rep, base, "BenchmarkMissing", "allocs/op", 0.2, &out); err == nil {
+		t.Fatal("missing benchmark must error")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/placement"
+	"stopwatch/internal/profiling"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/vtime"
 )
@@ -57,6 +58,8 @@ type options struct {
 	autodetect  bool
 	pingEvery   float64
 	seed        uint64
+	cpuprofile  string
+	memprofile  string
 }
 
 func parse(args []string) (options, error) {
@@ -73,6 +76,8 @@ func parse(args []string) (options, error) {
 	fs.BoolVar(&o.autodetect, "autodetect", false, "kill crashed machines at the data plane only; the stall detector submits the FailOp")
 	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -191,6 +196,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(o.cpuprofile, o.memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(out, "profile:", perr)
+		}
+	}()
 	ccfg := core.DefaultClusterConfig()
 	ccfg.Seed = o.seed
 	ccfg.Hosts = o.hosts

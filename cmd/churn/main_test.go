@@ -233,3 +233,36 @@ func TestChurnAutodetectPipeline(t *testing.T) {
 		t.Fatalf("autodetect runs differ:\n--- first ---\n%s\n--- second ---\n%s", a.String(), b.String())
 	}
 }
+
+// TestChurnDigestsUnchangedAcrossSchedulerRewrite pins the op-log digests
+// of three seeded runs to the values produced by the original
+// container/heap scheduler (recorded before the pooled 4-ary heap, typed
+// callbacks and zero-allocation packet pipeline landed in PR 5). The event
+// loop, packet pooling and proposal-state recycling may change how the
+// simulator allocates, but never what it computes: any fire-order or
+// payload-lifetime regression shows up here as a digest change.
+func TestChurnDigestsUnchangedAcrossSchedulerRewrite(t *testing.T) {
+	want := map[uint64]string{
+		1: "9848d7026351fbb2",
+		2: "63d26def2bc4586e",
+		3: "8a2ef3d02025a98f",
+	}
+	re := regexp.MustCompile(`op-log: digest=([0-9a-f]{16})`)
+	for seed, digest := range want {
+		args := []string{"-hosts", "10", "-capacity", "3", "-duration", "6",
+			"-failures", "2", "-drains", "1", "-crashes", "1",
+			"-seed", strconv.FormatUint(seed, 10)}
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("seed %d: churn run failed: %v\n%s", seed, err, out.String())
+		}
+		m := re.FindStringSubmatch(out.String())
+		if m == nil {
+			t.Fatalf("seed %d: no op-log digest in output:\n%s", seed, out.String())
+		}
+		if m[1] != digest {
+			t.Errorf("seed %d: op-log digest %s, want %s (pre-rewrite baseline) — scheduler rewrite changed observable behavior",
+				seed, m[1], digest)
+		}
+	}
+}

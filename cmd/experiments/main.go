@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"stopwatch"
+	"stopwatch/internal/profiling"
 )
 
 func main() {
@@ -30,9 +31,20 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated subset: fig1,fig1c,fig4,fig5,fig6,fig7,fig8,placement,calib,collab,leader")
 	fast := fs.Bool("fast", false, "shorter simulation runs")
 	seed := fs.Uint64("seed", 0, "override master seed (0 = per-experiment defaults)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "profile:", perr)
+		}
+	}()
 
 	want := map[string]bool{}
 	if *only != "" {

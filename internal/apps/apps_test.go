@@ -38,9 +38,9 @@ func newBaselineHarness(t *testing.T, app guest.App) *baselineHarness {
 		t.Fatal(err)
 	}
 	svc := netsim.Addr("svc:g")
-	rt.OnSend = func(a guest.IOAction) {
+	rt.OnSend = vmm.SendSinkFunc(func(a guest.IOAction) {
 		net.Send(&netsim.Packet{Src: svc, Dst: a.Dst, Size: a.Size, Kind: "data", Payload: a.Data})
-	}
+	})
 	if err := net.Attach(&netsim.FuncNode{Addr: svc, Fn: func(p *netsim.Packet) {
 		rt.HandleInbound(guest.Payload{Src: p.Src, Size: p.Size, Data: p.Payload})
 	}}); err != nil {

@@ -226,7 +226,7 @@ func (cp *ControlPlane) applyAdmit(op AdmitOp, oc *Outcome) {
 		cp.finish(oc, err)
 		return
 	}
-	oc.Guests = []string{id}
+	oc.setGuest(id)
 	cp.phase(oc, PhasePlace)
 	g, err := cp.c.Deploy(id, tri[:], op.Factory)
 	if err != nil {
@@ -251,7 +251,7 @@ func (cp *ControlPlane) applyEvict(op EvictOp, oc *Outcome) {
 		cp.finish(oc, fmt.Errorf("%w: guest %q not resident", ErrControlPlane, id))
 		return
 	}
-	oc.Guests = []string{id}
+	oc.setGuest(id)
 	if err := cp.c.Undeploy(id); err != nil {
 		cp.finish(oc, err)
 		return
@@ -294,7 +294,7 @@ func (cp *ControlPlane) applyReplace(op ReplaceOp, oc *Outcome) {
 		cp.finish(oc, fmt.Errorf("%w: guest %q has no replica on host %d", ErrControlPlane, id, op.DeadHost))
 		return
 	}
-	oc.Guests = []string{id}
+	oc.setGuest(id)
 	cp.inflight[id] = "replacement"
 	cp.c.Ingress().Pause(id)
 	cp.phase(oc, PhasePause)

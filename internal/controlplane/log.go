@@ -29,6 +29,7 @@ func (l *opLog) open(op Op, parent uint64, at sim.Time, guests int, util float64
 		Submitted: at,
 		Pool:      PoolDelta{GuestsBefore: guests, UtilBefore: util},
 	}
+	oc.Phases = oc.phasesBuf[:0]
 	l.entries = append(l.entries, oc)
 	return oc
 }

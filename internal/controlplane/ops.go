@@ -246,6 +246,11 @@ type PoolDelta struct {
 // phases and the result as the simulation advances — watch Done(), the
 // op's Done callback, or the event stream for completion. Stats is a pure
 // fold over these records (FoldStats); nothing else counts decisions.
+//
+// Outcomes are managed strictly by pointer (Apply and Log hand out
+// *Outcome): do not copy an Outcome value — the exported Phases/Guests
+// slices are backed by inline buffers, so a value copy aliases the
+// original log entry's arrays.
 type Outcome struct {
 	// Seq is the op's position in the log, from 1.
 	Seq uint64
@@ -278,6 +283,18 @@ type Outcome struct {
 	Pool PoolDelta
 
 	done bool
+
+	// phasesBuf/guestsBuf back Phases and Guests for typical sizes so
+	// opening and advancing an outcome does not allocate per phase or per
+	// single-guest op.
+	phasesBuf [6]PhaseTiming
+	guestsBuf [1]string
+}
+
+// setGuest records a single-guest op's affected id without allocating.
+func (oc *Outcome) setGuest(id string) {
+	oc.guestsBuf[0] = id
+	oc.Guests = oc.guestsBuf[:1]
 }
 
 // Done reports whether the operation has completed (Err is final).

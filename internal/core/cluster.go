@@ -120,6 +120,48 @@ type Cluster struct {
 	// started flips at Start; guests deployed afterwards (online
 	// admissions) boot immediately.
 	started bool
+
+	// freeOut pools deferred-send work items (the Dom0 output-path delay
+	// between a guest send and the fabric transmit) so per-output closures
+	// are not allocated in steady state.
+	freeOut []*outWork
+
+	// scratchNames/scratchAddrs back reconcileGroups' live-set computation.
+	scratchNames []string
+	scratchAddrs []netsim.Addr
+}
+
+// outWork is one deferred fabric send: the packet header and payload held
+// across the Dom0 output-processing delay. Items are pooled on the cluster.
+type outWork struct {
+	src, dst netsim.Addr
+	size     int
+	kind     string
+	payload  any
+}
+
+// allocOut checks a deferred-send item out of the pool.
+func (c *Cluster) allocOut() *outWork {
+	if k := len(c.freeOut); k > 0 {
+		w := c.freeOut[k-1]
+		c.freeOut[k-1] = nil
+		c.freeOut = c.freeOut[:k-1]
+		return w
+	}
+	return &outWork{}
+}
+
+// absorbTimer models Dom0 absorbing an ambient broadcast packet: the event
+// itself is the cost.
+func absorbTimer(_, _ any, _ uint64) {}
+
+// outTimer transmits a deferred send and recycles the work item.
+func outTimer(a, b any, _ uint64) {
+	c := a.(*Cluster)
+	w := b.(*outWork)
+	c.net.Send(c.net.AllocPacket(w.src, w.dst, w.size, w.kind, w.payload))
+	w.payload = nil
+	c.freeOut = append(c.freeOut, w)
 }
 
 // Guest is a deployed guest VM (all its replicas). Per-slot replica state
@@ -151,8 +193,13 @@ type Guest struct {
 
 // replicaWiring is one replica's full fabric wiring. Peer lists are read
 // through the struct at send time, so replica replacement can rewire a
-// running guest by mutating them.
+// running guest by mutating them. The wiring itself implements the VMM's
+// sink interfaces (proposal multicast, pacing fan-out, egress tunnelling),
+// so wiring a replica installs plain pointers instead of per-replica
+// closures.
 type replicaWiring struct {
+	c        *Cluster
+	gid      string
 	hostIdx  int
 	hostName string
 	dom0     netsim.Addr
@@ -163,6 +210,45 @@ type replicaWiring struct {
 	propSrc  netsim.Addr
 	psnd     *multicast.Sender
 	peers    []netsim.Addr
+}
+
+var (
+	_ vmm.ProposalSink = (*replicaWiring)(nil)
+	_ vmm.PaceSink     = (*replicaWiring)(nil)
+	_ vmm.SendSink     = (*replicaWiring)(nil)
+)
+
+// SendProposal implements vmm.ProposalSink: reliable multicast of this
+// replica's delivery-time proposal to the peer device models.
+func (w *replicaWiring) SendProposal(view, seq uint64, v vtime.Virtual) {
+	w.psnd.Multicast("swprop", 64, propMsg{GuestID: w.gid, Host: w.hostName, View: view, Seq: seq, Virt: v})
+}
+
+// PaceReport implements vmm.PaceSink: unicast progress beacons to the peer
+// Dom0s (periodic, loss-tolerant). The beacon is boxed once per tick and
+// shared by the fan-out packets.
+func (w *replicaWiring) PaceReport(v vtime.Virtual) {
+	if len(w.peers) == 0 {
+		return
+	}
+	var boxed any = paceMsg{GuestID: w.gid, Host: w.hostName, Virt: v}
+	for _, dst := range w.peers {
+		w.c.net.Send(w.c.net.AllocPacket(w.dom0, dst, 48, "swpace", boxed))
+	}
+}
+
+// GuestSend implements vmm.SendSink: egress tunnelling of guest outputs
+// (Sec. VI), deferred by the Dom0 output-path delay.
+func (w *replicaWiring) GuestSend(a guest.IOAction) {
+	c := w.c
+	host := c.hosts[w.hostIdx]
+	ow := c.allocOut()
+	ow.src, ow.dst, ow.size, ow.kind = w.dom0, c.egress.Addr(), a.Size, "egress:tunnel"
+	ow.payload = vmm.EgressMsg{
+		GuestID: w.gid, Replica: w.hostName, Seq: a.Seq,
+		OrigDst: a.Dst, Size: a.Size, Data: a.Data,
+	}
+	host.Loop().AfterTimer(hostIODelay(host), "sw:tunnel", outTimer, c, ow, 0)
 }
 
 // CheckLockstep verifies all replicas produced identical outputs.
@@ -396,12 +482,11 @@ func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.
 		return nil, err
 	}
 	svc := gateway.ServiceAddr(id)
-	rt.OnSend = func(a guest.IOAction) {
-		host := h
-		host.Loop().After(hostIODelay(host), "base:out", func() {
-			c.net.Send(&netsim.Packet{Src: svc, Dst: a.Dst, Size: a.Size, Kind: "guest:data", Payload: a.Data})
-		})
-	}
+	rt.OnSend = vmm.SendSinkFunc(func(a guest.IOAction) {
+		w := c.allocOut()
+		w.src, w.dst, w.size, w.kind, w.payload = svc, a.Dst, a.Size, "guest:data", a.Data
+		h.Loop().AfterTimer(hostIODelay(h), "base:out", outTimer, c, w, 0)
+	})
 	if err := c.net.Attach(&netsim.FuncNode{Addr: svc, Fn: func(p *netsim.Packet) {
 		rt.HandleInbound(guest.Payload{Src: p.Src, Size: p.Size, Data: p.Payload})
 	}}); err != nil {
@@ -426,12 +511,12 @@ func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest
 	if len(hostIdx) != c.cfg.Replicas {
 		return nil, fmt.Errorf("%w: guest needs %d replica hosts, got %d", ErrCluster, c.cfg.Replicas, len(hostIdx))
 	}
-	seen := make(map[int]bool, len(hostIdx))
-	for _, i := range hostIdx {
-		if seen[i] {
-			return nil, fmt.Errorf("%w: replica hosts must be distinct", ErrCluster)
+	for k, i := range hostIdx {
+		for _, j := range hostIdx[:k] {
+			if i == j {
+				return nil, fmt.Errorf("%w: replica hosts must be distinct", ErrCluster)
+			}
 		}
-		seen[i] = true
 	}
 	// Boot times: each replica host's clock read now; the virtual clock
 	// start is their median (Sec. IV-A).
@@ -493,13 +578,15 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 		return err
 	}
 	w := &replicaWiring{
+		c:        c,
+		gid:      id,
 		hostIdx:  hostIdx,
 		hostName: c.hosts[hostIdx].Name(),
 		dom0:     hn.addr,
 		rt:       rt,
 		nd:       nd,
 		app:      app,
-		propSrc:  netsim.Addr(fmt.Sprintf("prop:%s/%s", c.hosts[hostIdx].Name(), id)),
+		propSrc:  netsim.Addr("prop:" + c.hosts[hostIdx].Name() + "/" + id),
 	}
 	// Proposal exchange: reliable multicast to peer Dom0s. The group is a
 	// placeholder until refreshPeers fills in the real peer set (which can
@@ -507,7 +594,9 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	// "group" has no peers and fails here as it always has.
 	var placeholder []netsim.Addr
 	if c.cfg.Replicas > 1 {
-		placeholder = []netsim.Addr{hn.addr}
+		// Capacity for the real peer set: SetGroup reuses this backing when
+		// reconciliation installs the actual peers.
+		placeholder = append(make([]netsim.Addr, 0, c.cfg.Replicas-1), hn.addr)
 	}
 	psnd, err := multicast.NewSender(c.net, c.loop, multicast.SenderConfig{Src: w.propSrc, Group: placeholder})
 	if err != nil {
@@ -515,38 +604,19 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	}
 	w.psnd = psnd
 	// Attach replaces any stale node from an earlier tenancy of this host
-	// (guest ids are unique, so no live holder can exist).
-	if err := c.net.Attach(&netsim.FuncNode{Addr: w.propSrc, Fn: func(p *netsim.Packet) { psnd.Handle(p) }}); err != nil {
+	// (guest ids are unique, so no live holder can exist). The sender is
+	// its own fabric node (NAK consumption).
+	if err := c.net.Attach(psnd); err != nil {
 		return err
 	}
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {
-		w.psnd.Multicast("swprop", 64, propMsg{GuestID: id, Host: w.hostName, View: view, Seq: seq, Virt: v})
-	}
+	// Proposal exchange, journal, pacing and egress tunnelling all wire to
+	// the replicaWiring itself (see its sink methods above) — no closures.
+	nd.SendProposal = w
 	// Journal every resolved delivery — the determinism log replica
 	// replacement replays (identical at every replica; first write wins).
-	nd.OnResolve = g.journal.Record
-	// Pacing: unicast reports to peer Dom0s (periodic, loss-tolerant).
-	rt.OnPace = func(v vtime.Virtual) {
-		for _, dst := range w.peers {
-			c.net.Send(&netsim.Packet{
-				Src: w.dom0, Dst: dst, Size: 48, Kind: "swpace",
-				Payload: paceMsg{GuestID: id, Host: w.hostName, Virt: v},
-			})
-		}
-	}
-	// Egress tunnelling of guest outputs (Sec. VI).
-	host := c.hosts[hostIdx]
-	rt.OnSend = func(a guest.IOAction) {
-		host.Loop().After(hostIODelay(host), "sw:tunnel", func() {
-			c.net.Send(&netsim.Packet{
-				Src: w.dom0, Dst: c.egress.Addr(), Size: a.Size, Kind: "egress:tunnel",
-				Payload: vmm.EgressMsg{
-					GuestID: id, Replica: w.hostName, Seq: a.Seq,
-					OrigDst: a.Dst, Size: a.Size, Data: a.Data,
-				},
-			})
-		})
-	}
+	nd.OnResolve = g.journal
+	rt.OnPace = w
+	rt.OnSend = w
 	// Optional Sec. IV-A epoch re-synchronization.
 	if c.cfg.VMM.EpochInstr > 0 {
 		ec, err := vmm.NewEpochCoordinator(rt, c.cfg.VMM.EpochInstr, c.cfg.Replicas)
@@ -591,8 +661,11 @@ func (g *Guest) dom0s() []netsim.Addr {
 // reconfiguration all go through it, so a replacement that overlaps an
 // unevacuated failure cannot resurrect a dead member into the group.
 func (c *Cluster) reconcileGroups(g *Guest) error {
-	liveNames := make([]string, 0, len(g.replicas))
-	liveDom0s := make([]netsim.Addr, 0, len(g.replicas))
+	// The live-set slices are cluster-owned scratch: every consumer below
+	// (live views, multicast groups, ingress replication) copies what it
+	// keeps, so reconciliation allocates nothing in steady state.
+	liveNames := c.scratchNames[:0]
+	liveDom0s := c.scratchAddrs[:0]
 	var deadNames []string
 	for _, w := range g.replicas {
 		if c.hosts[w.hostIdx].Failed() {
@@ -602,6 +675,8 @@ func (c *Cluster) reconcileGroups(g *Guest) error {
 		liveNames = append(liveNames, w.hostName)
 		liveDom0s = append(liveDom0s, w.dom0)
 	}
+	c.scratchNames = liveNames[:0]
+	c.scratchAddrs = liveDom0s[:0]
 	if len(liveDom0s) == 0 {
 		return fmt.Errorf("%w: guest %q has no live replicas", ErrCluster, g.ID)
 	}
@@ -610,7 +685,7 @@ func (c *Cluster) reconcileGroups(g *Guest) error {
 		if c.hosts[w.hostIdx].Failed() {
 			continue
 		}
-		peers := make([]netsim.Addr, 0, len(liveDom0s)-1)
+		peers := w.peers[:0]
 		for _, a := range liveDom0s {
 			if a != w.dom0 {
 				peers = append(peers, a)
@@ -722,7 +797,7 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 		}
 	case "broadcast":
 		// Ambient subnet noise: costs Dom0 a little processing.
-		hn.host.Loop().After(0, "bcast:absorb", func() {})
+		hn.host.Loop().AfterTimer(0, "bcast:absorb", absorbTimer, nil, nil, 0)
 	}
 }
 

@@ -198,7 +198,7 @@ func attachLocalLoad(c *core.Cluster, host int, id string, period vtime.Virtual)
 	if err != nil {
 		return err
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = vmm.SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	return nil
 }

@@ -89,17 +89,25 @@ func (in *Ingress) RegisterGuest(guestID string, replicaHosts []netsim.Addr) err
 		return err
 	}
 	in.senders[guestID] = snd
-	// NAKs for this stream come back to the stream source address.
-	if err := in.net.Attach(&netsim.FuncNode{Addr: src, Fn: func(p *netsim.Packet) { snd.Handle(p) }}); err != nil {
+	// NAKs for this stream come back to the stream source address: the
+	// sender is its own fabric node.
+	if err := in.net.Attach(snd); err != nil {
 		return err
 	}
 	// Client traffic to the guest's public address lands here.
-	gid := guestID
-	return in.net.Attach(&netsim.FuncNode{
-		Addr: ServiceAddr(guestID),
-		Fn:   func(p *netsim.Packet) { in.forward(gid, p) },
-	})
+	return in.net.Attach(&svcNode{in: in, guestID: guestID, addr: ServiceAddr(guestID)})
 }
+
+// svcNode is a guest's public service endpoint: client packets delivered to
+// it are replicated (or buffered, while paused) by the owning ingress.
+type svcNode struct {
+	in      *Ingress
+	guestID string
+	addr    netsim.Addr
+}
+
+func (n *svcNode) Address() netsim.Addr     { return n.addr }
+func (n *svcNode) Deliver(p *netsim.Packet) { n.in.forward(n.guestID, p) }
 
 func (in *Ingress) forward(guestID string, p *netsim.Packet) {
 	snd, ok := in.senders[guestID]
@@ -219,6 +227,11 @@ type Egress struct {
 	forwarded uint64
 	absorbed  uint64
 
+	// freeGroups pools copyGroup records: one is opened per guest output
+	// packet and retired when the full group has arrived, so steady-state
+	// traffic recycles instead of allocating.
+	freeGroups []*copyGroup
+
 	// OnForward observes forwarded packets (external-observer experiments).
 	OnForward func(guestID string, seq uint64, at sim.Time)
 }
@@ -274,7 +287,8 @@ func (e *Egress) deliver(p *netsim.Packet) {
 	}
 	g, ok := byGuest[msg.Seq]
 	if !ok {
-		g = &copyGroup{msg: msg}
+		g = e.allocGroup()
+		g.msg = msg
 		byGuest[msg.Seq] = g
 	}
 	g.n++
@@ -291,7 +305,25 @@ func (e *Egress) deliver(p *netsim.Packet) {
 	// by ReclaimForwardedUpTo at replacement, like every crash window.
 	if g.n >= e.replicas {
 		delete(byGuest, msg.Seq)
+		e.releaseGroup(g)
 	}
+}
+
+// allocGroup checks a copy group out of the pool.
+func (e *Egress) allocGroup() *copyGroup {
+	if k := len(e.freeGroups); k > 0 {
+		g := e.freeGroups[k-1]
+		e.freeGroups[k-1] = nil
+		e.freeGroups = e.freeGroups[:k-1]
+		return g
+	}
+	return &copyGroup{}
+}
+
+// releaseGroup recycles a retired copy group.
+func (e *Egress) releaseGroup(g *copyGroup) {
+	*g = copyGroup{}
+	e.freeGroups = append(e.freeGroups, g)
 }
 
 // forward sends a group's packet to its true destination and marks it.
@@ -301,13 +333,7 @@ func (e *Egress) forward(g *copyGroup) {
 	if e.OnForward != nil {
 		e.OnForward(g.msg.GuestID, g.msg.Seq, e.loop.Now())
 	}
-	e.net.Send(&netsim.Packet{
-		Src:     ServiceAddr(g.msg.GuestID),
-		Dst:     g.msg.OrigDst,
-		Size:    g.msg.Size,
-		Kind:    "guest:data",
-		Payload: g.msg.Data,
-	})
+	e.net.Send(e.net.AllocPacket(ServiceAddr(g.msg.GuestID), g.msg.OrigDst, g.msg.Size, "guest:data", g.msg.Data))
 }
 
 // forwardOnFor returns the copy that triggers forwarding for a guest: the
@@ -362,6 +388,9 @@ func (e *Egress) Forwarded() uint64 { return e.forwarded }
 // DropGuest discards the copy-counting and live-view state of an evicted
 // guest so a later tenant reusing the id starts from a clean slate.
 func (e *Egress) DropGuest(guestID string) {
+	for _, g := range e.copies[guestID] {
+		e.releaseGroup(g)
+	}
 	delete(e.copies, guestID)
 	delete(e.live, guestID)
 }
@@ -379,6 +408,7 @@ func (e *Egress) ReclaimForwardedUpTo(guestID string, maxSeq uint64) {
 	for seq, g := range byGuest {
 		if seq <= maxSeq && g.forwarded {
 			delete(byGuest, seq)
+			e.releaseGroup(g)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"strconv"
 
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/vtime"
@@ -396,20 +397,66 @@ type OutputLog struct {
 	digest uint64
 	empty  uint64   // digest of the empty log (n == 0)
 	hist   []uint64 // ring: hist[(i-1)%digestHistory] = digest after i outputs
+	buf    []byte   // formatting scratch, reused across Appends
 }
 
-func newOutputLog() *OutputLog {
+// outputLogSeed is the digest of the empty log, shared by every guest.
+var outputLogSeed = func() uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte("stopwatch-output-log"))
-	d := h.Sum64()
-	return &OutputLog{digest: d, empty: d, hist: make([]uint64, digestHistory)}
+	return h.Sum64()
+}()
+
+// FNV-64a parameters, for the hand-rolled fold in Append.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newOutputLog() *OutputLog {
+	// The history ring is lazily allocated on the first output.
+	return &OutputLog{digest: outputLogSeed, empty: outputLogSeed}
 }
 
-// Append folds an output record into the rolling digest.
+// Append folds an output record into the rolling digest. The record is
+// formatted into a reused scratch buffer and folded with an inline FNV-64a
+// — one Append per guest output makes this a hot path, and the fmt.Fprintf
+// + hasher pair it replaces allocated on every call. The byte format (and
+// so the digest value) is unchanged: "%d|%d|%s|%d|%v".
 func (l *OutputLog) Append(seq uint64, dst netsim.Addr, size int, data any) {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%s|%d|%v", l.digest, seq, dst, size, data)
-	l.digest = h.Sum64()
+	b := l.buf[:0]
+	b = strconv.AppendUint(b, l.digest, 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, '|')
+	b = append(b, dst...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(size), 10)
+	b = append(b, '|')
+	switch v := data.(type) {
+	case nil:
+		b = append(b, "<nil>"...)
+	case int:
+		b = strconv.AppendInt(b, int64(v), 10)
+	case int64:
+		b = strconv.AppendInt(b, v, 10)
+	case uint64:
+		b = strconv.AppendUint(b, v, 10)
+	case string:
+		b = append(b, v...)
+	default:
+		b = fmt.Appendf(b, "%v", v)
+	}
+	l.buf = b[:0]
+	d := uint64(fnvOffset64)
+	for _, c := range b {
+		d ^= uint64(c)
+		d *= fnvPrime64
+	}
+	l.digest = d
+	if l.hist == nil {
+		l.hist = make([]uint64, digestHistory)
+	}
 	l.n++
 	l.hist[(l.n-1)%digestHistory] = l.digest
 }

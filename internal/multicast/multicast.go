@@ -87,14 +87,25 @@ func NewSender(net *netsim.Network, loop *sim.Loop, cfg SenderConfig) (*Sender, 
 	if cfg.WindowSize <= 0 {
 		cfg.WindowSize = 4096
 	}
+	// win is lazily initialized on the first Multicast: senders are wired
+	// per guest under churn, often before any traffic exists.
 	return &Sender{
 		net:   net,
 		loop:  loop,
 		cfg:   cfg,
-		win:   make(map[uint64]dataMsg),
 		winLo: 1,
 	}, nil
 }
+
+var _ netsim.Node = (*Sender)(nil)
+
+// Address implements netsim.Node: the sender's stream source address, where
+// receivers direct their NAKs.
+func (s *Sender) Address() netsim.Addr { return s.cfg.Src }
+
+// Deliver implements netsim.Node, consuming NAKs — attaching the sender
+// itself avoids a per-stream adapter node on the fabric.
+func (s *Sender) Deliver(pkt *netsim.Packet) { s.Handle(pkt) }
 
 // Multicast sends (kind, payload) of the given wire size to every group
 // member reliably, returning the assigned sequence number. On a closed
@@ -106,15 +117,18 @@ func (s *Sender) Multicast(kind string, size int, payload any) uint64 {
 	}
 	s.seq++
 	msg := dataMsg{Seq: s.seq, Kind: kind, Payload: payload}
+	if s.win == nil {
+		s.win = make(map[uint64]dataMsg)
+	}
 	s.win[s.seq] = msg
 	if len(s.win) > s.cfg.WindowSize {
 		delete(s.win, s.winLo)
 		s.winLo++
 	}
+	// Box the message once; the fan-out packets share the one payload value.
+	var boxed any = msg
 	for _, dst := range s.cfg.Group {
-		s.net.Send(&netsim.Packet{
-			Src: s.cfg.Src, Dst: dst, Size: size, Kind: kindData, Payload: msg,
-		})
+		s.net.Send(s.net.AllocPacket(s.cfg.Src, dst, size, kindData, boxed))
 	}
 	s.sent++
 	s.armSPM()
@@ -126,22 +140,25 @@ func (s *Sender) armSPM() {
 		return
 	}
 	s.spmPending = true
-	s.loop.After(s.cfg.SPMInterval, "pgm:spm", func() {
-		s.spmPending = false
-		if s.seq == 0 || s.closed {
-			return
-		}
-		for _, dst := range s.cfg.Group {
-			s.net.Send(&netsim.Packet{
-				Src: s.cfg.Src, Dst: dst, Size: 32, Kind: kindSPM,
-				Payload: spmMsg{MaxSeq: s.seq},
-			})
-		}
-		// Keep heartbeating while messages might still need repair.
-		if len(s.win) > 0 {
-			s.armSPM()
-		}
-	})
+	s.loop.AfterTimer(s.cfg.SPMInterval, "pgm:spm", spmTimer, s, nil, 0)
+}
+
+// spmTimer emits the Source Path Message heartbeat while the repair window
+// is open.
+func spmTimer(a, _ any, _ uint64) {
+	s := a.(*Sender)
+	s.spmPending = false
+	if s.seq == 0 || s.closed {
+		return
+	}
+	var boxed any = spmMsg{MaxSeq: s.seq}
+	for _, dst := range s.cfg.Group {
+		s.net.Send(s.net.AllocPacket(s.cfg.Src, dst, 32, kindSPM, boxed))
+	}
+	// Keep heartbeating while messages might still need repair.
+	if len(s.win) > 0 {
+		s.armSPM()
+	}
 }
 
 // SetGroup replaces the receiver group — membership reconfiguration when a
@@ -153,7 +170,9 @@ func (s *Sender) armSPM() {
 // receiver stream state on departed or repaired members — until a later
 // SetGroup restores receivers.
 func (s *Sender) SetGroup(group []netsim.Addr) error {
-	s.cfg.Group = append([]netsim.Addr(nil), group...)
+	// Reuse the existing backing array: the input is copied in (callers
+	// keep ownership of theirs), and Group() hands out copies.
+	s.cfg.Group = append(s.cfg.Group[:0], group...)
 	return nil
 }
 
@@ -177,7 +196,7 @@ func (s *Sender) Closed() bool { return s.closed }
 // Receiver.Forget has already discarded.
 func (s *Sender) Close() {
 	s.closed = true
-	s.win = make(map[uint64]dataMsg)
+	s.win = nil
 }
 
 // Handle consumes NAKs addressed to this sender; it returns true when the
@@ -197,9 +216,7 @@ func (s *Sender) Handle(pkt *netsim.Packet) bool {
 			continue // aged out of the window; receiver is unrecoverable here
 		}
 		s.retrans++
-		s.net.Send(&netsim.Packet{
-			Src: s.cfg.Src, Dst: pkt.Src, Size: 64, Kind: kindData, Payload: msg,
-		})
+		s.net.Send(s.net.AllocPacket(s.cfg.Src, pkt.Src, 64, kindData, msg))
 	}
 	return true
 }
@@ -228,10 +245,11 @@ type ReceiverConfig struct {
 }
 
 type sourceState struct {
-	next    uint64 // next expected seq
+	src     netsim.Addr // the stream's source (NAK destination)
+	next    uint64      // next expected seq
 	holdbck map[uint64]dataMsg
 	naked   map[uint64]bool // outstanding NAKs
-	timer   *sim.Event
+	timer   sim.Handle      // pending NAK burst (weak: stale once fired)
 }
 
 // Receiver is a reliable multicast group member. One receiver can track any
@@ -301,18 +319,18 @@ func (r *Receiver) Prime(src netsim.Addr, next uint64) {
 	if next == 0 {
 		next = 1
 	}
-	if st, ok := r.srcs[src]; ok && st.timer != nil {
-		r.loop.Cancel(st.timer)
+	if st, ok := r.srcs[src]; ok {
+		r.loop.CancelHandle(st.timer)
 	}
-	r.srcs[src] = &sourceState{next: next, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+	r.srcs[src] = &sourceState{src: src, next: next, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
 }
 
 // Forget drops this receiver's state for a source stream (the stream's
 // guest was evicted). A later stream reusing the same source address starts
 // fresh at seq 1.
 func (r *Receiver) Forget(src netsim.Addr) {
-	if st, ok := r.srcs[src]; ok && st.timer != nil {
-		r.loop.Cancel(st.timer)
+	if st, ok := r.srcs[src]; ok {
+		r.loop.CancelHandle(st.timer)
 	}
 	delete(r.srcs, src)
 }
@@ -320,7 +338,7 @@ func (r *Receiver) Forget(src netsim.Addr) {
 func (r *Receiver) state(src netsim.Addr) *sourceState {
 	st, ok := r.srcs[src]
 	if !ok {
-		st = &sourceState{next: 1, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+		st = &sourceState{src: src, next: 1, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
 		r.srcs[src] = st
 	}
 	return st
@@ -395,13 +413,18 @@ func (r *Receiver) requestMissing(src netsim.Addr, st *sourceState) {
 // armNAK schedules a NAK burst after the given delay unless one is already
 // pending. The delay absorbs reordering (first NAK) and paces retries.
 func (r *Receiver) armNAK(src netsim.Addr, st *sourceState, delay sim.Time) {
-	if st.timer != nil && !st.timer.Canceled() {
+	if st.timer.Pending() {
 		return
 	}
-	st.timer = r.loop.After(delay, "pgm:nak", func() {
-		st.timer = nil
-		r.sendNAKs(src, st)
-	})
+	st.timer = r.loop.AfterTimer(delay, "pgm:nak", nakTimer, r, st, 0).Handle()
+}
+
+// nakTimer fires a receiver's pending NAK burst for one source stream.
+func nakTimer(a, b any, _ uint64) {
+	r := a.(*Receiver)
+	st := b.(*sourceState)
+	st.timer = sim.Handle{}
+	r.sendNAKs(st.src, st)
 }
 
 func (r *Receiver) sendNAKs(src netsim.Addr, st *sourceState) {
@@ -421,9 +444,7 @@ func (r *Receiver) sendNAKs(src netsim.Addr, st *sourceState) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	r.naksSent++
-	r.net.Send(&netsim.Packet{
-		Src: r.cfg.Addr, Dst: src, Size: 40, Kind: kindNAK, Payload: nakMsg{Seqs: seqs},
-	})
+	r.net.Send(r.net.AllocPacket(r.cfg.Addr, src, 40, kindNAK, nakMsg{Seqs: seqs}))
 	// Re-arm: if the repair is lost too, NAK again.
 	r.armNAK(src, st, r.cfg.NAKInterval)
 }

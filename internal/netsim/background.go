@@ -66,22 +66,20 @@ func (b *Broadcaster) Start(until sim.Time) {
 
 func (b *Broadcaster) scheduleNext() {
 	gap := b.rng.ExpDur(b.meanGap)
-	b.loop.After(gap, "bcast", func() {
-		if b.loop.Now() >= b.stopTime {
-			b.running = false
-			return
-		}
-		for _, dst := range b.targets {
-			b.net.Send(&Packet{
-				Src:  b.src,
-				Dst:  dst,
-				Size: b.size,
-				Kind: "broadcast",
-			})
-		}
-		b.sent++
-		b.scheduleNext()
-	})
+	b.loop.AfterTimer(gap, "bcast", broadcastTimer, b, nil, 0)
+}
+
+func broadcastTimer(a, _ any, _ uint64) {
+	b := a.(*Broadcaster)
+	if b.loop.Now() >= b.stopTime {
+		b.running = false
+		return
+	}
+	for _, dst := range b.targets {
+		b.net.Send(b.net.AllocPacket(b.src, dst, b.size, "broadcast", nil))
+	}
+	b.sent++
+	b.scheduleNext()
 }
 
 // Sent returns the number of broadcast rounds emitted.

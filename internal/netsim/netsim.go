@@ -23,6 +23,11 @@ type Addr string
 
 // Packet is a unit of traffic. Payload carries the upper layer's structure;
 // Size is what the wire sees.
+//
+// Packets obtained from Network.AllocPacket are pooled: the fabric recycles
+// them after delivery (or loss), so a Node must not retain a delivered
+// *Packet past its Deliver call — Clone what must outlive it. Payloads are
+// shared immutable values and may be kept.
 type Packet struct {
 	ID      uint64
 	Src     Addr
@@ -30,12 +35,16 @@ type Packet struct {
 	Size    int // bytes on the wire
 	Kind    string
 	Payload any
+
+	pooled bool // recycled into the owning Network's freelist after delivery
 }
 
 // Clone returns a shallow copy with a fresh identity-preserving struct
-// (payload is shared; payloads must be treated as immutable).
+// (payload is shared; payloads must be treated as immutable). The copy is
+// never pool-owned, so it is safe to retain.
 func (p *Packet) Clone() *Packet {
 	c := *p
+	c.pooled = false
 	return &c
 }
 
@@ -47,7 +56,9 @@ func (p *Packet) String() string {
 type Node interface {
 	// Address returns the node's fabric address.
 	Address() Addr
-	// Deliver is invoked by the fabric when a packet arrives.
+	// Deliver is invoked by the fabric when a packet arrives. The packet may
+	// be pool-owned: it must not be retained after Deliver returns (Clone it
+	// instead); its Payload may be kept.
 	Deliver(pkt *Packet)
 }
 
@@ -88,6 +99,12 @@ type Network struct {
 	links map[[2]Addr]*link
 	def   *link // default link used when no explicit link exists
 
+	// labels interns per-kind delivery event labels so the hot path does
+	// not build a "net:deliver:"+kind string per packet.
+	labels map[string]string
+	// freePkts is the pooled-packet freelist (AllocPacket / recycle).
+	freePkts []*Packet
+
 	nextID    uint64
 	delivered uint64
 	lost      uint64
@@ -102,12 +119,49 @@ func New(loop *sim.Loop, rng *sim.Rand, def LinkConfig) (*Network, error) {
 		return nil, err
 	}
 	return &Network{
-		loop:  loop,
-		rng:   rng,
-		nodes: make(map[Addr]Node),
-		links: make(map[[2]Addr]*link),
-		def:   &link{cfg: def},
+		loop:   loop,
+		rng:    rng,
+		nodes:  make(map[Addr]Node),
+		links:  make(map[[2]Addr]*link),
+		labels: make(map[string]string),
+		def:    &link{cfg: def},
 	}, nil
+}
+
+// AllocPacket checks a packet out of the fabric's pool, populated with the
+// given header. The fabric reclaims it after delivery or loss, so senders
+// hand it straight to Send and never keep it.
+func (n *Network) AllocPacket(src, dst Addr, size int, kind string, payload any) *Packet {
+	var p *Packet
+	if k := len(n.freePkts); k > 0 {
+		p = n.freePkts[k-1]
+		n.freePkts[k-1] = nil
+		n.freePkts = n.freePkts[:k-1]
+	} else {
+		p = &Packet{}
+	}
+	*p = Packet{Src: src, Dst: dst, Size: size, Kind: kind, Payload: payload, pooled: true}
+	return p
+}
+
+// recycle returns a pool-owned packet to the freelist.
+func (n *Network) recycle(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	p.Payload = nil
+	p.pooled = false
+	n.freePkts = append(n.freePkts, p)
+}
+
+// deliverLabel returns the interned per-kind delivery label.
+func (n *Network) deliverLabel(kind string) string {
+	if s, ok := n.labels[kind]; ok {
+		return s
+	}
+	s := "net:deliver:" + kind
+	n.labels[kind] = s
+	return s
 }
 
 // Attach registers a node. Re-attaching an address replaces the previous
@@ -157,7 +211,8 @@ func (n *Network) NextID() uint64 {
 
 // Send transmits the packet. The packet's ID is assigned if zero. Delivery
 // is scheduled on the loop; lost packets are counted and dropped silently
-// (loss recovery belongs to upper layers).
+// (loss recovery belongs to upper layers). A pool-owned packet (AllocPacket)
+// is reclaimed by the fabric once delivered or lost.
 func (n *Network) Send(pkt *Packet) {
 	if pkt.ID == 0 {
 		pkt.ID = n.NextID()
@@ -167,6 +222,7 @@ func (n *Network) Send(pkt *Packet) {
 	if l.cfg.LossProb > 0 && n.rng.Bool(l.cfg.LossProb) {
 		l.dropped++
 		n.lost++
+		n.recycle(pkt)
 		return
 	}
 	now := n.loop.Now()
@@ -189,15 +245,21 @@ func (n *Network) Send(pkt *Packet) {
 		arrival = l.lastArr
 	}
 	l.lastArr = arrival
-	n.loop.At(arrival, "net:deliver:"+pkt.Kind, func() {
-		node, ok := n.nodes[pkt.Dst]
-		if !ok {
-			n.lost++
-			return
-		}
+	n.loop.AtTimer(arrival, n.deliverLabel(pkt.Kind), deliverTimer, n, pkt, 0)
+}
+
+// deliverTimer is the fabric's typed delivery callback: hand the packet to
+// the destination node (if still attached) and reclaim pooled packets.
+func deliverTimer(a, b any, _ uint64) {
+	n := a.(*Network)
+	pkt := b.(*Packet)
+	if node, ok := n.nodes[pkt.Dst]; ok {
 		n.delivered++
 		node.Deliver(pkt)
-	})
+	} else {
+		n.lost++
+	}
+	n.recycle(pkt)
 }
 
 // Stats reports fabric counters.

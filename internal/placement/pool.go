@@ -2,6 +2,7 @@ package placement
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -54,6 +55,10 @@ type Pool struct {
 	// they keep their current residents until evacuated but receive no new
 	// replicas.
 	drained []bool
+
+	// orderScratch backs hostOrder so every placement decision does not
+	// allocate a fresh index slice.
+	orderScratch []int
 }
 
 // NewPool creates an empty pool over n machines of per-machine capacity c
@@ -171,18 +176,19 @@ func poolEdge(a, b int) [2]int {
 }
 
 // hostOrder returns machine indices sorted least-loaded first, index as
-// tie-break — the deterministic scan order for all placement decisions.
+// tie-break — the deterministic scan order for all placement decisions. The
+// returned slice is pool-owned scratch, valid until the next call.
 func (p *Pool) hostOrder() []int {
-	order := make([]int, p.n)
+	if p.orderScratch == nil {
+		p.orderScratch = make([]int, p.n)
+	}
+	order := p.orderScratch
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		if p.load[order[i]] != p.load[order[j]] {
-			return p.load[order[i]] < p.load[order[j]]
-		}
-		return order[i] < order[j]
-	})
+	// Stable by load keeps the ascending-index tie-break; SortStableFunc,
+	// unlike sort.SliceStable, needs no reflection scratch.
+	slices.SortStableFunc(order, func(a, b int) int { return p.load[a] - p.load[b] })
 	return order
 }
 
@@ -223,8 +229,22 @@ func (p *Pool) Admit(id string) (Triangle, error) {
 			}
 		}
 	}
-	return Triangle{}, fmt.Errorf("admit %q: %w", id, ErrNoFeasibleHost)
+	return Triangle{}, &infeasibleError{verb: "admit", id: id}
 }
+
+// infeasibleError is the typed no-feasible-host failure. A full pool makes
+// this the common outcome of the admission hot path (callers evict and
+// retry), so it formats lazily instead of paying fmt.Errorf per attempt.
+type infeasibleError struct {
+	verb string
+	id   string
+}
+
+func (e *infeasibleError) Error() string {
+	return fmt.Sprintf("%s %q: %v", e.verb, e.id, ErrNoFeasibleHost)
+}
+
+func (e *infeasibleError) Unwrap() error { return ErrNoFeasibleHost }
 
 // AdmitTriangle places a guest on an explicit triangle (e.g. replaying a
 // stored assignment, or restoring one after a failed replacement),

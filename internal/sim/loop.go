@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -10,62 +9,84 @@ import (
 // horizon or event exhaustion was reached.
 var ErrStopped = errors.New("sim: loop stopped")
 
+// TimerFunc is the typed-callback form of an event: instead of capturing
+// state in a per-event closure (one heap allocation per scheduling), the
+// callback is a package-level function and its state rides in the event's
+// two pointer slots and one scalar slot. The hot per-packet paths (chunk
+// timers, device-model processing, proposal deadlines, fabric delivery)
+// schedule exclusively through this form.
+type TimerFunc func(a, b any, u uint64)
+
 // Event is a scheduled callback. Events fire in (When, order-of-scheduling)
 // order; the sequence number makes the ordering total and deterministic.
+//
+// Events are pooled: once an event fires or is canceled, the loop recycles
+// its *Event for a future scheduling. The aliasing rule is therefore strict:
+// a caller must never retain or dereference an *Event after it has fired or
+// been canceled — the pointer may already be someone else's event. Code that
+// holds an event across callbacks must either clear its reference inside the
+// callback (before anything else can schedule) or hold a generation-checked
+// Handle, which detects recycling and turns stale cancels into no-ops.
+// In race builds the pool additionally poisons recycled events and verifies
+// freelist discipline on every checkout.
 type Event struct {
-	When Time
+	When Time   // fire time; read-only for callers
 	Name string // diagnostic label, not used for ordering
+
 	fn   func()
+	tfn  TimerFunc
+	a, b any
+	u    uint64
 
 	seq   uint64
-	index int // heap index; -1 once fired or canceled
+	gen   uint64 // bumped on every recycle; Handle staleness check
+	index int32  // heap index; -1 once fired, canceled, or free
 }
 
 // Canceled reports whether the event was canceled or has already fired.
 func (e *Event) Canceled() bool { return e.index < 0 }
 
-type eventHeap []*Event
+// Gen returns the event's current generation. It changes every time the
+// pooled event is recycled, which is how a Handle detects staleness.
+func (e *Event) Gen() uint64 { return e.gen }
 
-func (h eventHeap) Len() int { return len(h) }
+// Handle returns a weak, generation-checked reference to the event, safe to
+// retain indefinitely: once the event fires or is canceled (and its *Event
+// is recycled for an unrelated scheduling), the handle goes stale and
+// Pending reports false. Take the handle immediately after scheduling, while
+// the event is still pending.
+func (e *Event) Handle() Handle { return Handle{e: e, gen: e.gen} }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].When != h[j].When {
-		return h[i].When < h[j].When
-	}
-	return h[i].seq < h[j].seq
+// Handle is a weak reference to a pooled event. The zero Handle is valid and
+// permanently stale. Unlike a raw *Event, a Handle may be kept after the
+// event fires — the generation check makes stale use harmless.
+type Handle struct {
+	e   *Event
+	gen uint64
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// Pending reports whether the handle still refers to a live, queued event.
+func (h Handle) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
+// raceChecks enables pool-poisoning assertions; set by loop_race.go in
+// -race builds.
+var raceChecks = false
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Loop is a deterministic discrete-event loop. The zero value is not usable;
-// construct with NewLoop.
+// Loop is a deterministic discrete-event loop built on a hand-rolled 4-ary
+// indexed min-heap over a pooled event freelist: no container/heap interface
+// indirection, no per-push boxing, and no steady-state Event garbage. The
+// zero value is not usable; construct with NewLoop.
 type Loop struct {
 	now     Time
-	pq      eventHeap
+	pq      []*Event
+	free    []*Event
 	seq     uint64
 	stopped bool
 	fired   uint64
 	horizon Time
+	allocs  uint64 // pool misses: distinct Events ever allocated
 }
 
 // NewLoop returns an empty loop positioned at time zero.
@@ -82,16 +103,72 @@ func (l *Loop) Fired() uint64 { return l.fired }
 // Pending returns the number of events still queued.
 func (l *Loop) Pending() int { return len(l.pq) }
 
+// EventAllocs returns how many distinct Event structs the loop has ever
+// allocated — the pool-miss count. Steady-state workloads should see this
+// plateau at the maximum concurrently-pending event count (tests).
+func (l *Loop) EventAllocs() uint64 { return l.allocs }
+
+// acquire checks an event out of the pool.
+func (l *Loop) acquire() *Event {
+	if n := len(l.free); n > 0 {
+		e := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		if raceChecks && (e.index != -1 || e.fn != nil || e.tfn != nil || e.a != nil || e.b != nil) {
+			panic(fmt.Sprintf("sim: corrupted pooled event %+v — retained after fire/cancel?", e))
+		}
+		return e
+	}
+	l.allocs++
+	return &Event{index: -1}
+}
+
+// release recycles a fired or canceled event. The generation bump is what
+// invalidates outstanding Handles.
+func (l *Loop) release(e *Event) {
+	e.gen++
+	e.fn = nil
+	e.tfn = nil
+	e.a = nil
+	e.b = nil
+	e.u = 0
+	if raceChecks {
+		e.Name = "sim:recycled"
+		e.When = -1 << 60
+	}
+	l.free = append(l.free, e)
+}
+
 // At schedules fn to run at absolute time t. Scheduling in the past is a
 // programming error and is reported by scheduling at the current instant
-// instead (events never run backwards).
+// instead (events never run backwards). The returned *Event is valid only
+// until the event fires or is canceled (see the pooling rule on Event).
 func (l *Loop) At(t Time, name string, fn func()) *Event {
 	if t < l.now {
 		t = l.now
 	}
-	e := &Event{When: t, Name: name, fn: fn, seq: l.seq}
-	l.seq++
-	heap.Push(&l.pq, e)
+	e := l.acquire()
+	e.When = t
+	e.Name = name
+	e.fn = fn
+	l.insert(e)
+	return e
+}
+
+// AtTimer schedules a typed callback at absolute time t: fn(a, b, u) runs at
+// t with no closure allocation. Same clamping and pooling rules as At.
+func (l *Loop) AtTimer(t Time, name string, fn TimerFunc, a, b any, u uint64) *Event {
+	if t < l.now {
+		t = l.now
+	}
+	e := l.acquire()
+	e.When = t
+	e.Name = name
+	e.tfn = fn
+	e.a = a
+	e.b = b
+	e.u = u
+	l.insert(e)
 	return e
 }
 
@@ -100,32 +177,153 @@ func (l *Loop) After(d Time, name string, fn func()) *Event {
 	return l.At(l.now+d, name, fn)
 }
 
-// Cancel removes a pending event. Canceling a fired or already-canceled
-// event is a no-op.
+// AfterTimer schedules a typed callback d nanoseconds from now.
+func (l *Loop) AfterTimer(d Time, name string, fn TimerFunc, a, b any, u uint64) *Event {
+	return l.AtTimer(l.now+d, name, fn, a, b, u)
+}
+
+// Cancel removes a pending event and recycles it. Canceling a fired or
+// already-canceled event is a no-op. The caller must drop its reference:
+// after Cancel the *Event belongs to the pool.
 func (l *Loop) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	heap.Remove(&l.pq, e.index)
+	l.remove(int(e.index))
+	l.release(e)
 }
 
-// Reschedule moves a pending event to a new time, keeping its callback.
-// If the event already fired it is re-armed as a fresh event.
+// CancelHandle cancels through a weak handle: a no-op when the handle is
+// stale (the event already fired, was canceled, or its Event was recycled).
+func (l *Loop) CancelHandle(h Handle) {
+	if h.e == nil || h.e.gen != h.gen {
+		return
+	}
+	l.Cancel(h.e)
+}
+
+// Reschedule moves a pending event to a new time, keeping its callback, and
+// returns the (same) armed event. A fired or canceled event cannot be
+// rescheduled — its pooled Event may already carry an unrelated callback —
+// so Reschedule returns nil and the caller must schedule a fresh event.
+// (Historically this path silently re-armed the stale name/closure pair.)
 func (l *Loop) Reschedule(e *Event, t Time) *Event {
-	if e == nil {
+	if e == nil || e.index < 0 {
 		return nil
 	}
 	if t < l.now {
 		t = l.now
 	}
-	if e.index >= 0 {
-		e.When = t
-		e.seq = l.seq
-		l.seq++
-		heap.Fix(&l.pq, e.index)
-		return e
+	e.When = t
+	e.seq = l.seq
+	l.seq++
+	l.fix(int(e.index))
+	return e
+}
+
+// less orders events by (When, seq): the deterministic total order.
+func less(x, y *Event) bool {
+	if x.When != y.When {
+		return x.When < y.When
 	}
-	return l.At(t, e.Name, e.fn)
+	return x.seq < y.seq
+}
+
+// insert assigns the scheduling sequence number and pushes onto the heap.
+func (l *Loop) insert(e *Event) {
+	e.seq = l.seq
+	l.seq++
+	i := len(l.pq)
+	l.pq = append(l.pq, e)
+	e.index = int32(i)
+	l.siftUp(i)
+}
+
+// siftUp restores the heap property upward from i (4-ary: parent (i-1)/4).
+func (l *Loop) siftUp(i int) {
+	e := l.pq[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := l.pq[p]
+		if less(pe, e) {
+			break
+		}
+		l.pq[i] = pe
+		pe.index = int32(i)
+		i = p
+	}
+	l.pq[i] = e
+	e.index = int32(i)
+}
+
+// siftDown restores the heap property downward from i (children 4i+1..4i+4).
+func (l *Loop) siftDown(i int) {
+	e := l.pq[i]
+	n := len(l.pq)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, me := c, l.pq[c]
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for k := c + 1; k < hi; k++ {
+			if ke := l.pq[k]; less(ke, me) {
+				m, me = k, ke
+			}
+		}
+		if less(e, me) {
+			break
+		}
+		l.pq[i] = me
+		me.index = int32(i)
+		i = m
+	}
+	l.pq[i] = e
+	e.index = int32(i)
+}
+
+// fix re-positions the event at i after its key changed.
+func (l *Loop) fix(i int) {
+	e := l.pq[i]
+	l.siftUp(i)
+	if int(e.index) == i {
+		l.siftDown(i)
+	}
+}
+
+// remove detaches the event at heap index i (it is NOT released).
+func (l *Loop) remove(i int) {
+	n := len(l.pq) - 1
+	e := l.pq[i]
+	last := l.pq[n]
+	l.pq[n] = nil
+	l.pq = l.pq[:n]
+	if i != n {
+		l.pq[i] = last
+		last.index = int32(i)
+		l.fix(i)
+	}
+	e.index = -1
+}
+
+// pop detaches and returns the minimum event (it is NOT released).
+func (l *Loop) pop() *Event {
+	top := l.pq[0]
+	n := len(l.pq) - 1
+	last := l.pq[n]
+	l.pq[n] = nil
+	l.pq = l.pq[:n]
+	if n > 0 {
+		l.pq[0] = last
+		last.index = 0
+		l.siftDown(0)
+	}
+	top.index = -1
+	return top
 }
 
 // Stop halts Run after the currently executing event returns.
@@ -144,10 +342,19 @@ func (l *Loop) Run() error {
 			l.now = l.horizon
 			return nil
 		}
-		heap.Pop(&l.pq)
+		l.pop()
 		l.now = next.When
 		l.fired++
-		next.fn()
+		// The event is recycled only after the callback returns: during the
+		// callback, Cancel/Reschedule on the (detached) event are safe
+		// no-ops, and nothing scheduled inside the callback can be handed
+		// this *Event while legacy references to it may still be live.
+		if tfn := next.tfn; tfn != nil {
+			tfn(next.a, next.b, next.u)
+		} else if fn := next.fn; fn != nil {
+			fn()
+		}
+		l.release(next)
 	}
 	return nil
 }

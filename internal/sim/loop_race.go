@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// Race builds turn on the event pool's poisoning checks: recycled events get
+// a poisoned Name/When, and acquire panics if a pooled event was mutated
+// after release — the signature of a caller retaining a recycled *Event in
+// violation of the aliasing rule documented on Event.
+func init() { raceChecks = true }

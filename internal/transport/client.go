@@ -46,12 +46,13 @@ type clientConn struct {
 	// Receive state for the current response.
 	resp *clientResp
 
-	// Delayed-ACK state.
+	// Delayed-ACK state. Timers are generation-checked handles: the loop
+	// pools fired events, so raw *Event references must not be retained.
 	unacked   int
-	ackTimer  *sim.Event
+	ackTimer  sim.Handle
 	recvdHigh int // highest contiguous segment count (cumulative ack value)
 
-	synTimer *sim.Event
+	synTimer sim.Handle
 
 	// Request queue: requests issued before connect completes.
 	queued []pendingReq
@@ -69,8 +70,8 @@ type clientResp struct {
 	total int
 	got   map[int]bool
 	start sim.Time
-	nack  *sim.Event
-	retry *sim.Event
+	nack  sim.Handle
+	retry sim.Handle
 }
 
 // Response reports a completed request.
@@ -130,7 +131,7 @@ func (c *Client) sendSYN(conn *clientConn) {
 			if !conn.established {
 				c.sendSYN(conn)
 			}
-		})
+		}).Handle()
 	}
 }
 
@@ -165,9 +166,9 @@ func (c *Client) issue(conn *clientConn, p pendingReq) {
 	p.sentAt = c.loop.Now()
 	conn.resp = &clientResp{pendingReq: p, got: make(map[int]bool), start: c.loop.Now()}
 	// A REQ piggybacks the cumulative ACK (cancels any pending delayed ACK).
-	if conn.ackTimer != nil {
-		c.loop.Cancel(conn.ackTimer)
-		conn.ackTimer = nil
+	if conn.ackTimer.Pending() {
+		c.loop.CancelHandle(conn.ackTimer)
+		conn.ackTimer = sim.Handle{}
 		conn.unacked = 0
 	}
 	c.sendREQ(conn)
@@ -183,12 +184,12 @@ func (c *Client) sendREQ(conn *clientConn) {
 	})
 	if c.Retry > 0 {
 		r.retry = c.loop.After(c.Retry, "tcp:req-retry", func() {
-			r.retry = nil
+			r.retry = sim.Handle{}
 			// Retry only while no data for this response has arrived.
 			if conn.resp == r && len(r.got) == 0 {
 				c.sendREQ(conn)
 			}
-		})
+		}).Handle()
 	}
 }
 
@@ -208,10 +209,8 @@ func (c *Client) deliver(pkt *netsim.Packet) {
 			return
 		}
 		conn.established = true
-		if conn.synTimer != nil {
-			c.loop.Cancel(conn.synTimer)
-			conn.synTimer = nil
-		}
+		c.loop.CancelHandle(conn.synTimer)
+		conn.synTimer = sim.Handle{}
 		c.send(conn.dst, CtrlSize, Segment{Conn: conn.id, Flags: FlagACK, Seq: 0})
 		if conn.onConnect != nil {
 			conn.onConnect()
@@ -264,12 +263,8 @@ func (c *Client) onData(conn *clientConn, seg Segment) {
 }
 
 func (c *Client) finish(conn *clientConn, r *clientResp) {
-	if r.nack != nil {
-		c.loop.Cancel(r.nack)
-	}
-	if r.retry != nil {
-		c.loop.Cancel(r.retry)
-	}
+	c.loop.CancelHandle(r.nack)
+	c.loop.CancelHandle(r.retry)
 	// Flush any pending delayed ACK so the server's window closes cleanly.
 	if conn.mode == FlagSYN && conn.unacked > 0 {
 		c.ackNow(conn)
@@ -296,33 +291,31 @@ func (c *Client) maybeAck(conn *clientConn) {
 		c.ackNow(conn)
 		return
 	}
-	if conn.ackTimer == nil || conn.ackTimer.Canceled() {
+	if !conn.ackTimer.Pending() {
 		conn.ackTimer = c.loop.After(c.DelayedAck, "tcp:delack", func() {
-			conn.ackTimer = nil
+			conn.ackTimer = sim.Handle{}
 			if conn.unacked > 0 {
 				c.ackNow(conn)
 			}
-		})
+		}).Handle()
 	}
 }
 
 func (c *Client) ackNow(conn *clientConn) {
 	conn.unacked = 0
-	if conn.ackTimer != nil {
-		c.loop.Cancel(conn.ackTimer)
-		conn.ackTimer = nil
-	}
+	c.loop.CancelHandle(conn.ackTimer)
+	conn.ackTimer = sim.Handle{}
 	c.send(conn.dst, CtrlSize, Segment{Conn: conn.id, Flags: FlagACK, Seq: conn.recvdHigh})
 }
 
 // armNack schedules a NACK for the first missing segment if the gap
 // persists (UDP NACK-repair mode).
 func (c *Client) armNack(conn *clientConn, r *clientResp) {
-	if r.nack != nil && !r.nack.Canceled() {
+	if r.nack.Pending() {
 		return
 	}
 	r.nack = c.loop.After(c.NACKTimeout, "udp:nack", func() {
-		r.nack = nil
+		r.nack = sim.Handle{}
 		if conn.resp != r || len(r.got) >= r.total {
 			return
 		}
@@ -332,5 +325,5 @@ func (c *Client) armNack(conn *clientConn, r *clientResp) {
 		}
 		c.send(conn.dst, CtrlSize, Segment{Conn: conn.id, Flags: FlagNACK, Seq: missing})
 		c.armNack(conn, r)
-	})
+	}).Handle()
 }

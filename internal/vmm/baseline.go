@@ -29,7 +29,7 @@ type BaselineRuntime struct {
 	netDelivered int
 
 	// OnSend forwards a guest output packet (wired by the cluster).
-	OnSend func(a guest.IOAction)
+	OnSend SendSink
 	// OnNetDeliver observes injected network interrupts (experiments).
 	OnNetDeliver func(seq uint64, real sim.Time)
 }
@@ -161,7 +161,7 @@ func (rt *BaselineRuntime) exit(res guest.StepResult) {
 	if res.IO != nil {
 		if res.IO.IsSend() {
 			if rt.OnSend != nil {
-				rt.OnSend(*res.IO)
+				rt.OnSend.GuestSend(*res.IO)
 			}
 		} else {
 			rt.requestDisk(*res.IO)

@@ -33,7 +33,7 @@ func buildEpochSet(t *testing.T, interval int64) (*sim.Loop, []*Runtime, []*Epoc
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt.OnSend = func(a guest.IOAction) {}
+		rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 		ec, err := NewEpochCoordinator(rt, interval, 3)
 		if err != nil {
 			t.Fatal(err)

@@ -83,8 +83,13 @@ func (e *exec) arm() {
 	e.chunkStart = e.loop.Now()
 	e.chunkRate = rate
 	e.chunkBudget = budget
-	e.ev = e.loop.After(dur, "vmm:chunk", e.fire)
+	e.ev = e.loop.AfterTimer(dur, "vmm:chunk", chunkTimer, e, nil, 0)
 }
+
+// chunkTimer is the typed chunk-completion callback — the single hottest
+// event in the simulator (one per execution chunk per replica), so it must
+// not allocate a closure or method value per arm.
+func chunkTimer(a, _ any, _ uint64) { a.(*exec).fire() }
 
 // fire completes a chunk: a guest-caused VM exit.
 func (e *exec) fire() {

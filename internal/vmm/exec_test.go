@@ -42,7 +42,7 @@ func buildExecProbe(t *testing.T, rate int64) (*sim.Loop, *Runtime, *[]int64) {
 		exits = append(exits, rt.ex.instr)
 		origExit(res)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	return loop, rt, &exits
 }
 
@@ -76,7 +76,7 @@ func TestExitPointsInvariantUnderRescale(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			churn.OnSend = func(a guest.IOAction) {}
+			churn.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 			churn.Start()
 		}
 		rt.Start()

@@ -124,6 +124,10 @@ func (h *Host) idleRate() float64 {
 
 // ioBegin marks the start of device-model work; ioEnd its completion.
 func (h *Host) ioBegin() { h.ioInFlight++ }
+
+// ioEndTimer is the typed callback form of ioEnd — per disk request and per
+// processed packet, so it must not allocate a method value per scheduling.
+func ioEndTimer(a, _ any, _ uint64) { a.(*Host).ioEnd() }
 func (h *Host) ioEnd() {
 	if h.ioInFlight > 0 {
 		h.ioInFlight--

@@ -40,7 +40,7 @@ func TestReplicaLockstepProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			rt.OnSend = func(a guest.IOAction) {}
+			rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 			nd, err := NewNetDevice(rt, 3)
 			if err != nil {
 				return false
@@ -51,15 +51,15 @@ func TestReplicaLockstepProperty(t *testing.T) {
 		for i := range nds {
 			i := i
 			origin := rts[i].Host().Name()
-			nds[i].SendProposal = func(view, seq uint64, v vtime.Virtual) {
+			nds[i].SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {
 				for j := range nds {
 					if j != i {
 						j := j
 						loop.After(400*sim.Microsecond, "prop", func() { nds[j].HandlePeerProposal(origin, view, seq, v) })
 					}
 				}
-			}
-			rts[i].OnPace = func(v vtime.Virtual) {
+			})
+			rts[i].OnPace = PaceSinkFunc(func(v vtime.Virtual) {
 				for j := range rts {
 					if j != i {
 						j := j
@@ -67,7 +67,7 @@ func TestReplicaLockstepProperty(t *testing.T) {
 						loop.After(400*sim.Microsecond, "pace", func() { rts[j].OnPeerVirt(name, v) })
 					}
 				}
-			}
+			})
 			rts[i].Start()
 		}
 		// Coresident load on one random host.
@@ -75,7 +75,7 @@ func TestReplicaLockstepProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		load.OnSend = func(a guest.IOAction) {}
+		load.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 		load.Start()
 		// A short randomized packet stream.
 		bursts := int(burstRaw%12) + 4

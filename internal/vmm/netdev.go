@@ -2,6 +2,7 @@ package vmm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"stopwatch/internal/guest"
@@ -48,8 +49,10 @@ type NetDevice struct {
 
 	// live, when non-nil, is the group view: the origins (host names,
 	// this replica's own included) currently believed alive. nil means the
-	// full group of `replicas` members is assumed live.
-	live map[string]bool
+	// full group of `replicas` members is assumed live. A slice, not a map:
+	// groups are 3 (or 5) wide, and the backing array is reused across view
+	// changes.
+	live []string
 	// view is the group-view number proposals are exchanged under; it only
 	// moves via SetLiveReplicas and must match across live members.
 	view uint64
@@ -72,14 +75,15 @@ type NetDevice struct {
 
 	// SendProposal transmits this replica's proposal for an ingress
 	// sequence number, under the given group view, to the peer device
-	// models (wired by the cluster).
-	SendProposal func(view, seq uint64, v vtime.Virtual)
+	// models (wired by the cluster; an interface so the wiring needs no
+	// per-replica closure).
+	SendProposal ProposalSink
 	// OnPropose observes this replica's own proposals (experiments).
 	OnPropose func(seq uint64, v vtime.Virtual)
 	// OnResolve observes each resolved delivery decision — the cluster
 	// journals these for replica replacement (all replicas resolve
 	// identical medians, so any replica's stream is authoritative).
-	OnResolve func(seq uint64, deliver vtime.Virtual, p guest.Payload)
+	OnResolve ResolveSink
 
 	proposed uint64
 	resolved uint64
@@ -87,16 +91,58 @@ type NetDevice struct {
 	staleDrops uint64 // proposals for already-resolved seqs
 	dupDrops   uint64 // second proposal from one origin for one seq
 	viewDrops  uint64 // proposals from an earlier view or a dead origin
+
+	// Steady-state scratch, reused across packets so the per-resolution
+	// hot path allocates nothing: freed propStates, freed inbound work
+	// items, the median slice, and the re-propose seq slice.
+	freeStates []*propState
+	freeWork   []*inboundWork
+	medScratch []vtime.Virtual
+	seqScratch []uint64
+}
+
+// ProposalSink consumes a replica's delivery-time proposals.
+type ProposalSink interface {
+	SendProposal(view, seq uint64, v vtime.Virtual)
+}
+
+// ProposalSinkFunc adapts a function to ProposalSink (tests, experiments).
+type ProposalSinkFunc func(view, seq uint64, v vtime.Virtual)
+
+// SendProposal implements ProposalSink.
+func (f ProposalSinkFunc) SendProposal(view, seq uint64, v vtime.Virtual) { f(view, seq, v) }
+
+// ResolveSink consumes resolved delivery decisions (the determinism
+// journal).
+type ResolveSink interface {
+	OnResolve(seq uint64, deliver vtime.Virtual, p guest.Payload)
+}
+
+// ResolveSinkFunc adapts a function to ResolveSink (tests, experiments).
+type ResolveSinkFunc func(seq uint64, deliver vtime.Virtual, p guest.Payload)
+
+// OnResolve implements ResolveSink.
+func (f ResolveSinkFunc) OnResolve(seq uint64, deliver vtime.Virtual, p guest.Payload) {
+	f(seq, deliver, p)
 }
 
 // propState accumulates one sequence's proposals, keyed by origin so a
 // duplicated or replayed proposal from one peer can never displace (or
-// stand in for) another's.
+// stand in for) another's. States are pooled per device: on resolution the
+// state is cleared (map retained) and recycled for a later sequence.
 type propState struct {
-	payload *guest.Payload
-	props   map[string]vtime.Virtual
-	own     bool
-	ownVirt vtime.Virtual
+	payload    guest.Payload
+	hasPayload bool
+	props      map[string]vtime.Virtual
+	own        bool
+	ownVirt    vtime.Virtual
+}
+
+// inboundWork carries one inbound packet through the Dom0 processing-delay
+// timer without a per-packet closure; items are pooled per device.
+type inboundWork struct {
+	seq uint64
+	p   guest.Payload
 }
 
 // NewNetDevice builds the device model for a runtime participating in a
@@ -108,13 +154,14 @@ func NewNetDevice(rt *Runtime, replicas int) (*NetDevice, error) {
 	if replicas < 1 || replicas%2 == 0 {
 		return nil, fmt.Errorf("%w: replica count %d must be odd", ErrVMM, replicas)
 	}
+	// props and resolvedHi are lazily initialized on first use: a freshly
+	// wired device (guest admission is itself a hot path under churn)
+	// allocates nothing until traffic arrives.
 	return &NetDevice{
-		rt:         rt,
-		replicas:   replicas,
-		self:       rt.Host().Name(),
-		Policy:     PolicyMedian,
-		props:      make(map[uint64]*propState),
-		resolvedHi: make(map[uint64]bool),
+		rt:       rt,
+		replicas: replicas,
+		self:     rt.Host().Name(),
+		Policy:   PolicyMedian,
 	}, nil
 }
 
@@ -131,23 +178,42 @@ func (nd *NetDevice) HandleInbound(seq uint64, p guest.Payload) {
 		return
 	}
 	host.ioBegin()
-	host.Loop().After(host.ioDelay(), "netdev:process", func() {
-		host.ioEnd()
-		if nd.isResolved(seq) {
-			nd.staleDrops++
-			return
-		}
-		st := nd.state(seq)
-		if st.payload == nil {
-			cp := p
-			st.payload = &cp
-		}
-		if !st.own {
-			st.own = true
-			nd.propose(seq, st)
-		}
-		nd.maybeResolve(seq, st)
-	})
+	var w *inboundWork
+	if k := len(nd.freeWork); k > 0 {
+		w = nd.freeWork[k-1]
+		nd.freeWork[k-1] = nil
+		nd.freeWork = nd.freeWork[:k-1]
+	} else {
+		w = &inboundWork{}
+	}
+	w.seq, w.p = seq, p
+	host.Loop().AfterTimer(host.ioDelay(), "netdev:process", processTimer, nd, w, 0)
+}
+
+// processTimer completes the Dom0 device-model processing delay for one
+// inbound packet: record the payload, form this replica's proposal, and try
+// to resolve.
+func processTimer(a, b any, _ uint64) {
+	nd := a.(*NetDevice)
+	w := b.(*inboundWork)
+	seq, p := w.seq, w.p
+	w.p = guest.Payload{}
+	nd.freeWork = append(nd.freeWork, w)
+	nd.rt.Host().ioEnd()
+	if nd.isResolved(seq) {
+		nd.staleDrops++
+		return
+	}
+	st := nd.state(seq)
+	if !st.hasPayload {
+		st.payload = p
+		st.hasPayload = true
+	}
+	if !st.own {
+		st.own = true
+		nd.propose(seq, st)
+	}
+	nd.maybeResolve(seq, st)
 }
 
 // propose forms this replica's delivery-time proposal for seq at the current
@@ -161,7 +227,7 @@ func (nd *NetDevice) propose(seq uint64, st *propState) {
 		nd.OnPropose(seq, prop)
 	}
 	if nd.SendProposal != nil {
-		nd.SendProposal(nd.view, seq, prop)
+		nd.SendProposal.SendProposal(nd.view, seq, prop)
 	}
 	nd.armDeadline(seq)
 }
@@ -175,7 +241,7 @@ func (nd *NetDevice) HandlePeerProposal(origin string, view, seq uint64, v vtime
 		nd.staleDrops++
 		return
 	}
-	if view != nd.view || (nd.live != nil && !nd.live[origin]) {
+	if view != nd.view || (nd.live != nil && !nd.liveHas(origin)) {
 		nd.viewDrops++
 		return
 	}
@@ -198,25 +264,22 @@ func (nd *NetDevice) HandlePeerProposal(origin string, view, seq uint64, v vtime
 // stall window). The cluster must install the same (view, origins) in every
 // live member within one simulated instant.
 func (nd *NetDevice) SetLiveReplicas(view uint64, origins []string) {
-	live := make(map[string]bool, len(origins))
-	for _, o := range origins {
-		live[o] = true
-	}
-	nd.live = live
+	nd.live = append(nd.live[:0], origins...)
 	nd.view = view
-	seqs := make([]uint64, 0, len(nd.props))
+	seqs := nd.seqScratch[:0]
 	for seq := range nd.props {
 		seqs = append(seqs, seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	for _, seq := range seqs {
 		st := nd.props[seq]
-		st.props = make(map[string]vtime.Virtual)
+		clear(st.props)
 		if st.own {
 			nd.propose(seq, st)
 		}
 		nd.maybeResolve(seq, st)
 	}
+	nd.seqScratch = seqs[:0]
 }
 
 // View returns the current group-view number.
@@ -231,17 +294,47 @@ func (nd *NetDevice) liveCount() int {
 	return nd.replicas
 }
 
+// liveHas reports membership in the installed live view (linear: the view
+// is at most the replica group width).
+func (nd *NetDevice) liveHas(origin string) bool {
+	for _, o := range nd.live {
+		if o == origin {
+			return true
+		}
+	}
+	return false
+}
+
 func (nd *NetDevice) state(seq uint64) *propState {
+	if nd.props == nil {
+		nd.props = make(map[uint64]*propState)
+	}
 	st, ok := nd.props[seq]
 	if !ok {
-		st = &propState{props: make(map[string]vtime.Virtual)}
+		if k := len(nd.freeStates); k > 0 {
+			st = nd.freeStates[k-1]
+			nd.freeStates[k-1] = nil
+			nd.freeStates = nd.freeStates[:k-1]
+		} else {
+			st = &propState{props: make(map[string]vtime.Virtual)}
+		}
 		nd.props[seq] = st
 	}
 	return st
 }
 
+// releaseState clears and recycles a resolved sequence's state.
+func (nd *NetDevice) releaseState(st *propState) {
+	clear(st.props)
+	st.payload = guest.Payload{}
+	st.hasPayload = false
+	st.own = false
+	st.ownVirt = 0
+	nd.freeStates = append(nd.freeStates, st)
+}
+
 func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
-	if st.payload == nil || !st.own {
+	if !st.hasPayload || !st.own {
 		return
 	}
 	var deliver vtime.Virtual
@@ -253,19 +346,22 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 		if len(st.props) < nd.liveCount() {
 			return
 		}
-		vs := make([]vtime.Virtual, 0, len(st.props))
+		vs := nd.medScratch[:0]
 		for _, v := range st.props {
 			vs = append(vs, v)
 		}
-		deliver = GroupMedian(vs)
+		deliver = groupMedianInPlace(vs)
+		nd.medScratch = vs[:0]
 	}
 	nd.resolved++
 	nd.markResolved(seq)
 	delete(nd.props, seq)
+	payload := st.payload
+	nd.releaseState(st)
 	if nd.OnResolve != nil {
-		nd.OnResolve(seq, deliver, *st.payload)
+		nd.OnResolve.OnResolve(seq, deliver, payload)
 	}
-	nd.rt.EnqueueNetDelivery(seq, deliver, *st.payload)
+	nd.rt.EnqueueNetDelivery(seq, deliver, payload)
 }
 
 // markResolved records seq as resolved, compacting into the watermark.
@@ -278,6 +374,9 @@ func (nd *NetDevice) markResolved(seq uint64) {
 			delete(nd.resolvedHi, nd.resolvedLo)
 		}
 	case seq > nd.resolvedLo:
+		if nd.resolvedHi == nil {
+			nd.resolvedHi = make(map[uint64]bool)
+		}
 		nd.resolvedHi[seq] = true
 	}
 }
@@ -305,9 +404,10 @@ func (nd *NetDevice) PrimeResolved(seq uint64) {
 		nd.resolvedLo++
 		delete(nd.resolvedHi, nd.resolvedLo)
 	}
-	for s := range nd.props {
+	for s, st := range nd.props {
 		if s <= nd.resolvedLo {
 			delete(nd.props, s)
+			nd.releaseState(st)
 		}
 	}
 }
@@ -328,7 +428,7 @@ func (nd *NetDevice) MissingProposals(seq uint64) []string {
 		return nil
 	}
 	var missing []string
-	for origin := range nd.live {
+	for _, origin := range nd.live {
 		if _, have := st.props[origin]; !have {
 			missing = append(missing, origin)
 		}
@@ -342,11 +442,16 @@ func (nd *NetDevice) armDeadline(seq uint64) {
 	if nd.ProposalDeadline <= 0 {
 		return
 	}
-	nd.rt.Host().Loop().After(nd.ProposalDeadline, "netdev:deadline", func() {
-		if !nd.isResolved(seq) && nd.OnStall != nil {
-			nd.OnStall(seq)
-		}
-	})
+	nd.rt.Host().Loop().AfterTimer(nd.ProposalDeadline, "netdev:deadline", deadlineTimer, nd, nil, seq)
+}
+
+// deadlineTimer fires a proposal deadline: report the sequence to the stall
+// hook unless it resolved in time.
+func deadlineTimer(a, _ any, seq uint64) {
+	nd := a.(*NetDevice)
+	if !nd.isResolved(seq) && nd.OnStall != nil {
+		nd.OnStall(seq)
+	}
 }
 
 // Pending returns the number of unresolved inbound packets (tests).
@@ -376,7 +481,14 @@ func (nd *NetDevice) ViewDrops() uint64 { return nd.viewDrops }
 func GroupMedian(vs []vtime.Virtual) vtime.Virtual {
 	s := make([]vtime.Virtual, len(vs))
 	copy(s, vs)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return groupMedianInPlace(s)
+}
+
+// groupMedianInPlace is GroupMedian over a caller-owned scratch slice: it
+// sorts in place and allocates nothing (slices.Sort, unlike sort.Slice,
+// needs no closure or reflection scratch).
+func groupMedianInPlace(s []vtime.Virtual) vtime.Virtual {
+	slices.Sort(s)
 	return s[len(s)/2]
 }
 

@@ -24,12 +24,12 @@ func groupTestDevice(t *testing.T, seed uint64) (*sim.Loop, *Runtime, *NetDevice
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	nd, err := NewNetDevice(rt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
+	nd.SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {})
 	return loop, rt, nd
 }
 
@@ -108,11 +108,11 @@ func TestSetLiveReplicasResolvesTwoOfThree(t *testing.T) {
 	var deliveredAt []vtime.Virtual
 	rt.OnNetDeliver = func(_ uint64, v vtime.Virtual, _ sim.Time) { deliveredAt = append(deliveredAt, v) }
 	var reProposed []vtime.Virtual
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {
+	nd.SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {
 		if view == 1 {
 			reProposed = append(reProposed, v)
 		}
-	}
+	})
 	rt.Start()
 	loop.At(10*sim.Millisecond, "pkt", func() { nd.HandleInbound(1, guest.Payload{Src: "c", Size: 64}) })
 	loop.At(15*sim.Millisecond, "peerB", func() { nd.HandlePeerProposal("B", 0, 1, vtime.Virtual(30*sim.Millisecond)) })

@@ -19,14 +19,14 @@ func TestPolicyOwnDeliversAtOwnProposal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	nd, err := NewNetDevice(rt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	nd.Policy = PolicyOwn
 	sentProposals := 0
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) { sentProposals++ }
+	nd.SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) { sentProposals++ })
 	var deliveredAt []vtime.Virtual
 	var proposed []vtime.Virtual
 	nd.OnPropose = func(seq uint64, v vtime.Virtual) { proposed = append(proposed, v) }
@@ -64,12 +64,12 @@ func TestPolicyMedianWaitsForAllProposals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	nd, err := NewNetDevice(rt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
+	nd.SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {})
 	delivered := 0
 	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) { delivered++ }
 	rt.Start()
@@ -102,12 +102,12 @@ func TestProposalBeforePayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	nd, err := NewNetDevice(rt, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd.SendProposal = func(view, seq uint64, v vtime.Virtual) {}
+	nd.SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {})
 	delivered := 0
 	rt.OnNetDeliver = func(uint64, vtime.Virtual, sim.Time) { delivered++ }
 	rt.Start()

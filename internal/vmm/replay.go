@@ -39,7 +39,13 @@ type Journal struct {
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal {
-	return &Journal{recs: make(map[uint64]JournalRecord)}
+	return &Journal{} // recs is lazily initialized on the first Record
+}
+
+// OnResolve implements ResolveSink: the journal wires directly into a
+// NetDevice with no adapter allocation.
+func (j *Journal) OnResolve(seq uint64, deliver vtime.Virtual, p guest.Payload) {
+	j.Record(seq, deliver, p)
 }
 
 // Record stores a resolution. Replicas record identical values for a seq;
@@ -47,6 +53,9 @@ func NewJournal() *Journal {
 func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
 	if _, dup := j.recs[seq]; dup {
 		return
+	}
+	if j.recs == nil {
+		j.recs = make(map[uint64]JournalRecord)
 	}
 	j.recs[seq] = JournalRecord{Seq: seq, Deliver: deliver, Payload: p}
 }

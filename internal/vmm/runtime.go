@@ -9,6 +9,28 @@ import (
 	"stopwatch/internal/vtime"
 )
 
+// SendSink consumes a replica's guest output packets (Sec. VI tunnelling).
+type SendSink interface {
+	GuestSend(a guest.IOAction)
+}
+
+// SendSinkFunc adapts a function to SendSink (tests, experiments).
+type SendSinkFunc func(a guest.IOAction)
+
+// GuestSend implements SendSink.
+func (f SendSinkFunc) GuestSend(a guest.IOAction) { f(a) }
+
+// PaceSink consumes a replica's pacing beacons (Sec. V-A).
+type PaceSink interface {
+	PaceReport(v vtime.Virtual)
+}
+
+// PaceSinkFunc adapts a function to PaceSink (tests, experiments).
+type PaceSinkFunc func(v vtime.Virtual)
+
+// PaceReport implements PaceSink.
+func (f PaceSinkFunc) PaceReport(v vtime.Virtual) { f(v) }
+
 // netDelivery is a network interrupt scheduled in virtual time.
 type netDelivery struct {
 	deliverVirt vtime.Virtual
@@ -65,11 +87,15 @@ type Runtime struct {
 
 	stats RuntimeStats
 
-	// Wiring (set before Start):
+	// Wiring (set before Start). OnSend and OnPace are interfaces rather
+	// than func fields so the cluster can wire its per-replica state in
+	// directly (a pointer into an interface allocates nothing, a closure or
+	// bound method per replica does — guest admission is a hot path under
+	// churn).
 	// OnSend tunnels a guest output toward the egress node.
-	OnSend func(a guest.IOAction)
+	OnSend SendSink
 	// OnPace reports this replica's virtual progress to its peers.
-	OnPace func(v vtime.Virtual)
+	OnPace PaceSink
 	// OnNetDeliver observes each injected network interrupt (experiments).
 	OnNetDeliver func(seq uint64, deliverVirt vtime.Virtual, real sim.Time)
 
@@ -102,13 +128,13 @@ func NewRuntime(host *Host, guestID string, app guest.App, bootTimes []sim.Time)
 	if err != nil {
 		return nil, err
 	}
+	// peerVirt is lazily initialized on the first pacing report.
 	rt := &Runtime{
-		host:     host,
-		cfg:      cfg,
-		vclock:   vc,
-		pit:      pit,
-		tsc:      vtime.TSC{HzGHz: 3.0},
-		peerVirt: make(map[string]vtime.Virtual),
+		host:   host,
+		cfg:    cfg,
+		vclock: vc,
+		pit:    pit,
+		tsc:    vtime.TSC{HzGHz: 3.0},
 	}
 	// The PIT tick schedule starts at the clock's start value, not at
 	// virtual zero, so early guests aren't flooded with catch-up ticks.
@@ -184,9 +210,12 @@ func (rt *Runtime) paceTick() {
 	if rt.ex.stopped {
 		return
 	}
-	rt.OnPace(rt.virtLastExit)
-	rt.host.Loop().After(rt.cfg.PaceInterval, "vmm:pace", rt.paceTick)
+	rt.OnPace.PaceReport(rt.virtLastExit)
+	rt.host.Loop().AfterTimer(rt.cfg.PaceInterval, "vmm:pace", paceTimer, rt, nil, 0)
 }
+
+// paceTimer is the typed pacing-beacon callback (periodic per replica).
+func paceTimer(a, _ any, _ uint64) { a.(*Runtime).paceTick() }
 
 // DropPeer forgets a peer replica's pacing state — the peer was declared
 // dead and replaced; its frozen progress report must not linger in the
@@ -200,6 +229,9 @@ func (rt *Runtime) DropPeer(peer string) {
 // OnPeerVirt records a peer replica's progress report and resumes a paced
 // pause if the gap has closed (never an epoch barrier).
 func (rt *Runtime) OnPeerVirt(peer string, v vtime.Virtual) {
+	if rt.peerVirt == nil {
+		rt.peerVirt = make(map[string]vtime.Virtual)
+	}
 	rt.peerVirt[peer] = v
 	rt.maybeResume()
 }
@@ -255,7 +287,7 @@ func (rt *Runtime) EnqueueNetDelivery(seq uint64, deliverVirt vtime.Virtual, p g
 func (rt *Runtime) requestDisk(a guest.IOAction, atVirt vtime.Virtual) {
 	rt.host.ioBegin()
 	ready := rt.host.diskService(a.Bytes)
-	rt.host.Loop().At(ready, "vmm:diskdone", rt.host.ioEnd)
+	rt.host.Loop().AtTimer(ready, "vmm:diskdone", ioEndTimer, rt.host, nil, 0)
 	rt.diskSeq++
 	rt.enqueueDisk(diskDelivery{
 		deliverVirt: atVirt + rt.cfg.DeltaD,
@@ -288,7 +320,7 @@ func (rt *Runtime) exit(res guest.StepResult) {
 	if res.IO != nil {
 		if res.IO.IsSend() {
 			if rt.OnSend != nil {
-				rt.OnSend(*res.IO)
+				rt.OnSend.GuestSend(*res.IO)
 			}
 		} else {
 			rt.requestDisk(*res.IO, virt)

@@ -194,7 +194,7 @@ func buildReplicaSet(t *testing.T, seed uint64, app guest.App, propDelay sim.Tim
 	for i := range rs.nds {
 		i := i
 		origin := rs.rts[i].Host().Name()
-		rs.nds[i].SendProposal = func(view, seq uint64, v vtime.Virtual) {
+		rs.nds[i].SendProposal = ProposalSinkFunc(func(view, seq uint64, v vtime.Virtual) {
 			for j := range rs.nds {
 				if j == i {
 					continue
@@ -202,8 +202,8 @@ func buildReplicaSet(t *testing.T, seed uint64, app guest.App, propDelay sim.Tim
 				j := j
 				loop.After(propDelay, "prop", func() { rs.nds[j].HandlePeerProposal(origin, view, seq, v) })
 			}
-		}
-		rs.rts[i].OnPace = func(v vtime.Virtual) {
+		})
+		rs.rts[i].OnPace = PaceSinkFunc(func(v vtime.Virtual) {
 			for j := range rs.rts {
 				if j == i {
 					continue
@@ -212,7 +212,7 @@ func buildReplicaSet(t *testing.T, seed uint64, app guest.App, propDelay sim.Tim
 				name := rs.rts[i].Host().Name()
 				loop.After(propDelay, "pace", func() { rs.rts[j].OnPeerVirt(name, v) })
 			}
-		}
+		})
 	}
 	return rs
 }
@@ -235,7 +235,7 @@ func TestReplicaLockstep(t *testing.T) {
 		rt.OnNetDeliver = func(seq uint64, v vtime.Virtual, _ sim.Time) {
 			deliveries[i] = append(deliveries[i], v)
 		}
-		rt.OnSend = func(a guest.IOAction) {} // discard outputs
+		rt.OnSend = SendSinkFunc(func(a guest.IOAction) {}) // discard outputs
 		rt.Start()
 	}
 	// A packet stream with arrival skew across hosts.
@@ -299,14 +299,14 @@ func TestReplicaLockstepWithCoresidentLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	victim.OnSend = func(a guest.IOAction) {}
+	victim.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	var deliveries [3][]vtime.Virtual
 	for i, rt := range rs.rts {
 		i := i
 		rt.OnNetDeliver = func(seq uint64, v vtime.Virtual, _ sim.Time) {
 			deliveries[i] = append(deliveries[i], v)
 		}
-		rt.OnSend = func(a guest.IOAction) {}
+		rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 		rt.Start()
 	}
 	victim.Start()
@@ -371,12 +371,12 @@ func TestPacingSlowsFastestReplica(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt.OnSend = func(a guest.IOAction) {}
+		rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 		rts = append(rts, rt)
 	}
 	for i := range rts {
 		i := i
-		rts[i].OnPace = func(v vtime.Virtual) {
+		rts[i].OnPace = PaceSinkFunc(func(v vtime.Virtual) {
 			for j := range rts {
 				if j != i {
 					j := j
@@ -384,7 +384,7 @@ func TestPacingSlowsFastestReplica(t *testing.T) {
 					loop.After(200*sim.Microsecond, "pace", func() { rts[j].OnPeerVirt(name, v) })
 				}
 			}
-		}
+		})
 		rts[i].Start()
 	}
 	if err := loop.RunUntil(500 * sim.Millisecond); err != nil {
@@ -411,7 +411,7 @@ func TestDivergenceCountedWhenMedianAlreadyPassed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	if err := loop.RunUntil(100 * sim.Millisecond); err != nil {
 		t.Fatal(err)
@@ -446,7 +446,7 @@ func TestDiskDeliveryAtDeltaD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
@@ -482,7 +482,7 @@ func TestDiskOverrunDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
@@ -529,7 +529,7 @@ func TestPITTicksAtVirtualRate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
@@ -549,7 +549,7 @@ func TestBaselinePITByRealTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.Start()
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
@@ -569,7 +569,7 @@ func TestBaselineDeliversPromptly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.OnSend = func(a guest.IOAction) {}
+	rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 	rt.OnNetDeliver = func(seq uint64, real sim.Time) { deliveredAt = append(deliveredAt, real) }
 	rt.Start()
 	sendAt := 10 * sim.Millisecond
@@ -595,7 +595,7 @@ func TestBaselineDeliversPromptly(t *testing.T) {
 func TestNetDeviceProtocol(t *testing.T) {
 	rs := buildReplicaSet(t, 21, &recordApp{}, 300*sim.Microsecond)
 	for _, rt := range rs.rts {
-		rt.OnSend = func(a guest.IOAction) {}
+		rt.OnSend = SendSinkFunc(func(a guest.IOAction) {})
 		rt.Start()
 	}
 	rs.inject(1, guest.Payload{Src: "c", Size: 64, Data: "x"}, []sim.Time{0, 0, 0})

@@ -21,6 +21,7 @@ package vtime
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"stopwatch/internal/sim"
@@ -89,9 +90,17 @@ func New(cfg Config) (*Clock, error) {
 }
 
 func medianTime(ts []sim.Time) sim.Time {
-	s := make([]sim.Time, len(ts))
+	// Replica groups are 3 (or 5) wide: sort a stack copy instead of
+	// allocating a slice + sort.Slice scratch per clock construction.
+	var buf [8]sim.Time
+	var s []sim.Time
+	if len(ts) <= len(buf) {
+		s = buf[:len(ts)]
+	} else {
+		s = make([]sim.Time, len(ts))
+	}
 	copy(s, ts)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 	return s[len(s)/2]
 }
 

@@ -79,6 +79,12 @@ func Millis(ms float64) Time { return sim.FromMillis(ms) }
 // Addr is a network fabric address.
 type Addr = netsim.Addr
 
+// Packet is a unit of fabric traffic.
+type Packet = netsim.Packet
+
+// FuncNode adapts a function into a fabric node (clients, sinks).
+type FuncNode = netsim.FuncNode
+
 // Cluster is a running simulated cloud.
 type Cluster = core.Cluster
 
