@@ -211,6 +211,13 @@ func (p *benchPinger) OnDiskDone(ctx Ctx, d DiskDone) {}
 // pool is full. It records the Admit/Evict hot path — incremental packing
 // plus full fabric wiring and teardown.
 func BenchmarkChurn(b *testing.B) {
+	benchChurnLoop(b, false)
+}
+
+// benchChurnLoop is the shared admit/evict loop: bare for BenchmarkChurn
+// (the allocs/op baseline the CI gate tracks), fully instrumented for
+// BenchmarkMetricsHotPath.
+func benchChurnLoop(b *testing.B, instrument bool) {
 	cfg := DefaultClusterConfig()
 	cfg.Hosts = 24
 	c, err := NewCluster(cfg)
@@ -220,6 +227,12 @@ func BenchmarkChurn(b *testing.B) {
 	cp, err := NewControlPlane(c, DefaultControlPlaneConfig(4))
 	if err != nil {
 		b.Fatal(err)
+	}
+	var reg *MetricsRegistry
+	if instrument {
+		reg = NewMetricsRegistry()
+		cp.InstrumentMetrics(reg)
+		c.InstrumentMetrics(reg)
 	}
 	factory := func() App { return &benchPinger{} }
 	var resident []string
@@ -244,6 +257,21 @@ func BenchmarkChurn(b *testing.B) {
 	b.ReportMetric(float64(st.Admitted), "admitted")
 	b.ReportMetric(float64(st.Evicted), "evicted")
 	b.ReportMetric(cp.Utilization(), "utilization")
+	if instrument {
+		if reg.Prom() == "" {
+			b.Fatal("instrumented run rendered an empty metrics page")
+		}
+	}
+}
+
+// BenchmarkMetricsHotPath prices the observability plane on the lifecycle
+// hot path: the same admit/evict churn as BenchmarkChurn, bare vs with the
+// full metrics stack attached (control-plane Watch translator + data-plane
+// hooks). The delta between the two sub-benchmarks is the per-operation
+// cost of instrumentation; CI records both in the trajectory file.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	b.Run("bare", func(b *testing.B) { benchChurnLoop(b, false) })
+	b.Run("instrumented", func(b *testing.B) { benchChurnLoop(b, true) })
 }
 
 // BenchmarkApplyAdmit measures the unified operations API's dispatch

@@ -17,6 +17,7 @@
 //
 //	churn -hosts 24 -capacity 4 -duration 30 -arrival-rate 2.5 -failures 4 -drains 2 -crashes 1
 //	churn -hosts 21 -duration 15 -crashes 2 -autodetect
+//	churn -hosts 10 -duration 10 -listen 127.0.0.1:8080 -metrics-out metrics.json -load-aware
 package main
 
 import (
@@ -31,7 +32,9 @@ import (
 	"stopwatch/internal/controlplane"
 	"stopwatch/internal/core"
 	"stopwatch/internal/guest"
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/netsim"
+	"stopwatch/internal/obsrv"
 	"stopwatch/internal/placement"
 	"stopwatch/internal/profiling"
 	"stopwatch/internal/sim"
@@ -60,6 +63,9 @@ type options struct {
 	seed        uint64
 	cpuprofile  string
 	memprofile  string
+	listen      string
+	metricsOut  string
+	loadAware   bool
 }
 
 func parse(args []string) (options, error) {
@@ -78,6 +84,9 @@ func parse(args []string) (options, error) {
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (e.g. 127.0.0.1:8080; empty = off)")
+	fs.StringVar(&o.metricsOut, "metrics-out", "", "write the end-of-run metrics snapshot as canonical JSON to this file")
+	fs.BoolVar(&o.loadAware, "load-aware", false, "telemetry-driven admission: score and gate hosts by live Dom0 disk backlog (changes placement, and with it the op-log digest)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -225,6 +234,33 @@ func run(args []string, out io.Writer) error {
 		trafficEnd: sim.FromSeconds(o.duration - 2),
 		end:        sim.FromSeconds(o.duration),
 	}
+	// Observability plane: one registry fed by both planes, optionally
+	// served over localhost HTTP and/or dumped as canonical JSON at the
+	// end. Instrumentation observes the run (Watch events, passive
+	// data-plane hooks, snapshot-time gauges) without perturbing it: the
+	// op-log digest is byte-identical with and without these flags.
+	var reg *metrics.Registry
+	var srv *obsrv.Server
+	if o.listen != "" || o.metricsOut != "" {
+		reg = metrics.NewRegistry()
+		cp.InstrumentMetrics(reg)
+		c.InstrumentMetrics(reg)
+	}
+	if o.listen != "" {
+		srv = obsrv.New()
+		srv.Attach(cp, reg)
+		if err := srv.Start(o.listen); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "observability: serving http://%s/{metrics,metrics.json,ops,ops/stream}\n", srv.Addr())
+	}
+	// Telemetry-driven admission is opt-in precisely because it changes
+	// placement — and with it the pinned digests.
+	if o.loadAware {
+		budget := cp.EnableLoadAwareAdmission(controlplane.LoadAwareConfig{})
+		fmt.Fprintf(out, "load-aware admission: on (false-alarm budget %v)\n", budget)
+	}
 	// One placement audit per completed top-level operation, keyed off the
 	// event stream — instead of scattering Verify calls through every
 	// injection path (which used to audit the evacuate path twice). Child
@@ -272,6 +308,18 @@ func run(args []string, out io.Writer) error {
 	s.schedulePings()
 	if err := c.Run(s.end); err != nil {
 		return err
+	}
+	if reg != nil {
+		// Final snapshot: gauge funcs evaluate end-of-run pool and host
+		// state on the (now idle) sim thread.
+		if srv != nil {
+			srv.Publish(reg)
+		}
+		if o.metricsOut != "" {
+			if err := os.WriteFile(o.metricsOut, []byte(reg.JSON()), 0o644); err != nil {
+				return fmt.Errorf("write metrics snapshot: %w", err)
+			}
+		}
 	}
 	return s.report()
 }

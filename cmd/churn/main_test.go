@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -234,6 +237,32 @@ func TestChurnAutodetectPipeline(t *testing.T) {
 	}
 }
 
+// pinnedDigests are the op-log digests of the three seeded reference runs,
+// recorded before the PR 5 scheduler rewrite and shared by every pin test:
+// any fire-order, payload-lifetime, or observability-perturbation
+// regression shows up here as a digest change.
+var pinnedDigests = map[uint64]string{
+	1: "9848d7026351fbb2",
+	2: "63d26def2bc4586e",
+	3: "8a2ef3d02025a98f",
+}
+
+func pinnedArgs(seed uint64, extra ...string) []string {
+	args := []string{"-hosts", "10", "-capacity", "3", "-duration", "6",
+		"-failures", "2", "-drains", "1", "-crashes", "1",
+		"-seed", strconv.FormatUint(seed, 10)}
+	return append(args, extra...)
+}
+
+func extractDigest(t *testing.T, text string) string {
+	t.Helper()
+	m := regexp.MustCompile(`op-log: digest=([0-9a-f]{16})`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no op-log digest in output:\n%s", text)
+	}
+	return m[1]
+}
+
 // TestChurnDigestsUnchangedAcrossSchedulerRewrite pins the op-log digests
 // of three seeded runs to the values produced by the original
 // container/heap scheduler (recorded before the pooled 4-ary heap, typed
@@ -242,27 +271,93 @@ func TestChurnAutodetectPipeline(t *testing.T) {
 // simulator allocates, but never what it computes: any fire-order or
 // payload-lifetime regression shows up here as a digest change.
 func TestChurnDigestsUnchangedAcrossSchedulerRewrite(t *testing.T) {
-	want := map[uint64]string{
-		1: "9848d7026351fbb2",
-		2: "63d26def2bc4586e",
-		3: "8a2ef3d02025a98f",
-	}
-	re := regexp.MustCompile(`op-log: digest=([0-9a-f]{16})`)
-	for seed, digest := range want {
-		args := []string{"-hosts", "10", "-capacity", "3", "-duration", "6",
-			"-failures", "2", "-drains", "1", "-crashes", "1",
-			"-seed", strconv.FormatUint(seed, 10)}
+	for seed, digest := range pinnedDigests {
 		var out bytes.Buffer
-		if err := run(args, &out); err != nil {
+		if err := run(pinnedArgs(seed), &out); err != nil {
 			t.Fatalf("seed %d: churn run failed: %v\n%s", seed, err, out.String())
 		}
-		m := re.FindStringSubmatch(out.String())
-		if m == nil {
-			t.Fatalf("seed %d: no op-log digest in output:\n%s", seed, out.String())
-		}
-		if m[1] != digest {
+		if got := extractDigest(t, out.String()); got != digest {
 			t.Errorf("seed %d: op-log digest %s, want %s (pre-rewrite baseline) — scheduler rewrite changed observable behavior",
-				seed, m[1], digest)
+				seed, got, digest)
 		}
+	}
+}
+
+// TestChurnDigestsUnchangedWithObservability is the observability plane's
+// non-perturbation pin: the same three seeded runs, now with the metrics
+// registry instrumenting both planes, the localhost HTTP server attached to
+// the event stream, and the end-of-run snapshot written out — and the
+// op-log digests must still be byte-identical to the historical baseline.
+// Instrumentation observes; it never feeds back into scheduling or RNG.
+func TestChurnDigestsUnchangedWithObservability(t *testing.T) {
+	for seed, digest := range pinnedDigests {
+		outFile := filepath.Join(t.TempDir(), "metrics.json")
+		args := pinnedArgs(seed, "-listen", "127.0.0.1:0", "-metrics-out", outFile)
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("seed %d: instrumented churn run failed: %v\n%s", seed, err, out.String())
+		}
+		if got := extractDigest(t, out.String()); got != digest {
+			t.Errorf("seed %d: instrumented op-log digest %s, want %s — observability perturbed the run",
+				seed, got, digest)
+		}
+		if _, err := os.Stat(outFile); err != nil {
+			t.Errorf("seed %d: metrics snapshot not written: %v", seed, err)
+		}
+	}
+}
+
+// TestChurnMetricsGolden pins the canonical end-of-run metrics snapshot of
+// each seeded reference run byte-for-byte. The snapshot folds in both
+// planes — op counts, phase latency histograms, packet counters, proposal
+// latency, disk telemetry — so any drift in what the simulation computes
+// (not just the op log) lands here. Regenerate with
+// UPDATE_METRICS_GOLDEN=1 go test ./cmd/churn -run Golden.
+func TestChurnMetricsGolden(t *testing.T) {
+	for seed := range pinnedDigests {
+		outFile := filepath.Join(t.TempDir(), "metrics.json")
+		var out bytes.Buffer
+		if err := run(pinnedArgs(seed, "-metrics-out", outFile), &out); err != nil {
+			t.Fatalf("seed %d: churn run failed: %v\n%s", seed, err, out.String())
+		}
+		got, err := os.ReadFile(outFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := filepath.Join("testdata", fmt.Sprintf("metrics_seed%d.golden.json", seed))
+		if os.Getenv("UPDATE_METRICS_GOLDEN") == "1" {
+			if err := os.WriteFile(golden, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("seed %d: metrics snapshot drifted from %s\n--- got ---\n%s\n--- want ---\n%s",
+				seed, golden, got, want)
+		}
+	}
+}
+
+// TestChurnLoadAware: the opt-in telemetry-driven admission path runs the
+// full scenario clean — placement stays verified and lockstep holds — and
+// announces its effective false-alarm budget.
+func TestChurnLoadAware(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(pinnedArgs(1, "-load-aware"), &out); err != nil {
+		t.Fatalf("load-aware churn run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "load-aware admission: on") {
+		t.Fatalf("budget line missing:\n%s", text)
+	}
+	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
+		t.Fatalf("placement violations:\n%s", text)
+	}
+	if d := extractInt(t, text, `diverged=(\d+)`); d != 0 {
+		t.Fatalf("diverged guests:\n%s", text)
 	}
 }

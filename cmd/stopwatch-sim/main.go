@@ -12,6 +12,7 @@
 //	stopwatch-sim -scenario parsec -app dedup -mode stopwatch
 //	stopwatch-sim -scenario sidechannel -duration 20
 //	stopwatch-sim -scenario lifecycle -duration 5
+//	stopwatch-sim -scenario lifecycle -duration 5 -listen 127.0.0.1:8080
 package main
 
 import (
@@ -24,7 +25,9 @@ import (
 	"stopwatch/internal/controlplane"
 	"stopwatch/internal/core"
 	"stopwatch/internal/guest"
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/netsim"
+	"stopwatch/internal/obsrv"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/stats"
 	"stopwatch/internal/vtime"
@@ -47,6 +50,7 @@ func run(args []string) error {
 	app := fs.String("app", "ferret", "parsec app: ferret|blackscholes|canneal|dedup|streamcluster")
 	duration := fs.Float64("duration", 10, "scenario duration (seconds)")
 	seed := fs.Uint64("seed", 1, "master seed")
+	listen := fs.String("listen", "", "lifecycle scenario: serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,7 +75,7 @@ func run(args []string) error {
 	case "sidechannel":
 		return runSideChannel(*seed, sim.FromSeconds(*duration))
 	case "lifecycle":
-		return runLifecycle(*seed, sim.FromSeconds(*duration))
+		return runLifecycle(*seed, sim.FromSeconds(*duration), *listen)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -82,7 +86,7 @@ func run(args []string) error {
 // data plane and recovered by the stall detector's fail → reconfigure →
 // evacuate pipeline, every operation streaming its phases over Watch and
 // landing in the append-only op log.
-func runLifecycle(seed uint64, dur sim.Time) error {
+func runLifecycle(seed uint64, dur sim.Time, listen string) error {
 	if dur < 3*sim.Second {
 		dur = 3 * sim.Second
 	}
@@ -96,6 +100,22 @@ func runLifecycle(seed uint64, dur sim.Time) error {
 	cp, err := controlplane.New(c, controlplane.DefaultConfig(3))
 	if err != nil {
 		return err
+	}
+	// Observability plane: with -listen, both planes feed one registry and
+	// the lifecycle is queryable live over localhost HTTP while it runs.
+	var reg *metrics.Registry
+	var srv *obsrv.Server
+	if listen != "" {
+		reg = metrics.NewRegistry()
+		cp.InstrumentMetrics(reg)
+		c.InstrumentMetrics(reg)
+		srv = obsrv.New()
+		srv.Attach(cp, reg)
+		if err := srv.Start(listen); err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability: serving http://%s/{metrics,metrics.json,ops,ops/stream}\n", srv.Addr())
 	}
 	// Stream every top-level operation's lifecycle as it happens.
 	cp.Watch(func(ev controlplane.Event) {
@@ -176,6 +196,9 @@ func runLifecycle(seed uint64, dur sim.Time) error {
 	})
 	if err := c.Run(dur); err != nil {
 		return err
+	}
+	if srv != nil {
+		srv.Publish(reg) // final snapshot with end-of-run gauges
 	}
 	log := cp.Log()
 	st := controlplane.FoldStats(log)

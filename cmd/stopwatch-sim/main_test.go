@@ -39,3 +39,15 @@ func TestRunLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunLifecycleWithListen: the observability server rides along without
+// disturbing the lifecycle walkthrough (same detector-driven recovery, same
+// lockstep checks), and a non-loopback address is refused up front.
+func TestRunLifecycleWithListen(t *testing.T) {
+	if err := run([]string{"-scenario", "lifecycle", "-duration", "4", "-listen", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", "lifecycle", "-duration", "4", "-listen", "0.0.0.0:0"}); err == nil {
+		t.Fatal("non-loopback listen address accepted")
+	}
+}

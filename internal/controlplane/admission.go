@@ -1,0 +1,72 @@
+package controlplane
+
+// Telemetry-driven admission: the control plane closes the observability
+// loop by feeding the data plane's live per-host disk-load signals back
+// into placement. Two mechanisms, both opt-in (EnableLoadAwareAdmission)
+// so default runs place exactly as before and pinned op-log digests stand:
+//
+//   - Load-aware placement: each placement decision refreshes per-host
+//     scores (disk backlog) on the pool, ordering equally-replica-loaded
+//     machines by how long a new request would wait on their disk.
+//   - Gated admission: a host whose Dom0 disk backlog exceeds the
+//     false-alarm budget is gated out of new placements entirely. The
+//     rationale is the stall detector's: Dom0 I/O load stretches
+//     device-model processing delays (vmm.Host.ioDelay grows with
+//     in-flight I/O), so proposals from a disk-saturated host arrive
+//     late — placing a new replica there would push its proposal
+//     latencies toward the detector deadline and manufacture false
+//     alarms. Gates are transient: they re-evaluate at every placement
+//     from the live backlog.
+
+import (
+	"stopwatch/internal/sim"
+)
+
+// LoadAwareConfig parameterizes telemetry-driven admission.
+type LoadAwareConfig struct {
+	// FalseAlarmBudget is the maximum Dom0 disk backlog (the wait a new
+	// disk request would see) a host may carry and still accept new
+	// replicas. 0 picks a default tied to the failure-detection loop:
+	// half the armed stall-detector deadline, or a quarter of the
+	// DrainWindow when no detector is armed.
+	FalseAlarmBudget sim.Time
+}
+
+// EnableLoadAwareAdmission turns telemetry-driven placement on and returns
+// the effective false-alarm budget. From now on every Admit and Rehome
+// first refreshes the pool's per-host scores and gates from the hosts'
+// live disk telemetry.
+func (cp *ControlPlane) EnableLoadAwareAdmission(cfg LoadAwareConfig) sim.Time {
+	budget := cfg.FalseAlarmBudget
+	if budget <= 0 {
+		if d := cp.c.StallDeadline(); d > 0 {
+			budget = d / 2
+		} else {
+			budget = cp.cfg.DrainWindow / 4
+		}
+	}
+	cp.loadAware = true
+	cp.loadBudget = budget
+	cp.refreshHostTelemetry()
+	return budget
+}
+
+// LoadAware reports whether telemetry-driven admission is on.
+func (cp *ControlPlane) LoadAware() bool { return cp.loadAware }
+
+// refreshHostTelemetry pushes each host's current disk backlog into the
+// pool as its placement score, gating hosts whose backlog exceeds the
+// false-alarm budget. No-op unless EnableLoadAwareAdmission ran. Reads
+// only host-local state already materialized by the data plane — no RNG
+// draws, no timers — so refreshing cannot perturb the simulation.
+func (cp *ControlPlane) refreshHostTelemetry() {
+	if !cp.loadAware {
+		return
+	}
+	now := cp.c.Loop().Now()
+	for i := 0; i < cp.c.Hosts(); i++ {
+		backlog := cp.c.Host(i).DiskBacklog(now)
+		_ = cp.pool.SetHostScore(i, float64(backlog))
+		_ = cp.pool.SetHostGate(i, backlog > cp.loadBudget)
+	}
+}

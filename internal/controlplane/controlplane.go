@@ -78,6 +78,11 @@ type ControlPlane struct {
 	// one dead machine's many stalled sequences submit one FailOp; cleared
 	// by RepairOp so a repaired machine can be re-detected.
 	suspected map[int]bool
+
+	// loadAware/loadBudget: telemetry-driven admission (admission.go).
+	// Off by default — placement then ignores host telemetry entirely.
+	loadAware  bool
+	loadBudget sim.Time
 }
 
 // New builds a control plane over the cluster. The cluster must be in
@@ -217,6 +222,7 @@ func (cp *ControlPlane) applyAdmit(op AdmitOp, oc *Outcome) {
 		cp.finish(oc, fmt.Errorf("%w: guest %q has a %s in flight", ErrControlPlane, id, verb))
 		return
 	}
+	cp.refreshHostTelemetry()
 	tri, err := cp.pool.Admit(id)
 	if err != nil {
 		if errors.Is(err, placement.ErrNoFeasibleHost) {
@@ -319,6 +325,7 @@ func (cp *ControlPlane) applyReplace(op ReplaceOp, oc *Outcome) {
 			return
 		}
 		cp.phase(oc, PhaseQuiesce)
+		cp.refreshHostTelemetry()
 		newTri, newHost, err := cp.pool.Rehome(id, op.DeadHost)
 		if err != nil {
 			done(err)

@@ -1,0 +1,176 @@
+package controlplane
+
+import (
+	"fmt"
+	"testing"
+
+	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
+)
+
+// TestWatchCancelFromOwnCallback: a subscriber cancelling itself from
+// inside its own callback must complete the current delivery round
+// untouched and receive nothing afterwards.
+func TestWatchCancelFromOwnCallback(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 1)
+	var got []EventKind
+	var cancel func()
+	cancel = cp.Watch(func(ev Event) {
+		got = append(got, ev.Kind)
+		cancel()
+	})
+	// One admit emits OpStarted, two PhaseReached, OpCompleted.
+	// Cancellation takes effect per event (emit checks w.fn before every
+	// delivery), so the self-cancelling subscriber sees exactly one.
+	if _, _, err := cp.Admit("g0", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != OpStarted {
+		t.Fatalf("self-cancelled subscriber saw %v, want [started]", got)
+	}
+	// Later ops deliver nothing to it.
+	if _, _, err := cp.Admit("g1", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("cancelled subscriber still receiving: %v", got)
+	}
+}
+
+// TestWatchCancelPeerFromCallback: subscriber A cancelling subscriber B
+// mid-delivery. B subscribed after A, so the current event is still
+// pending for B — the cancellation must take effect immediately (B never
+// sees the event that triggered its cancellation).
+func TestWatchCancelPeerFromCallback(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 1)
+	var bSaw int
+	cancelB := func() {}
+	cp.Watch(func(ev Event) {
+		if ev.Kind == OpStarted {
+			cancelB()
+		}
+	})
+	cancelB = cp.Watch(func(ev Event) { bSaw++ })
+	if _, _, err := cp.Admit("g0", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if bSaw != 0 {
+		t.Fatalf("peer-cancelled subscriber saw %d events, want 0", bSaw)
+	}
+}
+
+// TestWatchSubscribeFromCallback: subscribing from inside a callback must
+// be safe (no slice-mutation skips or re-entrant corruption). Whether the
+// new subscriber sees the event that was mid-delivery is defined: it does
+// not — emit iterates the watcher snapshot taken at emit start.
+func TestWatchSubscribeFromCallback(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 1)
+	var lateSaw []EventKind
+	subscribed := false
+	cp.Watch(func(ev Event) {
+		if subscribed {
+			return
+		}
+		subscribed = true
+		cp.Watch(func(ev Event) { lateSaw = append(lateSaw, ev.Kind) })
+	})
+	if _, _, err := cp.Admit("g0", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	// The late subscriber joined during g0's OpStarted: it must have missed
+	// that event but seen the rest of g0's stream (2 phases + completed).
+	want := []EventKind{PhaseReached, PhaseReached, OpCompleted}
+	if len(lateSaw) != len(want) {
+		t.Fatalf("late subscriber saw %v, want %v", lateSaw, want)
+	}
+	for i := range want {
+		if lateSaw[i] != want[i] {
+			t.Fatalf("late subscriber saw %v, want %v", lateSaw, want)
+		}
+	}
+	// And determinism: the same scenario delivers the same stream.
+	cp2 := newTestPlane(t, 9, 3, 1)
+	var lateSaw2 []EventKind
+	subscribed2 := false
+	cp2.Watch(func(ev Event) {
+		if subscribed2 {
+			return
+		}
+		subscribed2 = true
+		cp2.Watch(func(ev Event) { lateSaw2 = append(lateSaw2, ev.Kind) })
+	})
+	if _, _, err := cp2.Admit("g0", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(lateSaw) != fmt.Sprint(lateSaw2) {
+		t.Fatalf("subscribe-from-callback not deterministic: %v vs %v", lateSaw, lateSaw2)
+	}
+}
+
+// TestWatchCancelTwiceIsNoOp: the documented cancel contract.
+func TestWatchCancelTwiceIsNoOp(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 1)
+	n := 0
+	cancel := cp.Watch(func(Event) { n++ })
+	cancel()
+	cancel()
+	if _, _, err := cp.Admit("g0", beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("cancelled subscriber saw %d events", n)
+	}
+}
+
+// TestStatsMemoizedMatchesFold: the incremental Stats() must equal the
+// pure fold at every step of a lifecycle that interleaves synchronous and
+// asynchronous (in-flight, mutating) outcomes.
+func TestStatsMemoizedMatchesFold(t *testing.T) {
+	cp := newTestPlane(t, 9, 3, 2)
+	check := func(when string) {
+		t.Helper()
+		got, want := cp.Stats(), FoldStats(cp.log.entries)
+		if got != want {
+			t.Fatalf("%s: Stats() = %+v, FoldStats = %+v", when, got, want)
+		}
+	}
+	check("empty")
+	for i := 0; i < 4; i++ {
+		if _, _, err := cp.Admit(fmt.Sprintf("g%d", i), beaconFactory(vtime.Virtual(5*sim.Millisecond))); err != nil {
+			t.Fatal(err)
+		}
+		check("after admit")
+	}
+	cp.Cluster().Start()
+	if err := cp.Cluster().Run(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Kill g0's replica and start an asynchronous replacement: while the
+	// barrier is in flight its outcome keeps mutating (retries, phases) —
+	// the frontier must hold below it.
+	g, _ := cp.Cluster().Guest("g0")
+	dead := g.Replica(0).Host()
+	g.Replica(0).Runtime().Stop()
+	if err := cp.ReplaceReplica("g0", dead, nil); err != nil {
+		t.Fatal(err)
+	}
+	check("replacement submitted")
+	// A synchronous op lands after the in-flight one; it must still count.
+	if err := cp.Evict("g3"); err != nil {
+		t.Fatal(err)
+	}
+	check("evict behind in-flight replace")
+	if err := cp.Cluster().Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	check("replacement done")
+	st := cp.Stats()
+	if st.Replacements != 1 || st.Evicted != 1 || st.Admitted != 4 {
+		t.Fatalf("lifecycle stats: %+v", st)
+	}
+	// The frontier must have advanced past the whole log once all is done.
+	if cp.log.frontier != len(cp.log.entries) {
+		t.Fatalf("frontier %d, log %d entries — memoization never caught up", cp.log.frontier, len(cp.log.entries))
+	}
+	check("final")
+}

@@ -11,6 +11,7 @@ import (
 
 	"stopwatch/internal/gateway"
 	"stopwatch/internal/guest"
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/multicast"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
@@ -129,6 +130,11 @@ type Cluster struct {
 	// scratchNames/scratchAddrs back reconcileGroups' live-set computation.
 	scratchNames []string
 	scratchAddrs []netsim.Addr
+
+	// propLatency, when non-nil (InstrumentMetrics), is installed on every
+	// replica device model — current and future — as its proposal-
+	// resolution latency histogram.
+	propLatency *metrics.Histogram
 }
 
 // outWork is one deferred fabric send: the packet header and payload held
@@ -427,6 +433,11 @@ func (c *Cluster) Egress() *gateway.Egress { return c.egress }
 // Ingress returns the ingress node (nil in baseline mode).
 func (c *Cluster) Ingress() *gateway.Ingress { return c.ingress }
 
+// StallDeadline returns the armed per-sequence proposal deadline (0 when
+// no stall detector is set) — what admission control sizes its I/O-tail
+// budget against.
+func (c *Cluster) StallDeadline() sim.Time { return c.stallDeadline }
+
 // Guest returns a deployed guest by id.
 func (c *Cluster) Guest(id string) (*Guest, bool) {
 	g, ok := c.guests[id]
@@ -577,6 +588,7 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	if err != nil {
 		return err
 	}
+	nd.LatencyHist = c.propLatency
 	w := &replicaWiring{
 		c:        c,
 		gid:      id,

@@ -1,0 +1,84 @@
+package core
+
+// Data-plane metrics: passive hooks into the fabric, the device models,
+// the hosts' disks, the egress and the epoch machinery. Everything here
+// either counts what already happened (fabric counters, proposal-latency
+// observations) or is a gauge function evaluated lazily at snapshot time
+// on the simulation thread — no metric ever feeds back into scheduling,
+// RNG draws or event order, so an instrumented run's op-log digest is
+// byte-identical to an uninstrumented one.
+
+import (
+	"stopwatch/internal/metrics"
+	"stopwatch/internal/sim"
+)
+
+// propLatencyBuckets spans a proposal round trip: 10µs (same-instant
+// resolution after the Dom0 delay) up to ~2.6s (a stalled group waiting
+// out a reconfiguration).
+var propLatencyBuckets = metrics.ExpBuckets(int64(10*sim.Microsecond), 4, 10)
+
+// InstrumentMetrics registers the data-plane metric families on reg and
+// wires their sources:
+//
+//	stopwatch_net_packets_delivered_total{kind}  fabric deliveries by packet kind
+//	stopwatch_net_packets_dropped_total{kind}    loss-model drops and dead-address arrivals
+//	stopwatch_vmm_proposal_latency_ns            own-proposal → median-resolution latency
+//	stopwatch_host_disk_busy_ns{host}            accumulated disk service time
+//	stopwatch_host_disk_backlog_ns{host}         disk FIFO horizon past now (queue wait)
+//	stopwatch_host_io_inflight{host}             device-model work in progress
+//	stopwatch_egress_pending_groups              open output copy groups (occupancy)
+//	stopwatch_egress_stuck_groups                groups below their forward threshold
+//	stopwatch_guest_divergences                  replica divergence counter sum
+//
+// Call once, before or after deployments — replicas wired later inherit
+// the proposal-latency histogram. Gauges read live cluster state and are
+// evaluated at snapshot; take snapshots from the simulation thread.
+func (c *Cluster) InstrumentMetrics(reg *metrics.Registry) {
+	delivered := reg.NewCounterVec("stopwatch_net_packets_delivered_total",
+		"fabric packets handed to an attached node, by packet kind", "kind")
+	dropped := reg.NewCounterVec("stopwatch_net_packets_dropped_total",
+		"fabric packets lost to the loss model or a detached address, by packet kind", "kind")
+	c.net.SetMetrics(&delivered, &dropped)
+
+	propLat := reg.NewHistogram("stopwatch_vmm_proposal_latency_ns",
+		"loop-time latency from a replica's own delivery-time proposal to the median resolution",
+		propLatencyBuckets)
+	c.propLatency = &propLat
+	for _, g := range c.guests {
+		for _, w := range g.replicas {
+			if w != nil && w.nd != nil {
+				w.nd.LatencyHist = c.propLatency
+			}
+		}
+	}
+
+	busy := reg.NewGaugeFuncVec("stopwatch_host_disk_busy_ns",
+		"accumulated disk service time (seek + transfer + jitter) per host", "host")
+	backlog := reg.NewGaugeFuncVec("stopwatch_host_disk_backlog_ns",
+		"disk FIFO horizon past the current instant per host — the wait a new request would see", "host")
+	inflight := reg.NewGaugeFuncVec("stopwatch_host_io_inflight",
+		"device-model work in progress per host (packets being processed, disk requests outstanding)", "host")
+	for _, h := range c.hosts {
+		h := h
+		busy.Add(h.Name(), func() float64 { return float64(h.DiskBusy()) })
+		backlog.Add(h.Name(), func() float64 { return float64(h.DiskBacklog(c.loop.Now())) })
+		inflight.Add(h.Name(), func() float64 { return float64(h.IOInFlight()) })
+	}
+
+	reg.NewGaugeFunc("stopwatch_egress_pending_groups",
+		"open egress copy groups (occupancy of the median-forwarding window)",
+		func() float64 { return float64(c.egress.PendingGroups()) })
+	reg.NewGaugeFunc("stopwatch_egress_stuck_groups",
+		"egress copy groups still below their forward threshold — outputs a client is waiting for",
+		func() float64 { return float64(c.egress.StuckBelowForward()) })
+	reg.NewGaugeFunc("stopwatch_guest_divergences",
+		"sum of replica divergence counters across resident guests (epoch re-sync health)",
+		func() float64 {
+			n := 0
+			for _, g := range c.guests {
+				n += g.Divergences()
+			}
+			return float64(n)
+		})
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/sim"
 )
 
@@ -108,6 +109,11 @@ type Network struct {
 	nextID    uint64
 	delivered uint64
 	lost      uint64
+
+	// Optional observability counters, per packet kind. Nil by default —
+	// the uninstrumented fabric touches no metrics code at all.
+	mDelivered *metrics.CounterVec
+	mDropped   *metrics.CounterVec
 }
 
 // New creates a network with the given default link parameters.
@@ -162,6 +168,17 @@ func (n *Network) deliverLabel(kind string) string {
 	s := "net:deliver:" + kind
 	n.labels[kind] = s
 	return s
+}
+
+// SetMetrics wires per-packet-kind fabric counters: delivered counts
+// packets handed to an attached node, dropped counts loss-model drops and
+// arrivals at detached addresses. Vec children intern in first-use order,
+// which under a fixed seed is deterministic, so an instrumented fabric
+// renders byte-identical metric pages across identical runs. Pass nils to
+// detach.
+func (n *Network) SetMetrics(delivered, dropped *metrics.CounterVec) {
+	n.mDelivered = delivered
+	n.mDropped = dropped
 }
 
 // Attach registers a node. Re-attaching an address replaces the previous
@@ -222,6 +239,9 @@ func (n *Network) Send(pkt *Packet) {
 	if l.cfg.LossProb > 0 && n.rng.Bool(l.cfg.LossProb) {
 		l.dropped++
 		n.lost++
+		if n.mDropped != nil {
+			n.mDropped.With(pkt.Kind).Inc()
+		}
 		n.recycle(pkt)
 		return
 	}
@@ -255,9 +275,15 @@ func deliverTimer(a, b any, _ uint64) {
 	pkt := b.(*Packet)
 	if node, ok := n.nodes[pkt.Dst]; ok {
 		n.delivered++
+		if n.mDelivered != nil {
+			n.mDelivered.With(pkt.Kind).Inc()
+		}
 		node.Deliver(pkt)
 	} else {
 		n.lost++
+		if n.mDropped != nil {
+			n.mDropped.With(pkt.Kind).Inc()
+		}
 	}
 	n.recycle(pkt)
 }

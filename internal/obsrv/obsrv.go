@@ -1,0 +1,372 @@
+// Package obsrv is the observability plane's HTTP surface: a localhost-only
+// server exposing the metrics registry as a Prometheus text page
+// (/metrics) and canonical JSON (/metrics.json), the completed-operations
+// log as a filterable query API (/ops), and the live operation event
+// stream as an NDJSON tail (/ops/stream).
+//
+// Determinism contract: the simulation is single-threaded and must stay
+// byte-replayable with the server enabled. All mutation happens on the sim
+// thread — the Watch subscriber Attach installs appends op records and
+// stream lines under a mutex and publishes immutable page snapshots
+// through an atomic pointer. HTTP handlers only ever read those published
+// snapshots and copied records; they never touch the live registry, pool,
+// or cluster. Serving traffic therefore cannot perturb a run: op-log
+// digests are byte-identical with and without -listen.
+package obsrv
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"stopwatch/internal/controlplane"
+	"stopwatch/internal/metrics"
+)
+
+// PhaseStamp is one barrier milestone on an op record.
+type PhaseStamp struct {
+	Phase string `json:"phase"`
+	At    int64  `json:"at"`
+}
+
+// OpRecord is one completed operation as served by /ops. Records are
+// appended at completion (OpCompleted / OpFailed), so the API serves the
+// finalized log; in-flight ops appear once they finish.
+type OpRecord struct {
+	Seq    uint64 `json:"seq"`
+	Parent uint64 `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	Op     string `json:"op"`
+	// Machine is the host-scoped op's machine (a replace's dead host, a
+	// drain/fail/evacuate/repair target); -1 for guest-only ops.
+	Machine   int          `json:"machine"`
+	Guests    []string     `json:"guests,omitempty"`
+	Submitted int64        `json:"submitted"`
+	Completed int64        `json:"completed"`
+	Retries   int          `json:"retries,omitempty"`
+	Phases    []PhaseStamp `json:"phases,omitempty"`
+	Err       string       `json:"err,omitempty"`
+	Rejected  bool         `json:"rejected,omitempty"`
+}
+
+// streamEvent is one NDJSON line on /ops/stream.
+type streamEvent struct {
+	Event string `json:"event"`
+	Seq   uint64 `json:"seq"`
+	Op    string `json:"op"`
+	Phase string `json:"phase,omitempty"`
+	At    int64  `json:"at"`
+	Err   string `json:"err,omitempty"`
+}
+
+// pages is one immutable published snapshot of the registry.
+type pages struct {
+	prom string
+	json string
+}
+
+// Server is the observability HTTP server. Construct with New, feed it
+// with Attach (and Publish for a final snapshot), then Start.
+type Server struct {
+	page atomic.Pointer[pages]
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	records []OpRecord
+	stream  []string
+	closed  bool
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// New builds an unstarted server.
+func New() *Server {
+	s := &Server{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Attach subscribes the server to cp's operation event stream and takes
+// reg as the snapshot source: every event becomes an NDJSON stream line,
+// every completion appends an /ops record and republishes the metrics
+// pages. Runs on the sim thread; returns the Watch cancel.
+func (s *Server) Attach(cp *controlplane.ControlPlane, reg *metrics.Registry) (cancel func()) {
+	return cp.Watch(func(ev controlplane.Event) {
+		se := streamEvent{
+			Event: ev.Kind.String(),
+			Seq:   ev.Seq,
+			Op:    ev.Op.String(),
+			Phase: string(ev.Phase),
+			At:    int64(ev.At),
+		}
+		if ev.Err != nil {
+			se.Err = ev.Err.Error()
+		}
+		line, _ := json.Marshal(se)
+
+		var rec *OpRecord
+		if ev.Kind == controlplane.OpCompleted || ev.Kind == controlplane.OpFailed {
+			if oc, ok := cp.Outcome(ev.Seq); ok {
+				r := recordOf(oc)
+				rec = &r
+			}
+			s.Publish(reg)
+		}
+
+		s.mu.Lock()
+		s.stream = append(s.stream, string(line))
+		if rec != nil {
+			s.records = append(s.records, *rec)
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	})
+}
+
+// Publish renders reg into an immutable snapshot served by /metrics and
+// /metrics.json. Call from the sim thread (Attach does so at every op
+// completion; call once more after the run for final gauge values).
+func (s *Server) Publish(reg *metrics.Registry) {
+	s.page.Store(&pages{prom: reg.Prom(), json: reg.JSON()})
+}
+
+// Start listens on addr and serves in the background. addr must be
+// loopback ("127.0.0.1:0" picks a free port); anything else is refused —
+// the observability plane is a localhost debugging surface, not a service.
+func (s *Server) Start(addr string) error {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("obsrv: bad listen address %q: %w", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return fmt.Errorf("obsrv: refusing non-loopback listen address %q", addr)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/ops", s.handleOps)
+	mux.HandleFunc("/ops/stream", s.handleStream)
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and unblocks any /ops/stream followers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	p := s.page.Load()
+	if p == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(p.prom))
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	p := s.page.Load()
+	if p == nil {
+		http.Error(w, "no snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write([]byte(p.json))
+}
+
+// handleOps serves the completed-op log, filtered by query parameters:
+//
+//	from, to  inclusive Seq range
+//	kind      op kind ("admit", "replace", ...)
+//	guest     ops whose Guests list contains the id
+//	host      ops targeting the machine (replace dead host, drain/fail/...)
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var from, to uint64
+	var err error
+	if v := q.Get("from"); v != "" {
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if v := q.Get("to"); v != "" {
+		if to, err = strconv.ParseUint(v, 10, 64); err != nil {
+			http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	host, hostSet := -1, false
+	if v := q.Get("host"); v != "" {
+		if host, err = strconv.Atoi(v); err != nil {
+			http.Error(w, "bad host: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		hostSet = true
+	}
+	kind, guest := q.Get("kind"), q.Get("guest")
+
+	s.mu.Lock()
+	out := make([]OpRecord, 0, len(s.records))
+	for _, rec := range s.records {
+		if from != 0 && rec.Seq < from {
+			continue
+		}
+		if to != 0 && rec.Seq > to {
+			continue
+		}
+		if kind != "" && rec.Kind != kind {
+			continue
+		}
+		if hostSet && rec.Machine != host {
+			continue
+		}
+		if guest != "" && !containsGuest(rec.Guests, guest) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+// handleStream tails the operation event stream as NDJSON. By default it
+// dumps the buffered lines and closes; with ?follow=1 it keeps the
+// connection open and pushes new lines until the client disconnects or the
+// server closes.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	// Unblock the cond wait when the client goes away.
+	ctx := r.Context()
+	if follow {
+		go func() {
+			<-ctx.Done()
+			s.cond.Broadcast()
+		}()
+	}
+
+	next := 0
+	for {
+		s.mu.Lock()
+		for follow && next == len(s.stream) && !s.closed && ctx.Err() == nil {
+			s.cond.Wait()
+		}
+		batch := s.stream[next:]
+		next = len(s.stream)
+		closed := s.closed
+		s.mu.Unlock()
+
+		var b strings.Builder
+		for _, line := range batch {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		if b.Len() > 0 {
+			if _, err := w.Write([]byte(b.String())); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if !follow || closed || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func containsGuest(guests []string, id string) bool {
+	for _, g := range guests {
+		if g == id {
+			return true
+		}
+	}
+	return false
+}
+
+// machineOf extracts a host-scoped op's target machine; -1 for guest-only
+// ops (admit, evict).
+func machineOf(op controlplane.Op) int {
+	switch op := op.(type) {
+	case controlplane.ReplaceOp:
+		return op.DeadHost
+	case controlplane.DrainOp:
+		return op.Machine
+	case controlplane.UndrainOp:
+		return op.Machine
+	case controlplane.FailOp:
+		return op.Machine
+	case controlplane.EvacuateOp:
+		return op.Machine
+	case controlplane.RepairOp:
+		return op.Machine
+	default:
+		return -1
+	}
+}
+
+// recordOf freezes a completed outcome into the served record shape.
+func recordOf(oc *controlplane.Outcome) OpRecord {
+	r := OpRecord{
+		Seq:       oc.Seq,
+		Parent:    oc.Parent,
+		Kind:      oc.Op.Kind().String(),
+		Op:        oc.Op.String(),
+		Machine:   machineOf(oc.Op),
+		Submitted: int64(oc.Submitted),
+		Completed: int64(oc.Completed),
+		Retries:   oc.QuiesceRetries,
+		Rejected:  oc.Rejected(),
+	}
+	if len(oc.Guests) > 0 {
+		r.Guests = append([]string(nil), oc.Guests...)
+	}
+	for _, pt := range oc.Phases {
+		r.Phases = append(r.Phases, PhaseStamp{Phase: string(pt.Phase), At: int64(pt.At)})
+	}
+	if oc.Err != nil {
+		r.Err = oc.Err.Error()
+	}
+	return r
+}

@@ -56,6 +56,16 @@ type Pool struct {
 	// replicas.
 	drained []bool
 
+	// scores, when non-nil (SetHostScore), are external load scores — a
+	// telemetry feed such as disk backlog — consulted as a tie-break after
+	// replica load and before the machine index. Scores refine the scan
+	// order only; they never veto a feasible placement.
+	scores []float64
+	// gated marks machines excluded from new placements by the admission
+	// controller (telemetry says their I/O tail endangers proposal
+	// deadlines). Like drained, a gated machine keeps its residents.
+	gated []bool
+
 	// orderScratch backs hostOrder so every placement decision does not
 	// allocate a fresh index slice.
 	orderScratch []int
@@ -148,6 +158,69 @@ func (p *Pool) Drained(i int) bool {
 	return i >= 0 && i < p.n && p.drained[i]
 }
 
+// SetHostScore installs an external load score for machine i (higher =
+// more loaded). Scores order equally-replica-loaded machines: the scan
+// still prefers fewer resident replicas first, then lower score, then
+// lower index. All-zero scores reproduce the historical order exactly, so
+// a control plane that never feeds scores places identically to one
+// without the feature.
+func (p *Pool) SetHostScore(i int, s float64) error {
+	if i < 0 || i >= p.n {
+		return fmt.Errorf("%w: machine %d out of range", ErrPlacement, i)
+	}
+	if p.scores == nil {
+		if s == 0 {
+			return nil
+		}
+		p.scores = make([]float64, p.n)
+	}
+	p.scores[i] = s
+	return nil
+}
+
+// HostScore returns machine i's external load score (0 when unset).
+func (p *Pool) HostScore(i int) float64 {
+	if p.scores == nil || i < 0 || i >= p.n {
+		return 0
+	}
+	return p.scores[i]
+}
+
+// SetHostGate excludes machine i from (or readmits it to) new placements.
+// A gated machine behaves like a drained one for Admit/Rehome — residents
+// stay, nothing new lands — but the gate is the admission controller's
+// transient telemetry decision, distinct from operator-initiated drains,
+// and does not affect utilization accounting or drain-state validation.
+func (p *Pool) SetHostGate(i int, gated bool) error {
+	if i < 0 || i >= p.n {
+		return fmt.Errorf("%w: machine %d out of range", ErrPlacement, i)
+	}
+	if p.gated == nil {
+		if !gated {
+			return nil
+		}
+		p.gated = make([]bool, p.n)
+	}
+	p.gated[i] = gated
+	return nil
+}
+
+// Gated reports whether machine i is gated out of new placements.
+func (p *Pool) Gated(i int) bool {
+	return p.gated != nil && i >= 0 && i < p.n && p.gated[i]
+}
+
+// GatedCount returns the number of gated machines.
+func (p *Pool) GatedCount() int {
+	n := 0
+	for i := range p.gated {
+		if p.gated[i] {
+			n++
+		}
+	}
+	return n
+}
+
 // Residents returns the ids of guests with a replica on machine i, sorted —
 // the deterministic evacuation order for a host drain.
 func (p *Pool) Residents(i int) []string {
@@ -175,9 +248,10 @@ func poolEdge(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// hostOrder returns machine indices sorted least-loaded first, index as
-// tie-break — the deterministic scan order for all placement decisions. The
-// returned slice is pool-owned scratch, valid until the next call.
+// hostOrder returns machine indices sorted least-loaded first — replica
+// load, then external score (SetHostScore), then index — the deterministic
+// scan order for all placement decisions. The returned slice is pool-owned
+// scratch, valid until the next call.
 func (p *Pool) hostOrder() []int {
 	if p.orderScratch == nil {
 		p.orderScratch = make([]int, p.n)
@@ -186,16 +260,29 @@ func (p *Pool) hostOrder() []int {
 	for i := range order {
 		order[i] = i
 	}
-	// Stable by load keeps the ascending-index tie-break; SortStableFunc,
-	// unlike sort.SliceStable, needs no reflection scratch.
-	slices.SortStableFunc(order, func(a, b int) int { return p.load[a] - p.load[b] })
+	// Stable by (load, score) keeps the ascending-index tie-break;
+	// SortStableFunc, unlike sort.SliceStable, needs no reflection scratch.
+	slices.SortStableFunc(order, func(a, b int) int {
+		if d := p.load[a] - p.load[b]; d != 0 {
+			return d
+		}
+		if p.scores != nil {
+			if p.scores[a] < p.scores[b] {
+				return -1
+			}
+			if p.scores[a] > p.scores[b] {
+				return 1
+			}
+		}
+		return 0
+	})
 	return order
 }
 
 // hostFull reports whether machine i can take no further replica: at
-// capacity, or drained for maintenance.
+// capacity, drained for maintenance, or gated by the admission controller.
 func (p *Pool) hostFull(i int) bool {
-	return p.drained[i] || (p.capacity > 0 && p.load[i] >= p.capacity)
+	return p.drained[i] || (p.gated != nil && p.gated[i]) || (p.capacity > 0 && p.load[i] >= p.capacity)
 }
 
 // Admit places a new guest on the least-loaded non-conflicting triangle and

@@ -294,3 +294,113 @@ func TestPoolResidents(t *testing.T) {
 		t.Fatalf("Residents(5) = %v", r)
 	}
 }
+
+func TestPoolHostScoresReorderTies(t *testing.T) {
+	p, err := NewPool(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All loads zero: historical order admits on {0,1,2}.
+	tri, err := p.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri != (Triangle{0, 1, 2}) {
+		t.Fatalf("baseline triangle %v", tri)
+	}
+	if _, err := p.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Score machines 0 and 2 as loaded: the scan now prefers {1,3,4}.
+	if err := p.SetHostScore(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostScore(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	tri, err = p.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri != (Triangle{1, 3, 4}) {
+		t.Fatalf("scored triangle %v, want {1 3 4}", tri)
+	}
+	if p.HostScore(0) != 5 || p.HostScore(1) != 0 {
+		t.Fatalf("scores: %v %v", p.HostScore(0), p.HostScore(1))
+	}
+	// Replica load still dominates score: zero the scores — the still-empty
+	// machines win over the loaded ones even when one carries a huge score.
+	if err := p.SetHostScore(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostScore(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostScore(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	tri2, err := p.Admit("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri2 != (Triangle{0, 2, 5}) {
+		t.Fatalf("load must dominate score: %v, want the empty machines {0 2 5}", tri2)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostScore(9, 1); err == nil {
+		t.Fatal("out-of-range score accepted")
+	}
+}
+
+func TestPoolHostGateExcludesAndLifts(t *testing.T) {
+	p, err := NewPool(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostGate(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Gated(0) || p.GatedCount() != 1 {
+		t.Fatalf("gate state: %v %d", p.Gated(0), p.GatedCount())
+	}
+	tri, err := p.Admit("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri.Contains(0) {
+		t.Fatalf("gated machine placed on: %v", tri)
+	}
+	// A gated machine keeps residents and is not "drained".
+	if p.Drained(0) {
+		t.Fatal("gate leaked into drain state")
+	}
+	// Gating too much makes placement infeasible: with 0 and 1 gated only
+	// {2,3,4} remains, and "a" already holds edge {2,3}.
+	if err := p.SetHostGate(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Admit("b"); !errors.Is(err, ErrNoFeasibleHost) {
+		t.Fatalf("admit with 2 of 5 machines gated: %v", err)
+	}
+	// Lifting the gates restores feasibility.
+	if err := p.SetHostGate(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostGate(1, false); err != nil {
+		t.Fatal(err)
+	}
+	if p.GatedCount() != 0 {
+		t.Fatalf("gates not lifted: %d", p.GatedCount())
+	}
+	if _, err := p.Admit("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetHostGate(-1, true); err == nil {
+		t.Fatal("out-of-range gate accepted")
+	}
+}

@@ -31,6 +31,10 @@ type Host struct {
 	// Disk FIFO horizon (like link serialization).
 	diskFree sim.Time
 	diskOps  uint64
+	// diskBusy accumulates total disk service time (seek + transfer +
+	// jitter, summed over requests) — the observability plane's per-host
+	// disk-load signal.
+	diskBusy sim.Time
 
 	// ioInFlight counts device-model work in progress (packets being
 	// processed, disk requests outstanding) across all residents.
@@ -164,8 +168,38 @@ func (h *Host) diskService(bytes int) sim.Time {
 	svc := h.cfg.DiskSeek + transfer + h.rng.ExpDur(h.cfg.DiskJitterMean)
 	h.diskFree = start + svc
 	h.diskOps++
+	h.diskBusy += svc
 	return h.diskFree
 }
 
 // DiskOps reports the number of disk requests serviced.
 func (h *Host) DiskOps() uint64 { return h.diskOps }
+
+// DiskBusy reports the accumulated disk service time across all requests —
+// monotone, so a sampler can difference it for utilization.
+func (h *Host) DiskBusy() sim.Time { return h.diskBusy }
+
+// DiskBacklog reports how far the disk's FIFO horizon extends past now: the
+// time a new request would wait before service begins. Zero on an idle
+// disk. This is the load signal telemetry-driven admission consumes — a
+// host whose Dom0 disk tail is long will also stretch its device-model
+// processing delays (ioDelay grows with in-flight I/O), pushing proposal
+// latencies toward the stall detector's deadline.
+func (h *Host) DiskBacklog(now sim.Time) sim.Time {
+	if h.diskFree > now {
+		return h.diskFree - now
+	}
+	return 0
+}
+
+// DiskRequest submits Dom0 background disk load (log shipping, image
+// prefetch, an experiment's interference generator): the request occupies
+// the disk FIFO and counts as in-flight device-model I/O until the data is
+// ready, exactly like a guest-issued transfer, but delivers no interrupt to
+// any guest. It returns the ready time.
+func (h *Host) DiskRequest(bytes int) sim.Time {
+	h.ioBegin()
+	ready := h.diskService(bytes)
+	h.loop.AtTimer(ready, "vmm:dom0disk", ioEndTimer, h, nil, 0)
+	return ready
+}

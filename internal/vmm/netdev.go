@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"stopwatch/internal/guest"
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/vtime"
@@ -85,6 +86,12 @@ type NetDevice struct {
 	// identical medians, so any replica's stream is authoritative).
 	OnResolve ResolveSink
 
+	// LatencyHist, when non-nil, observes the loop-time latency from this
+	// replica's own proposal (the last one, if a view change re-proposed)
+	// to the sequence's median resolution. Observation is passive — the
+	// histogram never feeds back into device behavior.
+	LatencyHist *metrics.Histogram
+
 	proposed uint64
 	resolved uint64
 
@@ -136,6 +143,7 @@ type propState struct {
 	props      map[string]vtime.Virtual
 	own        bool
 	ownVirt    vtime.Virtual
+	proposedAt sim.Time // loop time of this replica's own (last) proposal
 }
 
 // inboundWork carries one inbound packet through the Dom0 processing-delay
@@ -221,6 +229,7 @@ func processTimer(a, b any, _ uint64) {
 func (nd *NetDevice) propose(seq uint64, st *propState) {
 	prop := nd.rt.VirtAtLastExit() + nd.rt.cfg.DeltaN
 	st.ownVirt = prop
+	st.proposedAt = nd.rt.Host().Loop().Now()
 	st.props[nd.self] = prop
 	nd.proposed++
 	if nd.OnPropose != nil {
@@ -330,6 +339,7 @@ func (nd *NetDevice) releaseState(st *propState) {
 	st.hasPayload = false
 	st.own = false
 	st.ownVirt = 0
+	st.proposedAt = 0
 	nd.freeStates = append(nd.freeStates, st)
 }
 
@@ -354,6 +364,9 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 		nd.medScratch = vs[:0]
 	}
 	nd.resolved++
+	if nd.LatencyHist != nil && st.own {
+		nd.LatencyHist.Observe(int64(nd.rt.Host().Loop().Now() - st.proposedAt))
+	}
 	nd.markResolved(seq)
 	delete(nd.props, seq)
 	payload := st.payload

@@ -48,7 +48,9 @@ import (
 	"stopwatch/internal/core"
 	"stopwatch/internal/gateway"
 	"stopwatch/internal/guest"
+	"stopwatch/internal/metrics"
 	"stopwatch/internal/netsim"
+	"stopwatch/internal/obsrv"
 	"stopwatch/internal/placement"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/transport"
@@ -340,3 +342,50 @@ func NewControlPlane(c *Cluster, cfg ControlPlaneConfig) (*ControlPlane, error) 
 func DefaultControlPlaneConfig(capacity int) ControlPlaneConfig {
 	return controlplane.DefaultConfig(capacity)
 }
+
+// Observability re-exports: the deterministic metrics registry, the
+// localhost HTTP surface over it, and telemetry-driven admission.
+//
+//	reg := stopwatch.NewMetricsRegistry()
+//	cp.InstrumentMetrics(reg) // control-plane families, fed by Watch
+//	c.InstrumentMetrics(reg)  // data-plane families (packets, proposals, disks)
+//	srv := stopwatch.NewObsrvServer()
+//	srv.Attach(cp, reg)
+//	_ = srv.Start("127.0.0.1:8080") // /metrics, /metrics.json, /ops, /ops/stream
+//	cp.EnableLoadAwareAdmission(stopwatch.LoadAwareConfig{})
+
+// MetricsRegistry is the deterministic metrics registry: counters, gauges
+// and fixed-bucket histograms with no wall-clock dependence; snapshots
+// enumerate families in registration order and vec children in first-use
+// order, so rendered pages are byte-identical across identical runs.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry builds an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// MetricFamily is one named series family in a registry snapshot.
+type MetricFamily = metrics.Family
+
+// MetricSample is one sample (one label value) in a family snapshot.
+type MetricSample = metrics.Sample
+
+// ObsrvServer is the observability HTTP server: a localhost-only surface
+// serving the registry as Prometheus text (/metrics) and canonical JSON
+// (/metrics.json), the completed-operations log as a filterable query API
+// (/ops), and the live event stream as an NDJSON tail (/ops/stream).
+// Serving never perturbs the simulation: handlers read only published
+// immutable snapshots.
+type ObsrvServer = obsrv.Server
+
+// NewObsrvServer builds an unstarted observability server; Attach it to a
+// control plane and registry, then Start it on a loopback address.
+func NewObsrvServer() *ObsrvServer { return obsrv.New() }
+
+// ObsrvOpRecord is one completed operation as served by /ops.
+type ObsrvOpRecord = obsrv.OpRecord
+
+// LoadAwareConfig parameterizes telemetry-driven admission
+// (ControlPlane.EnableLoadAwareAdmission): live per-host disk backlog
+// becomes a placement tie-break score, and hosts whose backlog exceeds the
+// false-alarm budget are gated out of new placements.
+type LoadAwareConfig = controlplane.LoadAwareConfig
