@@ -1,25 +1,31 @@
 package stopwatch
 
 // BenchmarkClusterScale is the repo's perf yardstick for the discrete-event
-// hot path: a whole cloud (10/50/200 machines) under simultaneous tenant
-// churn and client traffic, measured as simulator event throughput. Unlike
-// the figure benches (which measure paper quantities), this one measures the
-// enforcement layer itself: events/sec is how fast the deterministic
-// timing-replication machinery runs on the hardware, and allocs/op (via
-// -benchmem) is the steady-state garbage the packet pipeline produces.
-// BENCH_5.json records the trajectory; CI fails on alloc regressions.
+// hot path: a whole cloud (10/50/200/1000 machines) under simultaneous
+// tenant churn and client traffic, measured as simulator event throughput.
+// Unlike the figure benches (which measure paper quantities), this one
+// measures the enforcement layer itself: events/sec is how fast the
+// deterministic timing-replication machinery runs on the hardware, and
+// allocs/op (via -benchmem) is the steady-state garbage the packet pipeline
+// produces. Each size runs twice — single-shard (the sequential baseline
+// the BENCH_*.json trajectory has tracked since PR 5) and "mc"
+// (Shards=NumCPU: the conservative-lookahead coordinator executing windows
+// on one goroutine per shard). The simulation schedule, and therefore
+// events/op and pkts/simsec, is identical in both; only wall-clock moves.
+// BENCH_7.json records the trajectory; CI gates on events/sec at /200.
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"stopwatch/internal/controlplane"
 )
 
-// benchScale runs one cloud size: hosts machines at capacity 4, one tenant
-// per machine on average, client pings to every tenant plus a rolling
-// evict/re-admit churn through the middle of the run.
-func benchScale(b *testing.B, hosts int) {
+// benchScale runs one cloud size on `shards` fabric shards: hosts machines
+// at capacity 4, one tenant per machine on average, client pings to every
+// tenant plus a rolling evict/re-admit churn through the middle of the run.
+func benchScale(b *testing.B, hosts, shards int) {
 	const simMillis = 200.0
 	var fired, pkts uint64
 	var simSeconds float64
@@ -28,6 +34,7 @@ func benchScale(b *testing.B, hosts int) {
 		b.StopTimer()
 		cfg := DefaultClusterConfig()
 		cfg.Hosts = hosts
+		cfg.Shards = shards
 		cfg.Seed = uint64(i + 1)
 		c, err := NewCluster(cfg)
 		if err != nil {
@@ -79,7 +86,7 @@ func benchScale(b *testing.B, hosts int) {
 			b.Fatal(err)
 		}
 		b.StopTimer()
-		fired += c.Loop().Fired()
+		fired += c.Coordinator().FiredTotal()
 		pkts += c.Net().Stats().Delivered
 		simSeconds += simMillis / 1000
 		b.StartTimer()
@@ -91,9 +98,15 @@ func benchScale(b *testing.B, hosts int) {
 }
 
 // BenchmarkClusterScale sweeps cloud sizes; /200 is the headline number the
-// ROADMAP perf trajectory tracks.
+// ROADMAP perf trajectory tracks (and the CI events/sec gate), /1000 is the
+// multi-core showcase. The bare size is the single-shard baseline; the /mc
+// variant partitions the machines across NumCPU fabric shards. "mc" is a
+// fixed label (not the shard count) so bench names — and the BENCH_*.json
+// baselines CI gates against — stay stable across machines.
 func BenchmarkClusterScale(b *testing.B) {
-	for _, hosts := range []int{10, 50, 200} {
-		b.Run(fmt.Sprintf("%d", hosts), func(b *testing.B) { benchScale(b, hosts) })
+	for _, hosts := range []int{10, 50, 200, 1000} {
+		hosts := hosts
+		b.Run(fmt.Sprintf("%d", hosts), func(b *testing.B) { benchScale(b, hosts, 1) })
+		b.Run(fmt.Sprintf("%d/mc", hosts), func(b *testing.B) { benchScale(b, hosts, runtime.NumCPU()) })
 	}
 }

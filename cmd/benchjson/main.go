@@ -9,7 +9,14 @@
 //
 // The -check baseline may be a raw benchjson output ({"benchmarks": ...})
 // or a recorded BENCH_N.json trajectory file (the "after" section is used).
-// A measured value worse than baseline*(1+max-regress) exits non-zero.
+// A measured value worse than baseline*(1+max-regress) exits non-zero. For
+// throughput metrics (events/sec, pkts/simsec) pass -higher-better: the
+// gate then fails when the measured value drops below
+// baseline*(1-max-regress):
+//
+//	benchjson -in bench.txt \
+//	    -check BENCH_7.json -bench BenchmarkClusterScale/200 \
+//	    -metric events/sec -higher-better -max-regress 0.20
 package main
 
 import (
@@ -59,6 +66,7 @@ func run(args []string, stdout io.Writer) error {
 	benchName := fs.String("bench", "BenchmarkChurn", "benchmark to gate on with -check")
 	metric := fs.String("metric", "allocs/op", "metric to gate on with -check")
 	maxRegress := fs.Float64("max-regress", 0.20, "allowed fractional regression before failing")
+	higherBetter := fs.Bool("higher-better", false, "gate metric is a throughput (regression = value dropping)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,7 +108,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return Gate(rep, base, *benchName, *metric, *maxRegress, stdout)
+	return Gate(rep, base, *benchName, *metric, *maxRegress, *higherBetter, stdout)
 }
 
 // Parse reads `go test -bench` output. Each benchmark line is
@@ -176,9 +184,11 @@ func loadBaseline(path string) (map[string]Bench, error) {
 }
 
 // Gate fails (returns an error) when the measured metric regressed more
-// than maxRegress versus the baseline. Lower is assumed better — the gate
-// is meant for allocs/op, B/op and ns/op.
-func Gate(rep *Report, base map[string]Bench, bench, metric string, maxRegress float64, out io.Writer) error {
+// than maxRegress versus the baseline. With higherBetter false (allocs/op,
+// B/op, ns/op) a regression is the value rising above
+// baseline*(1+maxRegress); with higherBetter true (events/sec,
+// pkts/simsec) it is the value dropping below baseline*(1-maxRegress).
+func Gate(rep *Report, base map[string]Bench, bench, metric string, maxRegress float64, higherBetter bool, out io.Writer) error {
 	cur, ok := rep.Benchmarks[bench]
 	if !ok {
 		return fmt.Errorf("gate: %s not in measured input", bench)
@@ -194,6 +204,15 @@ func Gate(rep *Report, base map[string]Bench, bench, metric string, maxRegress f
 	baseV, ok := b.Metrics[metric]
 	if !ok {
 		return fmt.Errorf("gate: baseline %s has no %q metric", bench, metric)
+	}
+	if higherBetter {
+		limit := baseV * (1 - maxRegress)
+		if curV < limit {
+			return fmt.Errorf("gate: %s %s regressed: %.2f < %.2f (baseline %.2f, -%d%% allowed)",
+				bench, metric, curV, limit, baseV, int(maxRegress*100))
+		}
+		fmt.Fprintf(out, "gate: %s %s ok: %.2f >= %.2f (baseline %.2f)\n", bench, metric, curV, limit, baseV)
+		return nil
 	}
 	limit := baseV * (1 + maxRegress)
 	if curV > limit {

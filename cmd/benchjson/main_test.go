@@ -46,14 +46,39 @@ func TestGate(t *testing.T) {
 	}
 	var out strings.Builder
 	// 91 > 80*1.10 → fail
-	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.10, &out); err == nil {
+	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.10, false, &out); err == nil {
 		t.Fatal("gate should fail at +10%")
 	}
 	// 91 <= 80*1.20 → pass
-	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.20, &out); err != nil {
+	if err := Gate(rep, base, "BenchmarkChurn", "allocs/op", 0.20, false, &out); err != nil {
 		t.Fatalf("gate should pass at +20%%: %v", err)
 	}
-	if err := Gate(rep, base, "BenchmarkMissing", "allocs/op", 0.2, &out); err == nil {
+	if err := Gate(rep, base, "BenchmarkMissing", "allocs/op", 0.2, false, &out); err == nil {
 		t.Fatal("missing benchmark must error")
+	}
+}
+
+func TestGateHigherBetter(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured events/sec is 2028637 (see sample above).
+	base := map[string]Bench{
+		"BenchmarkClusterScale/200": {Metrics: map[string]float64{"events/sec": 2400000}},
+	}
+	var out strings.Builder
+	// 2028637 < 2400000*0.90 → throughput regression, fail
+	if err := Gate(rep, base, "BenchmarkClusterScale/200", "events/sec", 0.10, true, &out); err == nil {
+		t.Fatal("gate should fail at -10% throughput")
+	}
+	// 2028637 >= 2400000*0.80 → pass
+	if err := Gate(rep, base, "BenchmarkClusterScale/200", "events/sec", 0.20, true, &out); err != nil {
+		t.Fatalf("gate should pass at -20%%: %v", err)
+	}
+	// The same numbers under lower-is-better would pass trivially — make
+	// sure the flag flips the comparison, not just the message.
+	if err := Gate(rep, base, "BenchmarkClusterScale/200", "events/sec", 0.10, false, &out); err != nil {
+		t.Fatalf("lower-is-better reading should pass: %v", err)
 	}
 }

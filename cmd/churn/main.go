@@ -61,6 +61,7 @@ type options struct {
 	autodetect  bool
 	pingEvery   float64
 	seed        uint64
+	shards      int
 	cpuprofile  string
 	memprofile  string
 	listen      string
@@ -82,6 +83,7 @@ func parse(args []string) (options, error) {
 	fs.BoolVar(&o.autodetect, "autodetect", false, "kill crashed machines at the data plane only; the stall detector submits the FailOp")
 	fs.Float64Var(&o.pingEvery, "ping-interval", 0.25, "client ping period per resident guest (seconds)")
 	fs.Uint64Var(&o.seed, "seed", 1, "master seed")
+	fs.IntVar(&o.shards, "shards", 1, "fabric shards (parallel simulation loops; the op-log digest is identical for every value)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (e.g. 127.0.0.1:8080; empty = off)")
@@ -93,6 +95,9 @@ func parse(args []string) (options, error) {
 	if o.hosts < 5 || o.duration <= 2 || o.arrivalRate <= 0 || o.meanLife <= 0 {
 		return o, fmt.Errorf("implausible scenario: hosts=%d duration=%v rate=%v life=%v",
 			o.hosts, o.duration, o.arrivalRate, o.meanLife)
+	}
+	if o.shards < 1 {
+		return o, fmt.Errorf("shards must be >= 1, got %d", o.shards)
 	}
 	return o, nil
 }
@@ -217,6 +222,7 @@ func run(args []string, out io.Writer) error {
 	ccfg := core.DefaultClusterConfig()
 	ccfg.Seed = o.seed
 	ccfg.Hosts = o.hosts
+	ccfg.Shards = o.shards
 	c, err := core.New(ccfg)
 	if err != nil {
 		return err

@@ -283,6 +283,29 @@ func TestChurnDigestsUnchangedAcrossSchedulerRewrite(t *testing.T) {
 	}
 }
 
+// TestChurnDigestsUnchangedAcrossSharding is the sharded simulation's
+// partition-invariance pin: the same three seeded runs, executed on one,
+// two and four fabric shards, must produce byte-identical op-log digests —
+// and K=1 must still match the historical single-loop baseline. The
+// conservative-lookahead coordinator, the cross-shard inboxes and the
+// (arrival-time, link-hash, link-seq) event keys exist precisely so the
+// partition is unobservable; any cross-shard ordering leak lands here.
+func TestChurnDigestsUnchangedAcrossSharding(t *testing.T) {
+	for seed, digest := range pinnedDigests {
+		for _, shards := range []int{1, 2, 4} {
+			var out bytes.Buffer
+			args := pinnedArgs(seed, "-shards", fmt.Sprint(shards))
+			if err := run(args, &out); err != nil {
+				t.Fatalf("seed %d shards %d: churn run failed: %v\n%s", seed, shards, err, out.String())
+			}
+			if got := extractDigest(t, out.String()); got != digest {
+				t.Errorf("seed %d shards %d: op-log digest %s, want %s — the shard partition leaked into the schedule",
+					seed, shards, got, digest)
+			}
+		}
+	}
+}
+
 // TestChurnDigestsUnchangedWithObservability is the observability plane's
 // non-perturbation pin: the same three seeded runs, now with the metrics
 // registry instrumenting both planes, the localhost HTTP server attached to

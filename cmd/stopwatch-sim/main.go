@@ -50,6 +50,7 @@ func run(args []string) error {
 	app := fs.String("app", "ferret", "parsec app: ferret|blackscholes|canneal|dedup|streamcluster")
 	duration := fs.Float64("duration", 10, "scenario duration (seconds)")
 	seed := fs.Uint64("seed", 1, "master seed")
+	shards := fs.Int("shards", 1, "fabric shards (parallel simulation loops; download/nfs/lifecycle scenarios — results are identical for every value)")
 	listen := fs.String("listen", "", "lifecycle scenario: serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,17 +66,20 @@ func run(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 
+	if *shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", *shards)
+	}
 	switch *scenario {
 	case "download":
-		return runDownload(*seed, m, *sizeKB, *transportFlag)
+		return runDownload(*seed, m, *sizeKB, *transportFlag, *shards)
 	case "nfs":
-		return runNFS(*seed, m, *rate, sim.FromSeconds(*duration))
+		return runNFS(*seed, m, *rate, sim.FromSeconds(*duration), *shards)
 	case "parsec":
 		return runParsec(*seed, m, *app)
 	case "sidechannel":
 		return runSideChannel(*seed, sim.FromSeconds(*duration))
 	case "lifecycle":
-		return runLifecycle(*seed, sim.FromSeconds(*duration), *listen)
+		return runLifecycle(*seed, sim.FromSeconds(*duration), *listen, *shards)
 	default:
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
@@ -86,13 +90,14 @@ func run(args []string) error {
 // data plane and recovered by the stall detector's fail → reconfigure →
 // evacuate pipeline, every operation streaming its phases over Watch and
 // landing in the append-only op log.
-func runLifecycle(seed uint64, dur sim.Time, listen string) error {
+func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	if dur < 3*sim.Second {
 		dur = 3 * sim.Second
 	}
 	cfg := core.DefaultClusterConfig()
 	cfg.Seed = seed
 	cfg.Hosts = 9
+	cfg.Shards = shards
 	c, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -223,10 +228,11 @@ func runLifecycle(seed uint64, dur sim.Time, listen string) error {
 	return nil
 }
 
-func newCluster(seed uint64, mode core.Mode) (*core.Cluster, []int, error) {
+func newCluster(seed uint64, mode core.Mode, shards int) (*core.Cluster, []int, error) {
 	cfg := core.DefaultClusterConfig()
 	cfg.Seed = seed
 	cfg.Mode = mode
+	cfg.Shards = shards
 	idx := []int{0, 1, 2}
 	if mode == core.ModeBaseline {
 		cfg.Hosts = 1
@@ -236,7 +242,7 @@ func newCluster(seed uint64, mode core.Mode) (*core.Cluster, []int, error) {
 	return c, idx, err
 }
 
-func runDownload(seed uint64, mode core.Mode, sizeKB int, transportFlag string) error {
+func runDownload(seed uint64, mode core.Mode, sizeKB int, transportFlag string, shards int) error {
 	var fsMode apps.FileServerMode
 	switch transportFlag {
 	case "tcp":
@@ -246,7 +252,7 @@ func runDownload(seed uint64, mode core.Mode, sizeKB int, transportFlag string) 
 	default:
 		return fmt.Errorf("unknown transport %q", transportFlag)
 	}
-	c, idx, err := newCluster(seed, mode)
+	c, idx, err := newCluster(seed, mode, shards)
 	if err != nil {
 		return err
 	}
@@ -292,8 +298,8 @@ func runDownload(seed uint64, mode core.Mode, sizeKB int, transportFlag string) 
 	return nil
 }
 
-func runNFS(seed uint64, mode core.Mode, rate float64, dur sim.Time) error {
-	c, idx, err := newCluster(seed, mode)
+func runNFS(seed uint64, mode core.Mode, rate float64, dur sim.Time, shards int) error {
+	c, idx, err := newCluster(seed, mode, shards)
 	if err != nil {
 		return err
 	}

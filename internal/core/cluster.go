@@ -49,6 +49,11 @@ type ClusterConfig struct {
 	Seed uint64
 	// Hosts is the number of machines.
 	Hosts int
+	// Shards is the number of fabric shards (simulation loops) the machines
+	// are partitioned across (host i → shard i%Shards). 0 means 1. The
+	// simulation schedule — and therefore every digest — is identical for
+	// every shard count; Shards only chooses how many cores may execute it.
+	Shards int
 	// Mode selects StopWatch or baseline.
 	Mode Mode
 	// Replicas per guest under StopWatch (odd; default 3).
@@ -94,10 +99,16 @@ func DefaultClusterConfig() ClusterConfig {
 
 // Cluster is a running simulated cloud.
 type Cluster struct {
-	cfg  ClusterConfig
-	loop *sim.Loop
-	src  *sim.Source
-	net  *netsim.Network
+	cfg ClusterConfig
+	// loop is the control loop: drivers, the control plane, detectors and
+	// lifecycle operations schedule here, and its events run at coordinator
+	// barriers while every shard loop is parked — so control code may touch
+	// any shard's state, exactly as it always has.
+	loop       *sim.Loop
+	shardLoops []*sim.Loop
+	coord      *sim.Coordinator
+	src        *sim.Source
+	net        *netsim.Network
 
 	hosts         []*vmm.Host
 	hostNodes     []*hostNode
@@ -105,9 +116,12 @@ type Cluster struct {
 
 	// Stall-detector wiring (detect.go): a positive deadline arms every
 	// device model's per-sequence proposal deadline; onStallSuspect
-	// receives the machines named silent when one fires.
+	// receives the machines named silent when one fires. Device-level
+	// stalls are recorded per shard and handled at the next barrier
+	// (stallQ, drainStalls) so detection never races shard execution.
 	stallDeadline  sim.Time
 	onStallSuspect func(machine int)
+	stallQ         [][]stallRec
 
 	ingress *gateway.Ingress
 	egress  *gateway.Egress
@@ -122,39 +136,37 @@ type Cluster struct {
 	// admissions) boot immediately.
 	started bool
 
-	// freeOut pools deferred-send work items (the Dom0 output-path delay
-	// between a guest send and the fabric transmit) so per-output closures
-	// are not allocated in steady state.
-	freeOut []*outWork
-
 	// scratchNames/scratchAddrs back reconcileGroups' live-set computation.
 	scratchNames []string
 	scratchAddrs []netsim.Addr
 
 	// propLatency, when non-nil (InstrumentMetrics), is installed on every
 	// replica device model — current and future — as its proposal-
-	// resolution latency histogram.
-	propLatency *metrics.Histogram
+	// resolution latency histogram (each replica gets its host shard's cell).
+	propLatency *metrics.ShardedHistogram
 }
 
-// outWork is one deferred fabric send: the packet header and payload held
-// across the Dom0 output-processing delay. Items are pooled on the cluster.
+// outWork is one deferred fabric send: the packet header and body held
+// across the Dom0 output-processing delay. Items are pooled per host node —
+// hosts on different shards must never share a freelist.
 type outWork struct {
+	hn       *hostNode
 	src, dst netsim.Addr
 	size     int
 	kind     string
+	body     netsim.PacketBody
 	payload  any
 }
 
-// allocOut checks a deferred-send item out of the pool.
-func (c *Cluster) allocOut() *outWork {
-	if k := len(c.freeOut); k > 0 {
-		w := c.freeOut[k-1]
-		c.freeOut[k-1] = nil
-		c.freeOut = c.freeOut[:k-1]
+// allocOut checks a deferred-send item out of the host's pool.
+func (hn *hostNode) allocOut() *outWork {
+	if k := len(hn.freeOut); k > 0 {
+		w := hn.freeOut[k-1]
+		hn.freeOut[k-1] = nil
+		hn.freeOut = hn.freeOut[:k-1]
 		return w
 	}
-	return &outWork{}
+	return &outWork{hn: hn}
 }
 
 // absorbTimer models Dom0 absorbing an ambient broadcast packet: the event
@@ -162,12 +174,15 @@ func (c *Cluster) allocOut() *outWork {
 func absorbTimer(_, _ any, _ uint64) {}
 
 // outTimer transmits a deferred send and recycles the work item.
-func outTimer(a, b any, _ uint64) {
-	c := a.(*Cluster)
+func outTimer(_, b any, _ uint64) {
 	w := b.(*outWork)
-	c.net.Send(c.net.AllocPacket(w.src, w.dst, w.size, w.kind, w.payload))
+	hn := w.hn
+	p := hn.c.net.AllocPacket(w.src, w.dst, w.size, w.kind, w.payload)
+	p.Body = w.body
+	hn.c.net.Send(p)
+	w.body = netsim.PacketBody{}
 	w.payload = nil
-	c.freeOut = append(c.freeOut, w)
+	hn.freeOut = append(hn.freeOut, w)
 }
 
 // Guest is a deployed guest VM (all its replicas). Per-slot replica state
@@ -227,19 +242,19 @@ var (
 // SendProposal implements vmm.ProposalSink: reliable multicast of this
 // replica's delivery-time proposal to the peer device models.
 func (w *replicaWiring) SendProposal(view, seq uint64, v vtime.Virtual) {
-	w.psnd.Multicast("swprop", 64, propMsg{GuestID: w.gid, Host: w.hostName, View: view, Seq: seq, Virt: v})
+	w.psnd.Multicast("swprop", 64, netsim.PacketBody{
+		Kind: netsim.BodyProp, GuestID: w.gid, Origin: w.hostName, View: view, Seq: seq, Virt: v,
+	})
 }
 
 // PaceReport implements vmm.PaceSink: unicast progress beacons to the peer
-// Dom0s (periodic, loss-tolerant). The beacon is boxed once per tick and
-// shared by the fan-out packets.
+// Dom0s (periodic, loss-tolerant). The beacon rides in the typed packet
+// body — nothing is boxed per tick.
 func (w *replicaWiring) PaceReport(v vtime.Virtual) {
-	if len(w.peers) == 0 {
-		return
-	}
-	var boxed any = paceMsg{GuestID: w.gid, Host: w.hostName, Virt: v}
 	for _, dst := range w.peers {
-		w.c.net.Send(w.c.net.AllocPacket(w.dom0, dst, 48, "swpace", boxed))
+		p := w.c.net.AllocPacket(w.dom0, dst, 48, "swpace", nil)
+		p.Body = netsim.PacketBody{Kind: netsim.BodyPace, GuestID: w.gid, Origin: w.hostName, Virt: v}
+		w.c.net.Send(p)
 	}
 }
 
@@ -248,13 +263,14 @@ func (w *replicaWiring) PaceReport(v vtime.Virtual) {
 func (w *replicaWiring) GuestSend(a guest.IOAction) {
 	c := w.c
 	host := c.hosts[w.hostIdx]
-	ow := c.allocOut()
+	hn := c.hostNodes[w.hostIdx]
+	ow := hn.allocOut()
 	ow.src, ow.dst, ow.size, ow.kind = w.dom0, c.egress.Addr(), a.Size, "egress:tunnel"
-	ow.payload = vmm.EgressMsg{
-		GuestID: w.gid, Replica: w.hostName, Seq: a.Seq,
+	ow.body = netsim.PacketBody{
+		Kind: netsim.BodyEgress, GuestID: w.gid, Origin: w.hostName, Seq: a.Seq,
 		OrigDst: a.Dst, Size: a.Size, Data: a.Data,
 	}
-	host.Loop().AfterTimer(hostIODelay(host), "sw:tunnel", outTimer, c, ow, 0)
+	host.Loop().AfterTimer(hostIODelay(host), "sw:tunnel", outTimer, nil, ow, 0)
 }
 
 // CheckLockstep verifies all replicas produced identical outputs.
@@ -296,26 +312,12 @@ type hostNode struct {
 	netdevs  map[string]*vmm.NetDevice
 	runtimes map[string]*vmm.Runtime
 	epochs   map[string]*vmm.EpochCoordinator
-}
 
-type propMsg struct {
-	GuestID string
-	Host    string // origin host name: proposals are deduped per origin
-	View    uint64 // group-view number the proposal was made under
-	Seq     uint64
-	Virt    vtime.Virtual
-}
-
-type paceMsg struct {
-	GuestID string
-	Host    string
-	Virt    vtime.Virtual
-}
-
-type epochMsg struct {
-	GuestID string
-	Epoch   int64
-	Sample  vtime.EpochSample
+	// freeOut pools deferred-send work items (the Dom0 output-path delay
+	// between a guest send and the fabric transmit) so per-output closures
+	// are not allocated in steady state. Per host node: only this host's
+	// shard loop touches it.
+	freeOut []*outWork
 }
 
 // New creates a cluster.
@@ -335,20 +337,43 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 	if err := cfg.VMM.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("%w: %d shards", ErrCluster, cfg.Shards)
+	}
+	if cfg.Shards > cfg.Hosts {
+		cfg.Shards = cfg.Hosts // extra shards would only idle
+	}
+	// The control loop and the shard loops exist for every shard count —
+	// including 1 — so the coordinator's window grid, and with it the
+	// schedule, is a pure function of the topology, never of Shards.
 	loop := sim.NewLoop()
 	src := sim.NewSource(cfg.Seed)
 	net, err := netsim.New(loop, src.Stream("fabric"), cfg.CloudLink)
 	if err != nil {
 		return nil, err
 	}
+	shardLoops := make([]*sim.Loop, cfg.Shards)
+	for k := range shardLoops {
+		shardLoops[k] = sim.NewLoop()
+	}
+	if err := net.SetShards(shardLoops); err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		cfg:           cfg,
 		loop:          loop,
+		shardLoops:    shardLoops,
 		src:           src,
 		net:           net,
 		guests:        make(map[string]*Guest),
 		hostIdxByName: make(map[string]int, cfg.Hosts),
+		stallQ:        make([][]stallRec, cfg.Shards),
 	}
+	c.coord = sim.NewCoordinator(loop, shardLoops, net.Lookahead, net.Exchange, c.drainStalls)
+	c.coord.SetParallel(cfg.Shards > 1)
 	for i := 0; i < cfg.Hosts; i++ {
 		name := fmt.Sprintf("host%d", i)
 		drift := 0.0
@@ -359,7 +384,8 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 		if len(cfg.HostOffset) > 0 {
 			offset = cfg.HostOffset[i%len(cfg.HostOffset)]
 		}
-		h, err := vmm.NewHost(name, loop, src.Stream("host:"+name), sim.NewClock(offset, drift), cfg.VMM)
+		hostLoop := shardLoops[i%cfg.Shards]
+		h, err := vmm.NewHost(name, hostLoop, src.Stream("host:"+name), sim.NewClock(offset, drift), cfg.VMM)
 		if err != nil {
 			return nil, err
 		}
@@ -373,7 +399,10 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 			runtimes: make(map[string]*vmm.Runtime),
 			epochs:   make(map[string]*vmm.EpochCoordinator),
 		}
-		mrx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
+		if err := net.AssignShard(hn.addr, i%cfg.Shards); err != nil {
+			return nil, err
+		}
+		mrx, err := multicast.NewReceiver(net, hostLoop, multicast.ReceiverConfig{
 			Addr:   hn.addr,
 			OnData: hn.onMulticastData,
 		})
@@ -387,12 +416,14 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 		c.hostNodes = append(c.hostNodes, hn)
 	}
 	if cfg.Mode == ModeStopWatch {
-		ing, err := gateway.NewIngress(net, loop, "ingress")
+		// Gateways (and clients) live on shard 0: their addresses default
+		// there, and their timers must run on the loop that delivers to them.
+		ing, err := gateway.NewIngress(net, shardLoops[0], "ingress")
 		if err != nil {
 			return nil, err
 		}
 		c.ingress = ing
-		eg, err := gateway.NewEgress(net, loop, "egress", cfg.Replicas)
+		eg, err := gateway.NewEgress(net, shardLoops[0], "egress", cfg.Replicas)
 		if err != nil {
 			return nil, err
 		}
@@ -412,8 +443,17 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 	return c, nil
 }
 
-// Loop exposes the simulation loop.
+// Loop exposes the control loop: drivers and control-plane code schedule
+// here, and its events run at coordinator barriers.
 func (c *Cluster) Loop() *sim.Loop { return c.loop }
+
+// Coordinator exposes the conservative-lookahead coordinator driving the
+// control loop and the fabric shards (benchmarks read FiredTotal; tests
+// toggle SetParallel).
+func (c *Cluster) Coordinator() *sim.Coordinator { return c.coord }
+
+// Shards returns the fabric shard count.
+func (c *Cluster) Shards() int { return len(c.shardLoops) }
 
 // Net exposes the fabric.
 func (c *Cluster) Net() *netsim.Network { return c.net }
@@ -488,15 +528,21 @@ func (c *Cluster) deployBaseline(id string, hostIdx []int, factory func() guest.
 	}
 	app := factory()
 	h := c.hosts[hostIdx[0]]
+	hn := c.hostNodes[hostIdx[0]]
 	rt, err := vmm.NewBaselineRuntime(h, id, app)
 	if err != nil {
 		return nil, err
 	}
 	svc := gateway.ServiceAddr(id)
+	// The baseline guest's service endpoint feeds its runtime directly, so
+	// it must live on the runtime's host shard.
+	if err := c.net.AssignShard(svc, hostIdx[0]%len(c.shardLoops)); err != nil {
+		return nil, err
+	}
 	rt.OnSend = vmm.SendSinkFunc(func(a guest.IOAction) {
-		w := c.allocOut()
+		w := hn.allocOut()
 		w.src, w.dst, w.size, w.kind, w.payload = svc, a.Dst, a.Size, "guest:data", a.Data
-		h.Loop().AfterTimer(hostIODelay(h), "base:out", outTimer, c, w, 0)
+		h.Loop().AfterTimer(hostIODelay(h), "base:out", outTimer, nil, w, 0)
 	})
 	if err := c.net.Attach(&netsim.FuncNode{Addr: svc, Fn: func(p *netsim.Packet) {
 		rt.HandleInbound(guest.Payload{Src: p.Src, Size: p.Size, Data: p.Payload})
@@ -588,7 +634,10 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	if err != nil {
 		return err
 	}
-	nd.LatencyHist = c.propLatency
+	if c.propLatency != nil {
+		h := c.propLatency.Shard(hostIdx % len(c.shardLoops))
+		nd.LatencyHist = &h
+	}
 	w := &replicaWiring{
 		c:        c,
 		gid:      id,
@@ -610,7 +659,12 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 		// reconciliation installs the actual peers.
 		placeholder = append(make([]netsim.Addr, 0, c.cfg.Replicas-1), hn.addr)
 	}
-	psnd, err := multicast.NewSender(c.net, c.loop, multicast.SenderConfig{Src: w.propSrc, Group: placeholder})
+	// The proposal stream's sender state (SPM timers, NAK consumption) and
+	// source address live on the replica's host shard.
+	if err := c.net.AssignShard(w.propSrc, hostIdx%len(c.shardLoops)); err != nil {
+		return err
+	}
+	psnd, err := multicast.NewSender(c.net, c.hosts[hostIdx].Loop(), multicast.SenderConfig{Src: w.propSrc, Group: placeholder})
 	if err != nil {
 		return err
 	}
@@ -637,10 +691,9 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 		}
 		ec.SendSample = func(epoch int64, s vtime.EpochSample) {
 			for _, dst := range w.peers {
-				c.net.Send(&netsim.Packet{
-					Src: w.dom0, Dst: dst, Size: 56, Kind: "swepoch",
-					Payload: epochMsg{GuestID: id, Epoch: epoch, Sample: s},
-				})
+				p := c.net.AllocPacket(w.dom0, dst, 56, "swepoch", nil)
+				p.Body = netsim.PacketBody{Kind: netsim.BodyEpoch, GuestID: id, Epoch: epoch, Sample: s}
+				c.net.Send(p)
 			}
 		}
 		w.ec = ec
@@ -744,9 +797,11 @@ func (c *Cluster) Start() {
 // Started reports whether the cluster has been started.
 func (c *Cluster) Started() bool { return c.started }
 
-// Run advances the simulation to the given time.
+// Run advances the simulation to the given time: the coordinator interleaves
+// conservative-lookahead windows on the shard loops with control-loop
+// barriers, sequentially or on one goroutine per shard (Coordinator).
 func (c *Cluster) Run(until sim.Time) error {
-	return c.loop.RunUntil(until)
+	return c.coord.RunUntil(until)
 }
 
 // Stop halts all guests (drains idle spinning so the loop can quiesce), in
@@ -766,7 +821,7 @@ func (c *Cluster) Stop() {
 // NewClient attaches a transport client with the configured client link to
 // every deployed guest's service address.
 func (c *Cluster) NewClient(addr netsim.Addr) (*transport.Client, error) {
-	cl, err := transport.NewClient(c.net, c.loop, addr)
+	cl, err := transport.NewClient(c.net, c.shardLoops[0], addr)
 	if err != nil {
 		return nil, err
 	}
@@ -792,20 +847,12 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 	}
 	switch p.Kind {
 	case "swpace":
-		msg, ok := p.Payload.(paceMsg)
-		if !ok {
-			return
-		}
-		if rt, ok := hn.runtimes[msg.GuestID]; ok {
-			rt.OnPeerVirt(msg.Host, msg.Virt)
+		if rt, ok := hn.runtimes[p.Body.GuestID]; ok {
+			rt.OnPeerVirt(p.Body.Origin, p.Body.Virt)
 		}
 	case "swepoch":
-		msg, ok := p.Payload.(epochMsg)
-		if !ok {
-			return
-		}
-		if ec, ok := hn.epochs[msg.GuestID]; ok {
-			ec.OnPeerSample(msg.Epoch, msg.Sample)
+		if ec, ok := hn.epochs[p.Body.GuestID]; ok {
+			ec.OnPeerSample(p.Body.Epoch, p.Body.Sample)
 		}
 	case "broadcast":
 		// Ambient subnet noise: costs Dom0 a little processing.
@@ -813,29 +860,21 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 	}
 }
 
-// onMulticastData dispatches reliable-multicast payloads: ingress streams
+// onMulticastData dispatches reliable-multicast bodies: ingress streams
 // ("ingress/<guest>") and peer proposals ("prop:<host>/<guest>").
-func (hn *hostNode) onMulticastData(src netsim.Addr, seq uint64, kind string, payload any) {
+func (hn *hostNode) onMulticastData(src netsim.Addr, seq uint64, kind string, body netsim.PacketBody) {
 	if hn.host.Failed() {
 		return
 	}
 	switch kind {
 	case "swin":
-		msg, ok := payload.(gateway.InboundMsg)
-		if !ok {
-			return
-		}
 		gid := guestIDFromIngressSrc(string(src))
 		if nd, ok := hn.netdevs[gid]; ok {
-			nd.HandleInbound(seq, guest.Payload{Src: msg.ClientSrc, Size: msg.Size, Data: msg.Data})
+			nd.HandleInbound(seq, guest.Payload{Src: body.ClientSrc, Size: body.Size, Data: body.Data})
 		}
 	case "swprop":
-		msg, ok := payload.(propMsg)
-		if !ok {
-			return
-		}
-		if nd, ok := hn.netdevs[msg.GuestID]; ok {
-			nd.HandlePeerProposal(msg.Host, msg.View, msg.Seq, msg.Virt)
+		if nd, ok := hn.netdevs[body.GuestID]; ok {
+			nd.HandlePeerProposal(body.Origin, body.View, body.Seq, body.Virt)
 		}
 	}
 }

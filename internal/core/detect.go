@@ -10,9 +10,22 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"stopwatch/internal/sim"
 )
+
+// stallRec is one device-level stall observation, recorded by the replica's
+// shard goroutine and handled at the next coordinator barrier. Deferring to
+// the barrier keeps detection off the shard hot path AND out of shard
+// execution entirely: reportStall schedules confirmation timers on the
+// control loop, which only barrier context may touch.
+type stallRec struct {
+	when sim.Time
+	id   string
+	w    *replicaWiring
+	seq  uint64
+}
 
 // SetStallDetector arms the per-sequence proposal deadline on every guest
 // replica device model — those already deployed and every one wired later
@@ -40,13 +53,54 @@ func (c *Cluster) SetStallDetector(deadline sim.Time, onSuspect func(machine int
 }
 
 // armStallDetector wires one replica's device model into the detector; a
-// no-op until SetStallDetector has been called.
+// no-op until SetStallDetector has been called. The OnStall hook only
+// records: the shard index is the replica host's, so each queue has exactly
+// one writer goroutine.
 func (c *Cluster) armStallDetector(id string, w *replicaWiring) {
 	if c.stallDeadline <= 0 {
 		return
 	}
 	w.nd.ProposalDeadline = c.stallDeadline
-	w.nd.OnStall = func(seq uint64) { c.reportStall(id, w, seq) }
+	k := w.hostIdx % len(c.shardLoops)
+	host := c.hosts[w.hostIdx]
+	w.nd.OnStall = func(seq uint64) {
+		c.stallQ[k] = append(c.stallQ[k], stallRec{when: host.Loop().Now(), id: id, w: w, seq: seq})
+	}
+}
+
+// drainStalls runs at every coordinator barrier: it merges the per-shard
+// stall queues into one deterministic order — (stall time, host index,
+// guest id, seq), independent of the partition — and hands each record to
+// reportStall.
+func (c *Cluster) drainStalls() {
+	n := 0
+	for _, q := range c.stallQ {
+		n += len(q)
+	}
+	if n == 0 {
+		return
+	}
+	recs := make([]stallRec, 0, n)
+	for k, q := range c.stallQ {
+		recs = append(recs, q...)
+		c.stallQ[k] = q[:0]
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.when != b.when {
+			return a.when < b.when
+		}
+		if a.w.hostIdx != b.w.hostIdx {
+			return a.w.hostIdx < b.w.hostIdx
+		}
+		if a.id != b.id {
+			return a.id < b.id
+		}
+		return a.seq < b.seq
+	})
+	for _, r := range recs {
+		c.reportStall(r.id, r.w, r.seq)
+	}
 }
 
 // reportStall handles one device-level stall. A missed deadline alone is

@@ -35,20 +35,24 @@ var propLatencyBuckets = metrics.ExpBuckets(int64(10*sim.Microsecond), 4, 10)
 // the proposal-latency histogram. Gauges read live cluster state and are
 // evaluated at snapshot; take snapshots from the simulation thread.
 func (c *Cluster) InstrumentMetrics(reg *metrics.Registry) {
-	delivered := reg.NewCounterVec("stopwatch_net_packets_delivered_total",
-		"fabric packets handed to an attached node, by packet kind", "kind")
-	dropped := reg.NewCounterVec("stopwatch_net_packets_dropped_total",
-		"fabric packets lost to the loss model or a detached address, by packet kind", "kind")
-	c.net.SetMetrics(&delivered, &dropped)
+	// Fabric counters and the proposal-latency histogram are sharded: each
+	// fabric shard / replica host updates its own cell lock-free, and the
+	// registry merges the cells deterministically at snapshot, so the
+	// rendered pages are byte-identical for every shard count.
+	delivered := reg.NewShardedCounterVec("stopwatch_net_packets_delivered_total",
+		"fabric packets handed to an attached node, by packet kind", "kind", c.Shards())
+	dropped := reg.NewShardedCounterVec("stopwatch_net_packets_dropped_total",
+		"fabric packets lost to the loss model or a detached address, by packet kind", "kind", c.Shards())
+	c.net.SetMetrics(delivered, dropped)
 
-	propLat := reg.NewHistogram("stopwatch_vmm_proposal_latency_ns",
+	c.propLatency = reg.NewShardedHistogram("stopwatch_vmm_proposal_latency_ns",
 		"loop-time latency from a replica's own delivery-time proposal to the median resolution",
-		propLatencyBuckets)
-	c.propLatency = &propLat
+		propLatencyBuckets, c.Shards())
 	for _, g := range c.guests {
 		for _, w := range g.replicas {
 			if w != nil && w.nd != nil {
-				w.nd.LatencyHist = c.propLatency
+				h := c.propLatency.Shard(w.hostIdx % len(c.shardLoops))
+				w.nd.LatencyHist = &h
 			}
 		}
 	}

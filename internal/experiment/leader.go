@@ -24,13 +24,18 @@ type LeaderConfig struct {
 	VictimFileKB int
 }
 
-// DefaultLeaderConfig mirrors the Fig-4 scenario (dense probing).
+// DefaultLeaderConfig mirrors the Fig-4 scenario (dense probing). The
+// victim serves 128KB files: heavy enough that the coresident replica's
+// Dom0 contention stands clearly above the KS sampling floor at the
+// default duration (~10k probe gaps), which is what the ablation needs to
+// separate the two policies — the leader leak exceeds the median leak by
+// ~0.01 KS, and the floor at n samples is ~1.36·sqrt(2/n).
 func DefaultLeaderConfig() LeaderConfig {
 	return LeaderConfig{
 		Seed:         31,
 		Duration:     20 * sim.Second,
 		ProbeMeanGap: 2 * sim.Millisecond,
-		VictimFileKB: 64,
+		VictimFileKB: 128,
 	}
 }
 

@@ -8,12 +8,10 @@ package gateway
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"stopwatch/internal/multicast"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
-	"stopwatch/internal/vmm"
 )
 
 // ErrGateway reports gateway configuration errors.
@@ -24,14 +22,6 @@ var ErrGateway = errors.New("gateway: invalid")
 // source of egress-forwarded packets.
 func ServiceAddr(guestID string) netsim.Addr {
 	return netsim.Addr("svc:" + guestID)
-}
-
-// InboundMsg is the ingress-replicated form of a client packet.
-type InboundMsg struct {
-	ClientSrc netsim.Addr
-	Kind      string
-	Size      int
-	Data      any
 }
 
 // Ingress replicates packets destined for guests to their replica hosts via
@@ -119,11 +109,12 @@ func (in *Ingress) forward(guestID string, p *netsim.Packet) {
 		return
 	}
 	in.replicated++
-	snd.Multicast("swin", p.Size, InboundMsg{
-		ClientSrc: p.Src,
-		Kind:      p.Kind,
-		Size:      p.Size,
-		Data:      p.Payload,
+	snd.Multicast("swin", p.Size, netsim.PacketBody{
+		Kind:       netsim.BodyInbound,
+		ClientSrc:  p.Src,
+		ClientKind: p.Kind,
+		Size:       p.Size,
+		Data:       p.Payload,
 	})
 }
 
@@ -213,8 +204,11 @@ type Egress struct {
 	loop *sim.Loop
 	addr netsim.Addr
 
-	// copies[guestID][seq] tracks tunnel arrivals per output packet.
-	copies map[string]map[uint64]*copyGroup
+	// groups tracks tunnel arrivals per guest in a seq-indexed ring —
+	// output sequences are contiguous and retire almost in order, so the
+	// ring replaces the old copies[guestID][seq] map (one map insert +
+	// delete per output packet) with two slot writes.
+	groups map[string]*guestGroups
 	// replicas is the expected copy count per packet (3 by default).
 	replicas int
 	// forwardOn is which copy triggers forwarding (2 = median of 3).
@@ -226,11 +220,6 @@ type Egress struct {
 
 	forwarded uint64
 	absorbed  uint64
-
-	// freeGroups pools copyGroup records: one is opened per guest output
-	// packet and retired when the full group has arrived, so steady-state
-	// traffic recycles instead of allocating.
-	freeGroups []*copyGroup
 
 	// OnForward observes forwarded packets (external-observer experiments).
 	OnForward func(guestID string, seq uint64, at sim.Time)
@@ -249,7 +238,7 @@ func NewEgress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr, replicas i
 		net:       net,
 		loop:      loop,
 		addr:      addr,
-		copies:    make(map[string]map[uint64]*copyGroup),
+		groups:    make(map[string]*guestGroups),
 		replicas:  replicas,
 		forwardOn: replicas/2 + 1,
 		live:      make(map[string]int),
@@ -263,77 +252,139 @@ func NewEgress(net *netsim.Network, loop *sim.Loop, addr netsim.Addr, replicas i
 // Addr returns the egress fabric address replicas tunnel to.
 func (e *Egress) Addr() netsim.Addr { return e.addr }
 
+// copyGroup states. A slot is empty until its first copy arrives, open
+// while copies are being counted, and retired once the full group arrived
+// (or the group was reclaimed) — retired slots absorb stragglers instead
+// of resurrecting as phantom groups.
+const (
+	groupEmpty uint8 = iota
+	groupOpen
+	groupRetired
+)
+
 // copyGroup tracks one output packet's tunnel arrivals. forwarded is a
 // flag, not a count comparison: the forwarding threshold can change
 // between copies (a live-view change mid-group), so "has this packet been
-// sent" must be remembered, never re-derived. The message is kept (all
-// copies are identical — that is what lockstep means) so a group made
+// sent" must be remembered, never re-derived. The packet fields are kept
+// (all copies are identical — that is what lockstep means) so a group made
 // eligible by a later view shrink can still be flushed.
 type copyGroup struct {
-	n         int
+	state     uint8
 	forwarded bool
-	msg       vmm.EgressMsg
+	n         int
+	origDst   netsim.Addr
+	size      int
+	data      any
+}
+
+// guestGroups is one guest's seq-indexed ring of copy groups over the
+// window [base, top): base is the lowest unretired sequence, top is one
+// past the highest opened one. Slots recycle in place as the window slides,
+// so steady-state output traffic allocates nothing.
+type guestGroups struct {
+	buf  []copyGroup
+	base uint64
+	top  uint64
+	open int
+}
+
+func (r *guestGroups) slot(seq uint64) *copyGroup {
+	return &r.buf[seq&uint64(len(r.buf)-1)]
+}
+
+// ensure grows the ring (power of two) until seq's slot is inside the
+// window starting at base.
+func (r *guestGroups) ensure(seq uint64) {
+	need := seq - r.base + 1
+	if len(r.buf) != 0 && need <= uint64(len(r.buf)) {
+		return
+	}
+	newLen := 64
+	for uint64(newLen) < need {
+		newLen <<= 1
+	}
+	old := r.buf
+	oldBase := r.base
+	r.buf = make([]copyGroup, newLen)
+	for i := range old {
+		if old[i].state != groupEmpty {
+			// Recover the slot's absolute seq from its index.
+			seqOf := oldBase + ((uint64(i) - oldBase) & uint64(len(old)-1))
+			*r.slot(seqOf) = old[i]
+		}
+	}
+}
+
+// retire marks seq's group done and slides the window past any retired
+// prefix. Empty mid-window slots (copies still in flight) block the slide.
+func (r *guestGroups) retire(seq uint64) {
+	g := r.slot(seq)
+	g.state = groupRetired
+	g.data = nil
+	r.open--
+	r.advance()
+}
+
+func (r *guestGroups) advance() {
+	for r.base < r.top && r.slot(r.base).state == groupRetired {
+		*r.slot(r.base) = copyGroup{}
+		r.base++
+	}
 }
 
 func (e *Egress) deliver(p *netsim.Packet) {
-	msg, ok := p.Payload.(vmm.EgressMsg)
-	if !ok {
+	if p.Body.Kind != netsim.BodyEgress {
 		return
 	}
-	byGuest, ok := e.copies[msg.GuestID]
+	gid, seq := p.Body.GuestID, p.Body.Seq
+	gr, ok := e.groups[gid]
 	if !ok {
-		byGuest = make(map[uint64]*copyGroup)
-		e.copies[msg.GuestID] = byGuest
+		gr = &guestGroups{base: 1, top: 1}
+		e.groups[gid] = gr
 	}
-	g, ok := byGuest[msg.Seq]
-	if !ok {
-		g = e.allocGroup()
-		g.msg = msg
-		byGuest[msg.Seq] = g
+	if seq < gr.base {
+		// Straggler below the window: its group was already retired or
+		// reclaimed, so the copy can only be absorbed.
+		e.absorbed++
+		return
+	}
+	gr.ensure(seq)
+	g := gr.slot(seq)
+	if g.state == groupRetired {
+		e.absorbed++
+		return
+	}
+	if g.state == groupEmpty {
+		*g = copyGroup{state: groupOpen, origDst: p.Body.OrigDst, size: p.Body.Size, data: p.Body.Data}
+		gr.open++
+		if seq >= gr.top {
+			gr.top = seq + 1
+		}
 	}
 	g.n++
-	if !g.forwarded && g.n >= e.forwardOnFor(msg.GuestID) {
-		e.forward(g)
+	if !g.forwarded && g.n >= e.forwardOnFor(gid) {
+		e.forward(gid, seq, g)
 	} else {
 		e.absorbed++
 	}
 	// Retire the group only at the FULL replica count: a degraded group's
 	// missing copies may still be in flight from the moment before their
-	// sender died, and deleting early would let such a straggler recreate
-	// the entry as a phantom stuck group nothing could ever clean up.
+	// sender died, and retiring early would misclassify such stragglers.
 	// Degraded groups that never see their remaining copies are reclaimed
 	// by ReclaimForwardedUpTo at replacement, like every crash window.
 	if g.n >= e.replicas {
-		delete(byGuest, msg.Seq)
-		e.releaseGroup(g)
+		gr.retire(seq)
 	}
-}
-
-// allocGroup checks a copy group out of the pool.
-func (e *Egress) allocGroup() *copyGroup {
-	if k := len(e.freeGroups); k > 0 {
-		g := e.freeGroups[k-1]
-		e.freeGroups[k-1] = nil
-		e.freeGroups = e.freeGroups[:k-1]
-		return g
-	}
-	return &copyGroup{}
-}
-
-// releaseGroup recycles a retired copy group.
-func (e *Egress) releaseGroup(g *copyGroup) {
-	*g = copyGroup{}
-	e.freeGroups = append(e.freeGroups, g)
 }
 
 // forward sends a group's packet to its true destination and marks it.
-func (e *Egress) forward(g *copyGroup) {
+func (e *Egress) forward(guestID string, seq uint64, g *copyGroup) {
 	g.forwarded = true
 	e.forwarded++
 	if e.OnForward != nil {
-		e.OnForward(g.msg.GuestID, g.msg.Seq, e.loop.Now())
+		e.OnForward(guestID, seq, e.loop.Now())
 	}
-	e.net.Send(e.net.AllocPacket(ServiceAddr(g.msg.GuestID), g.msg.OrigDst, g.msg.Size, "guest:data", g.msg.Data))
+	e.net.Send(e.net.AllocPacket(ServiceAddr(guestID), g.origDst, g.size, "guest:data", g.data))
 }
 
 // forwardOnFor returns the copy that triggers forwarding for a guest: the
@@ -367,17 +418,15 @@ func (e *Egress) SetLiveReplicas(guestID string, n int) error {
 		return nil
 	}
 	e.live[guestID] = n
-	byGuest := e.copies[guestID]
 	forwardOn := n/2 + 1
-	seqs := make([]uint64, 0, len(byGuest))
-	for seq, g := range byGuest {
-		if !g.forwarded && g.n >= forwardOn {
-			seqs = append(seqs, seq)
+	if gr, ok := e.groups[guestID]; ok {
+		// The ring iterates in sequence order by construction — no sort.
+		for seq := gr.base; seq < gr.top; seq++ {
+			g := gr.slot(seq)
+			if g.state == groupOpen && !g.forwarded && g.n >= forwardOn {
+				e.forward(guestID, seq, g)
+			}
 		}
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		e.forward(byGuest[seq])
 	}
 	return nil
 }
@@ -388,10 +437,7 @@ func (e *Egress) Forwarded() uint64 { return e.forwarded }
 // DropGuest discards the copy-counting and live-view state of an evicted
 // guest so a later tenant reusing the id starts from a clean slate.
 func (e *Egress) DropGuest(guestID string) {
-	for _, g := range e.copies[guestID] {
-		e.releaseGroup(g)
-	}
-	delete(e.copies, guestID)
+	delete(e.groups, guestID)
 	delete(e.live, guestID)
 }
 
@@ -404,21 +450,31 @@ func (e *Egress) DropGuest(guestID string) {
 // emits those live, and deleting a group whose final copy is still in
 // flight would resurrect it as a bogus stuck entry.
 func (e *Egress) ReclaimForwardedUpTo(guestID string, maxSeq uint64) {
-	byGuest := e.copies[guestID]
-	for seq, g := range byGuest {
-		if seq <= maxSeq && g.forwarded {
-			delete(byGuest, seq)
-			e.releaseGroup(g)
+	gr, ok := e.groups[guestID]
+	if !ok {
+		return
+	}
+	hi := maxSeq + 1
+	if hi > gr.top {
+		hi = gr.top
+	}
+	for seq := gr.base; seq < hi; seq++ {
+		g := gr.slot(seq)
+		if g.state == groupOpen && g.forwarded {
+			g.state = groupRetired
+			g.data = nil
+			gr.open--
 		}
 	}
+	gr.advance()
 }
 
 // PendingGroups reports output sequences whose copy groups are still open
 // (tests / liveness checks).
 func (e *Egress) PendingGroups() int {
 	n := 0
-	for _, m := range e.copies {
-		n += len(m)
+	for _, gr := range e.groups {
+		n += gr.open
 	}
 	return n
 }
@@ -427,9 +483,10 @@ func (e *Egress) PendingGroups() int {
 // forwarded — packets an external client is still waiting for.
 func (e *Egress) StuckBelowForward() int {
 	n := 0
-	for _, m := range e.copies {
-		for _, g := range m {
-			if !g.forwarded {
+	for _, gr := range e.groups {
+		for seq := gr.base; seq < gr.top; seq++ {
+			g := gr.slot(seq)
+			if g.state == groupOpen && !g.forwarded {
 				n++
 			}
 		}

@@ -7,7 +7,6 @@ import (
 	"stopwatch/internal/multicast"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
-	"stopwatch/internal/vmm"
 )
 
 func testFabric(t *testing.T, seed uint64, loss float64) (*netsim.Network, *sim.Loop) {
@@ -36,13 +35,13 @@ func TestIngressReplicatesToAllHosts(t *testing.T) {
 		t.Fatal(err)
 	}
 	hosts := []netsim.Addr{"dom0:A", "dom0:B", "dom0:C"}
-	got := map[netsim.Addr][]InboundMsg{}
+	got := map[netsim.Addr][]netsim.PacketBody{}
 	for _, h := range hosts {
 		h := h
 		rx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
 			Addr: h,
-			OnData: func(_ netsim.Addr, _ uint64, _ string, payload any) {
-				got[h] = append(got[h], payload.(InboundMsg))
+			OnData: func(_ netsim.Addr, _ uint64, _ string, body netsim.PacketBody) {
+				got[h] = append(got[h], body)
 			},
 		})
 		if err != nil {
@@ -87,7 +86,7 @@ func TestIngressRecoversFromLoss(t *testing.T) {
 		h := h
 		rx, err := multicast.NewReceiver(net, loop, multicast.ReceiverConfig{
 			Addr:   h,
-			OnData: func(netsim.Addr, uint64, string, any) { counts[h]++ },
+			OnData: func(netsim.Addr, uint64, string, netsim.PacketBody) { counts[h]++ },
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -154,9 +153,10 @@ func tunnel(net *netsim.Network, egress netsim.Addr, replica string, guestID str
 		Dst:  egress,
 		Size: 100,
 		Kind: "egress:tunnel",
-		Payload: vmm.EgressMsg{
+		Body: netsim.PacketBody{
+			Kind:    netsim.BodyEgress,
 			GuestID: guestID,
-			Replica: replica,
+			Origin:  replica,
 			Seq:     seq,
 			OrigDst: dst,
 			Size:    100,

@@ -56,6 +56,12 @@ type family struct {
 
 	children []*child
 	byLabel  map[string]*child
+
+	// mergeSamples, when set, renders this family's samples by merging
+	// per-shard cells (sharded.go) instead of walking children. Merged
+	// output is sorted by label value — a partition-independent order —
+	// rather than first-use order, which would vary with the shard count.
+	mergeSamples func() []Sample
 }
 
 // child is one sample series of a family: a scalar counter/gauge value, a
@@ -368,6 +374,10 @@ func (r *Registry) Snapshot() []Family {
 // snapshot renders one family, evaluating gauge functions.
 func (f *family) snapshot() Family {
 	fam := Family{Name: f.name, Help: f.help, Kind: f.kind.String(), Label: f.label}
+	if f.mergeSamples != nil {
+		fam.Samples = f.mergeSamples()
+		return fam
+	}
 	for _, c := range f.children {
 		s := Sample{LabelValue: c.labelValue}
 		switch f.kind {

@@ -29,18 +29,8 @@ const (
 	kindSPM  = "pgm:spm"
 )
 
-type dataMsg struct {
-	Seq     uint64
-	Kind    string
-	Payload any
-}
-
 type nakMsg struct {
 	Seqs []uint64
-}
-
-type spmMsg struct {
-	MaxSeq uint64
 }
 
 // SenderConfig parameterizes a multicast source.
@@ -62,8 +52,8 @@ type Sender struct {
 	loop  *sim.Loop
 	cfg   SenderConfig
 	seq   uint64
-	win   map[uint64]dataMsg
-	winLo uint64 // lowest seq retained
+	win   map[uint64]netsim.PacketBody // retained bodies, envelope stamped
+	winLo uint64                       // lowest seq retained
 
 	spmPending bool
 	closed     bool
@@ -107,28 +97,32 @@ func (s *Sender) Address() netsim.Addr { return s.cfg.Src }
 // itself avoids a per-stream adapter node on the fabric.
 func (s *Sender) Deliver(pkt *netsim.Packet) { s.Handle(pkt) }
 
-// Multicast sends (kind, payload) of the given wire size to every group
-// member reliably, returning the assigned sequence number. On a closed
-// sender nothing is sent and 0 is returned (sequence numbers start at 1,
-// so 0 is unambiguous).
-func (s *Sender) Multicast(kind string, size int, payload any) uint64 {
+// Multicast sends (kind, body) of the given wire size to every group
+// member reliably, returning the assigned sequence number. The body is the
+// typed packet union; the multicast envelope (stream seq + inner kind) is
+// stamped into its StreamSeq/StreamKind fields, so the fan-out packets
+// carry everything inline — no boxing per message. On a closed sender
+// nothing is sent and 0 is returned (sequence numbers start at 1, so 0 is
+// unambiguous).
+func (s *Sender) Multicast(kind string, size int, body netsim.PacketBody) uint64 {
 	if s.closed {
 		return 0
 	}
 	s.seq++
-	msg := dataMsg{Seq: s.seq, Kind: kind, Payload: payload}
+	body.StreamSeq = s.seq
+	body.StreamKind = kind
 	if s.win == nil {
-		s.win = make(map[uint64]dataMsg)
+		s.win = make(map[uint64]netsim.PacketBody)
 	}
-	s.win[s.seq] = msg
+	s.win[s.seq] = body
 	if len(s.win) > s.cfg.WindowSize {
 		delete(s.win, s.winLo)
 		s.winLo++
 	}
-	// Box the message once; the fan-out packets share the one payload value.
-	var boxed any = msg
 	for _, dst := range s.cfg.Group {
-		s.net.Send(s.net.AllocPacket(s.cfg.Src, dst, size, kindData, boxed))
+		p := s.net.AllocPacket(s.cfg.Src, dst, size, kindData, nil)
+		p.Body = body
+		s.net.Send(p)
 	}
 	s.sent++
 	s.armSPM()
@@ -151,9 +145,10 @@ func spmTimer(a, _ any, _ uint64) {
 	if s.seq == 0 || s.closed {
 		return
 	}
-	var boxed any = spmMsg{MaxSeq: s.seq}
 	for _, dst := range s.cfg.Group {
-		s.net.Send(s.net.AllocPacket(s.cfg.Src, dst, 32, kindSPM, boxed))
+		p := s.net.AllocPacket(s.cfg.Src, dst, 32, kindSPM, nil)
+		p.Body.StreamSeq = s.seq // advertised max sequence
+		s.net.Send(p)
 	}
 	// Keep heartbeating while messages might still need repair.
 	if len(s.win) > 0 {
@@ -211,12 +206,14 @@ func (s *Sender) Handle(pkt *netsim.Packet) bool {
 	}
 	s.nakRecvd++
 	for _, seq := range nak.Seqs {
-		msg, ok := s.win[seq]
+		body, ok := s.win[seq]
 		if !ok {
 			continue // aged out of the window; receiver is unrecoverable here
 		}
 		s.retrans++
-		s.net.Send(s.net.AllocPacket(s.cfg.Src, pkt.Src, 64, kindData, msg))
+		p := s.net.AllocPacket(s.cfg.Src, pkt.Src, 64, kindData, nil)
+		p.Body = body
+		s.net.Send(p)
 	}
 	return true
 }
@@ -240,16 +237,89 @@ type ReceiverConfig struct {
 	NAKDelay sim.Time
 	// NAKInterval is the retry period for unanswered NAKs (default 3ms).
 	NAKInterval sim.Time
-	// OnData receives messages in sequence order per source.
-	OnData func(src netsim.Addr, seq uint64, kind string, payload any)
+	// OnData receives message bodies in sequence order per source. kind is
+	// the inner stream kind the sender multicast under.
+	OnData func(src netsim.Addr, seq uint64, kind string, body netsim.PacketBody)
+}
+
+// holdRing is the receiver's holdback buffer: a seq-indexed ring over the
+// window [base, base+len(buf)) where base is the next expected sequence.
+// In-order traffic never touches a map; out-of-order arrivals land in
+// their slot and the ring grows (power-of-two) only when a gap outlives
+// the current window.
+type holdRing struct {
+	buf  []holdSlot
+	base uint64 // seq of the logical first slot (== sourceState.next)
+	held int
+}
+
+type holdSlot struct {
+	present bool
+	body    netsim.PacketBody
+}
+
+func (r *holdRing) slot(seq uint64) *holdSlot {
+	return &r.buf[seq&uint64(len(r.buf)-1)]
+}
+
+func (r *holdRing) has(seq uint64) bool {
+	if len(r.buf) == 0 || seq < r.base || seq >= r.base+uint64(len(r.buf)) {
+		return false
+	}
+	return r.slot(seq).present
+}
+
+// put stores a body at seq (seq >= base), growing the ring when seq falls
+// outside the current window.
+func (r *holdRing) put(seq uint64, body netsim.PacketBody) {
+	if need := seq - r.base + 1; len(r.buf) == 0 || need > uint64(len(r.buf)) {
+		newLen := 16
+		for uint64(newLen) < need {
+			newLen <<= 1
+		}
+		old := r.buf
+		oldBase := r.base
+		r.buf = make([]holdSlot, newLen)
+		for i := range old {
+			s := old[i]
+			if s.present {
+				// Recover the slot's absolute seq from its index.
+				seqOf := oldBase + ((uint64(i) - oldBase) & uint64(len(old)-1))
+				*r.slot(seqOf) = s
+			}
+		}
+	}
+	s := r.slot(seq)
+	if !s.present {
+		r.held++
+	}
+	s.present = true
+	s.body = body
+}
+
+// takeBase removes and returns the body at base, advancing the window.
+func (r *holdRing) takeBase() (netsim.PacketBody, bool) {
+	if len(r.buf) == 0 {
+		return netsim.PacketBody{}, false
+	}
+	s := r.slot(r.base)
+	if !s.present {
+		return netsim.PacketBody{}, false
+	}
+	body := s.body
+	*s = holdSlot{}
+	r.base++
+	r.held--
+	return body, true
 }
 
 type sourceState struct {
-	src     netsim.Addr // the stream's source (NAK destination)
-	next    uint64      // next expected seq
-	holdbck map[uint64]dataMsg
-	naked   map[uint64]bool // outstanding NAKs
-	timer   sim.Handle      // pending NAK burst (weak: stale once fired)
+	src   netsim.Addr     // the stream's source (NAK destination)
+	next  uint64          // next expected seq
+	hold  holdRing        // held-back out-of-order bodies, window base == next
+	hiSeq uint64          // highest seq seen (>= next); gap scan upper bound
+	naked map[uint64]bool // outstanding NAKs
+	timer sim.Handle      // pending NAK burst (weak: stale once fired)
 }
 
 // Receiver is a reliable multicast group member. One receiver can track any
@@ -292,18 +362,10 @@ func NewReceiver(net *netsim.Network, loop *sim.Loop, cfg ReceiverConfig) (*Rece
 func (r *Receiver) Handle(pkt *netsim.Packet) bool {
 	switch pkt.Kind {
 	case kindData:
-		msg, ok := pkt.Payload.(dataMsg)
-		if !ok {
-			return true
-		}
-		r.onData(pkt.Src, msg)
+		r.onData(pkt.Src, pkt.Body)
 		return true
 	case kindSPM:
-		msg, ok := pkt.Payload.(spmMsg)
-		if !ok {
-			return true
-		}
-		r.onSPM(pkt.Src, msg)
+		r.onSPM(pkt.Src, pkt.Body.StreamSeq)
 		return true
 	default:
 		return false
@@ -322,7 +384,9 @@ func (r *Receiver) Prime(src netsim.Addr, next uint64) {
 	if st, ok := r.srcs[src]; ok {
 		r.loop.CancelHandle(st.timer)
 	}
-	r.srcs[src] = &sourceState{src: src, next: next, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+	st := &sourceState{src: src, next: next, naked: make(map[uint64]bool)}
+	st.hold.base = next
+	r.srcs[src] = st
 }
 
 // Forget drops this receiver's state for a source stream (the stream's
@@ -338,36 +402,52 @@ func (r *Receiver) Forget(src netsim.Addr) {
 func (r *Receiver) state(src netsim.Addr) *sourceState {
 	st, ok := r.srcs[src]
 	if !ok {
-		st = &sourceState{src: src, next: 1, holdbck: make(map[uint64]dataMsg), naked: make(map[uint64]bool)}
+		st = &sourceState{src: src, next: 1, naked: make(map[uint64]bool)}
+		st.hold.base = 1
 		r.srcs[src] = st
 	}
 	return st
 }
 
-func (r *Receiver) onData(src netsim.Addr, msg dataMsg) {
+func (r *Receiver) onData(src netsim.Addr, body netsim.PacketBody) {
 	st := r.state(src)
-	if msg.Seq < st.next {
+	seq := body.StreamSeq
+	if seq < st.next || st.hold.has(seq) {
 		r.dups++
 		return
 	}
-	if _, dup := st.holdbck[msg.Seq]; dup {
-		r.dups++
+	if seq == st.next && st.hold.held == 0 {
+		// In-order with nothing held back — the overwhelmingly common
+		// case. Deliver straight through without touching the ring, so a
+		// well-behaved stream never allocates a holdback window at all.
+		st.next++
+		st.hold.base = st.next
+		if seq > st.hiSeq {
+			st.hiSeq = seq
+		}
+		delete(st.naked, seq)
+		r.delivered++
+		r.cfg.OnData(src, body.StreamSeq, body.StreamKind, body)
+		r.requestMissing(src, st)
 		return
 	}
-	st.holdbck[msg.Seq] = msg
-	delete(st.naked, msg.Seq)
+	st.hold.put(seq, body)
+	if seq > st.hiSeq {
+		st.hiSeq = seq
+	}
+	delete(st.naked, seq)
 	r.drain(src, st)
 	// Gap: anything between next and the highest held-back seq is missing.
 	r.requestMissing(src, st)
 }
 
-func (r *Receiver) onSPM(src netsim.Addr, msg spmMsg) {
+func (r *Receiver) onSPM(src netsim.Addr, maxSeq uint64) {
 	st := r.state(src)
-	if msg.MaxSeq >= st.next {
+	if maxSeq >= st.next {
 		// Mark everything up to MaxSeq as expected.
 		changed := false
-		for seq := st.next; seq <= msg.MaxSeq; seq++ {
-			if _, held := st.holdbck[seq]; !held && !st.naked[seq] {
+		for seq := st.next; seq <= maxSeq; seq++ {
+			if !st.hold.has(seq) && !st.naked[seq] {
 				st.naked[seq] = true
 				changed = true
 			}
@@ -380,27 +460,20 @@ func (r *Receiver) onSPM(src netsim.Addr, msg spmMsg) {
 
 func (r *Receiver) drain(src netsim.Addr, st *sourceState) {
 	for {
-		msg, ok := st.holdbck[st.next]
+		body, ok := st.hold.takeBase()
 		if !ok {
 			return
 		}
-		delete(st.holdbck, st.next)
 		st.next++
 		r.delivered++
-		r.cfg.OnData(src, msg.Seq, msg.Kind, msg.Payload)
+		r.cfg.OnData(src, body.StreamSeq, body.StreamKind, body)
 	}
 }
 
 func (r *Receiver) requestMissing(src netsim.Addr, st *sourceState) {
-	var hi uint64
-	for seq := range st.holdbck {
-		if seq > hi {
-			hi = seq
-		}
-	}
 	changed := false
-	for seq := st.next; seq < hi; seq++ {
-		if _, held := st.holdbck[seq]; !held && !st.naked[seq] {
+	for seq := st.next; seq < st.hiSeq; seq++ {
+		if !st.hold.has(seq) && !st.naked[seq] {
 			st.naked[seq] = true
 			changed = true
 		}

@@ -36,8 +36,8 @@ func buildGroup(t *testing.T, loss float64, seed uint64) (*sim.Loop, *Sender, []
 		m := &member{addr: a}
 		rx, err := NewReceiver(net, loop, ReceiverConfig{
 			Addr: a,
-			OnData: func(src netsim.Addr, seq uint64, kind string, payload any) {
-				m.got = append(m.got, fmt.Sprintf("%d:%s:%v", seq, kind, payload))
+			OnData: func(src netsim.Addr, seq uint64, kind string, body netsim.PacketBody) {
+				m.got = append(m.got, fmt.Sprintf("%d:%s:%v", seq, kind, body.Data))
 			},
 		})
 		if err != nil {
@@ -63,7 +63,7 @@ func buildGroup(t *testing.T, loss float64, seed uint64) (*sim.Loop, *Sender, []
 func TestLosslessDelivery(t *testing.T) {
 	loop, snd, members := buildGroup(t, 0, 1)
 	for i := 0; i < 20; i++ {
-		snd.Multicast("msg", 100, i)
+		snd.Multicast("msg", 100, netsim.PacketBody{Data: i})
 	}
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
@@ -91,14 +91,14 @@ func TestLosslessDelivery(t *testing.T) {
 // retires the sender for good.
 func TestSetGroupEmptySilencesSender(t *testing.T) {
 	loop, snd, members := buildGroup(t, 0, 21)
-	snd.Multicast("msg", 64, "one")
+	snd.Multicast("msg", 64, netsim.PacketBody{Data: "one"})
 	if err := loop.RunUntil(50 * sim.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if err := snd.SetGroup(nil); err != nil {
 		t.Fatalf("empty group rejected: %v", err)
 	}
-	if seq := snd.Multicast("msg", 64, "two"); seq != 2 {
+	if seq := snd.Multicast("msg", 64, netsim.PacketBody{Data: "two"}); seq != 2 {
 		t.Fatalf("silenced sender still numbers messages: seq=%d", seq)
 	}
 	if err := loop.RunUntil(500 * sim.Millisecond); err != nil {
@@ -117,7 +117,7 @@ func TestSetGroupEmptySilencesSender(t *testing.T) {
 		t.Fatal(err)
 	}
 	members[0].rx.Prime("ingress", snd.NextSeq())
-	snd.Multicast("msg", 64, "three")
+	snd.Multicast("msg", 64, netsim.PacketBody{Data: "three"})
 	if err := loop.RunUntil(sim.Second); err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestSetGroupEmptySilencesSender(t *testing.T) {
 	if !snd.Closed() {
 		t.Fatal("closed sender reports open")
 	}
-	if seq := snd.Multicast("msg", 64, "four"); seq != 0 {
+	if seq := snd.Multicast("msg", 64, netsim.PacketBody{Data: "four"}); seq != 0 {
 		t.Fatalf("closed sender accepted a message: seq=%d", seq)
 	}
 }
@@ -141,7 +141,7 @@ func TestLossRecovery(t *testing.T) {
 	const n = 200
 	for i := 0; i < n; i++ {
 		i := i
-		loop.At(sim.Time(i)*sim.Millisecond, "send", func() { snd.Multicast("msg", 100, i) })
+		loop.At(sim.Time(i)*sim.Millisecond, "send", func() { snd.Multicast("msg", 100, netsim.PacketBody{Data: i}) })
 	}
 	if err := loop.RunUntil(20 * sim.Second); err != nil {
 		t.Fatal(err)
@@ -175,7 +175,7 @@ func TestTailLossRecoveredViaSPM(t *testing.T) {
 	var got []uint64
 	rx, err := NewReceiver(net, loop, ReceiverConfig{
 		Addr:   "h1",
-		OnData: func(_ netsim.Addr, seq uint64, _ string, _ any) { got = append(got, seq) },
+		OnData: func(_ netsim.Addr, seq uint64, _ string, _ netsim.PacketBody) { got = append(got, seq) },
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -195,7 +195,7 @@ func TestTailLossRecoveredViaSPM(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		snd.Multicast("m", 50, i)
+		snd.Multicast("m", 50, netsim.PacketBody{Data: i})
 	}
 	loop.At(50*sim.Millisecond, "heal", func() {
 		if err := net.SetLink("s", "h1", netsim.LinkConfig{Latency: sim.Millisecond}); err != nil {
@@ -217,7 +217,7 @@ func TestTailLossRecoveredViaSPM(t *testing.T) {
 
 func TestDuplicateSuppression(t *testing.T) {
 	loop, snd, members := buildGroup(t, 0, 13)
-	snd.Multicast("m", 10, "x")
+	snd.Multicast("m", 10, netsim.PacketBody{Data: "x"})
 	// Force a duplicate by NAKing a seq we already have — simulate by
 	// sending the data packet twice via a second multicast of same content;
 	// instead directly deliver a duplicate wire packet.
@@ -226,7 +226,7 @@ func TestDuplicateSuppression(t *testing.T) {
 	}
 	m := members[0]
 	before := len(m.got)
-	m.rx.Handle(&netsim.Packet{Src: "ingress", Dst: m.addr, Kind: "pgm:data", Payload: dataMsg{Seq: 1, Kind: "m", Payload: "x"}})
+	m.rx.Handle(&netsim.Packet{Src: "ingress", Dst: m.addr, Kind: "pgm:data", Body: netsim.PacketBody{StreamSeq: 1, StreamKind: "m", Data: "x"}})
 	if len(m.got) != before {
 		t.Fatal("duplicate was delivered")
 	}
@@ -244,11 +244,11 @@ func TestHandleIgnoresForeignPackets(t *testing.T) {
 	if members[0].rx.Handle(&netsim.Packet{Kind: "tcp:data"}) {
 		t.Fatal("receiver consumed foreign packet")
 	}
-	// Malformed payloads are consumed but ignored.
+	// Malformed packets are consumed but ignored.
 	if !snd.Handle(&netsim.Packet{Kind: "pgm:nak", Dst: "ingress", Payload: "garbage"}) {
 		t.Fatal("sender should consume malformed NAK")
 	}
-	if !members[0].rx.Handle(&netsim.Packet{Kind: "pgm:data", Payload: "garbage"}) {
+	if !members[0].rx.Handle(&netsim.Packet{Kind: "pgm:data"}) {
 		t.Fatal("receiver should consume malformed data")
 	}
 }
@@ -268,7 +268,7 @@ func TestValidation(t *testing.T) {
 	if _, err := NewSender(net, loop, SenderConfig{Src: "s"}); !errors.Is(err, ErrMulticast) {
 		t.Fatal("empty group should fail")
 	}
-	if _, err := NewReceiver(net, nil, ReceiverConfig{Addr: "a", OnData: func(netsim.Addr, uint64, string, any) {}}); !errors.Is(err, ErrMulticast) {
+	if _, err := NewReceiver(net, nil, ReceiverConfig{Addr: "a", OnData: func(netsim.Addr, uint64, string, netsim.PacketBody) {}}); !errors.Is(err, ErrMulticast) {
 		t.Fatal("nil loop should fail")
 	}
 	if _, err := NewReceiver(net, loop, ReceiverConfig{Addr: "a"}); !errors.Is(err, ErrMulticast) {
@@ -293,7 +293,7 @@ func TestReliabilityProperty(t *testing.T) {
 		var got []uint64
 		rx, err := NewReceiver(net, loop, ReceiverConfig{
 			Addr:   "h",
-			OnData: func(_ netsim.Addr, seq uint64, _ string, _ any) { got = append(got, seq) },
+			OnData: func(_ netsim.Addr, seq uint64, _ string, _ netsim.PacketBody) { got = append(got, seq) },
 		})
 		if err != nil {
 			return false
@@ -309,7 +309,7 @@ func TestReliabilityProperty(t *testing.T) {
 			return false
 		}
 		for i := 0; i < n; i++ {
-			snd.Multicast("m", 64, i)
+			snd.Multicast("m", 64, netsim.PacketBody{Data: i})
 		}
 		if err := loop.RunUntil(60 * sim.Second); err != nil {
 			return false

@@ -1,0 +1,62 @@
+package netsim
+
+import "stopwatch/internal/vtime"
+
+// BodyKind discriminates the typed packet-body union.
+type BodyKind uint8
+
+// Body kinds carried by the StopWatch protocols.
+const (
+	// BodyNone marks a packet whose structure (if any) rides in Payload.
+	BodyNone BodyKind = iota
+	// BodyProp is a VMM delivery-time proposal (Sec. IV-B).
+	BodyProp
+	// BodyPace is a Dom0 pacing beacon.
+	BodyPace
+	// BodyEpoch is a Sec. IV-A epoch re-synchronization sample.
+	BodyEpoch
+	// BodyEgress is a guest output tunnelled to the egress node (Sec. VI).
+	BodyEgress
+	// BodyInbound is an ingress-replicated client packet (Sec. V).
+	BodyInbound
+)
+
+// PacketBody is the typed union of the hot protocol payloads. It lives
+// inline in every Packet, so the steady-state paths — proposals, pacing
+// beacons, egress tunnelling, ingress replication, multicast envelopes —
+// carry their structure without boxing into Payload (which costs one heap
+// allocation per message and an interface type-assert per delivery).
+//
+// Kind selects which fields are meaningful; unrelated fields are zero. The
+// reliable-multicast envelope (StreamSeq, StreamKind) composes with any
+// inner kind: a proposal replicated over multicast is a pgm:data packet
+// whose body is BodyProp plus the stream stamp.
+type PacketBody struct {
+	Kind BodyKind
+
+	// Reliable-multicast envelope (pgm:data carries the inner body;
+	// pgm:spm uses StreamSeq as the advertised max sequence).
+	StreamSeq  uint64
+	StreamKind string
+
+	// Proposal / pacing / epoch fields.
+	GuestID string
+	Origin  string // origin host (proposals, beacons) or replica (egress)
+	View    uint64
+	Seq     uint64 // proposal seq, or per-guest egress output seq
+	Virt    vtime.Virtual
+	Epoch   int64
+	Sample  vtime.EpochSample
+
+	// Egress-tunnel fields (BodyEgress).
+	OrigDst Addr
+
+	// Ingress-replication fields (BodyInbound).
+	ClientSrc  Addr
+	ClientKind string
+
+	// Size is the original wire size of the carried packet (egress and
+	// inbound bodies); Data is the opaque application payload.
+	Size int
+	Data any
+}

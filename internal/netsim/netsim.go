@@ -3,14 +3,38 @@
 // client↔cloud traffic, ingress replication, VMM proposal exchange and
 // egress tunnelling for the StopWatch reproduction.
 //
-// The model is deliberately simple — FIFO serialization per link, additive
-// latency + jitter — because the paper's performance story is driven by
-// round-trip structure and packet counts, not by queueing subtleties.
+// The model is deliberately simple — FIFO serialization per directed link,
+// additive latency + jitter — because the paper's performance story is
+// driven by round-trip structure and packet counts, not by queueing
+// subtleties.
+//
+// # Sharding
+//
+// The fabric can be partitioned across K simulation loops (SetShards +
+// AssignShard) for multi-core execution under a conservative-lookahead
+// coordinator (sim.Coordinator). Every mutable hot-path structure — link
+// runtime state, packet pools, label interning, delivery counters — is
+// per-shard, owned by the shard of the packet's source address; a send
+// whose destination lives on another shard is parked in a per-shard-pair
+// outbox and injected at the next barrier (Exchange). Determinism across
+// shard counts rests on two design points:
+//
+//   - Per-link state. Each directed link has its own FIFO horizons and its
+//     own seeded RNG stream (derived from the fabric seed and the link's
+//     endpoint pair), so the jitter/loss draws a packet sees depend only on
+//     that link's send history — not on how fabric-wide traffic interleaves,
+//     which varies with the partition.
+//
+//   - Partition-invariant arrival order. Every delivery is scheduled with
+//     sim.Loop.AtArrivalTimer under the key (link hash, per-link send seq),
+//     so same-instant arrivals at one node order identically whether they
+//     were scheduled locally or merged in from K shards.
 package netsim
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"stopwatch/internal/metrics"
 	"stopwatch/internal/sim"
@@ -22,7 +46,8 @@ var ErrNet = errors.New("netsim: invalid configuration")
 // Addr identifies a node on the fabric.
 type Addr string
 
-// Packet is a unit of traffic. Payload carries the upper layer's structure;
+// Packet is a unit of traffic. The hot protocol payloads ride in Body, the
+// typed union (no boxing); Payload carries any other upper-layer structure;
 // Size is what the wire sees.
 //
 // Packets obtained from Network.AllocPacket are pooled: the fabric recycles
@@ -35,9 +60,10 @@ type Packet struct {
 	Dst     Addr
 	Size    int // bytes on the wire
 	Kind    string
+	Body    PacketBody
 	Payload any
 
-	pooled bool // recycled into the owning Network's freelist after delivery
+	pooled bool // recycled into the owning shard's freelist after delivery
 }
 
 // Clone returns a shallow copy with a fresh identity-preserving struct
@@ -65,7 +91,9 @@ type Node interface {
 
 // LinkConfig describes one directed link.
 type LinkConfig struct {
-	// Latency is the propagation delay.
+	// Latency is the propagation delay. It must be positive on any link
+	// that can cross a shard boundary: the fabric-wide minimum bounds the
+	// coordinator's lookahead window.
 	Latency sim.Time
 	// JitterMax adds U[0,JitterMax) to each packet.
 	JitterMax sim.Time
@@ -83,40 +111,121 @@ func (c LinkConfig) validate() error {
 	return nil
 }
 
+// link is one directed link's runtime state, owned by the source address's
+// shard. The per-link RNG stream and the (hash, arrSeq) arrival key are
+// what make fabric behavior independent of the partition.
 type link struct {
-	cfg      LinkConfig
+	cfg      *LinkConfig
+	rng      *sim.FastRand
+	hash     uint64 // stable hash of (src, dst): arrival ordering key k1
+	arrSeq   uint64 // per-link send counter: arrival ordering key k2
+	dstShard int
 	nextFree sim.Time // FIFO serialization horizon
 	lastArr  sim.Time // FIFO delivery horizon: links never reorder
 	sent     uint64
 	dropped  uint64
 }
 
-// Network is the fabric. It is driven by the simulation loop and a
-// deterministic RNG stream for jitter and loss.
-type Network struct {
-	loop  *sim.Loop
-	rng   *sim.Rand
-	nodes map[Addr]Node
-	links map[[2]Addr]*link
-	def   *link // default link used when no explicit link exists
+// inject is one cross-shard delivery parked in an outbox until the next
+// barrier.
+type inject struct {
+	when   sim.Time
+	k1, k2 uint64
+	pkt    *Packet
+	label  string
+}
 
+// netShard is the per-shard slice of fabric state. Everything here is
+// touched only by the owning shard's goroutine during a lookahead window,
+// or by the coordinator at a barrier (never both at once).
+type netShard struct {
+	idx  int
+	loop *sim.Loop
+
+	// links holds runtime state for every directed link whose source
+	// address this shard owns.
+	links map[[2]Addr]*link
 	// labels interns per-kind delivery event labels so the hot path does
 	// not build a "net:deliver:"+kind string per packet.
 	labels map[string]string
-	// freePkts is the pooled-packet freelist (AllocPacket / recycle).
+	// freePkts is this shard's pooled-packet freelist. Packets migrate
+	// pools when delivered across shards — pools are per-shard only so
+	// that alloc/recycle never race.
 	freePkts []*Packet
 
+	// outs[k] parks deliveries destined for shard k until Exchange.
+	outs [][]inject
+
 	nextID    uint64
+	idBase    uint64
 	delivered uint64
 	lost      uint64
 
-	// Optional observability counters, per packet kind. Nil by default —
-	// the uninstrumented fabric touches no metrics code at all.
-	mDelivered *metrics.CounterVec
-	mDropped   *metrics.CounterVec
+	mDelivered metrics.ShardCounterVec
+	mDropped   metrics.ShardCounterVec
 }
 
-// New creates a network with the given default link parameters.
+func newShard(idx, total int, loop *sim.Loop) *netShard {
+	return &netShard{
+		idx:    idx,
+		loop:   loop,
+		links:  make(map[[2]Addr]*link),
+		labels: make(map[string]string),
+		outs:   make([][]inject, total),
+		idBase: uint64(idx+1) << 48,
+	}
+}
+
+// deliverLabel returns the interned per-kind delivery label.
+func (sh *netShard) deliverLabel(kind string) string {
+	if s, ok := sh.labels[kind]; ok {
+		return s
+	}
+	s := "net:deliver:" + kind
+	sh.labels[kind] = s
+	return s
+}
+
+// recycle returns a pool-owned packet to this shard's freelist.
+func (sh *netShard) recycle(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	p.Payload = nil
+	p.Body = PacketBody{}
+	p.pooled = false
+	sh.freePkts = append(sh.freePkts, p)
+}
+
+// Network is the fabric. Topology (nodes, link configs, shard assignment)
+// is shared and must only be mutated at initialization or a coordinator
+// barrier; all per-packet state is per-shard.
+type Network struct {
+	nodes   map[Addr]Node
+	cfgs    map[[2]Addr]*LinkConfig
+	defCfg  *LinkConfig
+	shardOf map[Addr]int
+	shards  []*netShard
+
+	// seedBase derives the per-link RNG streams; drawn once from the
+	// fabric stream at construction.
+	seedBase uint64
+	linkSrc  *sim.Source
+
+	// minLatency is the running minimum link latency — the conservative
+	// lookahead bound. It only ever decreases, and depends only on the
+	// configured topology, never on the partition.
+	minLatency sim.Time
+
+	// Optional observability counters, per packet kind and shard-merged at
+	// snapshot. Nil by default — the uninstrumented fabric touches no
+	// metrics code at all.
+	svDelivered *metrics.ShardedCounterVec
+	svDropped   *metrics.ShardedCounterVec
+}
+
+// New creates a network with the given default link parameters, running on
+// a single loop until SetShards partitions it.
 func New(loop *sim.Loop, rng *sim.Rand, def LinkConfig) (*Network, error) {
 	if loop == nil || rng == nil {
 		return nil, fmt.Errorf("%w: nil loop or rng", ErrNet)
@@ -124,25 +233,85 @@ func New(loop *sim.Loop, rng *sim.Rand, def LinkConfig) (*Network, error) {
 	if err := def.validate(); err != nil {
 		return nil, err
 	}
-	return &Network{
-		loop:   loop,
-		rng:    rng,
-		nodes:  make(map[Addr]Node),
-		links:  make(map[[2]Addr]*link),
-		labels: make(map[string]string),
-		def:    &link{cfg: def},
-	}, nil
+	defCfg := def
+	seedBase := rng.Uint64()
+	n := &Network{
+		nodes:      make(map[Addr]Node),
+		cfgs:       make(map[[2]Addr]*LinkConfig),
+		defCfg:     &defCfg,
+		shardOf:    make(map[Addr]int),
+		shards:     []*netShard{newShard(0, 1, loop)},
+		seedBase:   seedBase,
+		linkSrc:    sim.NewSource(seedBase),
+		minLatency: def.Latency,
+	}
+	return n, nil
 }
 
-// AllocPacket checks a packet out of the fabric's pool, populated with the
-// given header. The fabric reclaims it after delivery or loss, so senders
-// hand it straight to Send and never keep it.
+// SetShards partitions the fabric across the given loops. It must be
+// called before any traffic flows (the per-shard state starts empty).
+// Addresses default to shard 0; AssignShard moves them.
+func (n *Network) SetShards(loops []*sim.Loop) error {
+	if len(loops) == 0 {
+		return fmt.Errorf("%w: SetShards needs at least one loop", ErrNet)
+	}
+	for _, l := range loops {
+		if l == nil {
+			return fmt.Errorf("%w: nil shard loop", ErrNet)
+		}
+	}
+	shards := make([]*netShard, len(loops))
+	for i, l := range loops {
+		shards[i] = newShard(i, len(loops), l)
+	}
+	n.shards = shards
+	n.bindMetrics()
+	return nil
+}
+
+// NumShards returns the shard count.
+func (n *Network) NumShards() int { return len(n.shards) }
+
+// AssignShard places an address's fabric endpoint on shard k: deliveries
+// to it run on that shard's loop, and sends from it draw on that shard's
+// state. Must be called before the address sends or receives traffic.
+func (n *Network) AssignShard(addr Addr, k int) error {
+	if addr == "" || k < 0 || k >= len(n.shards) {
+		return fmt.Errorf("%w: AssignShard(%q, %d) of %d shards", ErrNet, addr, k, len(n.shards))
+	}
+	n.shardOf[addr] = k
+	return nil
+}
+
+// ShardOf returns the shard index owning an address (0 by default).
+func (n *Network) ShardOf(addr Addr) int { return n.shardIdx(addr) }
+
+func (n *Network) shardIdx(addr Addr) int {
+	if len(n.shards) == 1 {
+		return 0
+	}
+	return n.shardOf[addr] // absent ⇒ 0
+}
+
+// ShardLoop returns shard k's loop.
+func (n *Network) ShardLoop(k int) *sim.Loop { return n.shards[k].loop }
+
+// Lookahead returns the conservative window bound: the minimum latency of
+// any configured link. A coordinator may let shards run this far ahead of
+// the last barrier without any cross-shard effect arriving early.
+func (n *Network) Lookahead() sim.Time { return n.minLatency }
+
+// AllocPacket checks a packet out of the source address's shard pool,
+// populated with the given header. The fabric reclaims it after delivery
+// or loss, so senders hand it straight to Send and never keep it. Set
+// Body on the returned packet for the typed hot-path payloads.
 func (n *Network) AllocPacket(src, dst Addr, size int, kind string, payload any) *Packet {
+	sh := n.shards[n.shardIdx(src)]
 	var p *Packet
-	if k := len(n.freePkts); k > 0 {
-		p = n.freePkts[k-1]
-		n.freePkts[k-1] = nil
-		n.freePkts = n.freePkts[:k-1]
+	if k := len(sh.freePkts); k > 0 {
+		p = sh.freePkts[k-1]
+		sh.freePkts[k-1] = nil
+		sh.freePkts = sh.freePkts[:k-1]
 	} else {
 		p = &Packet{}
 	}
@@ -150,39 +319,34 @@ func (n *Network) AllocPacket(src, dst Addr, size int, kind string, payload any)
 	return p
 }
 
-// recycle returns a pool-owned packet to the freelist.
-func (n *Network) recycle(p *Packet) {
-	if !p.pooled {
-		return
-	}
-	p.Payload = nil
-	p.pooled = false
-	n.freePkts = append(n.freePkts, p)
-}
-
-// deliverLabel returns the interned per-kind delivery label.
-func (n *Network) deliverLabel(kind string) string {
-	if s, ok := n.labels[kind]; ok {
-		return s
-	}
-	s := "net:deliver:" + kind
-	n.labels[kind] = s
-	return s
-}
-
 // SetMetrics wires per-packet-kind fabric counters: delivered counts
 // packets handed to an attached node, dropped counts loss-model drops and
-// arrivals at detached addresses. Vec children intern in first-use order,
-// which under a fixed seed is deterministic, so an instrumented fabric
-// renders byte-identical metric pages across identical runs. Pass nils to
-// detach.
-func (n *Network) SetMetrics(delivered, dropped *metrics.CounterVec) {
-	n.mDelivered = delivered
-	n.mDropped = dropped
+// arrivals at detached addresses. Counting is per-shard and merged
+// deterministically at snapshot time, so an instrumented fabric renders
+// byte-identical metric pages for any shard count. Pass nils to detach.
+func (n *Network) SetMetrics(delivered, dropped *metrics.ShardedCounterVec) {
+	n.svDelivered = delivered
+	n.svDropped = dropped
+	n.bindMetrics()
+}
+
+// bindMetrics hands each shard its cell of the sharded counter vecs.
+func (n *Network) bindMetrics() {
+	for i, sh := range n.shards {
+		sh.mDelivered = metrics.ShardCounterVec{}
+		sh.mDropped = metrics.ShardCounterVec{}
+		if n.svDelivered != nil {
+			sh.mDelivered = n.svDelivered.Shard(i)
+		}
+		if n.svDropped != nil {
+			sh.mDropped = n.svDropped.Shard(i)
+		}
+	}
 }
 
 // Attach registers a node. Re-attaching an address replaces the previous
 // node (used for failure injection: replacing a node with a black hole).
+// Topology mutation: initialization or barrier context only.
 func (n *Network) Attach(node Node) error {
 	if node == nil || node.Address() == "" {
 		return fmt.Errorf("%w: nil node or empty address", ErrNet)
@@ -196,12 +360,21 @@ func (n *Network) Detach(addr Addr) {
 	delete(n.nodes, addr)
 }
 
-// SetLink installs a directed link between two addresses.
+// SetLink installs a directed link between two addresses, resetting any
+// existing runtime state (FIFO horizons, counters, RNG position) for the
+// pair. Topology mutation: initialization or barrier context only.
 func (n *Network) SetLink(src, dst Addr, cfg LinkConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
-	n.links[[2]Addr{src, dst}] = &link{cfg: cfg}
+	c := cfg
+	n.cfgs[[2]Addr{src, dst}] = &c
+	if cfg.Latency < n.minLatency {
+		n.minLatency = cfg.Latency
+	}
+	// Reset the pair's runtime state so the new config takes effect even
+	// if traffic already flowed (it lives on the source's shard).
+	delete(n.shards[n.shardIdx(src)].links, [2]Addr{src, dst})
 	return nil
 }
 
@@ -213,51 +386,79 @@ func (n *Network) SetDuplexLink(a, b Addr, cfg LinkConfig) error {
 	return n.SetLink(b, a, cfg)
 }
 
-func (n *Network) linkFor(src, dst Addr) *link {
-	if l, ok := n.links[[2]Addr{src, dst}]; ok {
+// linkOn returns (creating on first use) the directed link's runtime state
+// on the owning shard.
+func (n *Network) linkOn(sh *netShard, src, dst Addr) *link {
+	key := [2]Addr{src, dst}
+	if l, ok := sh.links[key]; ok {
 		return l
 	}
-	return n.def
+	cfg := n.cfgs[key]
+	if cfg == nil {
+		cfg = n.defCfg
+	}
+	l := &link{
+		cfg:      cfg,
+		rng:      n.linkSrc.FastStream(string(src) + "|" + string(dst)),
+		hash:     linkHash(src, dst),
+		dstShard: n.shardIdx(dst),
+	}
+	sh.links[key] = l
+	return l
 }
 
-// NextID allocates a globally unique packet ID.
-func (n *Network) NextID() uint64 {
-	n.nextID++
-	return n.nextID
+// linkHash is the stable directed-link hash used as arrival ordering key
+// k1: a pure function of the endpoint names, identical for every shard
+// count and every run.
+func linkHash(src, dst Addr) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(src))
+	_, _ = h.Write([]byte{'|'})
+	_, _ = h.Write([]byte(dst))
+	return h.Sum64()
 }
 
 // Send transmits the packet. The packet's ID is assigned if zero. Delivery
-// is scheduled on the loop; lost packets are counted and dropped silently
-// (loss recovery belongs to upper layers). A pool-owned packet (AllocPacket)
-// is reclaimed by the fabric once delivered or lost.
+// is scheduled on the destination shard's loop — directly for a same-shard
+// destination, via the outbox (drained at the next barrier) otherwise.
+// Lost packets are counted and dropped silently (loss recovery belongs to
+// upper layers). A pool-owned packet (AllocPacket) is reclaimed by the
+// fabric once delivered or lost.
+//
+// Concurrency contract: Send may only be called from the source address's
+// own shard (a node reacting to a delivery) or from coordinator/barrier
+// context while all shards are parked.
 func (n *Network) Send(pkt *Packet) {
+	ks := n.shardIdx(pkt.Src)
+	sh := n.shards[ks]
 	if pkt.ID == 0 {
-		pkt.ID = n.NextID()
+		sh.nextID++
+		pkt.ID = sh.idBase | sh.nextID
 	}
-	l := n.linkFor(pkt.Src, pkt.Dst)
+	l := n.linkOn(sh, pkt.Src, pkt.Dst)
 	l.sent++
-	if l.cfg.LossProb > 0 && n.rng.Bool(l.cfg.LossProb) {
+	cfg := l.cfg
+	if cfg.LossProb > 0 && l.rng.Bool(cfg.LossProb) {
 		l.dropped++
-		n.lost++
-		if n.mDropped != nil {
-			n.mDropped.With(pkt.Kind).Inc()
+		sh.lost++
+		if c := sh.mDropped; c.Valid() {
+			c.With(pkt.Kind).Inc()
 		}
-		n.recycle(pkt)
+		sh.recycle(pkt)
 		return
 	}
-	now := n.loop.Now()
-	start := now
+	start := sh.loop.Now()
 	if l.nextFree > start {
 		start = l.nextFree
 	}
 	var tx sim.Time
-	if l.cfg.BandwidthBps > 0 {
-		tx = sim.Time(int64(pkt.Size) * int64(sim.Second) / l.cfg.BandwidthBps)
+	if cfg.BandwidthBps > 0 {
+		tx = sim.Time(int64(pkt.Size) * int64(sim.Second) / cfg.BandwidthBps)
 	}
 	l.nextFree = start + tx
-	arrival := start + tx + l.cfg.Latency
-	if l.cfg.JitterMax > 0 {
-		arrival += n.rng.UniformDur(0, l.cfg.JitterMax)
+	arrival := start + tx + cfg.Latency
+	if cfg.JitterMax > 0 {
+		arrival += l.rng.UniformDur(0, cfg.JitterMax)
 	}
 	// Links are FIFO (the paper's inter-node streams are TCP tunnels):
 	// jitter never reorders packets within one directed link.
@@ -265,27 +466,71 @@ func (n *Network) Send(pkt *Packet) {
 		arrival = l.lastArr
 	}
 	l.lastArr = arrival
-	n.loop.AtTimer(arrival, n.deliverLabel(pkt.Kind), deliverTimer, n, pkt, 0)
+	l.arrSeq++
+	label := sh.deliverLabel(pkt.Kind)
+	if l.dstShard == ks {
+		sh.loop.AtArrivalTimer(arrival, label, deliverTimer, n, pkt, uint64(ks), l.hash, l.arrSeq)
+		return
+	}
+	sh.outs[l.dstShard] = append(sh.outs[l.dstShard], inject{
+		when: arrival, k1: l.hash, k2: l.arrSeq, pkt: pkt, label: label,
+	})
+}
+
+// Exchange drains every cross-shard outbox, scheduling the parked
+// deliveries on their destination shards' loops. Coordinator barrier
+// context only (all shards parked). The injection order is irrelevant to
+// the schedule — the (when, k1, k2) key decides — but it is deterministic
+// anyway: shard-index order, append order within a box.
+func (n *Network) Exchange() {
+	for _, src := range n.shards {
+		for dstIdx := range src.outs {
+			box := src.outs[dstIdx]
+			if len(box) == 0 {
+				continue
+			}
+			dst := n.shards[dstIdx]
+			for i := range box {
+				in := &box[i]
+				dst.loop.AtArrivalTimer(in.when, in.label, deliverTimer, n, in.pkt, uint64(dstIdx), in.k1, in.k2)
+				box[i] = inject{}
+			}
+			src.outs[dstIdx] = box[:0]
+		}
+	}
+}
+
+// PendingExchange reports parked cross-shard deliveries (tests).
+func (n *Network) PendingExchange() int {
+	total := 0
+	for _, sh := range n.shards {
+		for _, box := range sh.outs {
+			total += len(box)
+		}
+	}
+	return total
 }
 
 // deliverTimer is the fabric's typed delivery callback: hand the packet to
-// the destination node (if still attached) and reclaim pooled packets.
-func deliverTimer(a, b any, _ uint64) {
+// the destination node (if still attached) and reclaim pooled packets into
+// the destination shard's pool (u carries the shard index).
+func deliverTimer(a, b any, u uint64) {
 	n := a.(*Network)
 	pkt := b.(*Packet)
+	sh := n.shards[u]
 	if node, ok := n.nodes[pkt.Dst]; ok {
-		n.delivered++
-		if n.mDelivered != nil {
-			n.mDelivered.With(pkt.Kind).Inc()
+		sh.delivered++
+		if c := sh.mDelivered; c.Valid() {
+			c.With(pkt.Kind).Inc()
 		}
 		node.Deliver(pkt)
 	} else {
-		n.lost++
-		if n.mDropped != nil {
-			n.mDropped.With(pkt.Kind).Inc()
+		sh.lost++
+		if c := sh.mDropped; c.Valid() {
+			c.With(pkt.Kind).Inc()
 		}
 	}
-	n.recycle(pkt)
+	sh.recycle(pkt)
 }
 
 // Stats reports fabric counters.
@@ -294,15 +539,21 @@ type Stats struct {
 	Lost      uint64
 }
 
-// Stats returns current fabric counters.
+// Stats returns current fabric counters, summed across shards. Barrier
+// context only while a coordinator is driving the shards.
 func (n *Network) Stats() Stats {
-	return Stats{Delivered: n.delivered, Lost: n.lost}
+	var s Stats
+	for _, sh := range n.shards {
+		s.Delivered += sh.delivered
+		s.Lost += sh.lost
+	}
+	return s
 }
 
-// LinkStats reports per-link counters for the directed pair, falling back
-// to the default link when no explicit link exists.
+// LinkStats reports per-link counters for the directed pair.
 func (n *Network) LinkStats(src, dst Addr) (sent, dropped uint64) {
-	l := n.linkFor(src, dst)
+	sh := n.shards[n.shardIdx(src)]
+	l := n.linkOn(sh, src, dst)
 	return l.sent, l.dropped
 }
 

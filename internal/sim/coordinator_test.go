@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// miniFabric is a toy sharded transport for coordinator tests, shaped like
+// the real netsim: nodes are pinned to shards, cross-shard sends park in
+// per-destination-shard outboxes and are injected at Exchange with the
+// partition-invariant (arrival, link-hash, link-seq) key, and each NODE
+// records its own arrival trace — per-node order is the invariant the
+// coordinator guarantees; a global cross-shard interleaving is not defined.
+type miniFabric struct {
+	loops   []*Loop
+	shardOf []int         // node -> shard
+	outs    [][][]miniMsg // [src shard][dst shard]; single writer = src shard
+	traces  [][]string    // per destination node; single writer = its shard
+	linkSeq [64]uint64    // per directed link; single writer = src's shard
+}
+
+type miniMsg struct {
+	when    Time
+	k1, k2  uint64
+	dstNode int
+	label   string
+}
+
+func newMiniFabric(loops []*Loop, shardOf []int) *miniFabric {
+	outs := make([][][]miniMsg, len(loops))
+	for i := range outs {
+		outs[i] = make([][]miniMsg, len(loops))
+	}
+	return &miniFabric{
+		loops:   loops,
+		shardOf: shardOf,
+		outs:    outs,
+		traces:  make([][]string, len(shardOf)),
+	}
+}
+
+// send schedules an arrival at node dst at now+lat. Same-shard arrivals go
+// straight onto the loop; cross-shard arrivals wait for the exchange.
+func (f *miniFabric) send(src, dst int, lat Time) {
+	link := src*8 + dst
+	f.linkSeq[link]++
+	ks, kd := f.shardOf[src], f.shardOf[dst]
+	m := miniMsg{when: f.loops[ks].Now() + lat, k1: uint64(link), k2: f.linkSeq[link],
+		dstNode: dst, label: fmt.Sprintf("msg:%d->%d", src, dst)}
+	if ks == kd {
+		f.inject(m)
+		return
+	}
+	f.outs[ks][kd] = append(f.outs[ks][kd], m)
+}
+
+func (f *miniFabric) inject(m miniMsg) {
+	f.loops[f.shardOf[m.dstNode]].AtArrivalTimer(m.when, m.label, func(a, _ any, _ uint64) {
+		mm := a.(miniMsg)
+		f.traces[mm.dstNode] = append(f.traces[mm.dstNode], fmt.Sprintf("%d@%s", mm.when, mm.label))
+	}, m, nil, 0, m.k1, m.k2)
+}
+
+func (f *miniFabric) exchange() {
+	for src := range f.outs {
+		for dst, box := range f.outs[src] {
+			for _, m := range box {
+				f.inject(m)
+			}
+			f.outs[src][dst] = f.outs[src][dst][:0]
+		}
+	}
+}
+
+func TestCoordinatorControlBeforeShardDataAtEqualTime(t *testing.T) {
+	ctrl := NewLoop()
+	shard := NewLoop()
+	var order []string
+	shard.At(10, "data", func() { order = append(order, "data@10") })
+	ctrl.At(10, "ctrl", func() { order = append(order, "ctrl@10") })
+	co := NewCoordinator(ctrl, []*Loop{shard}, func() Time { return 3 }, nil, nil)
+	if err := co.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ctrl@10", "data@10"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v (control events must precede same-time shard data)", order, want)
+	}
+	if ctrl.Now() != 20 || shard.Now() != 20 {
+		t.Fatalf("loops left at ctrl=%d shard=%d, want 20", ctrl.Now(), shard.Now())
+	}
+	if got := co.FiredTotal(); got != 2 {
+		t.Fatalf("FiredTotal = %d, want 2", got)
+	}
+}
+
+func TestCoordinatorBarrierSeesParkedShards(t *testing.T) {
+	ctrl := NewLoop()
+	shards := []*Loop{NewLoop(), NewLoop()}
+	for _, s := range shards {
+		s := s
+		s.At(7, "tick", func() { s.After(9, "tick", func() {}) })
+	}
+	barriers := 0
+	co := NewCoordinator(ctrl, shards, func() Time { return 5 }, nil, func() {
+		barriers++
+		// At a barrier every shard is parked at the control clock: no
+		// shard may be mid-window or hold unexecuted events in the past.
+		for i, s := range shards {
+			if s.Now() > ctrl.Now()+5 || (s.HasPendingEvents() && s.PeekNextEventTime() < ctrl.Now()) {
+				t.Fatalf("barrier %d: shard %d at %d with next=%d, ctrl at %d",
+					barriers, i, s.Now(), s.PeekNextEventTime(), ctrl.Now())
+			}
+		}
+	})
+	if err := co.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	if barriers == 0 {
+		t.Fatal("onBarrier never ran")
+	}
+}
+
+// TestCoordinatorPartitionInvariance is the determinism core: the same
+// traffic pattern over one shard, two/four sequential shards and two/four
+// parallel shards must give every node a byte-identical arrival trace.
+func TestCoordinatorPartitionInvariance(t *testing.T) {
+	// run executes a fixed cross-node message pattern on nShards shards
+	// (node i lives on shard i%nShards) and returns per-node traces.
+	run := func(nShards int, parallel bool) [][]string {
+		loops := make([]*Loop, nShards)
+		for i := range loops {
+			loops[i] = NewLoop()
+		}
+		const nodes = 4
+		const lat = Time(10) // lookahead bound: min link latency
+		shardOf := make([]int, nodes)
+		for i := range shardOf {
+			shardOf[i] = i % nShards
+		}
+		f := newMiniFabric(loops, shardOf)
+		ctrl := NewLoop()
+		// Each node sends to (node+1)%nodes and (node+2)%nodes every 7
+		// ticks; per-node latency offsets make distinct links collide at
+		// equal arrival instants so the (k1, k2) tie-break is exercised.
+		var pump func(node int, n int)
+		pump = func(node, n int) {
+			if n == 0 {
+				return
+			}
+			loops[shardOf[node]].After(7, fmt.Sprintf("pump:%d", node), func() {
+				for _, d := range []int{1, 2} {
+					f.send(node, (node+d)%nodes, lat+Time(node))
+				}
+				pump(node, n-1)
+			})
+		}
+		for node := 0; node < nodes; node++ {
+			pump(node, 5)
+		}
+		co := NewCoordinator(ctrl, loops, func() Time { return lat }, f.exchange, nil)
+		co.SetParallel(parallel)
+		if err := co.RunUntil(100); err != nil {
+			t.Fatal(err)
+		}
+		return f.traces
+	}
+
+	base := run(1, false)
+	total := 0
+	for _, tr := range base {
+		total += len(tr)
+	}
+	if total == 0 {
+		t.Fatal("no messages delivered")
+	}
+	for _, tc := range []struct {
+		k        int
+		parallel bool
+	}{{2, false}, {2, true}, {4, false}, {4, true}} {
+		got := run(tc.k, tc.parallel)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("K=%d parallel=%v: per-node traces diverged from single-shard baseline\ngot  %v\nwant %v",
+				tc.k, tc.parallel, got, base)
+		}
+	}
+}
+
+func TestCoordinatorNestedRunUntil(t *testing.T) {
+	ctrl := NewLoop()
+	shard := NewLoop()
+	var order []string
+	shard.At(15, "late", func() { order = append(order, "late") })
+	co := NewCoordinator(ctrl, []*Loop{shard}, func() Time { return 4 }, nil, nil)
+	ctrl.At(5, "nest", func() {
+		// A control callback advancing the simulation further — the
+		// nested call runs inside the outer barrier and must not step
+		// any loop backwards afterwards.
+		order = append(order, "nest-begin")
+		if err := co.RunUntil(20); err != nil {
+			t.Error(err)
+		}
+		order = append(order, "nest-end")
+	})
+	if err := co.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"nest-begin", "late", "nest-end"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	if ctrl.Now() < 20 || shard.Now() < 20 {
+		t.Fatalf("nested advance lost: ctrl=%d shard=%d", ctrl.Now(), shard.Now())
+	}
+}
+
+func TestCoordinatorNonPositiveLookaheadPanics(t *testing.T) {
+	ctrl := NewLoop()
+	shard := NewLoop()
+	shard.At(5, "x", func() {})
+	co := NewCoordinator(ctrl, []*Loop{shard}, func() Time { return 0 }, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil with zero lookahead did not panic")
+		}
+	}()
+	_ = co.RunUntil(10)
+}
+
+func TestCoordinatorSetParallelDuringRunPanics(t *testing.T) {
+	ctrl := NewLoop()
+	shard := NewLoop()
+	co := NewCoordinator(ctrl, []*Loop{shard}, func() Time { return 5 }, nil, nil)
+	ctrl.At(1, "toggle", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetParallel mid-run did not panic")
+			}
+		}()
+		co.SetParallel(true)
+	})
+	if err := co.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,17 @@ type Event struct {
 	a, b any
 	u    uint64
 
+	// Partition-invariant ordering key for same-timestamp events. Local
+	// events (band 0) order by scheduling sequence, exactly as before.
+	// Fabric arrivals (band 1, via AtArrivalTimer) order by (k1, k2) —
+	// a stable hash of the directed link and the per-link send counter —
+	// so the order of same-time arrivals from different sources does not
+	// depend on which shard's loop they were scheduled on, or in what
+	// order a coordinator injected them.
+	band uint8
+	k1   uint64
+	k2   uint64
+
 	seq   uint64
 	gen   uint64 // bumped on every recycle; Handle staleness check
 	index int32  // heap index; -1 once fired, canceled, or free
@@ -114,7 +125,7 @@ func (l *Loop) acquire() *Event {
 		e := l.free[n-1]
 		l.free[n-1] = nil
 		l.free = l.free[:n-1]
-		if raceChecks && (e.index != -1 || e.fn != nil || e.tfn != nil || e.a != nil || e.b != nil) {
+		if raceChecks && (e.index != -1 || e.fn != nil || e.tfn != nil || e.a != nil || e.b != nil || e.band != 0 || e.k1 != 0 || e.k2 != 0) {
 			panic(fmt.Sprintf("sim: corrupted pooled event %+v — retained after fire/cancel?", e))
 		}
 		return e
@@ -132,6 +143,9 @@ func (l *Loop) release(e *Event) {
 	e.a = nil
 	e.b = nil
 	e.u = 0
+	e.band = 0
+	e.k1 = 0
+	e.k2 = 0
 	if raceChecks {
 		e.Name = "sim:recycled"
 		e.When = -1 << 60
@@ -168,6 +182,31 @@ func (l *Loop) AtTimer(t Time, name string, fn TimerFunc, a, b any, u uint64) *E
 	e.a = a
 	e.b = b
 	e.u = u
+	l.insert(e)
+	return e
+}
+
+// AtArrivalTimer schedules a fabric-arrival callback at absolute time t,
+// ordered among same-time arrivals by the partition-invariant key (k1, k2)
+// — by convention a stable hash of the directed link and the per-link send
+// counter — rather than by scheduling order. Local events at the same time
+// run first. This is what keeps cross-shard merges byte-identical to the
+// single-loop schedule: the key travels with the packet, so it does not
+// matter which shard's loop the arrival lands on.
+func (l *Loop) AtArrivalTimer(t Time, name string, fn TimerFunc, a, b any, u, k1, k2 uint64) *Event {
+	if t < l.now {
+		t = l.now
+	}
+	e := l.acquire()
+	e.When = t
+	e.Name = name
+	e.tfn = fn
+	e.a = a
+	e.b = b
+	e.u = u
+	e.band = 1
+	e.k1 = k1
+	e.k2 = k2
 	l.insert(e)
 	return e
 }
@@ -221,10 +260,26 @@ func (l *Loop) Reschedule(e *Event, t Time) *Event {
 	return e
 }
 
-// less orders events by (When, seq): the deterministic total order.
+// less orders events by (When, band, k1, k2, seq): the deterministic total
+// order. Local events (band 0, k1=k2=0) at the same instant keep their
+// scheduling order; fabric arrivals (band 1) at the same instant order by
+// the partition-invariant (link hash, link seq) key, after locals. The key
+// — not insertion order — decides, so the order is identical whether the
+// arrivals were scheduled by one loop or merged in from K shards.
 func less(x, y *Event) bool {
 	if x.When != y.When {
 		return x.When < y.When
+	}
+	if x.band != y.band {
+		return x.band < y.band
+	}
+	if x.band != 0 {
+		if x.k1 != y.k1 {
+			return x.k1 < y.k1
+		}
+		if x.k2 != y.k2 {
+			return x.k2 < y.k2
+		}
 	}
 	return x.seq < y.seq
 }
@@ -329,32 +384,52 @@ func (l *Loop) pop() *Event {
 // Stop halts Run after the currently executing event returns.
 func (l *Loop) Stop() { l.stopped = true }
 
+// HasPendingEvents reports whether any event is still queued. With
+// PeekNextEventTime and ProcessNextEvent it forms the steppable interface a
+// shard coordinator drives: the coordinator decides which loop advances,
+// the loop only ever executes its own minimum.
+func (l *Loop) HasPendingEvents() bool { return len(l.pq) > 0 }
+
+// PeekNextEventTime returns the fire time of the earliest pending event,
+// or Never when the queue is empty.
+func (l *Loop) PeekNextEventTime() Time {
+	if len(l.pq) == 0 {
+		return Never
+	}
+	return l.pq[0].When
+}
+
+// ProcessNextEvent pops and executes the earliest pending event, advancing
+// the loop clock to its fire time. It must not be called on an empty queue.
+func (l *Loop) ProcessNextEvent() {
+	next := l.pop()
+	l.now = next.When
+	l.fired++
+	// The event is recycled only after the callback returns: during the
+	// callback, Cancel/Reschedule on the (detached) event are safe
+	// no-ops, and nothing scheduled inside the callback can be handed
+	// this *Event while legacy references to it may still be live.
+	if tfn := next.tfn; tfn != nil {
+		tfn(next.a, next.b, next.u)
+	} else if fn := next.fn; fn != nil {
+		fn()
+	}
+	l.release(next)
+}
+
 // Run executes events in order until the queue is empty, the horizon is
 // passed, or Stop is called. It returns ErrStopped in the latter case.
 func (l *Loop) Run() error {
 	l.stopped = false
-	for len(l.pq) > 0 {
+	for l.HasPendingEvents() {
 		if l.stopped {
 			return ErrStopped
 		}
-		next := l.pq[0]
-		if next.When > l.horizon {
+		if l.PeekNextEventTime() > l.horizon {
 			l.now = l.horizon
 			return nil
 		}
-		l.pop()
-		l.now = next.When
-		l.fired++
-		// The event is recycled only after the callback returns: during the
-		// callback, Cancel/Reschedule on the (detached) event are safe
-		// no-ops, and nothing scheduled inside the callback can be handed
-		// this *Event while legacy references to it may still be live.
-		if tfn := next.tfn; tfn != nil {
-			tfn(next.a, next.b, next.u)
-		} else if fn := next.fn; fn != nil {
-			fn()
-		}
-		l.release(next)
+		l.ProcessNextEvent()
 	}
 	return nil
 }
@@ -368,6 +443,22 @@ func (l *Loop) RunUntil(t Time) error {
 	err := l.Run()
 	l.horizon = prev
 	if err == nil && l.now < t {
+		l.now = t
+	}
+	return err
+}
+
+// RunBefore executes events with When strictly less than t and leaves the
+// loop positioned at t. This is the shard-window primitive: a conservative
+// coordinator grants a shard the half-open window [now, t), with events at
+// exactly t held for after the next barrier so that barrier-time control
+// actions run first. A no-op when t <= now.
+func (l *Loop) RunBefore(t Time) error {
+	if t <= l.now {
+		return nil
+	}
+	err := l.RunUntil(t - 1)
+	if err == nil {
 		l.now = t
 	}
 	return err

@@ -7,7 +7,6 @@ import (
 
 	"stopwatch/internal/guest"
 	"stopwatch/internal/metrics"
-	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/vtime"
 )
@@ -503,15 +502,4 @@ func GroupMedian(vs []vtime.Virtual) vtime.Virtual {
 func groupMedianInPlace(s []vtime.Virtual) vtime.Virtual {
 	slices.Sort(s)
 	return s[len(s)/2]
-}
-
-// EgressMsg is the tunnelled form of a guest output packet, sent by each
-// replica's device model to the egress node (Sec. VI).
-type EgressMsg struct {
-	GuestID string
-	Replica string
-	Seq     uint64 // deterministic per-guest output sequence
-	OrigDst netsim.Addr
-	Size    int
-	Data    any
 }

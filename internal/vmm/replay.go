@@ -3,6 +3,7 @@ package vmm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"stopwatch/internal/guest"
 	"stopwatch/internal/sim"
@@ -33,7 +34,14 @@ type JournalRecord struct {
 // replacement replays it. Disk and timer interrupts need no journal — their
 // delivery times are pure functions of the instruction stream (V+Δd and the
 // virtual PIT).
+//
+// The mutex exists for the sharded simulation: a guest's replicas live on
+// different shard loops and resolve within the same lookahead window, so
+// their first-write-wins Records race in wall-clock order. The recorded
+// content is identical either way (that is the determinism the journal
+// logs), so the lock only makes the map access safe, not the outcome.
 type Journal struct {
+	mu   sync.Mutex
 	recs map[uint64]JournalRecord
 }
 
@@ -51,6 +59,8 @@ func (j *Journal) OnResolve(seq uint64, deliver vtime.Virtual, p guest.Payload) 
 // Record stores a resolution. Replicas record identical values for a seq;
 // the first write wins and later duplicates are ignored.
 func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if _, dup := j.recs[seq]; dup {
 		return
 	}
@@ -61,15 +71,21 @@ func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
 }
 
 // Len returns the number of recorded deliveries.
-func (j *Journal) Len() int { return len(j.recs) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.recs)
+}
 
 // Sorted returns the records in delivery order (Deliver, then Seq) — the
 // order the runtime's pending queue maintains.
 func (j *Journal) Sorted() []JournalRecord {
+	j.mu.Lock()
 	out := make([]JournalRecord, 0, len(j.recs))
 	for _, r := range j.recs {
 		out = append(out, r)
 	}
+	j.mu.Unlock()
 	sort.Slice(out, func(i, k int) bool {
 		if out[i].Deliver != out[k].Deliver {
 			return out[i].Deliver < out[k].Deliver
