@@ -7,9 +7,12 @@ package stopwatch
 // the internal experiment tests; these benches measure and report.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"testing"
+
+	"stopwatch/internal/netsim"
 )
 
 // BenchmarkFig1MedianDistribution regenerates Fig. 1(a): the analytic
@@ -204,6 +207,19 @@ func (p *benchPinger) OnTimer(ctx Ctx, tag string) {
 }
 func (p *benchPinger) OnPacket(ctx Ctx, in Payload)   {}
 func (p *benchPinger) OnDiskDone(ctx Ctx, d DiskDone) {}
+func (p *benchPinger) SnapshotAppend(buf []byte) []byte {
+	return binary.AppendVarint(buf, p.n)
+}
+func (p *benchPinger) RestoreSnapshot(data []byte) error {
+	n, k := binary.Varint(data)
+	if k <= 0 || k != len(data) {
+		return errors.New("benchPinger snapshot: bad varint")
+	}
+	p.n = n
+	return nil
+}
+
+var _ Snapshotter = (*benchPinger)(nil)
 
 // BenchmarkChurn measures control-plane guest-lifecycle throughput: each
 // iteration admits one guest onto an edge-disjoint triangle (deploying and
@@ -360,8 +376,34 @@ func BenchmarkWatchThroughput(b *testing.B) {
 // BenchmarkReplaceReplica measures the full Sec. VII replacement protocol
 // on a running cloud: crash a replica mid-run, pause/quiesce the guest's
 // ingress, re-home through the pool, reconstruct from the determinism
-// journal, and re-sync into strict lockstep.
+// journal, and re-sync into strict lockstep. The sub-benchmarks pin the
+// checkpointing claim: with a long journal the replayed-records metric
+// grows ~10x over the short run, with checkpointing on it stays bounded by
+// the checkpoint interval regardless of guest lifetime.
 func BenchmarkReplaceReplica(b *testing.B) {
+	b.Run("short-journal", func(b *testing.B) { benchReplace(b, Millis(200), 0) })
+	b.Run("long-journal", func(b *testing.B) { benchReplace(b, Seconds(2), 0) })
+	b.Run("long-checkpointed", func(b *testing.B) { benchReplace(b, Seconds(2), 4_000_000) })
+}
+
+// benchPingInto streams inbound pings at the guest every 2ms until the
+// given time, so the determinism journal holds resolved delivery records —
+// the thing replacement replays and checkpointing truncates.
+func benchPingInto(c *Cluster, id string, until Time) {
+	_ = c.Net().Attach(&netsim.FuncNode{Addr: "bench-src", Fn: func(*netsim.Packet) {}})
+	var ping func()
+	ping = func() {
+		if c.Loop().Now() >= until {
+			return
+		}
+		c.Net().Send(&netsim.Packet{Src: "bench-src", Dst: GuestAddr(id), Size: 128, Kind: "ping"})
+		c.Loop().After(2*Millisecond, "bench:ping", ping)
+	}
+	c.Loop().After(2*Millisecond, "bench:ping", ping)
+}
+
+func benchReplace(b *testing.B, warmup Time, ckptInstr int64) {
+	var replayed, restored int64
 	for i := 0; i < b.N; i++ {
 		// Cluster construction, admission and warm-up are setup, not the
 		// protocol under measurement: keep them off the timer.
@@ -369,6 +411,7 @@ func BenchmarkReplaceReplica(b *testing.B) {
 		cfg := DefaultClusterConfig()
 		cfg.Seed = uint64(i + 1)
 		cfg.Hosts = 5
+		cfg.VMM.CheckpointInstr = ckptInstr
 		c, err := NewCluster(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -382,7 +425,8 @@ func BenchmarkReplaceReplica(b *testing.B) {
 			b.Fatal(err)
 		}
 		c.Start()
-		if err := c.Run(Millis(200)); err != nil {
+		benchPingInto(c, "web", warmup)
+		if err := c.Run(warmup); err != nil {
 			b.Fatal(err)
 		}
 		slot, _ := g.SlotOnHost(tri[0])
@@ -397,7 +441,7 @@ func BenchmarkReplaceReplica(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
-		for until := Millis(250); !done && until < Seconds(10); until += Millis(50) {
+		for until := warmup + Millis(50); !done && until < warmup+Seconds(10); until += Millis(50) {
 			if err := c.Run(until); err != nil {
 				b.Fatal(err)
 			}
@@ -409,8 +453,63 @@ func BenchmarkReplaceReplica(b *testing.B) {
 		if err := g.CheckLockstepPrefix(); err != nil {
 			b.Fatal(err)
 		}
+		st := g.Replica(slot).Runtime().Stats()
+		replayed += int64(st.ReplayedRecords)
+		restored += st.RestoredInstr
+		if ckptInstr > 0 && st.RestoredInstr == 0 {
+			b.Fatal("checkpointing on, yet replacement replayed from boot")
+		}
 		b.StartTimer()
 	}
+	b.StopTimer()
+	b.ReportMetric(float64(replayed)/float64(b.N), "replayed-records")
+	b.ReportMetric(float64(restored)/float64(b.N), "restored-instr")
+}
+
+// BenchmarkCheckpoint prices periodic checkpointing on a running guest: the
+// same cloud and workload simulated for one virtual second, with capture off
+// vs on at two intervals. The timer delta between the sub-benchmarks is the
+// steady-state checkpoint cost (capture is pooled, so -benchmem should show
+// no allocation growth between off and on).
+func BenchmarkCheckpoint(b *testing.B) {
+	b.Run("off", func(b *testing.B) { benchCheckpoint(b, 0) })
+	b.Run("interval-1M", func(b *testing.B) { benchCheckpoint(b, 1_000_000) })
+	b.Run("interval-4M", func(b *testing.B) { benchCheckpoint(b, 4_000_000) })
+}
+
+func benchCheckpoint(b *testing.B, every int64) {
+	var ckpts, truncated int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultClusterConfig()
+		cfg.Seed = uint64(i + 1)
+		cfg.VMM.CheckpointInstr = every
+		c, err := NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := c.Deploy("web", []int{0, 1, 2}, func() App { return &benchPinger{} })
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Start()
+		benchPingInto(c, "web", Seconds(1))
+		b.StartTimer()
+		if err := c.Run(Seconds(1)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		js := g.JournalStats()
+		if every > 0 && js.Checkpoints == 0 {
+			b.Fatal("no checkpoints taken")
+		}
+		ckpts += int64(js.Checkpoints)
+		truncated += int64(js.TruncatedRecords)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ckpts)/float64(b.N), "checkpoints")
+	b.ReportMetric(float64(truncated)/float64(b.N), "truncated-records")
 }
 
 // BenchmarkEvacuateFailedHost measures the whole crashed-machine recovery

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,6 +68,8 @@ type options struct {
 	listen      string
 	metricsOut  string
 	loadAware   bool
+	ckptInstr   int64
+	migrate     bool
 }
 
 func parse(args []string) (options, error) {
@@ -89,6 +92,8 @@ func parse(args []string) (options, error) {
 	fs.StringVar(&o.listen, "listen", "", "serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (e.g. 127.0.0.1:8080; empty = off)")
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write the end-of-run metrics snapshot as canonical JSON to this file")
 	fs.BoolVar(&o.loadAware, "load-aware", false, "telemetry-driven admission: score and gate hosts by live Dom0 disk backlog (changes placement, and with it the op-log digest)")
+	fs.Int64Var(&o.ckptInstr, "checkpoint-interval", 0, "instructions between journal checkpoints (multiple of the VMM exit quantum; 0 = off; bounds replacement replay without changing the op-log digest)")
+	fs.BoolVar(&o.migrate, "migrate", false, "planned migration: turn infeasible admissions and re-homes into one-move MigrateOp plans (changes placement, and with it the op-log digest)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -98,6 +103,9 @@ func parse(args []string) (options, error) {
 	}
 	if o.shards < 1 {
 		return o, fmt.Errorf("shards must be >= 1, got %d", o.shards)
+	}
+	if o.ckptInstr < 0 {
+		return o, fmt.Errorf("checkpoint-interval must be >= 0, got %d", o.ckptInstr)
 	}
 	return o, nil
 }
@@ -142,6 +150,30 @@ func (a *tenantApp) OnPacket(ctx guest.Ctx, p guest.Payload) {
 
 func (a *tenantApp) OnDiskDone(ctx guest.Ctx, d guest.DiskDone) {}
 
+// SnapshotAppend/RestoreSnapshot implement guest.Snapshotter: the mutable
+// state is just the two counters (period, deadline and sink are rebuilt
+// identically by the factory), so checkpointed journals can truncate and a
+// replacement can restore instead of replaying the tenant's whole lifetime.
+func (a *tenantApp) SnapshotAppend(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, a.bursts)
+	return binary.AppendVarint(buf, a.echoes)
+}
+
+func (a *tenantApp) RestoreSnapshot(data []byte) error {
+	bursts, n := binary.Varint(data)
+	if n <= 0 {
+		return fmt.Errorf("tenant snapshot: bad bursts varint")
+	}
+	echoes, m := binary.Varint(data[n:])
+	if m <= 0 || n+m != len(data) {
+		return fmt.Errorf("tenant snapshot: bad echoes varint")
+	}
+	a.bursts, a.echoes = bursts, echoes
+	return nil
+}
+
+var _ guest.Snapshotter = (*tenantApp)(nil)
+
 // scenario holds the run's mutable driver state.
 type scenario struct {
 	o   options
@@ -173,6 +205,10 @@ type scenario struct {
 	// whole-machine crash outcomes
 	crashesStarted, crashesDone int
 	crashErrs                   []error
+	// checkpoint telemetry folded over evicted guests' journals; report()
+	// adds the end-of-run residents
+	ckpts, truncRecs int
+	truncBytes       int64
 }
 
 // frozenSlots returns the slots of g's replicas whose guest execution is
@@ -223,6 +259,7 @@ func run(args []string, out io.Writer) error {
 	ccfg.Seed = o.seed
 	ccfg.Hosts = o.hosts
 	ccfg.Shards = o.shards
+	ccfg.VMM.CheckpointInstr = o.ckptInstr
 	c, err := core.New(ccfg)
 	if err != nil {
 		return err
@@ -266,6 +303,12 @@ func run(args []string, out io.Writer) error {
 	if o.loadAware {
 		budget := cp.EnableLoadAwareAdmission(controlplane.LoadAwareConfig{})
 		fmt.Fprintf(out, "load-aware admission: on (false-alarm budget %v)\n", budget)
+	}
+	// Planned migration is opt-in for the same reason: a one-move plan
+	// changes placement, and with it the pinned digests.
+	if o.migrate {
+		cp.EnablePlannedMigration()
+		fmt.Fprintln(out, "planned migration: on")
 	}
 	// One placement audit per completed top-level operation, keyed off the
 	// event stream — instead of scattering Verify calls through every
@@ -372,16 +415,21 @@ func (s *scenario) arrive() {
 	factory := func() guest.App {
 		return &tenantApp{period: period, deadline: deadline, sink: "churn-sink"}
 	}
-	if oc := s.cp.Apply(controlplane.AdmitOp{GuestID: id, Factory: factory}); oc.Err != nil {
-		return // rejection is a logged, expected outcome
-	}
-	s.addResident(id)
-	// Departure after an exponential lifetime, inside the traffic window.
-	life := s.rng.ExpDur(sim.FromSeconds(s.o.meanLife))
-	depart := s.c.Loop().Now() + life
-	if depart < s.trafficEnd {
-		s.c.Loop().At(depart, "churn:departure", func() { s.depart(id) })
-	}
+	// Success is handled in Done: without -migrate it fires synchronously
+	// inside Apply (same draw order as ever), but a planner-unblocked
+	// admission finishes only after its child migration completes.
+	s.cp.Apply(controlplane.AdmitOp{GuestID: id, Factory: factory, Done: func(oc *controlplane.Outcome) {
+		if oc.Err != nil {
+			return // rejection is a logged, expected outcome
+		}
+		s.addResident(id)
+		// Departure after an exponential lifetime, inside the traffic window.
+		life := s.rng.ExpDur(sim.FromSeconds(s.o.meanLife))
+		depart := s.c.Loop().Now() + life
+		if depart < s.trafficEnd {
+			s.c.Loop().At(depart, "churn:departure", func() { s.depart(id) })
+		}
+	}})
 }
 
 func (s *scenario) depart(id string) {
@@ -401,11 +449,16 @@ func (s *scenario) depart(id string) {
 	if _, err := auditLockstep(g, false); err != nil {
 		s.prefixErrs = append(s.prefixErrs, err)
 	}
+	// Eviction releases the journal: fold its checkpoint telemetry first.
+	js := g.JournalStats()
 	if oc := s.cp.Apply(controlplane.EvictOp{GuestID: id}); oc.Err != nil {
 		// Raced a lifecycle op that started this instant: retry shortly.
 		s.c.Loop().After(500*sim.Millisecond, "churn:departure", func() { s.depart(id) })
 		return
 	}
+	s.ckpts += js.Checkpoints
+	s.truncRecs += js.TruncatedRecords
+	s.truncBytes += js.TruncatedBytes
 	s.dropResident(id)
 }
 
@@ -759,6 +812,25 @@ func (s *scenario) report() error {
 		len(log), byKind[controlplane.KindAdmit], byKind[controlplane.KindEvict], byKind[controlplane.KindReplace],
 		byKind[controlplane.KindDrain], byKind[controlplane.KindUndrain], byKind[controlplane.KindFail],
 		byKind[controlplane.KindEvacuate], byKind[controlplane.KindRepair], s.opsAudited)
+	if s.o.ckptInstr > 0 {
+		// Fold in the guests still resident at the end; evicted ones were
+		// folded at departure.
+		ckpts, truncRecs, truncBytes := s.ckpts, s.truncRecs, s.truncBytes
+		for _, id := range s.resident {
+			if g, ok := s.c.Guest(id); ok {
+				js := g.JournalStats()
+				ckpts += js.Checkpoints
+				truncRecs += js.TruncatedRecords
+				truncBytes += js.TruncatedBytes
+			}
+		}
+		fmt.Fprintf(s.out, "  checkpointing: interval=%d checkpoints=%d truncated-records=%d truncated-bytes=%d\n",
+			s.o.ckptInstr, ckpts, truncRecs, truncBytes)
+	}
+	if s.o.migrate {
+		fmt.Fprintf(s.out, "  migration: planned=%d completed=%d failed=%d\n",
+			st.MigrationsPlanned, st.Migrations, st.MigrationFailures)
+	}
 	fmt.Fprintf(s.out, "  op-log: digest=%016x\n", digest.Sum64())
 	fmt.Fprintf(s.out, "  placement: every top-level outcome audited, violations=%d\n", s.placementViolations)
 	fmt.Fprintf(s.out, "  lockstep: ok=%d degraded-ok=%d diverged=%d prefix-errors=%d divergences=%d echoes=%d egress-stuck=%d\n",

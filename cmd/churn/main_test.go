@@ -365,6 +365,74 @@ func TestChurnMetricsGolden(t *testing.T) {
 	}
 }
 
+// TestChurnDigestsUnchangedWithCheckpointing is the checkpointed journal's
+// non-perturbation pin: the same three seeded runs with periodic journal
+// checkpoints (and hence truncated replay on every replacement) must produce
+// op-log digests byte-identical to the historical baseline. A checkpoint
+// captures what the replicas already agree on; restoring from it instead of
+// replaying a lifetime must be unobservable in what the cloud computes.
+func TestChurnDigestsUnchangedWithCheckpointing(t *testing.T) {
+	for seed, digest := range pinnedDigests {
+		var out bytes.Buffer
+		args := pinnedArgs(seed, "-checkpoint-interval", "1000000")
+		if err := run(args, &out); err != nil {
+			t.Fatalf("seed %d: checkpointed churn run failed: %v\n%s", seed, err, out.String())
+		}
+		text := out.String()
+		if got := extractDigest(t, text); got != digest {
+			t.Errorf("seed %d: checkpointed op-log digest %s, want %s — checkpointing perturbed the run",
+				seed, got, digest)
+		}
+		if ck := extractInt(t, text, `checkpoints=(\d+)`); ck == 0 {
+			t.Errorf("seed %d: no checkpoints taken:\n%s", seed, text)
+		}
+		if tr := extractInt(t, text, `truncated-records=(\d+)`); tr == 0 {
+			t.Errorf("seed %d: checkpoints never truncated the journal:\n%s", seed, text)
+		}
+	}
+}
+
+// TestChurnMigrateUnblocksSaturatedPacking: on 7 hosts at capacity 3 the
+// edge-disjointness constraint, not capacity, is what rejects admissions —
+// exactly the regime where moving one blocking replica opens a triangle.
+// With -migrate the planner must complete migrations, admit strictly more
+// tenants than the hard-rejecting baseline, and keep every placement
+// invariant and lockstep audit clean.
+func TestChurnMigrateUnblocksSaturatedPacking(t *testing.T) {
+	args := []string{"-hosts", "7", "-capacity", "3", "-duration", "10",
+		"-arrival-rate", "6", "-failures", "0", "-drains", "0", "-crashes", "0", "-seed", "1"}
+	var base bytes.Buffer
+	if err := run(args, &base); err != nil {
+		t.Fatalf("baseline run failed: %v\n%s", err, base.String())
+	}
+	var out bytes.Buffer
+	if err := run(append(args, "-migrate"), &out); err != nil {
+		t.Fatalf("migrate run failed: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	planned := extractInt(t, text, `planned=(\d+)`)
+	completed := extractInt(t, text, `completed=(\d+)`)
+	if planned == 0 || completed == 0 {
+		t.Fatalf("planner never migrated (planned=%d completed=%d):\n%s", planned, completed, text)
+	}
+	if failed := extractInt(t, text, `failed=(\d+)`); failed != 0 {
+		t.Fatalf("%d migrations failed:\n%s", failed, text)
+	}
+	baseAdmitted := extractInt(t, base.String(), `admitted=(\d+)`)
+	if admitted := extractInt(t, text, `admitted=(\d+)`); admitted <= baseAdmitted {
+		t.Fatalf("migrate admitted %d <= baseline %d — plans unblocked nothing:\n%s", admitted, baseAdmitted, text)
+	}
+	if v := extractInt(t, text, `violations=(\d+)`); v != 0 {
+		t.Fatalf("placement violations:\n%s", text)
+	}
+	if d := extractInt(t, text, `diverged=(\d+)`); d != 0 {
+		t.Fatalf("diverged guests:\n%s", text)
+	}
+	if p := extractInt(t, text, `prefix-errors=(\d+)`); p != 0 {
+		t.Fatalf("lockstep prefix errors:\n%s", text)
+	}
+}
+
 // TestChurnLoadAware: the opt-in telemetry-driven admission path runs the
 // full scenario clean — placement stays verified and lockstep holds — and
 // announces its effective false-alarm budget.

@@ -86,10 +86,12 @@ func run(args []string) error {
 }
 
 // runLifecycle walks the unified operations API on a small live cloud:
-// tenants admitted through AdmitOp, one evicted, one machine killed at the
-// data plane and recovered by the stall detector's fail → reconfigure →
-// evacuate pipeline, every operation streaming its phases over Watch and
-// landing in the append-only op log.
+// tenants admitted through AdmitOp, one evicted, one replica migrated onto
+// a fresh machine through a MigrateOp's freeze+replace barrier, one machine
+// killed at the data plane and recovered by the stall detector's fail →
+// reconfigure → evacuate pipeline — with checkpointed journals bounding
+// every replacement's replay. Every operation streams its phases over Watch
+// and lands in the append-only op log.
 func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	if dur < 3*sim.Second {
 		dur = 3 * sim.Second
@@ -98,6 +100,9 @@ func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	cfg.Seed = seed
 	cfg.Hosts = 9
 	cfg.Shards = shards
+	// Long-lived guests: checkpoint each journal every 2M instructions so
+	// the migration and the evacuations below replay a bounded suffix.
+	cfg.VMM.CheckpointInstr = 2_000_000
 	c, err := core.New(cfg)
 	if err != nil {
 		return err
@@ -106,6 +111,8 @@ func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	if err != nil {
 		return err
 	}
+	// Infeasible admissions/re-homes may be solved with a one-move plan.
+	cp.EnablePlannedMigration()
 	// Observability plane: with -listen, both planes feed one registry and
 	// the lifecycle is queryable live over localhost HTTP while it runs.
 	var reg *metrics.Registry
@@ -185,6 +192,49 @@ func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	c.Loop().At(400*sim.Millisecond, "evict", func() {
 		cp.Apply(controlplane.EvictOp{GuestID: "gb"})
 	})
+	// Planned migration: move one of ga's replicas onto a fresh machine
+	// through the freeze + quiesce + replace barrier, live.
+	c.Loop().At(700*sim.Millisecond, "migrate", func() {
+		tri, ok := cp.Pool().Triangle("ga")
+		if !ok {
+			return
+		}
+		// Recompute edge usage and load from the resident triangles to pick
+		// a destination the barrier's pinned re-home will accept.
+		used := map[[2]int]bool{}
+		load := make([]int, cfg.Hosts)
+		edge := func(a, b int) [2]int {
+			if a > b {
+				a, b = b, a
+			}
+			return [2]int{a, b}
+		}
+		for _, id := range cp.Pool().IDs() {
+			t, _ := cp.Pool().Triangle(id)
+			for a := 0; a < 3; a++ {
+				load[t[a]]++
+				for b := a + 1; b < 3; b++ {
+					used[edge(t[a], t[b])] = true
+				}
+			}
+		}
+		to := -1
+		for h := 0; h < cfg.Hosts; h++ {
+			if h == tri[0] || h == tri[1] || h == tri[2] || load[h] >= cp.Pool().Capacity() {
+				continue
+			}
+			if !used[edge(h, tri[1])] && !used[edge(h, tri[2])] {
+				to = h
+				break
+			}
+		}
+		if to < 0 {
+			return
+		}
+		fmt.Printf("t=%7.3fs  MIGRATE ga %d->%d (planned move through the freeze+replace barrier)\n",
+			float64(c.Loop().Now())/1e9, tri[0], to)
+		cp.Apply(controlplane.MigrateOp{GuestID: "ga", From: tri[0], To: to})
+	})
 	victim := 0
 	c.Loop().At(sim.Second, "kill", func() {
 		// The machine hosting the most guests dies at the data plane only.
@@ -207,8 +257,17 @@ func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	}
 	log := cp.Log()
 	st := controlplane.FoldStats(log)
-	fmt.Printf("op log: %d ops — admitted=%d evicted=%d failures=%d crash-evacuated=%d replacements=%d\n",
-		len(log), st.Admitted, st.Evicted, st.HostFailures, st.CrashEvacuations, st.Replacements)
+	fmt.Printf("op log: %d ops — admitted=%d evicted=%d migrations=%d failures=%d crash-evacuated=%d replacements=%d\n",
+		len(log), st.Admitted, st.Evicted, st.Migrations, st.HostFailures, st.CrashEvacuations, st.Replacements)
+	ckpts, truncated := 0, 0
+	for _, id := range ids {
+		if g, ok := c.Guest(id); ok {
+			js := g.JournalStats()
+			ckpts += js.Checkpoints
+			truncated += js.TruncatedRecords
+		}
+	}
+	fmt.Printf("checkpoints: %d taken, %d journal records truncated\n", ckpts, truncated)
 	if err := cp.Verify(); err != nil {
 		return err
 	}
@@ -223,6 +282,12 @@ func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
 	}
 	if st.HostFailures == 0 {
 		return fmt.Errorf("the detector never failed machine %d", victim)
+	}
+	if st.Migrations == 0 {
+		return fmt.Errorf("the scripted migration never completed")
+	}
+	if ckpts == 0 {
+		return fmt.Errorf("no journal checkpoints were taken")
 	}
 	fmt.Println("lockstep: ok (every surviving guest agrees)")
 	return nil

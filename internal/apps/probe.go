@@ -1,6 +1,9 @@
 package apps
 
 import (
+	"encoding/binary"
+	"fmt"
+
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
@@ -118,6 +121,26 @@ func (a *BeaconApp) OnDiskDone(ctx guest.Ctx, d guest.DiskDone) {}
 
 // Bursts reports completed bursts.
 func (a *BeaconApp) Bursts() int64 { return a.bursts }
+
+// SnapshotAppend/RestoreSnapshot implement guest.Snapshotter: the burst
+// counter is the only mutable state (period, sizes and sink are
+// configuration the factory rebuilds identically), so beacon guests can be
+// checkpointed and restored without replaying their lifetime.
+func (a *BeaconApp) SnapshotAppend(buf []byte) []byte {
+	return binary.AppendVarint(buf, a.bursts)
+}
+
+// RestoreSnapshot implements guest.Snapshotter.
+func (a *BeaconApp) RestoreSnapshot(data []byte) error {
+	bursts, n := binary.Varint(data)
+	if n <= 0 || n != len(data) {
+		return fmt.Errorf("beacon snapshot: bad bursts varint")
+	}
+	a.bursts = bursts
+	return nil
+}
+
+var _ guest.Snapshotter = (*BeaconApp)(nil)
 
 // ProbeSource drives the attacker's inbound packet stream from outside the
 // cloud (e.g. a colluder, or just ambient traffic the attacker watches).

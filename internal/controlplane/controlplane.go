@@ -3,7 +3,8 @@
 // edges) and serves the guest lifecycle a real cloud needs.
 //
 // Every mutation is one value of the typed Op sum — AdmitOp, EvictOp,
-// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp — submitted
+// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp, MigrateOp —
+// submitted
 // through the single entry point Apply, which returns a structured Outcome
 // (typed result, per-phase barrier timings, affected guests, pool deltas),
 // appends it to the operations log (Log), and streams progress to Watch
@@ -83,6 +84,10 @@ type ControlPlane struct {
 	// Off by default — placement then ignores host telemetry entirely.
 	loadAware  bool
 	loadBudget sim.Time
+
+	// planned: one-move migration planning for infeasible placements
+	// (migrate.go). Off by default — rejections then match the seed exactly.
+	planned bool
 }
 
 // New builds a control plane over the cluster. The cluster must be in
@@ -177,6 +182,8 @@ func (cp *ControlPlane) apply(op Op, parent uint64) *Outcome {
 		cp.applyEvacuate(op, oc)
 	case RepairOp:
 		cp.applyRepair(op, oc)
+	case MigrateOp:
+		cp.applyMigrate(op, oc)
 	default:
 		cp.finish(oc, fmt.Errorf("%w: unknown op %T", ErrControlPlane, op))
 	}
@@ -226,6 +233,16 @@ func (cp *ControlPlane) applyAdmit(op AdmitOp, oc *Outcome) {
 	tri, err := cp.pool.Admit(id)
 	if err != nil {
 		if errors.Is(err, placement.ErrNoFeasibleHost) {
+			// A blocked admission may be one replica move away from feasible:
+			// plan that move and run it as a child MigrateOp, then retry.
+			if cp.planned {
+				if plan, ok := cp.pool.PlanAdmitMigration(id, cp.migrationAvoid); ok {
+					oc.setGuest(id)
+					cp.phase(oc, PhasePlan)
+					cp.admitAfterMigration(op, oc, plan)
+					return
+				}
+			}
 			cp.finish(oc, fmt.Errorf("%w: %v", ErrRejected, err))
 			return
 		}
@@ -326,32 +343,63 @@ func (cp *ControlPlane) applyReplace(op ReplaceOp, oc *Outcome) {
 		}
 		cp.phase(oc, PhaseQuiesce)
 		cp.refreshHostTelemetry()
-		newTri, newHost, err := cp.pool.Rehome(id, op.DeadHost)
-		if err != nil {
-			done(err)
-			return
-		}
-		cp.phase(oc, PhaseRehome)
-		if err := cp.c.ReplaceReplica(id, op.DeadHost, newHost); err != nil {
-			// Roll the pool back to the original triangle: the data plane
-			// still has the (dead) replica on op.DeadHost. The whole barrier
-			// step is one simulated instant, so the freed edges cannot
-			// have been claimed in between. A rollback failure leaves pool
-			// and cluster divergent — join it into the outcome so it is
-			// never swallowed; Verify() flags the divergence it leaves.
-			if _, rbErr := cp.pool.Release(id); rbErr != nil {
-				err = errors.Join(err, fmt.Errorf("rollback release %q: %w", id, rbErr))
-			} else if rbErr := cp.pool.AdmitTriangle(id, tri); rbErr != nil {
-				err = errors.Join(err, fmt.Errorf("rollback restore %q on %v: %w", id, tri, rbErr))
+		proceed := func(newTri placement.Triangle, newHost int) {
+			cp.phase(oc, PhaseRehome)
+			if err := cp.c.ReplaceReplica(id, op.DeadHost, newHost); err != nil {
+				// Roll the pool back to the original triangle: the data plane
+				// still has the (dead) replica on op.DeadHost. The whole barrier
+				// step is one simulated instant, so the freed edges cannot
+				// have been claimed in between. A rollback failure leaves pool
+				// and cluster divergent — join it into the outcome so it is
+				// never swallowed; Verify() flags the divergence it leaves.
+				if _, rbErr := cp.pool.Release(id); rbErr != nil {
+					err = errors.Join(err, fmt.Errorf("rollback release %q: %w", id, rbErr))
+				} else if rbErr := cp.pool.AdmitTriangle(id, tri); rbErr != nil {
+					err = errors.Join(err, fmt.Errorf("rollback restore %q on %v: %w", id, tri, rbErr))
+				}
+				done(err)
+				return
 			}
+			oc.Triangle = newTri
+			cp.phase(oc, PhaseReplace)
+			cp.c.Ingress().Resume(id)
+			cp.phase(oc, PhaseResume)
+			done(nil)
+		}
+		newTri, newHost, err := cp.pool.Rehome(id, op.DeadHost)
+		if err == nil {
+			proceed(newTri, newHost)
+			return
+		}
+		if !cp.planned || !errors.Is(err, placement.ErrNoFeasibleHost) {
 			done(err)
 			return
 		}
-		oc.Triangle = newTri
-		cp.phase(oc, PhaseReplace)
-		cp.c.Ingress().Resume(id)
-		cp.phase(oc, PhaseResume)
-		done(nil)
+		// No feasible host for the re-home, but perhaps one replica move
+		// away from one: plan the move, run it as a child MigrateOp (the
+		// guest stays paused and quiescent throughout — its ingress is shut
+		// and no new proposals can arrive), then retry the re-home.
+		plan, ok := cp.pool.PlanRehomeMigration(id, op.DeadHost, cp.migrationAvoid)
+		if !ok {
+			done(err)
+			return
+		}
+		cp.phase(oc, PhasePlan)
+		mig := MigrateOp{GuestID: plan.GuestID, From: plan.From, To: plan.To}
+		mig.Done = func(moc *Outcome) {
+			if moc.Err != nil {
+				done(errors.Join(err, fmt.Errorf("planned migration: %w", moc.Err)))
+				return
+			}
+			cp.refreshHostTelemetry()
+			nt, nh, rerr := cp.pool.Rehome(id, op.DeadHost)
+			if rerr != nil {
+				done(rerr)
+				return
+			}
+			proceed(nt, nh)
+		}
+		cp.apply(mig, oc.Seq)
 	}
 	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:drain", barrier)
 }

@@ -224,12 +224,13 @@ func TestReplaceReplicaValidation(t *testing.T) {
 	}
 }
 
-// TestReplaceReplicaRollbackRestoresPool drives the rollback path: on an
-// epoch-enabled cluster the data-plane switchover is guaranteed to fail
-// (core.ReplaceReplica refuses EpochInstr > 0) after the pool has already
-// re-homed, so the control plane must restore the original triangle, report
-// the failure (with any rollback error joined in, never swallowed), and
-// leave pool and cluster coherent under Verify.
+// TestReplaceReplicaRollbackRestoresPool drives the rollback path: the
+// machine the pool will pick as the replacement host is killed at the data
+// plane behind the control plane's back (core.FailMachine, no FailOp — the
+// pool never learns), so the switchover is guaranteed to fail after the
+// pool has already re-homed, and the control plane must restore the
+// original triangle, report the failure (with any rollback error joined in,
+// never swallowed), and leave pool and cluster coherent under Verify.
 func TestReplaceReplicaRollbackRestoresPool(t *testing.T) {
 	cfg := core.DefaultClusterConfig()
 	cfg.Seed = 67
@@ -251,6 +252,19 @@ func TestReplaceReplicaRollbackRestoresPool(t *testing.T) {
 	var result error
 	done := false
 	c.Loop().At(300*sim.Millisecond, "fail", func() {
+		// Rehome scans least-loaded-first with the index as tie-break, so it
+		// will pick the lowest-index non-member — kill that machine first.
+		off := 0
+		for h := 0; h < 7; h++ {
+			if !tri.Contains(h) {
+				off = h
+				break
+			}
+		}
+		if err := c.FailMachine(off); err != nil {
+			t.Error(err)
+			return
+		}
 		slot, _ := g.SlotOnHost(tri[0])
 		g.Replica(slot).Runtime().Stop()
 		if err := cp.ReplaceReplica("web", tri[0], func(err error) { result, done = err, true }); err != nil {

@@ -83,6 +83,11 @@ type Stats struct {
 	// CrashEvacuations and CrashEvacuationFailures count the per-resident
 	// moves EvacuateOps submitted off them.
 	HostFailures, CrashEvacuations, CrashEvacuationFailures int
+	// Migrations counts completed MigrateOps; MigrationFailures counts ones
+	// whose barrier ran but failed. MigrationsPlanned counts blocked
+	// Admit/Replace ops the planner produced a one-move plan for (PhasePlan
+	// reached), whether or not the plan ultimately unblocked them.
+	Migrations, MigrationFailures, MigrationsPlanned int
 }
 
 // Stats folds the operations log into decision counters, incrementally:
@@ -120,6 +125,9 @@ func FoldStats(entries []*Outcome) Stats {
 // for an in-flight one it is the partial view — retries so far, a drain
 // that has pulled capacity — and the caller re-folds it until it finishes.
 func accumulate(st *Stats, oc *Outcome) {
+	if _, planned := oc.PhaseAt(PhasePlan); planned {
+		st.MigrationsPlanned++
+	}
 	switch op := oc.Op.(type) {
 	case AdmitOp:
 		switch {
@@ -159,6 +167,18 @@ func accumulate(st *Stats, oc *Outcome) {
 			st.EvacuationFailures++
 		case causeCrash:
 			st.CrashEvacuationFailures++
+		}
+	case MigrateOp:
+		st.DrainRetries += oc.QuiesceRetries
+		if !oc.done {
+			break
+		}
+		if oc.Err == nil {
+			st.Migrations++
+			break
+		}
+		if len(oc.Phases) > 0 {
+			st.MigrationFailures++
 		}
 	case DrainOp:
 		if len(oc.Phases) > 0 {

@@ -2,7 +2,8 @@ package controlplane
 
 // The typed operation model. Every cluster mutation the control plane can
 // perform is one value of the Op sum — AdmitOp, EvictOp, ReplaceOp,
-// DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp — submitted through the
+// DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp, MigrateOp — submitted
+// through the
 // single ControlPlane.Apply entry point. Apply records each submission as
 // an Outcome in the append-only operations log (ControlPlane.Log) and
 // streams its progress to Watch subscribers, so lifecycle actions in the
@@ -32,6 +33,7 @@ const (
 	KindFail
 	KindEvacuate
 	KindRepair
+	KindMigrate
 )
 
 func (k OpKind) String() string {
@@ -52,6 +54,8 @@ func (k OpKind) String() string {
 		return "evacuate"
 	case KindRepair:
 		return "repair"
+	case KindMigrate:
+		return "migrate"
 	default:
 		return "?"
 	}
@@ -84,6 +88,10 @@ type AdmitOp struct {
 	GuestID string
 	// Factory builds one app instance per replica.
 	Factory func() guest.App
+	// Done, when non-nil, fires once the op completes. Admissions are
+	// synchronous — except under EnablePlannedMigration, where a blocked
+	// admission may first run a child MigrateOp and complete later.
+	Done func(*Outcome)
 }
 
 // Kind returns KindAdmit.
@@ -191,9 +199,33 @@ func (RepairOp) Kind() OpKind { return KindRepair }
 
 func (op RepairOp) String() string { return fmt.Sprintf("repair %d", op.Machine) }
 
+// MigrateOp moves guest GuestID's replica from host From onto host To — a
+// planned migration of a live replica through the same freeze + replacement
+// barrier a host drain uses (footnote 4: the frozen replica's VMM keeps
+// proposing, so the 3-proposal median never stalls, and the survivors are at
+// or past its instruction count by switchover). Submitted directly, or as a
+// child op when EnablePlannedMigration turns an infeasible Admit/Rehome into
+// a one-move plan.
+type MigrateOp struct {
+	GuestID  string
+	From, To int
+	// Done, when non-nil, fires once the op completes (including a
+	// synchronous validation rejection).
+	Done func(*Outcome)
+}
+
+// Kind returns KindMigrate.
+func (MigrateOp) Kind() OpKind { return KindMigrate }
+
+func (op MigrateOp) String() string {
+	return fmt.Sprintf("migrate %s %d->%d", op.GuestID, op.From, op.To)
+}
+
 // doneFn extracts an op's optional completion callback.
 func doneFn(op Op) func(*Outcome) {
 	switch op := op.(type) {
+	case AdmitOp:
+		return op.Done
 	case ReplaceOp:
 		return op.Done
 	case DrainOp:
@@ -201,6 +233,8 @@ func doneFn(op Op) func(*Outcome) {
 	case FailOp:
 		return op.Done
 	case EvacuateOp:
+		return op.Done
+	case MigrateOp:
 		return op.Done
 	default:
 		return nil
@@ -226,6 +260,7 @@ const (
 	PhaseUndrain     Phase = "undrain"     // undrain: capacity returned to the pool
 	PhaseReconfigure Phase = "reconfigure" // fail: live-quorum groups installed
 	PhaseEvacuate    Phase = "evacuate"    // drain/evacuate: resident moves started
+	PhasePlan        Phase = "plan"        // admit/replace: infeasible request got a migration plan
 )
 
 // PhaseTiming stamps when an operation reached a phase.

@@ -144,6 +144,12 @@ type Cluster struct {
 	// replica device model — current and future — as its proposal-
 	// resolution latency histogram (each replica gets its host shard's cell).
 	propLatency *metrics.ShardedHistogram
+
+	// journalGauges/replayLen, when non-nil (InstrumentMetrics), export
+	// per-guest journal telemetry (guests deployed later self-register) and
+	// the records replayed per replica replacement.
+	journalGauges *journalGaugeVecs
+	replayLen     *metrics.Histogram
 }
 
 // outWork is one deferred fabric send: the packet header and body held
@@ -606,6 +612,7 @@ func (c *Cluster) deployStopWatch(id string, hostIdx []int, factory func() guest
 		return nil, err
 	}
 	c.guests[id] = g
+	c.instrumentGuestJournal(g)
 	if c.started {
 		c.startGuest(g)
 	}
@@ -683,6 +690,14 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 	nd.OnResolve = g.journal
 	rt.OnPace = w
 	rt.OnSend = w
+	// Checkpointed journal (replay bounded by the checkpoint interval
+	// instead of the guest's lifetime) — on when configured and the app
+	// can snapshot.
+	if c.cfg.VMM.CheckpointInstr > 0 && rt.VM().CanSnapshot() {
+		if err := rt.EnableCheckpoints(g.journal, c.cfg.VMM.CheckpointInstr); err != nil {
+			return err
+		}
+	}
 	// Optional Sec. IV-A epoch re-synchronization.
 	if c.cfg.VMM.EpochInstr > 0 {
 		ec, err := vmm.NewEpochCoordinator(rt, c.cfg.VMM.EpochInstr, c.cfg.Replicas)
@@ -692,10 +707,13 @@ func (c *Cluster) wireReplica(g *Guest, k, hostIdx int, rt *vmm.Runtime) error {
 		ec.SendSample = func(epoch int64, s vtime.EpochSample) {
 			for _, dst := range w.peers {
 				p := c.net.AllocPacket(w.dom0, dst, 56, "swepoch", nil)
-				p.Body = netsim.PacketBody{Kind: netsim.BodyEpoch, GuestID: id, Epoch: epoch, Sample: s}
+				p.Body = netsim.PacketBody{Kind: netsim.BodyEpoch, GuestID: id, Origin: w.hostName, Epoch: epoch, Sample: s}
 				c.net.Send(p)
 			}
 		}
+		// Journal each applied adjustment's star so replacement replay
+		// re-fits the slope at the same boundaries (first write wins).
+		ec.OnAdjust = g.journal.RecordEpochStar
 		w.ec = ec
 		hn.epochs[id] = ec
 	}
@@ -766,6 +784,11 @@ func (c *Cluster) reconcileGroups(g *Guest) error {
 		// Install the live view last: it re-proposes pending sequences
 		// through the freshly repointed multicast group.
 		w.nd.SetLiveReplicas(g.view, liveNames)
+		// The epoch barrier completes against the same live set — a shrink
+		// unwedges survivors waiting on a dead member's sample.
+		if w.ec != nil {
+			w.ec.SetGroup(liveNames)
+		}
 	}
 	if err := c.egress.SetLiveReplicas(g.ID, len(liveDom0s)); err != nil {
 		return err
@@ -852,7 +875,7 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 		}
 	case "swepoch":
 		if ec, ok := hn.epochs[p.Body.GuestID]; ok {
-			ec.OnPeerSample(p.Body.Epoch, p.Body.Sample)
+			ec.OnPeerSample(p.Body.Origin, p.Body.Epoch, p.Body.Sample)
 		}
 	case "broadcast":
 		// Ambient subnet noise: costs Dom0 a little processing.

@@ -1,10 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"stopwatch/internal/apps"
+	"stopwatch/internal/guest"
+	"stopwatch/internal/netsim"
 	"stopwatch/internal/sim"
+	"stopwatch/internal/vtime"
 )
 
 // TestEpochResyncEndToEnd enables the optional Sec. IV-A epoch
@@ -74,5 +78,132 @@ func TestEpochResyncEndToEnd(t *testing.T) {
 	}
 	if maxAdj-minAdj > 1 {
 		t.Fatalf("epoch adjustment counts diverged: %d..%d", minAdj, maxAdj)
+	}
+}
+
+// TestEpochReplacementLockstepProperty is the epoch-compatible replacement
+// property: across seeds, with and without checkpointed journals, a guest
+// running under Sec. IV-A epoch re-synchronization whose replica crashes
+// mid-traffic is replaced through the quiesce barrier and ends in lockstep,
+// with epoch adjustment counts still consistent — the regime the journal
+// replay path used to reject outright (`EpochInstr > 0` was an error).
+func TestEpochReplacementLockstepProperty(t *testing.T) {
+	for _, seed := range []uint64{3, 5, 9} {
+		for _, ckpt := range []int64{0, 4_000_000} {
+			t.Run(fmt.Sprintf("seed%d_ckpt%d", seed, ckpt), func(t *testing.T) {
+				cfg := DefaultClusterConfig()
+				cfg.Seed = seed
+				cfg.Hosts = 5
+				// ~50ms of virtual time per epoch (the end-to-end test's
+				// cadence): the run crosses tens of barriers, several of
+				// them around the replacement window.
+				cfg.VMM.EpochInstr = 50_000_000
+				cfg.VMM.CheckpointInstr = ckpt
+				c := mustCluster(t, cfg)
+				g, err := c.Deploy("web", []int{0, 1, 2}, func() guest.App {
+					b := apps.NewBeaconApp(vtime.Virtual(3 * sim.Millisecond))
+					// No disk: under epoch mode, disk-heavy bursts push a
+					// replica's clock past median-agreed ping deliveries
+					// (counted as divergences) even without any crash.
+					b.DiskBytes = 0
+					b.Sink = "sink"
+					return b
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Net().Attach(&netsim.FuncNode{Addr: "sink", Fn: func(*netsim.Packet) {}}); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Net().Attach(&netsim.FuncNode{Addr: "probe", Fn: func(*netsim.Packet) {}}); err != nil {
+					t.Fatal(err)
+				}
+				c.Start()
+				// Inbound pings keep resolved deliveries flowing into the
+				// journal across the crash and the replacement.
+				var ping func()
+				ping = func() {
+					if c.Loop().Now() >= 1500*sim.Millisecond {
+						return
+					}
+					c.Net().Send(&netsim.Packet{Src: "probe", Dst: ServiceAddr("web"), Size: 128, Kind: "ping"})
+					c.Loop().After(10*sim.Millisecond, "ping", ping)
+				}
+				c.Loop().At(30*sim.Millisecond, "ping", ping)
+
+				c.Loop().At(300*sim.Millisecond, "kill", func() { g.Replica(1).Runtime().Stop() })
+				replaced := false
+				attempts := 0
+				var tryReplace func()
+				tryReplace = func() {
+					attempts++
+					if !c.GuestQuiescent("web") {
+						if attempts > 100 {
+							t.Error("guest never quiesced for replacement")
+							c.Stop()
+							return
+						}
+						c.Loop().After(20*sim.Millisecond, "replace:retry", tryReplace)
+						return
+					}
+					if err := c.ReplaceReplica("web", 1, 3); err != nil {
+						t.Errorf("ReplaceReplica under epochs: %v", err)
+						c.Stop()
+						return
+					}
+					c.Ingress().Resume("web")
+					replaced = true
+				}
+				c.Loop().At(400*sim.Millisecond, "replace", func() {
+					c.Ingress().Pause("web")
+					c.Loop().After(50*sim.Millisecond, "replace:try", tryReplace)
+				})
+				if err := c.Run(2 * sim.Second); err != nil {
+					t.Fatal(err)
+				}
+				if !replaced {
+					t.Fatal("replacement never happened")
+				}
+				fresh := g.Replica(1)
+				if fresh.Epoch() == nil {
+					t.Fatal("replacement replica has no epoch coordinator")
+				}
+				if err := g.CheckLockstepPrefix(); err != nil {
+					t.Fatal(err)
+				}
+				if g.Divergences() != 0 {
+					t.Fatalf("divergences: %d", g.Divergences())
+				}
+				// The replacement kept adjusting epochs in lockstep with the
+				// survivors after the switchover.
+				minAdj, maxAdj := -1, -1
+				for _, r := range g.Replicas() {
+					a := r.Epoch().Adjustments()
+					if minAdj < 0 || a < minAdj {
+						minAdj = a
+					}
+					if a > maxAdj {
+						maxAdj = a
+					}
+				}
+				if minAdj < 5 {
+					t.Fatalf("too few epoch adjustments: %d", minAdj)
+				}
+				if maxAdj-minAdj > 1 {
+					t.Fatalf("epoch adjustment counts diverged: %d..%d", minAdj, maxAdj)
+				}
+				if st := fresh.Runtime().Stats(); ckpt > 0 {
+					// Checkpointing must have engaged and bounded the replay.
+					if g.JournalStats().Checkpoints == 0 {
+						t.Fatal("no checkpoints taken")
+					}
+					if st.RestoredInstr == 0 {
+						t.Fatal("replacement did not restore from a checkpoint")
+					}
+				} else if st.RestoredInstr != 0 {
+					t.Fatal("checkpointing off, yet replay restored a checkpoint")
+				}
+			})
+		}
 	}
 }

@@ -101,9 +101,6 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	if g.Baseline != nil {
 		return fmt.Errorf("%w: baseline guests have no replicas to replace", ErrCluster)
 	}
-	if c.cfg.VMM.EpochInstr > 0 {
-		return fmt.Errorf("%w: replica replacement requires epoch re-sync disabled", ErrCluster)
-	}
 	if newHost < 0 || newHost >= len(c.hosts) {
 		return fmt.Errorf("%w: host index %d out of range", ErrCluster, newHost)
 	}
@@ -146,10 +143,12 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	// the guest's inbound path alive in the crashed-guest regime). The
 	// target is the most advanced survivor's instruction count (replicas
 	// differ only in real-time skew; any exit point is a consistent state).
-	target := survivors[0].rt.Instr()
+	donor := survivors[0]
+	target := donor.rt.Instr()
 	for _, w := range survivors[1:] {
 		if w.rt.Instr() > target {
 			target = w.rt.Instr()
+			donor = w
 		}
 	}
 	rt, err := vmm.NewReplacementRuntime(c.hosts[newHost], id, g.factory(), g.boots, g.journal, target)
@@ -192,6 +191,13 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 	if err := c.reconcileGroups(g); err != nil {
 		return err
 	}
+	// Under epoch re-sync the replacement's coordinator resumes at the
+	// restored clock's epoch, adopting the most advanced survivor's pending
+	// samples — and, when replay stopped exactly at a barrier the survivors
+	// are still holding, sampling and joining it before the runtime starts.
+	if fresh.ec != nil {
+		fresh.ec.RestoreAt(donor.ec)
+	}
 	// Free the crash window's forwarded output groups: for sequences up to
 	// the replayed send count the third copy will never arrive (the dead
 	// replica is gone and the replacement suppresses replayed sends). A
@@ -204,6 +210,9 @@ func (c *Cluster) ReplaceReplica(id string, deadHost, newHost int) error {
 		c.egress.ReclaimForwardedUpTo(id, boundary)
 	})
 	g.Replaced++
+	if c.replayLen != nil {
+		c.replayLen.Observe(int64(fresh.rt.Stats().ReplayedRecords))
+	}
 	if c.started {
 		fresh.rt.Start()
 	}

@@ -100,6 +100,16 @@ func (g *Guest) SlotOnHost(hostIdx int) (int, bool) {
 	return 0, false
 }
 
+// JournalStats returns the guest's determinism-journal telemetry: retained
+// records and bytes, checkpoint progress, and what truncation has dropped.
+// Baseline guests keep no journal and return the zero snapshot.
+func (g *Guest) JournalStats() vmm.JournalStats {
+	if g.journal == nil {
+		return vmm.JournalStats{}
+	}
+	return g.journal.Stats()
+}
+
 // App returns replica i's app instance (the single app for baseline).
 func (g *Guest) App(i int) guest.App {
 	if g.Baseline != nil {

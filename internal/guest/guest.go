@@ -87,6 +87,22 @@ type App interface {
 	OnTimer(ctx Ctx, tag string)
 }
 
+// Snapshotter is an optional App extension: apps that implement it can be
+// checkpointed, letting the VMM truncate determinism journals and restore
+// replacement replicas from the last checkpoint instead of replaying the
+// guest's whole lifetime. The encoding is the app's own; it only has to be
+// a deterministic function of app state (identical across replicas at
+// identical instruction counts) and round-trip through RestoreSnapshot.
+type Snapshotter interface {
+	// SnapshotAppend appends an encoding of the app's current state to buf
+	// and returns the extended slice (append-style, so callers can pool the
+	// buffer across checkpoints).
+	SnapshotAppend(buf []byte) []byte
+	// RestoreSnapshot rebuilds the app's state from an encoding produced by
+	// SnapshotAppend on a replica at the same instruction count.
+	RestoreSnapshot(data []byte) error
+}
+
 // opKind enumerates queued operations.
 type opKind int
 
@@ -481,3 +497,112 @@ func (l *OutputLog) Len() int { return l.n }
 
 // Digest returns the rolling FNV-64 digest.
 func (l *OutputLog) Digest() uint64 { return l.digest }
+
+// VMSnapshot is a point-in-time copy of a VM's logical state, taken at a VM
+// exit: the op queue, armed timers, output-sequence counter, stats, output
+// log (count, rolling digest, retained history ring) and the app's own
+// encoded state. Snapshots are value-copied structured state, not byte
+// serializations — checkpointing is in-process. The zero value is ready;
+// SnapshotInto reuses its slices across captures so steady-state
+// checkpointing does not allocate.
+type VMSnapshot struct {
+	sendSeq uint64
+	booted  bool
+	stats   Stats
+	ops     []op
+	timers  []pendingTimer
+	logN    int
+	logDig  uint64
+	logHist []uint64
+	app     []byte
+	valid   bool
+}
+
+// Valid reports whether the snapshot holds a captured state.
+func (s *VMSnapshot) Valid() bool { return s.valid }
+
+// Outputs returns the output-log length at capture time.
+func (s *VMSnapshot) Outputs() int { return s.logN }
+
+// SizeBytes estimates the snapshot's retained size — the journal-bytes
+// accounting unit for checkpoint telemetry.
+func (s *VMSnapshot) SizeBytes() int {
+	const opSize, timerSize = 64, 24
+	return len(s.ops)*opSize + len(s.timers)*timerSize + len(s.logHist)*8 + len(s.app) + 64
+}
+
+// CopyFrom deep-copies src into s, reusing s's slices.
+func (s *VMSnapshot) CopyFrom(src *VMSnapshot) {
+	s.sendSeq = src.sendSeq
+	s.booted = src.booted
+	s.stats = src.stats
+	s.ops = append(s.ops[:0], src.ops...)
+	s.timers = append(s.timers[:0], src.timers...)
+	s.logN = src.logN
+	s.logDig = src.logDig
+	s.logHist = append(s.logHist[:0], src.logHist...)
+	s.app = append(s.app[:0], src.app...)
+	s.valid = src.valid
+}
+
+// CanSnapshot reports whether the hosted app supports checkpointing.
+func (vm *VM) CanSnapshot() bool {
+	_, ok := vm.app.(Snapshotter)
+	return ok
+}
+
+// SnapshotInto captures the VM's state into snap, reusing snap's slices.
+// Must be called at a VM exit (never from inside an App callback). Fails if
+// the app does not implement Snapshotter.
+func (vm *VM) SnapshotInto(snap *VMSnapshot) error {
+	sn, ok := vm.app.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: app %T is not a Snapshotter", ErrGuest, vm.app)
+	}
+	snap.sendSeq = vm.sendSeq
+	snap.booted = vm.booted
+	snap.stats = vm.stats
+	snap.ops = append(snap.ops[:0], vm.ops...)
+	snap.timers = append(snap.timers[:0], vm.timers...)
+	snap.logN = vm.outLog.n
+	snap.logDig = vm.outLog.digest
+	snap.logHist = append(snap.logHist[:0], vm.outLog.hist...)
+	snap.app = sn.SnapshotAppend(snap.app[:0])
+	snap.valid = true
+	return nil
+}
+
+// RestoreSnapshot rebuilds the VM's state from a snapshot captured on a
+// replica of the same guest. The VM must not have booted; after restore it
+// is in the exact logical state the snapshotted replica was in at capture,
+// and replaying the same interrupt schedule reproduces its outputs
+// digest-identically.
+func (vm *VM) RestoreSnapshot(snap *VMSnapshot) error {
+	if !snap.valid {
+		return fmt.Errorf("%w: empty snapshot", ErrGuest)
+	}
+	if vm.booted {
+		return fmt.Errorf("%w: restore into a booted VM", ErrGuest)
+	}
+	sn, ok := vm.app.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("%w: app %T is not a Snapshotter", ErrGuest, vm.app)
+	}
+	if err := sn.RestoreSnapshot(snap.app); err != nil {
+		return fmt.Errorf("guest %s: restore app: %w", vm.id, err)
+	}
+	vm.sendSeq = snap.sendSeq
+	vm.booted = snap.booted
+	vm.stats = snap.stats
+	vm.ops = append(vm.ops[:0], snap.ops...)
+	vm.timers = append(vm.timers[:0], snap.timers...)
+	vm.outLog.n = snap.logN
+	vm.outLog.digest = snap.logDig
+	if len(snap.logHist) > 0 {
+		if vm.outLog.hist == nil {
+			vm.outLog.hist = make([]uint64, digestHistory)
+		}
+		copy(vm.outLog.hist, snap.logHist)
+	}
+	return nil
+}

@@ -295,6 +295,18 @@ func (p *Pool) Admit(id string) (Triangle, error) {
 	if _, dup := p.tris[id]; dup {
 		return Triangle{}, fmt.Errorf("%w: guest %q already resident", ErrPlacement, id)
 	}
+	t, ok := p.findTriangle()
+	if !ok {
+		return Triangle{}, &infeasibleError{verb: "admit", id: id}
+	}
+	p.commit(id, t)
+	return t, nil
+}
+
+// findTriangle scans for the least-loaded edge-disjoint triangle with spare
+// capacity — Admit's placement decision, shared with the migration planner's
+// dry runs.
+func (p *Pool) findTriangle() (Triangle, bool) {
 	order := p.hostOrder()
 	for ia, a := range order {
 		if p.hostFull(a) {
@@ -310,13 +322,11 @@ func (p *Pool) Admit(id string) (Triangle, error) {
 				if p.hostFull(c) || p.edgeUsed(a, c) || p.edgeUsed(b, c) {
 					continue
 				}
-				t := Triangle{a, b, c}.normalize()
-				p.commit(id, t)
-				return t, nil
+				return Triangle{a, b, c}.normalize(), true
 			}
 		}
 	}
-	return Triangle{}, &infeasibleError{verb: "admit", id: id}
+	return Triangle{}, false
 }
 
 // infeasibleError is the typed no-feasible-host failure. A full pool makes
@@ -419,26 +429,174 @@ func (p *Pool) Rehome(id string, dead int) (Triangle, int, error) {
 		return Triangle{}, 0, fmt.Errorf("%w: guest %q has no replica on machine %d", ErrPlacement, id, dead)
 	}
 	s1, s2 := t[(slot+1)%3], t[(slot+2)%3]
-	for _, h := range p.hostOrder() {
-		if h == dead || h == s1 || h == s2 || p.hostFull(h) {
-			continue
-		}
-		if p.edgeUsed(s1, h) || p.edgeUsed(s2, h) {
-			continue
-		}
-		// Free the dead replica's two edges and capacity, claim the new ones.
-		delete(p.used, poolEdge(s1, dead))
-		delete(p.used, poolEdge(s2, dead))
-		p.load[dead]--
-		nt := Triangle{s1, s2, h}.normalize()
-		for _, e := range nt.edges() {
-			p.used[e] = id
-		}
-		p.load[h]++
-		p.tris[id] = nt
-		return nt, h, nil
+	h, ok := p.findRehomeHost(s1, s2, dead)
+	if !ok {
+		return Triangle{}, 0, fmt.Errorf("rehome %q off machine %d: %w", id, dead, ErrNoFeasibleHost)
 	}
-	return Triangle{}, 0, fmt.Errorf("rehome %q off machine %d: %w", id, dead, ErrNoFeasibleHost)
+	p.moveReplica(id, dead, h)
+	return p.tris[id], h, nil
+}
+
+// findRehomeHost scans for a machine that can take a replica alongside
+// survivors s1 and s2 (the dead machine excluded) — Rehome's placement
+// decision, shared with the migration planner's dry runs.
+func (p *Pool) findRehomeHost(s1, s2, dead int) (int, bool) {
+	for _, h := range p.hostOrder() {
+		if h == dead || !p.canPlace(h, s1, s2) {
+			continue
+		}
+		return h, true
+	}
+	return 0, false
+}
+
+// canPlace reports whether machine h can host a replica alongside survivors
+// s1 and s2: not one of them, not full, and both new edges free.
+func (p *Pool) canPlace(h, s1, s2 int) bool {
+	return h != s1 && h != s2 && !p.hostFull(h) &&
+		!p.edgeUsed(s1, h) && !p.edgeUsed(s2, h)
+}
+
+// moveReplica moves guest id's replica from machine `from` to machine `to`
+// without feasibility checks — the caller has established them (or is
+// reverting a speculative move, which is always legal: the freed edges and
+// capacity are exactly the ones the forward move claimed).
+func (p *Pool) moveReplica(id string, from, to int) {
+	t := p.tris[id]
+	slot := 0
+	for i, v := range t {
+		if v == from {
+			slot = i
+		}
+	}
+	s1, s2 := t[(slot+1)%3], t[(slot+2)%3]
+	delete(p.used, poolEdge(s1, from))
+	delete(p.used, poolEdge(s2, from))
+	p.load[from]--
+	nt := Triangle{s1, s2, to}.normalize()
+	for _, e := range nt.edges() {
+		p.used[e] = id
+	}
+	p.load[to]++
+	p.tris[id] = nt
+}
+
+// RehomeTo moves guest id's replica from machine `from` onto the pinned
+// machine `to` — the planned-migration analogue of Rehome, where the
+// destination was chosen by the planner instead of scanned for. It fails
+// with ErrNoFeasibleHost when the pinned destination cannot take the replica
+// (full, gated, drained, or an edge to a survivor is occupied).
+func (p *Pool) RehomeTo(id string, from, to int) (Triangle, error) {
+	t, ok := p.tris[id]
+	if !ok {
+		return Triangle{}, fmt.Errorf("%w: guest %q not resident", ErrPlacement, id)
+	}
+	slot := -1
+	for i, v := range t {
+		if v == from {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		return Triangle{}, fmt.Errorf("%w: guest %q has no replica on machine %d", ErrPlacement, id, from)
+	}
+	if to < 0 || to >= p.n {
+		return Triangle{}, fmt.Errorf("%w: machine %d out of range", ErrPlacement, to)
+	}
+	s1, s2 := t[(slot+1)%3], t[(slot+2)%3]
+	if to == from || !p.canPlace(to, s1, s2) {
+		return Triangle{}, fmt.Errorf("migrate %q %d→%d: %w", id, from, to, ErrNoFeasibleHost)
+	}
+	p.moveReplica(id, from, to)
+	return p.tris[id], nil
+}
+
+// MigrationPlan is a single planned replica move that unblocks an otherwise
+// infeasible placement request: move GuestID's replica From → To, then retry.
+type MigrationPlan struct {
+	GuestID  string
+	From, To int
+}
+
+// PlanAdmitMigration searches for a one-move migration after which Admit(id)
+// would succeed. Candidate donor guests are scanned in sorted-id order and
+// destinations least-loaded first, so the plan is deterministic; avoid (when
+// non-nil) excludes guests the caller cannot move (e.g. mid-operation). The
+// pool is left unchanged — the move is speculative, applied and reverted.
+func (p *Pool) PlanAdmitMigration(id string, avoid func(string) bool) (MigrationPlan, bool) {
+	if id == "" {
+		return MigrationPlan{}, false
+	}
+	if _, dup := p.tris[id]; dup {
+		return MigrationPlan{}, false
+	}
+	order := append([]int(nil), p.hostOrder()...)
+	for _, mid := range p.IDs() {
+		if avoid != nil && avoid(mid) {
+			continue
+		}
+		t := p.tris[mid]
+		for si := 0; si < 3; si++ {
+			from := t[si]
+			m1, m2 := t[(si+1)%3], t[(si+2)%3]
+			for _, to := range order {
+				if to == from || !p.canPlace(to, m1, m2) {
+					continue
+				}
+				p.moveReplica(mid, from, to)
+				_, feasible := p.findTriangle()
+				p.moveReplica(mid, to, from)
+				if feasible {
+					return MigrationPlan{GuestID: mid, From: from, To: to}, true
+				}
+			}
+		}
+	}
+	return MigrationPlan{}, false
+}
+
+// PlanRehomeMigration searches for a one-move migration of some other guest
+// after which Rehome(id, dead) would succeed — the recovery analogue of
+// PlanAdmitMigration, for a crashed replica that cannot be re-homed in the
+// current packing. The dead machine is excluded as a destination.
+func (p *Pool) PlanRehomeMigration(id string, dead int, avoid func(string) bool) (MigrationPlan, bool) {
+	t, ok := p.tris[id]
+	if !ok {
+		return MigrationPlan{}, false
+	}
+	slot := -1
+	for i, v := range t {
+		if v == dead {
+			slot = i
+		}
+	}
+	if slot < 0 {
+		return MigrationPlan{}, false
+	}
+	s1, s2 := t[(slot+1)%3], t[(slot+2)%3]
+	order := append([]int(nil), p.hostOrder()...)
+	for _, mid := range p.IDs() {
+		if mid == id || (avoid != nil && avoid(mid)) {
+			continue
+		}
+		mt := p.tris[mid]
+		for si := 0; si < 3; si++ {
+			from := mt[si]
+			m1, m2 := mt[(si+1)%3], mt[(si+2)%3]
+			for _, to := range order {
+				if to == dead || to == from || !p.canPlace(to, m1, m2) {
+					continue
+				}
+				p.moveReplica(mid, from, to)
+				_, feasible := p.findRehomeHost(s1, s2, dead)
+				p.moveReplica(mid, to, from)
+				if feasible {
+					return MigrationPlan{GuestID: mid, From: from, To: to}, true
+				}
+			}
+		}
+	}
+	return MigrationPlan{}, false
 }
 
 // IDs returns the resident guest ids in sorted order.

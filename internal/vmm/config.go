@@ -78,6 +78,14 @@ type Config struct {
 	// re-synchronization of virtual and real time every EpochInstr branches
 	// (Sec. IV-A).
 	EpochInstr int64
+
+	// CheckpointInstr, when positive, makes each replica whose app supports
+	// snapshotting (guest.Snapshotter) capture a checkpoint into the guest's
+	// determinism journal every CheckpointInstr branches. The journal then
+	// truncates its pre-checkpoint prefix, bounding replacement replay work
+	// by the checkpoint interval instead of the guest's lifetime. Must be a
+	// multiple of ExitEvery, like EpochInstr.
+	CheckpointInstr int64
 }
 
 // DefaultConfig returns the tunables used throughout the reproduction.
@@ -135,6 +143,11 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: disk params", ErrVMM)
 	case c.EpochInstr < 0:
 		return fmt.Errorf("%w: EpochInstr %d", ErrVMM, c.EpochInstr)
+	case c.CheckpointInstr < 0:
+		return fmt.Errorf("%w: CheckpointInstr %d", ErrVMM, c.CheckpointInstr)
+	case c.CheckpointInstr > 0 && c.CheckpointInstr%c.ExitEvery != 0:
+		return fmt.Errorf("%w: CheckpointInstr %d must be a multiple of ExitEvery %d",
+			ErrVMM, c.CheckpointInstr, c.ExitEvery)
 	}
 	return nil
 }

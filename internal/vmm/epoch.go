@@ -18,28 +18,46 @@ import (
 // Determinism demands that all replicas apply the adjustment at the same
 // instruction count with the same sample set, so the epoch boundary is a
 // barrier: a replica reaching it pauses (in real time — virtual time is
-// unaffected) until every peer's sample for that epoch has arrived.
+// unaffected) until every group member's sample for that epoch has arrived.
+//
+// Samples are keyed by origin (the sampling replica's host name), and the
+// barrier completes against the current replica group — the same
+// origin-keyed, group-scoped discipline the proposal path uses. That makes
+// the sample set immune to duplicate deliveries, lets the cluster shrink
+// the group when a member dies (SetGroup unwedges survivors waiting on a
+// corpse's sample), and lets a replacement replica adopt the survivors'
+// pending samples and join an in-progress barrier (RestoreAt).
 
 // EpochCoordinator manages epoch sampling and barrier synchronization for
 // one replica runtime.
 type EpochCoordinator struct {
 	rt       *Runtime
-	interval int64 // instructions per epoch
-	replicas int
+	interval int64  // instructions per epoch
+	replicas int    // fallback barrier width until SetGroup
+	self     string // this replica's origin key (host name)
 
 	epoch      int64 // current epoch index (0-based)
 	epochStart sim.Time
-	samples    map[int64][]vtime.EpochSample // keyed by epoch index
+	samples    map[int64]map[string]vtime.EpochSample // epoch → origin → sample
+	group      []string                               // live origins; empty until SetGroup
 	waiting    bool
 
 	// SendSample broadcasts this replica's sample for an epoch (wired by
-	// the cluster to the peer coordinators).
+	// the cluster to the peer coordinators; the fabric carries the origin).
 	SendSample func(epoch int64, s vtime.EpochSample)
+	// OnAdjust, when set, observes each applied adjustment's selected star
+	// sample — the journaling hook replacement replay re-fits from.
+	OnAdjust func(epoch int64, star vtime.EpochSample)
 
 	adjustments int
+
+	// scratch backs the per-adjustment sample sort.
+	scratch []vtime.EpochSample
 }
 
-// NewEpochCoordinator attaches epoch re-synchronization to a runtime.
+// NewEpochCoordinator attaches epoch re-synchronization to a runtime. The
+// runtime's host name keys this replica's samples; until SetGroup installs
+// explicit membership, a barrier completes at `replicas` distinct origins.
 func NewEpochCoordinator(rt *Runtime, interval int64, replicas int) (*EpochCoordinator, error) {
 	if rt == nil {
 		return nil, fmt.Errorf("%w: nil runtime", ErrVMM)
@@ -55,7 +73,8 @@ func NewEpochCoordinator(rt *Runtime, interval int64, replicas int) (*EpochCoord
 		rt:       rt,
 		interval: interval,
 		replicas: replicas,
-		samples:  make(map[int64][]vtime.EpochSample),
+		self:     rt.Host().Name(),
+		samples:  make(map[int64]map[string]vtime.EpochSample),
 	}
 	ec.epochStart = rt.Host().Loop().Now()
 	rt.epochHook = ec.onExit
@@ -65,6 +84,23 @@ func NewEpochCoordinator(rt *Runtime, interval int64, replicas int) (*EpochCoord
 
 // Adjustments reports how many epoch adjustments have been applied.
 func (ec *EpochCoordinator) Adjustments() int { return ec.adjustments }
+
+// Epoch returns the current epoch index.
+func (ec *EpochCoordinator) Epoch() int64 { return ec.epoch }
+
+// Waiting reports whether the replica is held at an epoch barrier.
+func (ec *EpochCoordinator) Waiting() bool { return ec.waiting }
+
+// SetGroup installs the live replica group (origins, self included). Called
+// by the cluster whenever membership changes; a shrink re-evaluates the
+// barrier, so survivors waiting on a dead member's sample unwedge
+// deterministically.
+func (ec *EpochCoordinator) SetGroup(origins []string) {
+	ec.group = append(ec.group[:0], origins...)
+	if ec.waiting && ec.tryAdjust() && !ec.rt.tooFarAhead() {
+		ec.rt.ex.resume()
+	}
+}
 
 // onExit is called by the runtime at every guest-caused exit, after instr
 // has advanced. It returns true when the runtime must pause at a barrier.
@@ -80,7 +116,7 @@ func (ec *EpochCoordinator) onExit(instr int64) bool {
 			D: now - ec.epochStart,
 			R: ec.rt.Host().Clock().Read(now),
 		}
-		ec.addSample(ec.epoch, s)
+		ec.addSample(ec.self, ec.epoch, s)
 		if ec.SendSample != nil {
 			ec.SendSample(ec.epoch, s)
 		}
@@ -91,40 +127,84 @@ func (ec *EpochCoordinator) onExit(instr int64) bool {
 // OnPeerSample records a peer's epoch sample and, if the barrier is
 // complete and this replica is waiting at it, resumes execution (unless
 // pacing still holds it back).
-func (ec *EpochCoordinator) OnPeerSample(epoch int64, s vtime.EpochSample) {
-	ec.addSample(epoch, s)
+func (ec *EpochCoordinator) OnPeerSample(origin string, epoch int64, s vtime.EpochSample) {
+	ec.addSample(origin, epoch, s)
 	if ec.waiting && ec.tryAdjust() && !ec.rt.tooFarAhead() {
 		ec.rt.ex.resume()
 	}
 }
 
-func (ec *EpochCoordinator) addSample(epoch int64, s vtime.EpochSample) {
+func (ec *EpochCoordinator) addSample(origin string, epoch int64, s vtime.EpochSample) {
 	if epoch < ec.epoch {
 		return // stale
 	}
-	ec.samples[epoch] = append(ec.samples[epoch], s)
+	m := ec.samples[epoch]
+	if m == nil {
+		m = make(map[string]vtime.EpochSample)
+		ec.samples[epoch] = m
+	}
+	if _, dup := m[origin]; dup {
+		return // first write wins; replicas send identical values anyway
+	}
+	m[origin] = s
+}
+
+// barrierSamples collects the current epoch's samples for the live group
+// into ec.scratch, reporting whether the barrier is complete. With explicit
+// membership, completeness means a sample from every live origin; before
+// SetGroup it falls back to `replicas` distinct origins (order-insensitive
+// either way, so arrival order cannot skew the median).
+func (ec *EpochCoordinator) barrierSamples() bool {
+	got := ec.samples[ec.epoch]
+	ec.scratch = ec.scratch[:0]
+	if len(ec.group) > 0 {
+		for _, o := range ec.group {
+			s, ok := got[o]
+			if !ok {
+				return false
+			}
+			ec.scratch = append(ec.scratch, s)
+		}
+		return true
+	}
+	if len(got) < ec.replicas {
+		return false
+	}
+	for _, s := range got {
+		ec.scratch = append(ec.scratch, s)
+	}
+	// Deterministic order for the map-collected fallback.
+	sort.Slice(ec.scratch, func(i, j int) bool {
+		if ec.scratch[i].R != ec.scratch[j].R {
+			return ec.scratch[i].R < ec.scratch[j].R
+		}
+		return ec.scratch[i].D < ec.scratch[j].D
+	})
+	ec.scratch = ec.scratch[:ec.replicas]
+	return true
 }
 
 // tryAdjust applies the epoch adjustment when all samples are in. It
 // returns true when the barrier is released.
 func (ec *EpochCoordinator) tryAdjust() bool {
-	got := ec.samples[ec.epoch]
-	if len(got) < ec.replicas {
+	if !ec.barrierSamples() {
 		return false
 	}
-	// Deterministic sample order across replicas.
-	s := make([]vtime.EpochSample, ec.replicas)
-	copy(s, got[:ec.replicas])
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].R != s[j].R {
-			return s[i].R < s[j].R
-		}
-		return s[i].D < s[j].D
-	})
+	s := ec.scratch
 	if err := ec.rt.vclock.AdjustEpoch(ec.interval, s); err != nil {
 		// Cannot happen with validated parameters; drop the epoch rather
 		// than diverge silently.
 		return true
+	}
+	if ec.OnAdjust != nil {
+		// Recompute the star AdjustEpoch selected (same sort, same pick).
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].R != s[j].R {
+				return s[i].R < s[j].R
+			}
+			return s[i].D < s[j].D
+		})
+		ec.OnAdjust(ec.epoch, s[len(s)/2])
 	}
 	ec.adjustments++
 	delete(ec.samples, ec.epoch)
@@ -132,4 +212,37 @@ func (ec *EpochCoordinator) tryAdjust() bool {
 	ec.epochStart = ec.rt.Host().Loop().Now()
 	ec.waiting = false
 	return true
+}
+
+// RestoreAt primes a replacement replica's coordinator after journal
+// replay: the epoch index is read off the restored clock, pending samples
+// for the in-progress epoch are adopted from a surviving donor, and — when
+// replay stopped exactly at a boundary whose star the survivors are still
+// waiting to resolve — this replica samples, broadcasts, and joins the
+// barrier (starting paused if the barrier stays incomplete, exactly like a
+// survivor that reached the boundary live).
+//
+// Must be called after the cluster has wired SendSample and installed the
+// post-replacement group, and before Runtime.Start.
+func (ec *EpochCoordinator) RestoreAt(donor *EpochCoordinator) {
+	ec.epoch = ec.rt.vclock.EpochBase() / ec.interval
+	ec.adjustments = int(ec.epoch)
+	now := ec.rt.Host().Loop().Now()
+	ec.epochStart = now
+	if donor != nil {
+		for origin, s := range donor.samples[ec.epoch] {
+			ec.addSample(origin, ec.epoch, s)
+		}
+	}
+	if ec.rt.Instr() >= (ec.epoch+1)*ec.interval {
+		ec.waiting = true
+		s := vtime.EpochSample{D: 0, R: ec.rt.Host().Clock().Read(now)}
+		ec.addSample(ec.self, ec.epoch, s)
+		if ec.SendSample != nil {
+			ec.SendSample(ec.epoch, s)
+		}
+		if !ec.tryAdjust() {
+			ec.rt.ex.pause()
+		}
+	}
 }

@@ -43,13 +43,14 @@ func buildEpochSet(t *testing.T, interval int64) (*sim.Loop, []*Runtime, []*Epoc
 	}
 	for i := range ecs {
 		i := i
+		origin := rts[i].Host().Name()
 		ecs[i].SendSample = func(epoch int64, s vtime.EpochSample) {
 			for j := range ecs {
 				if j == i {
 					continue
 				}
 				j := j
-				loop.After(300*sim.Microsecond, "epoch:sample", func() { ecs[j].OnPeerSample(epoch, s) })
+				loop.After(300*sim.Microsecond, "epoch:sample", func() { ecs[j].OnPeerSample(origin, epoch, s) })
 			}
 		}
 	}

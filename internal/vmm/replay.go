@@ -29,11 +29,13 @@ type JournalRecord struct {
 }
 
 // Journal is a guest's determinism log: every resolved network-interrupt
-// delivery since boot. Replicas resolve identical medians, so the journal
-// is replica-independent; the cluster records it once per guest and replica
-// replacement replays it. Disk and timer interrupts need no journal — their
-// delivery times are pure functions of the instruction stream (V+Δd and the
-// virtual PIT).
+// delivery since the last checkpoint, the per-epoch median samples (stars)
+// applied by epoch re-sync, and the latest checkpoint. Replicas resolve
+// identical medians and capture identical checkpoints at identical
+// instruction counts, so the journal is replica-independent; the cluster
+// records it once per guest and replica replacement replays it. Disk and
+// timer interrupts need no journal — their delivery times are pure
+// functions of the instruction stream (V+Δd and the virtual PIT).
 //
 // The mutex exists for the sharded simulation: a guest's replicas live on
 // different shard loops and resolve within the same lookahead window, so
@@ -41,9 +43,42 @@ type JournalRecord struct {
 // content is identical either way (that is the determinism the journal
 // logs), so the lock only makes the map access safe, not the outcome.
 type Journal struct {
-	mu   sync.Mutex
-	recs map[uint64]JournalRecord
+	mu    sync.Mutex
+	recs  map[uint64]JournalRecord
+	stars map[int64]vtime.EpochSample
+
+	// ck is the latest accepted checkpoint; truncVirt fences stragglers —
+	// a Record whose delivery the checkpoint already covers is dropped.
+	ck        *Checkpoint
+	truncVirt vtime.Virtual
+
+	// Cumulative accounting (survives truncation).
+	checkpoints    int
+	truncatedRecs  int
+	truncatedBytes int64
 }
+
+// JournalStats is a journal's telemetry snapshot.
+type JournalStats struct {
+	// Records is the retained (post-truncation) delivery-record count.
+	Records int
+	// Bytes estimates the retained size: records plus the checkpoint.
+	Bytes int64
+	// Stars is the retained epoch-star count.
+	Stars int
+	// Checkpoints is the cumulative accepted-checkpoint count.
+	Checkpoints int
+	// CheckpointInstr/CheckpointVirt locate the latest checkpoint (0 when
+	// none has been captured).
+	CheckpointInstr int64
+	CheckpointVirt  vtime.Virtual
+	// TruncatedRecords/TruncatedBytes count what checkpointing has dropped.
+	TruncatedRecords int
+	TruncatedBytes   int64
+}
+
+// journalRecBytes estimates one delivery record's retained size.
+func journalRecBytes(r JournalRecord) int64 { return 56 + int64(r.Payload.Size) }
 
 // NewJournal returns an empty journal.
 func NewJournal() *Journal {
@@ -57,10 +92,14 @@ func (j *Journal) OnResolve(seq uint64, deliver vtime.Virtual, p guest.Payload) 
 }
 
 // Record stores a resolution. Replicas record identical values for a seq;
-// the first write wins and later duplicates are ignored.
+// the first write wins and later duplicates are ignored, as is a straggler
+// whose delivery the latest checkpoint already covers.
 func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.ck != nil && deliver <= j.truncVirt {
+		return
+	}
 	if _, dup := j.recs[seq]; dup {
 		return
 	}
@@ -70,11 +109,104 @@ func (j *Journal) Record(seq uint64, deliver vtime.Virtual, p guest.Payload) {
 	j.recs[seq] = JournalRecord{Seq: seq, Deliver: deliver, Payload: p}
 }
 
-// Len returns the number of recorded deliveries.
+// RecordEpochStar stores the (D*, R*) median sample an epoch adjustment
+// selected — identical on every replica — so replacement replay can re-fit
+// the virtual clock's slope at the same boundary deterministically. First
+// write wins, like delivery records.
+func (j *Journal) RecordEpochStar(epoch int64, star vtime.EpochSample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.stars[epoch]; dup {
+		return
+	}
+	if j.ck != nil && epoch < j.ck.EpochsApplied {
+		return // the checkpoint's clock already folds this epoch in
+	}
+	if j.stars == nil {
+		j.stars = make(map[int64]vtime.EpochSample)
+	}
+	j.stars[epoch] = star
+}
+
+// EpochStar returns the journaled star for an epoch, if recorded.
+func (j *Journal) EpochStar(epoch int64) (vtime.EpochSample, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s, ok := j.stars[epoch]
+	return s, ok
+}
+
+// OfferCheckpoint installs ck as the journal's checkpoint if it is newer
+// than the current one, truncating every delivery record and epoch star the
+// checkpoint covers. It returns a checkpoint object the caller should keep
+// as capture scratch (the previously retained checkpoint, or ck itself when
+// rejected as a duplicate) — the ping-pong that makes steady-state
+// checkpointing allocation-free. The returned value may be nil on the first
+// accepted offer.
+func (j *Journal) OfferCheckpoint(ck *Checkpoint) *Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ck != nil && j.ck.Instr >= ck.Instr {
+		return ck // duplicate from a peer replica, or stale
+	}
+	old := j.ck
+	j.ck = ck
+	j.truncVirt = ck.Virt
+	j.checkpoints++
+	for seq, r := range j.recs {
+		if r.Deliver <= ck.Virt {
+			delete(j.recs, seq)
+			j.truncatedRecs++
+			j.truncatedBytes += journalRecBytes(r)
+		}
+	}
+	for e := range j.stars {
+		if e < ck.EpochsApplied {
+			delete(j.stars, e)
+		}
+	}
+	return old
+}
+
+// CopyCheckpoint copies the latest checkpoint into dst (reusing dst's
+// slices) and reports whether one exists.
+func (j *Journal) CopyCheckpoint(dst *Checkpoint) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ck == nil {
+		return false
+	}
+	dst.copyFrom(j.ck)
+	return true
+}
+
+// Len returns the number of retained delivery records.
 func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.recs)
+}
+
+// Stats returns the journal's telemetry snapshot.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JournalStats{
+		Records:          len(j.recs),
+		Stars:            len(j.stars),
+		Checkpoints:      j.checkpoints,
+		TruncatedRecords: j.truncatedRecs,
+		TruncatedBytes:   j.truncatedBytes,
+	}
+	for _, r := range j.recs {
+		s.Bytes += journalRecBytes(r)
+	}
+	if j.ck != nil {
+		s.CheckpointInstr = j.ck.Instr
+		s.CheckpointVirt = j.ck.Virt
+		s.Bytes += j.ck.sizeBytes()
+	}
+	return s
 }
 
 // Sorted returns the records in delivery order (Deliver, then Seq) — the
@@ -95,24 +227,35 @@ func (j *Journal) Sorted() []JournalRecord {
 	return out
 }
 
-// NewReplacementRuntime reconstructs a replica on `host` by replaying the
-// guest's journal up to targetInstr — a surviving replica's current
-// instruction count. The returned runtime holds the same virtual clock,
-// PIT, op-queue, app state, output digest and pending interrupt queues the
-// survivor holds at that instruction count, and has not been started:
-// the caller wires OnSend/OnPace/SendProposal and calls Start, after which
-// the replica executes live and in lockstep.
+// NewReplacementRuntime reconstructs a replica on `host` by restoring the
+// journal's latest checkpoint (when one exists) and replaying the journal
+// suffix up to targetInstr — a surviving replica's current instruction
+// count. The returned runtime holds the same virtual clock, PIT, op-queue,
+// app state, output digest and pending interrupt queues the survivor holds
+// at that instruction count, and has not been started: the caller wires
+// OnSend/OnPace/SendProposal and calls Start, after which the replica
+// executes live and in lockstep.
 //
 // Replayed guest outputs are suppressed — the survivors already tunnelled
 // those packets and the egress has forwarded them. Replayed disk requests
 // do not touch the new host's disk model (the data arrives with the state
 // copy); their interrupts still fire at the deterministic V+Δd points.
 //
-// Preconditions (returned as errors): the journal must hold every delivery
-// the survivors resolved (quiesce the ingress first), epochs must be
-// disabled (EpochInstr == 0 — epoch re-fits depend on peer samples the
-// journal does not carry), and bootTimes must be the guest's original boot
-// median inputs.
+// With epoch re-sync enabled (EpochInstr > 0), each boundary crossed during
+// replay re-fits the clock from the journaled (D*, R*) star exactly as the
+// survivors did live. A boundary whose star is not yet journaled is one the
+// survivors are still paused at; replay stops there and the cluster joins
+// the fresh replica to the barrier (EpochCoordinator.RestoreAt).
+//
+// When the dead replica checkpointed ahead of every survivor (it led the
+// pace window across a checkpoint boundary before freezing), the checkpoint
+// state is already past targetInstr; the replica is restored to the
+// checkpoint and simply starts ahead — a legal paced state the survivors
+// catch up to.
+//
+// Precondition (returned as an error): the journal must hold every delivery
+// the survivors resolved since its checkpoint (quiesce the ingress first),
+// and bootTimes must be the guest's original boot median inputs.
 func NewReplacementRuntime(host *Host, guestID string, app guest.App, bootTimes []sim.Time, j *Journal, targetInstr int64) (*Runtime, error) {
 	if j == nil {
 		return nil, fmt.Errorf("%w: replacement needs a journal", ErrVMM)
@@ -120,20 +263,76 @@ func NewReplacementRuntime(host *Host, guestID string, app guest.App, bootTimes 
 	if targetInstr < 0 {
 		return nil, fmt.Errorf("%w: target instruction count %d", ErrVMM, targetInstr)
 	}
-	if host != nil && host.Config().EpochInstr > 0 {
-		return nil, fmt.Errorf("%w: replica replacement requires epoch re-sync disabled (EpochInstr=0)", ErrVMM)
-	}
 	rt, err := NewRuntime(host, guestID, app, bootTimes)
 	if err != nil {
 		return nil, err
 	}
-	// Preload the full resolved schedule; deliveries due during the replay
-	// fire at their deterministic exits, the rest stay pending exactly as
-	// they are pending at the survivors.
+	var ck Checkpoint
+	restored := j.CopyCheckpoint(&ck)
+	if restored {
+		if err := rt.restoreCheckpoint(&ck); err != nil {
+			rt.Release()
+			return nil, fmt.Errorf("%w: restore checkpoint at instr %d: %v", ErrVMM, ck.Instr, err)
+		}
+		rt.stats.RestoredInstr = ck.Instr
+		if ck.Instr > targetInstr {
+			targetInstr = ck.Instr
+		}
+	} else {
+		rt.vm.Boot()
+	}
+	// Preload the resolved schedule the checkpoint does not cover:
+	// deliveries due during the replay fire at their deterministic exits,
+	// the rest stay pending exactly as they are pending at the survivors.
+	// Records still pending at the checkpoint were restored with it, so a
+	// suffix record is skipped when the pending queue already holds its seq.
+	pendingSeqs := make(map[uint64]bool, len(rt.pendingNet))
+	for _, d := range rt.pendingNet {
+		pendingSeqs[d.seq] = true
+	}
 	for _, rec := range j.Sorted() {
+		if restored && (rec.Deliver <= ck.Virt || pendingSeqs[rec.Seq]) {
+			continue
+		}
 		rt.pendingNet = append(rt.pendingNet, netDelivery{deliverVirt: rec.Deliver, seq: rec.Seq, payload: rec.Payload})
 	}
-	rt.vm.Boot()
+	sort.Slice(rt.pendingNet, func(i, k int) bool {
+		if rt.pendingNet[i].deliverVirt != rt.pendingNet[k].deliverVirt {
+			return rt.pendingNet[i].deliverVirt < rt.pendingNet[k].deliverVirt
+		}
+		return rt.pendingNet[i].seq < rt.pendingNet[k].seq
+	})
+	rt.stats.ReplayedRecords = len(rt.pendingNet)
+	// applyStars re-fits the clock at every epoch boundary replay has
+	// crossed whose star is journaled — the same first-exit-at-or-past-the-
+	// boundary points live execution adjusted at.
+	applyStars := func() error {
+		epochInstr := rt.cfg.EpochInstr
+		if epochInstr <= 0 {
+			return nil
+		}
+		for {
+			epoch := rt.vclock.EpochBase() / epochInstr
+			if rt.ex.instr < (epoch+1)*epochInstr {
+				return nil
+			}
+			star, ok := j.EpochStar(epoch)
+			if !ok {
+				if rt.ex.instr < targetInstr {
+					return fmt.Errorf("%w: journal missing epoch %d star at instr %d (target %d)",
+						ErrVMM, epoch, rt.ex.instr, targetInstr)
+				}
+				return nil // survivors are paused at this barrier; join it after wiring
+			}
+			if err := rt.vclock.AdjustEpoch(epochInstr, []vtime.EpochSample{star}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := applyStars(); err != nil {
+		rt.Release()
+		return nil, err
+	}
 	for rt.ex.instr < targetInstr {
 		boundary := (rt.ex.instr/rt.cfg.ExitEvery + 1) * rt.cfg.ExitEvery
 		budget := boundary - rt.ex.instr
@@ -156,6 +355,10 @@ func NewReplacementRuntime(host *Host, guestID string, app guest.App, bootTimes 
 			continue // mid-chunk materialization: not an exit
 		}
 		rt.replayExit(res)
+		if err := applyStars(); err != nil {
+			rt.Release()
+			return nil, err
+		}
 	}
 	if rt.ex.instr != targetInstr {
 		rt.Release()

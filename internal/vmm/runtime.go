@@ -63,6 +63,15 @@ type RuntimeStats struct {
 	// ReplayedSends counts outputs suppressed during replacement replay
 	// (the survivors already emitted them).
 	ReplayedSends int
+	// Checkpoints counts checkpoint captures by this replica (accepted or
+	// deduplicated by the journal's first-write-wins rule).
+	Checkpoints int
+	// ReplayedRecords is the journal suffix length a replacement replay
+	// preloaded (0 for live-started replicas) — the bounded-replay metric.
+	ReplayedRecords int
+	// RestoredInstr is the checkpoint instruction count a replacement
+	// restore started from (0: full replay from boot).
+	RestoredInstr int64
 }
 
 // Runtime hosts one replica of a guest under the StopWatch VMM: it owns the
@@ -105,6 +114,14 @@ type Runtime struct {
 	// epochWait reports whether the replica is held at an epoch barrier
 	// (pacing must not resume it).
 	epochWait func() bool
+
+	// Checkpoint capture state (EnableCheckpoints). Captures happen before
+	// any epoch adjustment at the same exit, so every replica checkpoints
+	// identical pre-adjust state.
+	journal   *Journal
+	ckEvery   int64
+	ckNext    int64
+	ckScratch *Checkpoint
 }
 
 // NewRuntime builds a replica runtime. bootTimes are the three replica
@@ -334,6 +351,14 @@ func (rt *Runtime) exit(res guest.StepResult) {
 		rt.vm.DeliverTimerTicks(n)
 	}
 	rt.deliverDue(virt)
+
+	// Checkpoint before any epoch adjustment at this exit: the pre-adjust
+	// state is what every replica reproduces identically, and replacement
+	// replay re-applies the journaled star afterwards.
+	if rt.ckEvery > 0 && rt.ex.instr >= rt.ckNext {
+		rt.captureCheckpoint(virt)
+		rt.ckNext = (rt.ex.instr/rt.ckEvery + 1) * rt.ckEvery
+	}
 
 	if rt.epochHook != nil && rt.epochHook(rt.ex.instr) {
 		rt.ex.pause()

@@ -133,6 +133,26 @@ func (c *Clock) Slope() float64 { return c.slope }
 // Start returns the virtual time at the current epoch base.
 func (c *Clock) Start() Virtual { return c.start }
 
+// EpochBase returns the instruction count at which the current epoch began
+// (0 until the first AdjustEpoch).
+func (c *Clock) EpochBase() int64 { return c.epochBase }
+
+// Restore rewinds the fit state to a recorded (start, slope, epochBase)
+// triple — checkpoint restore for replica replacement. The slope must lie
+// inside the clamp bounds it was recorded under.
+func (c *Clock) Restore(start Virtual, slope float64, epochBase int64) error {
+	if slope < c.lo || slope > c.hi {
+		return fmt.Errorf("%w: restored slope %v outside [%v,%v]", ErrBadClock, slope, c.lo, c.hi)
+	}
+	if epochBase < 0 {
+		return fmt.Errorf("%w: restored epoch base %d", ErrBadClock, epochBase)
+	}
+	c.start = start
+	c.slope = slope
+	c.epochBase = epochBase
+	return nil
+}
+
 // EpochSample is one replica's report at the end of an epoch: the real-time
 // duration D over which it executed the epoch's I instructions, and its
 // host real time R at the end.
@@ -212,6 +232,16 @@ func (p *PIT) Due(v Virtual) int {
 
 // Ticks returns the total interrupts delivered so far.
 func (p *PIT) Ticks() int64 { return p.count }
+
+// Next returns the next tick deadline (checkpoint capture).
+func (p *PIT) Next() Virtual { return p.next }
+
+// Restore rewinds the tick cursor to a recorded (next, count) pair —
+// checkpoint restore for replica replacement.
+func (p *PIT) Restore(next Virtual, count int64) {
+	p.next = next
+	p.count = count
+}
 
 // Period returns the virtual tick period.
 func (p *PIT) Period() Virtual { return p.period }

@@ -138,6 +138,12 @@ type GuestReport = core.GuestReport
 // App is a deterministic guest workload; implement it to run custom guests.
 type App = guest.App
 
+// Snapshotter is the optional App extension checkpointed journals need:
+// apps that can serialize and restore their state get periodic journal
+// checkpoints (VMMConfig.CheckpointInstr), bounding replica-replacement
+// replay by the checkpoint interval instead of the guest's lifetime.
+type Snapshotter = guest.Snapshotter
+
 // Ctx is the API available to guest apps inside callbacks.
 type Ctx = guest.Ctx
 
@@ -251,15 +257,17 @@ func NewPool(n, c int) (*Pool, error) { return placement.NewPool(n, c) }
 
 // ControlPlane serves the online guest lifecycle through the unified
 // operations API: every mutation is a typed Op — AdmitOp, EvictOp,
-// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp — submitted
-// through Apply, which returns a structured Outcome (typed result,
-// per-phase barrier timings, affected guests, pool deltas), appends it to
-// the append-only operations log (Log), and streams progress to Watch
+// ReplaceOp, DrainOp, UndrainOp, FailOp, EvacuateOp, RepairOp, MigrateOp —
+// submitted through Apply, which returns a structured Outcome (typed
+// result, per-phase barrier timings, affected guests, pool deltas), appends
+// it to the append-only operations log (Log), and streams progress to Watch
 // subscribers. Stats is a pure fold over the log, and EnableStallDetector
 // turns a stalled proposal group into a detector-driven
-// fail → reconfigure → evacuate pipeline. The verb methods (Admit, Evict,
-// ReplaceReplica, DrainHost, UndrainHost, FailHost, EvacuateFailedHost,
-// RepairHost) are thin wrappers over Apply.
+// fail → reconfigure → evacuate pipeline. EnablePlannedMigration turns
+// infeasible Admit/Rehome requests into one-move migration plans run as
+// child MigrateOps. The verb methods (Admit, Evict, ReplaceReplica,
+// DrainHost, UndrainHost, FailHost, EvacuateFailedHost, RepairHost,
+// Migrate) are thin wrappers over Apply.
 type ControlPlane = controlplane.ControlPlane
 
 // ControlPlaneConfig tunes the orchestrator.
@@ -316,7 +324,14 @@ type (
 	EvacuateOp = controlplane.EvacuateOp
 	// RepairOp returns a crashed, evacuated machine to service.
 	RepairOp = controlplane.RepairOp
+	// MigrateOp moves a live replica between healthy hosts through the
+	// freeze + replacement barrier (planned migration).
+	MigrateOp = controlplane.MigrateOp
 )
+
+// MigrationPlan is one planned replica move (Pool.PlanAdmitMigration /
+// Pool.PlanRehomeMigration) that unblocks an infeasible placement request.
+type MigrationPlan = placement.MigrationPlan
 
 // FoldOpStats derives decision counters from an operations log.
 func FoldOpStats(log []*Outcome) ControlPlaneStats { return controlplane.FoldStats(log) }
