@@ -1,9 +1,8 @@
 // Command stopwatch-sim runs one cloud scenario and prints what happened:
 // a file download, an NFS load, a compute workload, an attacker/victim
 // side-channel measurement — under the StopWatch VMM or the baseline — or a
-// control-plane lifecycle walkthrough driven through the unified operations
-// API (typed Ops, the Watch event stream, and a detector-driven machine
-// failure).
+// declarative fleet scenario file driven through the unified operations API
+// (see scenarios/ and the README's "Scenarios" section).
 //
 // Usage:
 //
@@ -11,26 +10,25 @@
 //	stopwatch-sim -scenario nfs -mode baseline -rate 100
 //	stopwatch-sim -scenario parsec -app dedup -mode stopwatch
 //	stopwatch-sim -scenario sidechannel -duration 20
-//	stopwatch-sim -scenario lifecycle -duration 5
-//	stopwatch-sim -scenario lifecycle -duration 5 -listen 127.0.0.1:8080
+//	stopwatch-sim run scenarios/lifecycle.yaml
+//	stopwatch-sim run -seed 2 -shards 4 -listen 127.0.0.1:8080 scenarios/coresidency-probe.yaml
+//	stopwatch-sim validate scenarios/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"stopwatch"
 	"stopwatch/internal/apps"
-	"stopwatch/internal/controlplane"
 	"stopwatch/internal/core"
 	"stopwatch/internal/guest"
-	"stopwatch/internal/metrics"
-	"stopwatch/internal/netsim"
-	"stopwatch/internal/obsrv"
+	"stopwatch/internal/scenario"
 	"stopwatch/internal/sim"
 	"stopwatch/internal/stats"
-	"stopwatch/internal/vtime"
 )
 
 func main() {
@@ -41,8 +39,16 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenarioFiles(args[1:], os.Stdout)
+		case "validate":
+			return validateScenarioFiles(args[1:], os.Stdout)
+		}
+	}
 	fs := flag.NewFlagSet("stopwatch-sim", flag.ContinueOnError)
-	scenario := fs.String("scenario", "download", "download | nfs | parsec | sidechannel | lifecycle")
+	scenarioFlag := fs.String("scenario", "download", "download | nfs | parsec | sidechannel")
 	mode := fs.String("mode", "stopwatch", "stopwatch | baseline")
 	sizeKB := fs.Int("size", 100, "download size in KB")
 	transportFlag := fs.String("transport", "tcp", "tcp | udp (download scenario)")
@@ -50,8 +56,7 @@ func run(args []string) error {
 	app := fs.String("app", "ferret", "parsec app: ferret|blackscholes|canneal|dedup|streamcluster")
 	duration := fs.Float64("duration", 10, "scenario duration (seconds)")
 	seed := fs.Uint64("seed", 1, "master seed")
-	shards := fs.Int("shards", 1, "fabric shards (parallel simulation loops; download/nfs/lifecycle scenarios — results are identical for every value)")
-	listen := fs.String("listen", "", "lifecycle scenario: serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address (empty = off)")
+	shards := fs.Int("shards", 1, "fabric shards (parallel simulation loops; download/nfs scenarios — results are identical for every value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,7 +74,7 @@ func run(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("shards must be >= 1, got %d", *shards)
 	}
-	switch *scenario {
+	switch *scenarioFlag {
 	case "download":
 		return runDownload(*seed, m, *sizeKB, *transportFlag, *shards)
 	case "nfs":
@@ -79,217 +84,123 @@ func run(args []string) error {
 	case "sidechannel":
 		return runSideChannel(*seed, sim.FromSeconds(*duration))
 	case "lifecycle":
-		return runLifecycle(*seed, sim.FromSeconds(*duration), *listen, *shards)
+		return fmt.Errorf("the lifecycle walkthrough is a scenario file now: stopwatch-sim run scenarios/lifecycle.yaml")
 	default:
-		return fmt.Errorf("unknown scenario %q", *scenario)
+		return fmt.Errorf("unknown scenario %q", *scenarioFlag)
 	}
 }
 
-// runLifecycle walks the unified operations API on a small live cloud:
-// tenants admitted through AdmitOp, one evicted, one replica migrated onto
-// a fresh machine through a MigrateOp's freeze+replace barrier, one machine
-// killed at the data plane and recovered by the stall detector's fail →
-// reconfigure → evacuate pipeline — with checkpointed journals bounding
-// every replacement's replay. Every operation streams its phases over Watch
-// and lands in the append-only op log.
-func runLifecycle(seed uint64, dur sim.Time, listen string, shards int) error {
-	if dur < 3*sim.Second {
-		dur = 3 * sim.Second
-	}
-	cfg := core.DefaultClusterConfig()
-	cfg.Seed = seed
-	cfg.Hosts = 9
-	cfg.Shards = shards
-	// Long-lived guests: checkpoint each journal every 2M instructions so
-	// the migration and the evacuations below replay a bounded suffix.
-	cfg.VMM.CheckpointInstr = 2_000_000
-	c, err := core.New(cfg)
-	if err != nil {
-		return err
-	}
-	cp, err := controlplane.New(c, controlplane.DefaultConfig(3))
-	if err != nil {
-		return err
-	}
-	// Infeasible admissions/re-homes may be solved with a one-move plan.
-	cp.EnablePlannedMigration()
-	// Observability plane: with -listen, both planes feed one registry and
-	// the lifecycle is queryable live over localhost HTTP while it runs.
-	var reg *metrics.Registry
-	var srv *obsrv.Server
-	if listen != "" {
-		reg = metrics.NewRegistry()
-		cp.InstrumentMetrics(reg)
-		c.InstrumentMetrics(reg)
-		srv = obsrv.New()
-		srv.Attach(cp, reg)
-		if err := srv.Start(listen); err != nil {
-			return err
+// expandScenarioPaths resolves each argument to scenario files: a
+// directory expands to its *.yaml/*.yml/*.json entries, sorted.
+func expandScenarioPaths(args []string) ([]string, error) {
+	var files []string
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
 		}
-		defer srv.Close()
-		fmt.Printf("observability: serving http://%s/{metrics,metrics.json,ops,ops/stream}\n", srv.Addr())
-	}
-	// Stream every top-level operation's lifecycle as it happens.
-	cp.Watch(func(ev controlplane.Event) {
-		switch ev.Kind {
-		case controlplane.OpStarted:
-			if ev.Parent == 0 {
-				fmt.Printf("t=%7.3fs  op #%d started: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op)
-			}
-		case controlplane.PhaseReached:
-			fmt.Printf("t=%7.3fs    op #%d %s: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op, ev.Phase)
-		case controlplane.OpCompleted:
-			fmt.Printf("t=%7.3fs  op #%d completed: %s\n", float64(ev.At)/1e9, ev.Seq, ev.Op)
-		case controlplane.OpFailed:
-			fmt.Printf("t=%7.3fs  op #%d FAILED: %s: %v\n", float64(ev.At)/1e9, ev.Seq, ev.Op, ev.Err)
-		}
-	})
-	// The detector turns a silent VMM into a FailOp and chains the
-	// evacuation — no scripted FailHost below.
-	if err := cp.EnableStallDetector(0); err != nil {
-		return err
-	}
-	if err := c.Net().Attach(&netsim.FuncNode{Addr: "sink", Fn: func(*netsim.Packet) {}}); err != nil {
-		return err
-	}
-	if err := c.Net().Attach(&netsim.FuncNode{Addr: "probe", Fn: func(*netsim.Packet) {}}); err != nil {
-		return err
-	}
-	ids := []string{"ga", "gb", "gc", "gd"}
-	for _, id := range ids {
-		oc := cp.Apply(controlplane.AdmitOp{GuestID: id, Factory: func() guest.App {
-			// A sustainable burst profile: the default beacon's 64KB read
-			// every 4ms would saturate a shared disk (and with it the Dom0
-			// I/O path) once two replicas co-reside — a regime where no
-			// proposal deadline separates slow from dead.
-			b := apps.NewBeaconApp(vtime.Virtual(5 * sim.Millisecond))
-			b.Compute = 500_000
-			b.DiskBytes = 0
-			b.Sink = "sink"
-			return b
-		}})
-		if oc.Err != nil {
-			return oc.Err
-		}
-	}
-	c.Start()
-	// Inbound pings keep the proposal path busy so a dead VMM's silence is
-	// observable (stall detection needs pending delivery proposals).
-	var tick func()
-	tick = func() {
-		if c.Loop().Now() >= dur-sim.Second {
-			return
-		}
-		for _, id := range ids {
-			if _, ok := c.Guest(id); ok {
-				c.Net().Send(&netsim.Packet{Src: "probe", Dst: core.ServiceAddr(id), Size: 128, Kind: "ping"})
-			}
-		}
-		c.Loop().After(20*sim.Millisecond, "ping", tick)
-	}
-	c.Loop().At(50*sim.Millisecond, "ping", tick)
-	// One tenant departs; later one machine's VMM dies.
-	c.Loop().At(400*sim.Millisecond, "evict", func() {
-		cp.Apply(controlplane.EvictOp{GuestID: "gb"})
-	})
-	// Planned migration: move one of ga's replicas onto a fresh machine
-	// through the freeze + quiesce + replace barrier, live.
-	c.Loop().At(700*sim.Millisecond, "migrate", func() {
-		tri, ok := cp.Pool().Triangle("ga")
-		if !ok {
-			return
-		}
-		// Recompute edge usage and load from the resident triangles to pick
-		// a destination the barrier's pinned re-home will accept.
-		used := map[[2]int]bool{}
-		load := make([]int, cfg.Hosts)
-		edge := func(a, b int) [2]int {
-			if a > b {
-				a, b = b, a
-			}
-			return [2]int{a, b}
-		}
-		for _, id := range cp.Pool().IDs() {
-			t, _ := cp.Pool().Triangle(id)
-			for a := 0; a < 3; a++ {
-				load[t[a]]++
-				for b := a + 1; b < 3; b++ {
-					used[edge(t[a], t[b])] = true
-				}
-			}
-		}
-		to := -1
-		for h := 0; h < cfg.Hosts; h++ {
-			if h == tri[0] || h == tri[1] || h == tri[2] || load[h] >= cp.Pool().Capacity() {
-				continue
-			}
-			if !used[edge(h, tri[1])] && !used[edge(h, tri[2])] {
-				to = h
-				break
-			}
-		}
-		if to < 0 {
-			return
-		}
-		fmt.Printf("t=%7.3fs  MIGRATE ga %d->%d (planned move through the freeze+replace barrier)\n",
-			float64(c.Loop().Now())/1e9, tri[0], to)
-		cp.Apply(controlplane.MigrateOp{GuestID: "ga", From: tri[0], To: to})
-	})
-	victim := 0
-	c.Loop().At(sim.Second, "kill", func() {
-		// The machine hosting the most guests dies at the data plane only.
-		for m := 1; m < cfg.Hosts; m++ {
-			if len(cp.Pool().Residents(m)) > len(cp.Pool().Residents(victim)) {
-				victim = m
-			}
-		}
-		fmt.Printf("t=%7.3fs  KILL machine %d (data plane only — detector takes it from here)\n",
-			float64(c.Loop().Now())/1e9, victim)
-		if err := c.FailMachine(victim); err != nil {
-			fmt.Println("kill:", err)
-		}
-	})
-	if err := c.Run(dur); err != nil {
-		return err
-	}
-	if srv != nil {
-		srv.Publish(reg) // final snapshot with end-of-run gauges
-	}
-	log := cp.Log()
-	st := controlplane.FoldStats(log)
-	fmt.Printf("op log: %d ops — admitted=%d evicted=%d migrations=%d failures=%d crash-evacuated=%d replacements=%d\n",
-		len(log), st.Admitted, st.Evicted, st.Migrations, st.HostFailures, st.CrashEvacuations, st.Replacements)
-	ckpts, truncated := 0, 0
-	for _, id := range ids {
-		if g, ok := c.Guest(id); ok {
-			js := g.JournalStats()
-			ckpts += js.Checkpoints
-			truncated += js.TruncatedRecords
-		}
-	}
-	fmt.Printf("checkpoints: %d taken, %d journal records truncated\n", ckpts, truncated)
-	if err := cp.Verify(); err != nil {
-		return err
-	}
-	for _, id := range ids {
-		g, ok := c.Guest(id)
-		if !ok {
+		if !st.IsDir() {
+			files = append(files, arg)
 			continue
 		}
-		if err := g.CheckLockstepPrefix(); err != nil {
-			return err
+		entries, err := os.ReadDir(arg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			switch filepath.Ext(e.Name()) {
+			case ".yaml", ".yml", ".json":
+				files = append(files, filepath.Join(arg, e.Name()))
+			}
 		}
 	}
-	if st.HostFailures == 0 {
-		return fmt.Errorf("the detector never failed machine %d", victim)
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenario files given (usage: stopwatch-sim run|validate <file|dir>...)")
 	}
-	if st.Migrations == 0 {
-		return fmt.Errorf("the scripted migration never completed")
+	return files, nil
+}
+
+// runScenarioFiles executes scenario files under every declared seed (or
+// one -seed override), printing a per-run verdict and failing if any run
+// does.
+func runScenarioFiles(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("stopwatch-sim run", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 0, "override the scenario's seeds (0 = run every declared seed)")
+	shards := fs.Int("shards", 0, "override the fleet's shard count (0 = the file's; digests are identical for every value)")
+	listen := fs.String("listen", "", "serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address during the run")
+	quiet := fs.Bool("q", false, "suppress the op-stream narration")
+	ciOnly := fs.Bool("ci", false, "run only scenarios tagged ci: true")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	if ckpts == 0 {
-		return fmt.Errorf("no journal checkpoints were taken")
+	files, err := expandScenarioPaths(fs.Args())
+	if err != nil {
+		return err
 	}
-	fmt.Println("lockstep: ok (every surviving guest agrees)")
+	failed := 0
+	for _, path := range files {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			return err
+		}
+		if *ciOnly && !sc.CI {
+			continue
+		}
+		seeds := sc.Seeds
+		if *seed != 0 {
+			seeds = []uint64{*seed}
+		}
+		for _, s := range seeds {
+			opt := scenario.Options{Seed: s, Shards: *shards, Listen: *listen}
+			if !*quiet {
+				opt.Out = out
+			}
+			res, err := scenario.Run(sc, opt)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			verdict := "PASS"
+			if !res.Passed() {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Fprintf(out, "%s  %s seed=%d shards=%d ops=%d digest=%s\n",
+				verdict, res.Name, res.Seed, res.Shards, res.Ops, res.Digest)
+			for _, f := range res.Failures {
+				fmt.Fprintf(out, "  - %s\n", f)
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario run(s) failed", failed)
+	}
+	return nil
+}
+
+// validateScenarioFiles parses and statically checks scenario files
+// without running them.
+func validateScenarioFiles(args []string, out *os.File) error {
+	files, err := expandScenarioPaths(args)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for _, path := range files {
+		sc, err := scenario.Load(path)
+		if err == nil {
+			err = sc.Validate()
+		}
+		if err != nil {
+			bad++
+			fmt.Fprintf(out, "INVALID %s\n%v\n", path, err)
+			continue
+		}
+		fmt.Fprintf(out, "ok %s\n", path)
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d scenario file(s) invalid", bad)
+	}
 	return nil
 }
 

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stopwatch/internal/scenario"
+)
 
 func TestRunDownloadBaseline(t *testing.T) {
 	if err := run([]string{"-scenario", "download", "-mode", "baseline", "-size", "10"}); err != nil {
@@ -27,6 +33,10 @@ func TestRunRejectsUnknowns(t *testing.T) {
 		{"-scenario", "download", "-transport", "bogus"},
 		{"-scenario", "parsec", "-app", "bogus"},
 		{"-nonflag"},
+		{"-scenario", "lifecycle"}, // retired: points at scenarios/lifecycle.yaml
+		{"run"},                    // no files
+		{"validate"},               // no files
+		{"run", "no-such-file.yaml"},
 	} {
 		if err := run(args); err == nil {
 			t.Fatalf("args %v should fail", args)
@@ -34,20 +44,89 @@ func TestRunRejectsUnknowns(t *testing.T) {
 	}
 }
 
+const corpusDir = "../../scenarios"
+
+// corpusFiles lists the shipped scenario corpus.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".yaml" {
+			files = append(files, filepath.Join(corpusDir, e.Name()))
+		}
+	}
+	if len(files) < 5 {
+		t.Fatalf("corpus has only %d scenario files", len(files))
+	}
+	return files
+}
+
+// TestValidateAllCorpus: every shipped scenario parses and passes every
+// static check, via the same subcommand CI uses.
+func TestValidateAllCorpus(t *testing.T) {
+	if err := run([]string{"validate", corpusDir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLifecycle: the converted lifecycle walkthrough — the detector-
+// driven machine failure, the scripted migration, the checkpointed
+// journals — runs end-to-end with every assertion green, through the run
+// subcommand.
 func TestRunLifecycle(t *testing.T) {
-	if err := run([]string{"-scenario", "lifecycle", "-duration", "4"}); err != nil {
+	if err := run([]string{"run", "-q", filepath.Join(corpusDir, "lifecycle.yaml")}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 // TestRunLifecycleWithListen: the observability server rides along without
-// disturbing the lifecycle walkthrough (same detector-driven recovery, same
-// lockstep checks), and a non-loopback address is refused up front.
+// disturbing the scenario (same digest pins, same assertions), and a
+// non-loopback address is refused up front.
 func TestRunLifecycleWithListen(t *testing.T) {
-	if err := run([]string{"-scenario", "lifecycle", "-duration", "4", "-listen", "127.0.0.1:0"}); err != nil {
+	if err := run([]string{"run", "-q", "-listen", "127.0.0.1:0", filepath.Join(corpusDir, "lifecycle.yaml")}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", "lifecycle", "-duration", "4", "-listen", "0.0.0.0:0"}); err == nil {
+	if err := run([]string{"run", "-q", "-listen", "0.0.0.0:0", filepath.Join(corpusDir, "lifecycle.yaml")}); err == nil {
 		t.Fatal("non-loopback listen address accepted")
+	}
+}
+
+// TestScenarioDigestsStable: every CI-tagged scenario, under every
+// declared seed, produces its pinned op-log digest — and the same digest
+// for 1, 2 and 4 fabric shards. A change in any pin is a change in
+// control-plane behavior and must be made deliberately (re-pin with
+// `stopwatch-sim run scenarios/`).
+func TestScenarioDigestsStable(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		sc, err := scenario.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.CI {
+			continue
+		}
+		for _, seed := range sc.Seeds {
+			pin := sc.Digests[seed]
+			if pin == "" {
+				t.Errorf("%s: seed %d has no digest pin", path, seed)
+				continue
+			}
+			for _, shards := range []int{1, 2, 4} {
+				res, err := scenario.Run(sc, scenario.Options{Seed: seed, Shards: shards})
+				if err != nil {
+					t.Fatalf("%s seed=%d shards=%d: %v", path, seed, shards, err)
+				}
+				for _, f := range res.Failures {
+					t.Errorf("%s seed=%d shards=%d: %s", path, seed, shards, f)
+				}
+				if res.Digest != pin {
+					t.Errorf("%s seed=%d shards=%d: digest %s, pinned %s", path, seed, shards, res.Digest, pin)
+				}
+			}
+		}
 	}
 }

@@ -5,8 +5,10 @@
 package apps
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
@@ -187,6 +189,112 @@ func (fs *FileServer) OnTimer(ctx guest.Ctx, tag string) {
 		fs.tcp.HandleTimer(ctx, tag)
 	}
 }
+
+// SnapshotAppend implements guest.Snapshotter: the served counter, the
+// outstanding disk reads and the transport server's connection state are
+// the mutable state (configuration is rebuilt by the factory; pending
+// timers are the VMM's to capture). Map entries are emitted in sorted
+// order, so identical replicas serialize identically — which is what lets
+// long-lived file-serving guests replace via checkpoint instead of
+// full-journal replay.
+func (fs *FileServer) SnapshotAppend(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, fs.served)
+	ids := make([]uint64, 0, len(fs.pending))
+	for id := range fs.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		pf := fs.pending[id]
+		buf = binary.AppendUvarint(buf, id)
+		buf = binary.AppendUvarint(buf, uint64(len(pf.src)))
+		buf = append(buf, pf.src...)
+		buf = binary.AppendUvarint(buf, pf.conn)
+		buf = binary.AppendUvarint(buf, pf.respID)
+		buf = binary.AppendVarint(buf, int64(pf.bytes))
+		buf = binary.AppendVarint(buf, int64(pf.nextOff))
+		buf = binary.AppendVarint(buf, int64(pf.remaining))
+	}
+	if fs.tcp != nil {
+		return fs.tcp.AppendState(buf)
+	}
+	return fs.udp.AppendState(buf)
+}
+
+// RestoreSnapshot implements guest.Snapshotter.
+func (fs *FileServer) RestoreSnapshot(data []byte) error {
+	bad := func(what string) error {
+		return fmt.Errorf("%w: file server snapshot: bad %s", ErrApp, what)
+	}
+	served, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("served counter")
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("pending count")
+	}
+	data = data[n:]
+	pending := make(map[uint64]*pendingFile, count)
+	for i := uint64(0); i < count; i++ {
+		id, n := binary.Uvarint(data)
+		if n <= 0 {
+			return bad("pending id")
+		}
+		data = data[n:]
+		srcLen, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data[n:])) < srcLen {
+			return bad("pending src")
+		}
+		pf := &pendingFile{src: netsim.Addr(data[n : n+int(srcLen)])}
+		data = data[n+int(srcLen):]
+		if pf.conn, n = binary.Uvarint(data); n <= 0 {
+			return bad("pending conn")
+		}
+		data = data[n:]
+		if pf.respID, n = binary.Uvarint(data); n <= 0 {
+			return bad("pending respID")
+		}
+		data = data[n:]
+		var v int64
+		if v, n = binary.Varint(data); n <= 0 {
+			return bad("pending bytes")
+		}
+		pf.bytes = int(v)
+		data = data[n:]
+		if v, n = binary.Varint(data); n <= 0 {
+			return bad("pending nextOff")
+		}
+		pf.nextOff = int(v)
+		data = data[n:]
+		if v, n = binary.Varint(data); n <= 0 {
+			return bad("pending remaining")
+		}
+		pf.remaining = int(v)
+		data = data[n:]
+		pending[id] = pf
+	}
+	var rest []byte
+	var err error
+	if fs.tcp != nil {
+		rest, err = fs.tcp.RestoreState(data)
+	} else {
+		rest, err = fs.udp.RestoreState(data)
+	}
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return bad("trailing bytes")
+	}
+	fs.served = served
+	fs.pending = pending
+	return nil
+}
+
+var _ guest.Snapshotter = (*FileServer)(nil)
 
 // Downloader drives file downloads from the fabric side and records
 // latencies — the client laptop of Sec. VII-B.

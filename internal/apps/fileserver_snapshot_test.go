@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"stopwatch/internal/sim"
+)
+
+// midDownloadServer drives a TCP file server into a mid-response state
+// (request parsed, disk reads outstanding) and returns it.
+func midDownloadServer(t *testing.T) *FileServer {
+	t.Helper()
+	fs, err := NewFileServer(DefaultFileServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newBaselineHarness(t, fs)
+	dl := NewDownloader(h.client)
+	// 512KB = 8 sequential chunks: stopping the loop early leaves the
+	// response mid-disk-phase.
+	if err := dl.Fetch("svc:g", ModeTCP, 512<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.loop.RunUntil(40 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.pending) == 0 {
+		t.Fatal("harness did not leave a disk read outstanding; lower RunUntil")
+	}
+	return fs
+}
+
+func TestFileServerSnapshotRoundTrip(t *testing.T) {
+	fs := midDownloadServer(t)
+	snap := fs.SnapshotAppend(nil)
+
+	restored, err := NewFileServer(DefaultFileServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Served() != fs.Served() {
+		t.Fatalf("served %d, want %d", restored.Served(), fs.Served())
+	}
+	if len(restored.pending) != len(fs.pending) {
+		t.Fatalf("pending %d, want %d", len(restored.pending), len(fs.pending))
+	}
+	for id, want := range fs.pending {
+		got, ok := restored.pending[id]
+		if !ok {
+			t.Fatalf("pending %d missing after restore", id)
+		}
+		if *got != *want {
+			t.Fatalf("pending %d = %+v, want %+v", id, got, want)
+		}
+	}
+	// The restored state must re-serialize byte-identically: that equality
+	// is what replica lockstep rests on.
+	if again := restored.SnapshotAppend(nil); !bytes.Equal(again, snap) {
+		t.Fatalf("re-snapshot differs: %d vs %d bytes", len(again), len(snap))
+	}
+}
+
+func TestFileServerSnapshotUDP(t *testing.T) {
+	cfg := DefaultFileServerConfig()
+	cfg.Mode = ModeUDP
+	fs, err := NewFileServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newBaselineHarness(t, fs)
+	dl := NewDownloader(h.client)
+	done := false
+	if err := dl.Fetch("svc:g", ModeUDP, 100<<10, func(sim.Time) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.loop.RunUntil(30 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("UDP fetch did not complete")
+	}
+	snap := fs.SnapshotAppend(nil)
+	restored, err := NewFileServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Served() != fs.Served() {
+		t.Fatalf("served %d, want %d", restored.Served(), fs.Served())
+	}
+	// The NACK-repair memory survives the round trip.
+	if len(restored.udp.AppendState(nil)) != len(fs.udp.AppendState(nil)) {
+		t.Fatal("udp state size changed across restore")
+	}
+	if again := restored.SnapshotAppend(nil); !bytes.Equal(again, snap) {
+		t.Fatal("re-snapshot differs")
+	}
+}
+
+func TestFileServerSnapshotRejectsCorrupt(t *testing.T) {
+	fs := midDownloadServer(t)
+	snap := fs.SnapshotAppend(nil)
+	restored, err := NewFileServer(DefaultFileServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(snap) / 2, len(snap) - 1} {
+		if err := restored.RestoreSnapshot(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := restored.RestoreSnapshot(append(append([]byte{}, snap...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

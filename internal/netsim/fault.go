@@ -1,0 +1,111 @@
+// Fabric fault injection: per-link loss overrides and partition toggles
+// layered on the existing per-link runtime state. Unlike SetLink — which
+// resets a pair's FIFO horizons and RNG position to apply a new config —
+// these switches flip mid-run without disturbing the link's stream, so a
+// fault window is deterministic for every shard count and leaves the
+// link's jitter/loss draw sequence exactly where an un-faulted run of the
+// same traffic would have left it when the fault clears.
+//
+// Determinism: a partitioned link drops without consuming an RNG draw; a
+// loss override redirects the probability fed to the link's own seeded
+// stream. Both effects are functions of (link, send history, fault
+// schedule) only — never of the shard partition.
+//
+// Concurrency contract: like all topology mutation, fault switches may
+// only be flipped at initialization or from coordinator/barrier context
+// (e.g. a control-loop event) while shard loops are parked.
+
+package netsim
+
+import "fmt"
+
+// faultOn returns the directed pair's link runtime state for fault
+// mutation, creating it (on the source's shard) if no traffic has flowed
+// yet.
+func (n *Network) faultOn(src, dst Addr) (*link, error) {
+	if src == "" || dst == "" {
+		return nil, fmt.Errorf("%w: fault on link %q→%q", ErrNet, src, dst)
+	}
+	return n.linkOn(n.shards[n.shardIdx(src)], src, dst), nil
+}
+
+// InjectLoss overrides the directed link's loss probability: p in [0, 1]
+// replaces the configured LossProb for subsequent sends; p < 0 clears the
+// override, restoring the configured value. The link's RNG stream is not
+// reset. Barrier context only.
+func (n *Network) InjectLoss(src, dst Addr, p float64) error {
+	if p > 1 {
+		return fmt.Errorf("%w: loss probability %v on %q→%q", ErrNet, p, src, dst)
+	}
+	l, err := n.faultOn(src, dst)
+	if err != nil {
+		return err
+	}
+	if p < 0 {
+		p = lossUnset
+	}
+	l.faultLoss = p
+	return nil
+}
+
+// InjectDuplexLoss applies InjectLoss in both directions.
+func (n *Network) InjectDuplexLoss(a, b Addr, p float64) error {
+	if err := n.InjectLoss(a, b, p); err != nil {
+		return err
+	}
+	return n.InjectLoss(b, a, p)
+}
+
+// SetPartitioned cuts (or heals) the directed link: while partitioned,
+// every send on the pair is dropped and counted, without consuming a loss
+// draw — healing resumes the link's RNG stream exactly where the fault
+// found it. Barrier context only.
+func (n *Network) SetPartitioned(src, dst Addr, on bool) error {
+	l, err := n.faultOn(src, dst)
+	if err != nil {
+		return err
+	}
+	l.partitioned = on
+	return nil
+}
+
+// SetDuplexPartitioned applies SetPartitioned in both directions.
+func (n *Network) SetDuplexPartitioned(a, b Addr, on bool) error {
+	if err := n.SetPartitioned(a, b, on); err != nil {
+		return err
+	}
+	return n.SetPartitioned(b, a, on)
+}
+
+// HealLink clears both fault switches (loss override and partition) on
+// the directed link. Barrier context only.
+func (n *Network) HealLink(src, dst Addr) error {
+	l, err := n.faultOn(src, dst)
+	if err != nil {
+		return err
+	}
+	l.faultLoss = lossUnset
+	l.partitioned = false
+	return nil
+}
+
+// HealDuplexLink applies HealLink in both directions.
+func (n *Network) HealDuplexLink(a, b Addr) error {
+	if err := n.HealLink(a, b); err != nil {
+		return err
+	}
+	return n.HealLink(b, a)
+}
+
+// LinkFaults reports the directed link's current fault state: the
+// effective loss override (the configured LossProb if none is set) and
+// whether the link is partitioned.
+func (n *Network) LinkFaults(src, dst Addr) (loss float64, partitioned bool) {
+	sh := n.shards[n.shardIdx(src)]
+	l := n.linkOn(sh, src, dst)
+	loss = l.cfg.LossProb
+	if l.faultLoss >= 0 {
+		loss = l.faultLoss
+	}
+	return loss, l.partitioned
+}

@@ -1,0 +1,168 @@
+package netsim
+
+import (
+	"testing"
+
+	"stopwatch/internal/sim"
+)
+
+func TestPartitionDropsWithoutRNGDraw(t *testing.T) {
+	// A partition window covering sends 2..3 must leave the link's RNG
+	// stream untouched: the faulted run's survivors see exactly the jitter
+	// draws of a run where the partitioned packets were never sent at all.
+	deliveries := func(send func(i int) bool, partition func(i int) bool) []sim.Time {
+		n, loop := testNet(t, LinkConfig{Latency: sim.Millisecond, JitterMax: 500 * sim.Microsecond})
+		var at []sim.Time
+		if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { at = append(at, loop.Now()) }}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			if err := n.SetPartitioned("a", "b", partition(i)); err != nil {
+				t.Fatal(err)
+			}
+			if send(i) {
+				n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+			}
+		}
+		if err := loop.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return at
+	}
+	inWindow := func(i int) bool { return i == 2 || i == 3 }
+	always := func(int) bool { return true }
+	never := func(int) bool { return false }
+	skipped := deliveries(func(i int) bool { return !inWindow(i) }, never)
+	faulted := deliveries(always, inWindow)
+	if len(skipped) != 4 || len(faulted) != 4 {
+		t.Fatalf("deliveries: skipped=%d faulted=%d", len(skipped), len(faulted))
+	}
+	for i := range faulted {
+		if faulted[i] != skipped[i] {
+			t.Fatalf("survivor %d arrived at %v, want %v (partition drop consumed an RNG draw)", i, faulted[i], skipped[i])
+		}
+	}
+}
+
+func TestInjectLossOverridesAndClears(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{Latency: sim.Millisecond})
+	got := 0
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { got++ }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectLoss("a", "b", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if loss, part := n.LinkFaults("a", "b"); loss != 1.0 || part {
+		t.Fatalf("LinkFaults = (%v, %v), want (1, false)", loss, part)
+	}
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+	}
+	if err := n.InjectLoss("a", "b", -1); err != nil { // clear
+		t.Fatal(err)
+	}
+	if loss, _ := n.LinkFaults("a", "b"); loss != 0 {
+		t.Fatalf("cleared loss = %v, want configured 0", loss)
+	}
+	for i := 0; i < 5; i++ {
+		n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+	}
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("delivered %d, want 5 (5 dropped under total loss, 5 after clearing)", got)
+	}
+	if sent, dropped := n.LinkStats("a", "b"); sent != 10 || dropped != 5 {
+		t.Fatalf("link stats sent=%d dropped=%d", sent, dropped)
+	}
+	if err := n.InjectLoss("a", "b", 1.5); err == nil {
+		t.Fatal("InjectLoss(1.5) should fail")
+	}
+	if err := n.InjectLoss("", "b", 0.5); err == nil {
+		t.Fatal("empty endpoint should fail")
+	}
+}
+
+func TestHealLinkClearsBothSwitches(t *testing.T) {
+	n, loop := testNet(t, LinkConfig{Latency: sim.Millisecond})
+	got := 0
+	if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) { got++ }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InjectDuplexLoss("a", "b", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetDuplexPartitioned("a", "b", true); err != nil {
+		t.Fatal(err)
+	}
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+	if err := n.HealDuplexLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if loss, part := n.LinkFaults("a", "b"); loss != 0 || part {
+		t.Fatalf("after heal: LinkFaults = (%v, %v)", loss, part)
+	}
+	if loss, part := n.LinkFaults("b", "a"); loss != 0 || part {
+		t.Fatalf("after heal reverse: LinkFaults = (%v, %v)", loss, part)
+	}
+	n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+	if err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("delivered %d, want 1", got)
+	}
+}
+
+func TestFaultLossShardInvariant(t *testing.T) {
+	// The same faulted traffic on 1 and 2 shards drops the same packets:
+	// the loss override feeds the link's own stream, which does not depend
+	// on the partition.
+	run := func(shardCount int) (delivered, lost uint64) {
+		loop := sim.NewLoop()
+		rng := sim.NewSource(7).Stream("net")
+		n, err := New(loop, rng, LinkConfig{Latency: sim.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops := []*sim.Loop{loop}
+		for i := 1; i < shardCount; i++ {
+			loops = append(loops, sim.NewLoop())
+		}
+		if shardCount > 1 {
+			if err := n.SetShards(loops); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.AssignShard("b", 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.Attach(&FuncNode{Addr: "b", Fn: func(*Packet) {}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.InjectLoss("a", "b", 0.5); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			n.Send(&Packet{Src: "a", Dst: "b", Size: 64, Kind: "t"})
+		}
+		n.Exchange()
+		for _, l := range loops {
+			if err := l.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := n.Stats()
+		return s.Delivered, s.Lost
+	}
+	d1, l1 := run(1)
+	d2, l2 := run(2)
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("shard variance: 1 shard (%d, %d) vs 2 shards (%d, %d)", d1, l1, d2, l2)
+	}
+	if l1 == 0 || d1 == 0 {
+		t.Fatalf("want a mix of drops and deliveries, got delivered=%d lost=%d", d1, l1)
+	}
+}

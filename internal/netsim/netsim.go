@@ -124,7 +124,16 @@ type link struct {
 	lastArr  sim.Time // FIFO delivery horizon: links never reorder
 	sent     uint64
 	dropped  uint64
+
+	// Fault-injection switches (fault.go): a loss-probability override
+	// (lossUnset = none) and a partition toggle. Flipped only at barriers;
+	// neither resets the link's RNG stream or FIFO horizons.
+	faultLoss   float64
+	partitioned bool
 }
+
+// lossUnset marks a link with no loss override in effect.
+const lossUnset = -1.0
 
 // inject is one cross-shard delivery parked in an outbox until the next
 // barrier.
@@ -398,10 +407,11 @@ func (n *Network) linkOn(sh *netShard, src, dst Addr) *link {
 		cfg = n.defCfg
 	}
 	l := &link{
-		cfg:      cfg,
-		rng:      n.linkSrc.FastStream(string(src) + "|" + string(dst)),
-		hash:     linkHash(src, dst),
-		dstShard: n.shardIdx(dst),
+		cfg:       cfg,
+		rng:       n.linkSrc.FastStream(string(src) + "|" + string(dst)),
+		hash:      linkHash(src, dst),
+		dstShard:  n.shardIdx(dst),
+		faultLoss: lossUnset,
 	}
 	sh.links[key] = l
 	return l
@@ -438,7 +448,22 @@ func (n *Network) Send(pkt *Packet) {
 	l := n.linkOn(sh, pkt.Src, pkt.Dst)
 	l.sent++
 	cfg := l.cfg
-	if cfg.LossProb > 0 && l.rng.Bool(cfg.LossProb) {
+	// A partitioned link (fault.go) drops without a loss draw, so healing
+	// resumes the RNG stream exactly where the fault found it.
+	if l.partitioned {
+		l.dropped++
+		sh.lost++
+		if c := sh.mDropped; c.Valid() {
+			c.With(pkt.Kind).Inc()
+		}
+		sh.recycle(pkt)
+		return
+	}
+	loss := cfg.LossProb
+	if l.faultLoss >= 0 {
+		loss = l.faultLoss
+	}
+	if loss > 0 && l.rng.Bool(loss) {
 		l.dropped++
 		sh.lost++
 		if c := sh.mDropped; c.Valid() {

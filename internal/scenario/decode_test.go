@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimal wraps a fleet/events/assertions body in a valid scenario head.
+const head = "name: t\ndescription: d\nduration_ms: 2000\n"
+
+const goodFleet = `fleet:
+  machines: 6
+  capacity: 3
+  guests:
+    - name: g
+      count: 2
+      app:
+        kind: beacon
+        period_ms: 5
+`
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := Parse("test.yaml", []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sc
+}
+
+// wantErr parses (and, when parsing succeeds, validates) the document and
+// requires the exact golden message.
+func wantErr(t *testing.T, src, want string) {
+	t.Helper()
+	sc, err := Parse("test.yaml", []byte(src))
+	if err == nil {
+		err = sc.Validate()
+	}
+	if err == nil {
+		t.Fatalf("document accepted, want error %q", want)
+	}
+	for _, line := range strings.Split(err.Error(), "\n") {
+		if line == want {
+			return
+		}
+	}
+	t.Fatalf("error = %q, want golden line %q", err, want)
+}
+
+func TestDecodeFullDocument(t *testing.T) {
+	sc := mustParse(t, `# a comment
+name: full
+description: "quoted: description"
+duration_ms: 3000
+seeds: [1, 2]
+ci: true
+digests:
+  1: 0123456789abcdef
+fleet:
+  machines: 9
+  capacity: 3
+  shards: 2
+  checkpoint_instr: 2000000
+  stall_detector: true
+  planned_migration: true
+  guests:
+    - name: g
+      count: 2
+      app:
+        kind: beacon
+        period_ms: 5
+        compute: 500000
+        disk_kb: 64
+        sink: sink
+      traffic:
+        kind: pings
+        period_ms: 20
+        from: probe
+    - name: v
+      count: 1
+      app:
+        kind: fileserver
+        transport: udp
+      traffic:
+        kind: downloads
+        period_ms: 100
+        size_kb: 32
+events:
+  - at_ms: 300
+    action: admit
+    guest: g
+    count: 1
+  - at_ms: 500
+    action: kill-machine
+    machine: busiest
+    detected: true
+    repair_after_ms: 600
+  - at_ms: 900
+    action: inject-loss
+    from: machine:0
+    to: machine:1
+    prob: 0.25
+    duplex: true
+assertions:
+  - check: stats
+    field: admitted
+    min: 3
+  - check: oplog
+    op: fail
+    detected: true
+    min: 1
+    within_ms: 500
+  - check: lockstep
+    guest: all
+`)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sc.Name != "full" || !sc.CI || len(sc.Seeds) != 2 || sc.Digests[1] != "0123456789abcdef" {
+		t.Fatalf("head decoded wrong: %+v", sc)
+	}
+	f := sc.Fleet
+	if f.Machines != 9 || f.CheckpointInstr != 2_000_000 || !f.StallDetector || !f.PlannedMigration {
+		t.Fatalf("fleet decoded wrong: %+v", f)
+	}
+	if f.Guests[1].App.Transport != "udp" || f.Guests[1].Traffic.SizeKB != 32 {
+		t.Fatalf("guest spec decoded wrong: %+v", f.Guests[1])
+	}
+	ev := sc.Events[1]
+	if !ev.Busiest || !ev.Detected || ev.RepairAfterMS != 600 {
+		t.Fatalf("kill-machine decoded wrong: %+v", ev)
+	}
+	if fault := sc.Events[2]; fault.Prob != 0.25 || !fault.Duplex || fault.ToAddr != "machine:1" {
+		t.Fatalf("inject-loss decoded wrong: %+v", fault)
+	}
+	a := sc.Assertions[1]
+	if a.Op != "fail" || a.Detected == nil || !*a.Detected || a.WithinMS != 500 || *a.Min != 1 {
+		t.Fatalf("oplog assertion decoded wrong: %+v", a)
+	}
+}
+
+// TestDecodeJSONEquivalent: a JSON document decodes into the same schema.
+func TestDecodeJSONEquivalent(t *testing.T) {
+	sc := mustParse(t, `{
+  "name": "j", "description": "d", "duration_ms": 2000,
+  "fleet": {"machines": 6, "capacity": 3,
+    "guests": [{"name": "g", "count": 1, "app": {"kind": "probe"}}]},
+  "events": [{"at_ms": 100, "action": "evict", "guest": "g"}]
+}`)
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Fleet.Guests[0].App.Kind != "probe" || sc.Events[0].Action != "evict" {
+		t.Fatalf("json decoded wrong: %+v", sc)
+	}
+}
+
+func TestDecodeGoldenErrors(t *testing.T) {
+	// Unknown action.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: explode
+`, `test.yaml:14: unknown action "explode"`)
+	// Unknown key on a known action.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: evict
+    guest: g-0
+    force: true
+`, `test.yaml:17: unknown evict event key "force" (allowed: at_ms, action, guest)`)
+	// Unknown assertion check.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: vibes
+`, `test.yaml:14: unknown check "vibes"`)
+	// Unknown app kind.
+	wantErr(t, head+`fleet:
+  machines: 6
+  capacity: 3
+  guests:
+    - name: g
+      count: 1
+      app:
+        kind: kubernetes
+`, `test.yaml:11: unknown app kind "kubernetes" (beacon, fileserver, probe)`)
+	// Missing at_ms.
+	wantErr(t, head+goodFleet+`events:
+  - action: evict
+    guest: g-0
+`, `test.yaml:14: event needs at_ms`)
+	// Malformed digest pin.
+	wantErr(t, head+"digests:\n  1: abc\n"+goodFleet,
+		`test.yaml:5: digest for seed 1 must be 16 hex chars`)
+}
+
+func TestValidateGoldenErrors(t *testing.T) {
+	// Events out of order.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 500
+    action: evict
+    guest: g-0
+  - at_ms: 300
+    action: evict
+    guest: g-1
+`, `test.yaml:17: events out of order: at_ms 300 after 500`)
+	// Undeclared guest target.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: evict
+    guest: ghost
+`, `test.yaml:14: evict event references undeclared guest "ghost"`)
+	// Bare name for a multi-instance spec.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: evict
+    guest: g
+`, `test.yaml:14: evict event: guest spec "g" has 2 instances — reference one as "g-0" etc.`)
+	// Instance index beyond the population.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: evict
+    guest: g-7
+`, `test.yaml:14: evict event: guest "g-7" out of range (spec "g" has 2 instances)`)
+	// Machine out of range.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: drain
+    machine: 11
+`, `test.yaml:14: drain event: machine 11 out of range (fleet has 6 machines)`)
+	// Event beyond the run.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 2500
+    action: drain
+    machine: 0
+`, `test.yaml:14: drain event at_ms 2500 is beyond the scenario duration 2000`)
+	// Detected kill without the detector armed.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: kill-machine
+    machine: 0
+    detected: true
+`, `test.yaml:14: kill-machine event: detected kill needs fleet stall_detector: true`)
+	// within_ms without detected FailOps.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: oplog
+    op: evict
+    min: 1
+    within_ms: 100
+`, `test.yaml:14: oplog assertion: within_ms needs op: fail with detected: true`)
+	// Unknown stats counter.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: stats
+    field: vibes
+    min: 1
+`, `test.yaml:14: stats assertion: unknown field "vibes"`)
+	// Coresident arity.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: coresident
+    guests: [g-0]
+`, `test.yaml:14: coresident assertion needs exactly 2 guests, got 1`)
+	// saturate-disk on a spec with no disk load.
+	wantErr(t, head+goodFleet+`events:
+  - at_ms: 100
+    action: saturate-disk
+    guest: g
+    count: 1
+`, `test.yaml:14: saturate-disk event: guest spec "g" has no disk load (set app disk_kb)`)
+}
+
+func TestParserRejectsMalformedYAML(t *testing.T) {
+	for _, tc := range []struct{ src, want string }{
+		{"\tname: x\n", "test.yaml:1: tab in indentation"},
+		{"name: x\nname: y\n", `test.yaml:2: duplicate key "name"`},
+		{"name: \"unterminated\n", `test.yaml:1: unterminated quoted string "unterminated`},
+		{"name: [a, b\n", `test.yaml:1: unterminated flow list "[a, b"`},
+	} {
+		_, err := Parse("test.yaml", []byte(tc.src))
+		if err == nil || err.Error() != tc.want {
+			t.Errorf("src %q: err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+// TestParserYAMLShapes: comments, quoting, flow lists and nested blocks
+// land in the right nodes.
+func TestParserYAMLShapes(t *testing.T) {
+	sc := mustParse(t, head+`seeds: [3, 5]  # trailing comment
+fleet:
+  machines: 6
+  capacity: 3
+  nodes: ['a#1', "b c"]
+  guests:
+    - name: g
+      count: 1
+      app:
+        kind: probe
+`)
+	if len(sc.Seeds) != 2 || sc.Seeds[0] != 3 || sc.Seeds[1] != 5 {
+		t.Fatalf("seeds = %v", sc.Seeds)
+	}
+	if len(sc.Fleet.Nodes) != 2 || sc.Fleet.Nodes[0] != "a#1" || sc.Fleet.Nodes[1] != "b c" {
+		t.Fatalf("nodes = %q", sc.Fleet.Nodes)
+	}
+}

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestInterpreterImportsOnlyPublicSurfaces: the scenario harness is a pure
+// client of the control plane. Its production sources may import the
+// standard library, the stopwatch façade, and — as the one sanctioned
+// internal vocabulary — the netsim fault-injection surface. Nothing else:
+// reaching into internal/core, internal/vmm or internal/controlplane here
+// would silently grow a private side-channel past the operations API this
+// package exists to prove sufficient.
+func TestInterpreterImportsOnlyPublicSurfaces(t *testing.T) {
+	allowed := map[string]bool{
+		"stopwatch":                 true,
+		"stopwatch/internal/netsim": true,
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(path, "stopwatch") {
+				if !allowed[path] {
+					t.Errorf("%s imports %s — the scenario harness may only use the stopwatch façade and the netsim fault surface", name, path)
+				}
+				continue
+			}
+			if strings.Contains(strings.SplitN(path, "/", 2)[0], ".") {
+				t.Errorf("%s imports non-stdlib package %s", name, path)
+			}
+		}
+	}
+}

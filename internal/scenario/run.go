@@ -1,0 +1,760 @@
+// The interpreter: builds a cluster + control plane from the Fleet,
+// schedules the event script on the simulation loop, drives traffic, and
+// hands the run to assert.go. Every lifecycle mutation is a
+// ControlPlane.Apply; every observation goes through Watch, the op log,
+// the pool's read API and the metrics registry. The only exception is the
+// netsim fault vocabulary (inject-loss / partition / heal), reached
+// through Cluster.Net.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stopwatch"
+)
+
+// Options configures one scenario run.
+type Options struct {
+	// Seed overrides the scenario's first seed (0 = use the scenario's).
+	Seed uint64
+	// Shards overrides the fleet's shard count (0 = use the fleet's). The
+	// op-log digest is identical for every value.
+	Shards int
+	// Out, when non-nil, receives a narration of the op stream.
+	Out io.Writer
+	// Listen, when non-empty, serves the observability plane
+	// (/metrics, /ops) on this address for the duration of the run.
+	Listen string
+}
+
+// Result is one scenario run's outcome.
+type Result struct {
+	Name   string
+	Seed   uint64
+	Shards int
+	// Ops is the op-log length.
+	Ops int
+	// Digest is the op-log digest ("%016x" fnv-64a over the formatted
+	// log); Pinned is the scenario's expected digest for this seed ("" =
+	// unpinned).
+	Digest string
+	Pinned string
+	// Stats is FoldOpStats over the log.
+	Stats stopwatch.ControlPlaneStats
+	// Failures lists every assertion or runtime defect (empty = pass).
+	Failures []string
+}
+
+// Passed reports whether the run finished with no failures.
+func (r *Result) Passed() bool { return len(r.Failures) == 0 }
+
+// Run validates and executes a scenario under one seed.
+func Run(sc *Scenario, opt Options) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = sc.Seeds[0]
+	}
+	shards := opt.Shards
+	if shards == 0 {
+		shards = sc.Fleet.Shards
+	}
+	r := &runner{
+		sc:           sc,
+		opt:          opt,
+		seed:         seed,
+		shards:       shards,
+		totals:       map[string]int{},
+		nextIdx:      map[string]int{},
+		evictedCkpts: map[string]int{},
+		killTimes:    map[int][]stopwatch.Time{},
+		repairAfter:  map[int]stopwatch.Time{},
+	}
+	if err := r.build(); err != nil {
+		return nil, err
+	}
+	if r.srv != nil {
+		defer r.srv.Close()
+	}
+	r.wire()
+	if err := r.c.Run(stopwatch.Millis(float64(sc.DurationMS))); err != nil {
+		return nil, err
+	}
+	return r.finish(), nil
+}
+
+type runner struct {
+	sc     *Scenario
+	opt    Options
+	seed   uint64
+	shards int
+
+	c   *stopwatch.Cluster
+	cp  *stopwatch.ControlPlane
+	reg *stopwatch.MetricsRegistry
+	srv *stopwatch.ObsrvServer
+
+	// totals/nextIdx name instances per spec ("<name>-<i>", or the bare
+	// name for single-instance specs).
+	totals  map[string]int
+	nextIdx map[string]int
+
+	// evictedCkpts accumulates journal checkpoints of guests that left
+	// the cloud (the journal assertion counts them alongside residents).
+	evictedCkpts map[string]int
+
+	// killTimes records kill-machine firing instants per machine (the
+	// oplog within_ms assertion measures detection latency against them).
+	killTimes map[int][]stopwatch.Time
+	// repairAfter schedules a RepairOp that long after a machine's
+	// evacuation completes.
+	repairAfter map[int]stopwatch.Time
+
+	failures []string
+}
+
+func (r *runner) failf(format string, args ...any) {
+	r.failures = append(r.failures, fmt.Sprintf(format, args...))
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.opt.Out != nil {
+		fmt.Fprintf(r.opt.Out, format+"\n", args...)
+	}
+}
+
+// build constructs the cluster, control plane, metrics registry and the
+// fabric nodes the traffic models need.
+func (r *runner) build() error {
+	f := &r.sc.Fleet
+	cfg := stopwatch.DefaultClusterConfig()
+	cfg.Hosts = f.Machines
+	cfg.Seed = r.seed
+	cfg.Shards = r.shards
+	cfg.VMM.CheckpointInstr = f.CheckpointInstr
+	c, err := stopwatch.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	cp, err := stopwatch.NewControlPlane(c, stopwatch.DefaultControlPlaneConfig(f.Capacity))
+	if err != nil {
+		return err
+	}
+	r.c, r.cp = c, cp
+	if f.PlannedMigration {
+		cp.EnablePlannedMigration()
+	}
+	if f.LoadAware {
+		cp.EnableLoadAwareAdmission(stopwatch.LoadAwareConfig{})
+	}
+	if f.StallDetector {
+		if err := cp.EnableStallDetector(0); err != nil {
+			return err
+		}
+	}
+	// Instrumentation is digest-neutral, so the registry is always on and
+	// metric assertions always have data.
+	r.reg = stopwatch.NewMetricsRegistry()
+	cp.InstrumentMetrics(r.reg)
+	c.InstrumentMetrics(r.reg)
+	if r.opt.Listen != "" {
+		r.srv = stopwatch.NewObsrvServer()
+		r.srv.Attach(cp, r.reg)
+		if err := r.srv.Start(r.opt.Listen); err != nil {
+			return err
+		}
+		r.logf("observability: serving http://%s/{metrics,ops}", r.srv.Addr())
+	}
+	// Fabric endpoints: declared extras, beacon sinks, and the traffic
+	// sources, attached in sorted order for determinism.
+	nodes := map[string]bool{}
+	for _, n := range f.Nodes {
+		nodes[n] = true
+	}
+	for i := range f.Guests {
+		g := &f.Guests[i]
+		if g.App.Sink != "" {
+			nodes[g.App.Sink] = true
+		}
+		switch g.Traffic.Kind {
+		case "pings", "probe-stream":
+			nodes[r.trafficFrom(g)] = true
+		}
+	}
+	addrs := make([]string, 0, len(nodes))
+	for n := range nodes {
+		addrs = append(addrs, n)
+	}
+	sort.Strings(addrs)
+	for _, n := range addrs {
+		if err := c.Net().Attach(&stopwatch.FuncNode{Addr: stopwatch.Addr(n), Fn: func(*stopwatch.Packet) {}}); err != nil {
+			return err
+		}
+	}
+	// One placement audit per completed top-level op, keyed off the event
+	// stream; child moves are covered by their parent's audit.
+	cp.Watch(func(ev stopwatch.OpEvent) {
+		if ev.Parent != 0 || (ev.Kind != stopwatch.OpCompleted && ev.Kind != stopwatch.OpFailed) {
+			return
+		}
+		if err := cp.Verify(); err != nil {
+			r.failf("placement audit after %v: %v", ev.Op, err)
+		}
+	})
+	// Evacuation completions — scripted or detector-chained — classify
+	// errors, audit the moved guests, and schedule the repair.
+	cp.Watch(func(ev stopwatch.OpEvent) {
+		op, ok := ev.Op.(stopwatch.EvacuateOp)
+		if !ok || (ev.Kind != stopwatch.OpCompleted && ev.Kind != stopwatch.OpFailed) {
+			return
+		}
+		oc, _ := cp.Outcome(ev.Seq)
+		r.evacuationFinished(op.Machine, oc)
+	})
+	if r.opt.Out != nil {
+		cp.Watch(func(ev stopwatch.OpEvent) {
+			switch ev.Kind {
+			case stopwatch.OpCompleted:
+				r.logf("t=%7.3fs  done %v", seconds(ev.At), ev.Op)
+			case stopwatch.OpFailed:
+				r.logf("t=%7.3fs  FAIL %v: %v", seconds(ev.At), ev.Op, ev.Err)
+			}
+		})
+	}
+	return nil
+}
+
+func seconds(t stopwatch.Time) float64 { return float64(t) / 1e9 }
+
+// trafficFrom resolves a spec's traffic source address.
+func (r *runner) trafficFrom(g *GuestSpec) string {
+	if g.Traffic.From != "" {
+		return g.Traffic.From
+	}
+	switch g.Traffic.Kind {
+	case "pings":
+		return g.Name + "-pinger"
+	case "probe-stream":
+		return g.Name + "-prober"
+	default:
+		return g.Name + "-client"
+	}
+}
+
+// window resolves a spec's traffic window (defaults: 50ms after start to
+// one second before the end, clamped to the run).
+func (r *runner) window(g *GuestSpec) (start, stop stopwatch.Time) {
+	dur := stopwatch.Millis(float64(r.sc.DurationMS))
+	start = stopwatch.Millis(50)
+	if g.Traffic.StartMS > 0 {
+		start = stopwatch.Millis(float64(g.Traffic.StartMS))
+	}
+	stop = dur - stopwatch.Seconds(1)
+	if g.Traffic.StopMS > 0 {
+		stop = stopwatch.Millis(float64(g.Traffic.StopMS))
+	}
+	if stop > dur {
+		stop = dur
+	}
+	if stop < start {
+		stop = start
+	}
+	return start, stop
+}
+
+// wire admits the initial guest mix, starts the cluster, and schedules
+// traffic and the event script.
+func (r *runner) wire() {
+	f := &r.sc.Fleet
+	// The totals decide instance naming before anything runs.
+	for i := range f.Guests {
+		r.totals[f.Guests[i].Name] = f.Guests[i].Count
+	}
+	for _, ev := range r.sc.Events {
+		if ev.Action == "admit" || ev.Action == "saturate-disk" {
+			r.totals[ev.Guest] += ev.Count
+		}
+	}
+	for i := range f.Guests {
+		r.admitBurst(&f.Guests[i], f.Guests[i].Count)
+	}
+	r.c.Start()
+	for i := range f.Guests {
+		r.startSpecTraffic(&f.Guests[i])
+	}
+	for _, ev := range r.sc.Events {
+		ev := ev
+		r.c.Loop().At(stopwatch.Millis(float64(ev.AtMS)), "scenario:"+ev.Action, func() { r.exec(ev) })
+	}
+}
+
+// instanceID names instance idx of a spec: the bare spec name when the
+// population is a singleton, "<name>-<idx>" otherwise.
+func (r *runner) instanceID(spec string, idx int) string {
+	if r.totals[spec] == 1 {
+		return spec
+	}
+	return fmt.Sprintf("%s-%d", spec, idx)
+}
+
+// instances returns the spec's currently-deployed instance ids, in index
+// order.
+func (r *runner) instances(spec string) []string {
+	var ids []string
+	for i := 0; i < r.nextIdx[spec]; i++ {
+		id := r.instanceID(spec, i)
+		if _, ok := r.c.Guest(id); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// factory builds the spec's app constructor.
+func (r *runner) factory(g *GuestSpec) func() stopwatch.App {
+	app := g.App
+	switch app.Kind {
+	case "beacon":
+		period := stopwatch.Virtual(stopwatch.Millis(app.PeriodMS))
+		return func() stopwatch.App {
+			b := stopwatch.NewBeaconApp(period)
+			b.Compute = app.Compute
+			b.DiskBytes = app.DiskKB << 10
+			b.Sink = stopwatch.Addr(app.Sink)
+			return b
+		}
+	case "fileserver":
+		cfg := stopwatch.DefaultFileServerConfig()
+		if app.Transport == "udp" {
+			cfg.Mode = stopwatch.ModeUDP
+		}
+		return func() stopwatch.App {
+			fs, err := stopwatch.NewFileServer(cfg)
+			if err != nil {
+				panic(err) // config validated statically
+			}
+			return fs
+		}
+	default: // "probe"
+		return func() stopwatch.App { return stopwatch.NewProbeApp() }
+	}
+}
+
+// admitBurst admits count fresh instances of a spec. A full cloud
+// (ErrNoFeasibleHost) is an expected outcome, not a failure.
+func (r *runner) admitBurst(g *GuestSpec, count int) {
+	for i := 0; i < count; i++ {
+		idx := r.nextIdx[g.Name]
+		r.nextIdx[g.Name]++
+		id := r.instanceID(g.Name, idx)
+		r.cp.Apply(stopwatch.AdmitOp{GuestID: id, Factory: r.factory(g), Done: func(oc *stopwatch.Outcome) {
+			if oc.Err != nil && !errors.Is(oc.Err, stopwatch.ErrNoFeasibleHost) {
+				r.failf("admit %s: %v", id, oc.Err)
+			}
+		}})
+	}
+}
+
+// startSpecTraffic launches the spec's traffic model. Pings and fetches
+// re-resolve the live instance set every period, so instances admitted or
+// evicted mid-run join and leave the load naturally.
+func (r *runner) startSpecTraffic(g *GuestSpec) {
+	if g.Traffic.Kind == "" {
+		return
+	}
+	start, stop := r.window(g)
+	period := stopwatch.Millis(g.Traffic.PeriodMS)
+	from := stopwatch.Addr(r.trafficFrom(g))
+	loop := r.c.Loop()
+	switch g.Traffic.Kind {
+	case "pings":
+		var tick func()
+		tick = func() {
+			if loop.Now() >= stop {
+				return
+			}
+			for _, id := range r.instances(g.Name) {
+				r.c.Net().Send(&stopwatch.Packet{Src: from, Dst: stopwatch.GuestAddr(id), Size: 128, Kind: "ping"})
+			}
+			loop.After(period, "scenario:ping", tick)
+		}
+		loop.At(start, "scenario:ping", tick)
+	case "probe-stream":
+		// One deterministic stream per possible instance, keyed by id, so
+		// the gap sequence is independent of admission interleaving.
+		for i := 0; i < r.totals[g.Name]; i++ {
+			id := r.instanceID(g.Name, i)
+			ps := stopwatch.NewProbeSource(r.c.Net(), loop, r.c.Source().Stream("scenario:probe:"+id),
+				from, stopwatch.GuestAddr(id), period)
+			ps.Constant = g.Traffic.Constant
+			loop.At(start, "scenario:probe", func() { ps.Start(stop) })
+		}
+	case "downloads":
+		cl, err := r.c.NewClient(from)
+		if err != nil {
+			r.failf("downloads client %s: %v", from, err)
+			return
+		}
+		dl := stopwatch.NewDownloader(cl)
+		mode := stopwatch.ModeTCP
+		if g.App.Transport == "udp" {
+			mode = stopwatch.ModeUDP
+		}
+		size := g.Traffic.SizeKB << 10
+		if size <= 0 {
+			size = 64 << 10
+		}
+		var tick func()
+		tick = func() {
+			if loop.Now() >= stop {
+				return
+			}
+			for _, id := range r.instances(g.Name) {
+				if err := dl.Fetch(stopwatch.GuestAddr(id), mode, size, nil); err != nil {
+					r.failf("fetch from %s: %v", id, err)
+				}
+			}
+			loop.After(period, "scenario:fetch", tick)
+		}
+		loop.At(start, "scenario:fetch", tick)
+	}
+}
+
+// exec runs one scripted event. Events fire as loop callbacks, i.e. at
+// coordinator barriers — the context where control-plane calls and fabric
+// fault injection are safe.
+func (r *runner) exec(ev Event) {
+	switch ev.Action {
+	case "admit", "saturate-disk":
+		for i := range r.sc.Fleet.Guests {
+			if g := &r.sc.Fleet.Guests[i]; g.Name == ev.Guest {
+				r.logf("t=%7.3fs  %s %d x %s", seconds(r.c.Loop().Now()), ev.Action, ev.Count, ev.Guest)
+				r.admitBurst(g, ev.Count)
+				return
+			}
+		}
+	case "evict":
+		r.evict(ev.Guest, 0)
+	case "kill-machine":
+		r.killMachine(ev)
+	case "kill-replica":
+		r.killReplica(ev)
+	case "drain":
+		r.cp.Apply(stopwatch.DrainOp{Machine: ev.Machine, Done: func(oc *stopwatch.Outcome) {
+			r.classify(fmt.Sprintf("drain %d", ev.Machine), oc.Err)
+			r.auditGuests(oc.Guests)
+		}})
+	case "undrain":
+		if oc := r.cp.Apply(stopwatch.UndrainOp{Machine: ev.Machine}); oc.Err != nil {
+			r.failf("undrain %d: %v", ev.Machine, oc.Err)
+		}
+	case "migrate":
+		r.migrate(ev)
+	case "inject-loss", "partition", "heal":
+		r.fault(ev)
+	}
+}
+
+// classify folds an op error into failures, tolerating infeasible packing
+// (the guest serves degraded on its live pair — expected under
+// saturation).
+func (r *runner) classify(what string, err error) {
+	if err == nil {
+		return
+	}
+	for _, sub := range unjoin(err) {
+		if !errors.Is(sub, stopwatch.ErrNoFeasibleHost) {
+			r.failf("%s: %v", what, sub)
+		}
+	}
+}
+
+func unjoin(err error) []error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		return u.Unwrap()
+	}
+	return []error{err}
+}
+
+// auditGuests checks each moved guest's replica agreement right after its
+// operation (frozen replicas excluded — a degraded guest still serves in
+// lockstep on its live pair).
+func (r *runner) auditGuests(ids []string) {
+	for _, id := range ids {
+		g, ok := r.c.Guest(id)
+		if !ok {
+			continue
+		}
+		if _, err := auditLockstep(g, false); err != nil {
+			r.failf("lockstep %s: %v", id, err)
+		}
+	}
+}
+
+// evict departs a guest, retrying while its lifecycle is mid-operation.
+func (r *runner) evict(id string, tries int) {
+	g, ok := r.c.Guest(id)
+	if !ok {
+		r.failf("evict %s: not deployed", id)
+		return
+	}
+	if _, busy := r.cp.InFlight(id); busy {
+		if tries >= 50 {
+			r.failf("evict %s: still busy after %d retries", id, tries)
+			return
+		}
+		r.c.Loop().After(stopwatch.Millis(100), "scenario:evict-retry", func() { r.evict(id, tries+1) })
+		return
+	}
+	if _, err := auditLockstep(g, false); err != nil {
+		r.failf("lockstep before evict %s: %v", id, err)
+	}
+	ckpts := g.JournalStats().Checkpoints
+	if oc := r.cp.Apply(stopwatch.EvictOp{GuestID: id}); oc.Err != nil {
+		r.failf("evict %s: %v", id, oc.Err)
+		return
+	}
+	r.evictedCkpts[id] += ckpts
+}
+
+func (r *runner) killMachine(ev Event) {
+	m := ev.Machine
+	if ev.Busiest {
+		m = 0
+		for h := 1; h < r.sc.Fleet.Machines; h++ {
+			if len(r.cp.Pool().Residents(h)) > len(r.cp.Pool().Residents(m)) {
+				m = h
+			}
+		}
+	}
+	r.logf("t=%7.3fs  kill machine %d (detected=%v)", seconds(r.c.Loop().Now()), m, ev.Detected)
+	r.killTimes[m] = append(r.killTimes[m], r.c.Loop().Now())
+	if ev.RepairAfterMS > 0 {
+		r.repairAfter[m] = stopwatch.Millis(float64(ev.RepairAfterMS))
+	}
+	if ev.Detected {
+		// Data-plane kill only: the stall detector notices the silent VMM,
+		// auto-fails the machine and chains the evacuation; the watch
+		// subscription picks the outcome up.
+		if err := r.c.FailMachine(m); err != nil {
+			r.failf("kill machine %d: %v", m, err)
+		}
+		return
+	}
+	if oc := r.cp.Apply(stopwatch.FailOp{Machine: m}); oc.Rejected() {
+		r.failf("fail machine %d: %v", m, oc.Err)
+		return
+	}
+	if oc := r.cp.Apply(stopwatch.EvacuateOp{Machine: m}); oc.Rejected() {
+		r.failf("evacuate machine %d: %v", m, oc.Err)
+	}
+}
+
+// evacuationFinished is the watch hook for every completed evacuation.
+func (r *runner) evacuationFinished(m int, oc *stopwatch.Outcome) {
+	r.classify(fmt.Sprintf("evacuate machine %d", m), oc.Err)
+	r.auditGuests(oc.Guests)
+	delay, ok := r.repairAfter[m]
+	if !ok {
+		return
+	}
+	delete(r.repairAfter, m)
+	r.c.Loop().After(delay, "scenario:repair", func() {
+		// A degraded guest stuck on the machine (infeasible move) keeps it
+		// failed; a RepairOp would rightly refuse.
+		if len(r.cp.Pool().Residents(m)) > 0 {
+			return
+		}
+		if oc := r.cp.Apply(stopwatch.RepairOp{Machine: m}); oc.Err != nil {
+			r.failf("repair machine %d: %v", m, oc.Err)
+		}
+	})
+}
+
+func (r *runner) killReplica(ev Event) {
+	id := ev.Guest
+	g, ok := r.c.Guest(id)
+	if !ok {
+		r.failf("kill-replica %s: not deployed", id)
+		return
+	}
+	if _, busy := r.cp.InFlight(id); busy || len(frozenSlots(g)) > 0 {
+		r.failf("kill-replica %s: guest busy or already degraded", id)
+		return
+	}
+	victim := g.Replica(ev.Slot)
+	deadHost := victim.Host()
+	victim.Runtime().Stop() // the crash
+	r.cp.Apply(stopwatch.ReplaceOp{GuestID: id, DeadHost: deadHost, Done: func(oc *stopwatch.Outcome) {
+		r.classify(fmt.Sprintf("replace %s", id), oc.Err)
+	}})
+}
+
+func (r *runner) migrate(ev Event) {
+	id := ev.Guest
+	tri, ok := r.cp.Pool().Triangle(id)
+	if !ok {
+		r.failf("migrate %s: not placed", id)
+		return
+	}
+	from := tri[0]
+	to := -1
+	if ev.To == "" || ev.To == "auto" {
+		to = r.migrationTarget(id, tri)
+		if to < 0 {
+			r.failf("migrate %s: no feasible destination", id)
+			return
+		}
+	} else {
+		to, _ = strconv.Atoi(ev.To)
+	}
+	r.cp.Apply(stopwatch.MigrateOp{GuestID: id, From: from, To: to, Done: func(oc *stopwatch.Outcome) {
+		r.classify(fmt.Sprintf("migrate %s %d->%d", id, from, to), oc.Err)
+	}})
+}
+
+// migrationTarget finds a destination keeping the triangle edge-disjoint:
+// a healthy host, not in the triangle, with capacity, whose edges to the
+// two remaining replicas are unused by any resident. Edge usage and load
+// are recomputed from the resident triangles — the same view the
+// barrier's pinned re-home will check.
+func (r *runner) migrationTarget(id string, tri stopwatch.Triangle) int {
+	pool := r.cp.Pool()
+	used := map[[2]int]bool{}
+	load := make([]int, r.sc.Fleet.Machines)
+	edge := func(a, b int) [2]int {
+		if a > b {
+			a, b = b, a
+		}
+		return [2]int{a, b}
+	}
+	for _, gid := range pool.IDs() {
+		t, ok := pool.Triangle(gid)
+		if !ok || gid == id {
+			continue
+		}
+		for a := 0; a < 3; a++ {
+			load[t[a]]++
+			for b := a + 1; b < 3; b++ {
+				used[edge(t[a], t[b])] = true
+			}
+		}
+	}
+	for h := 0; h < r.sc.Fleet.Machines; h++ {
+		if h == tri[0] || h == tri[1] || h == tri[2] {
+			continue
+		}
+		if pool.Drained(h) || r.cp.Failed(h) || load[h] >= pool.Capacity() {
+			continue
+		}
+		if !used[edge(h, tri[1])] && !used[edge(h, tri[2])] {
+			return h
+		}
+	}
+	return -1
+}
+
+// fault applies a fabric fault event through the netsim injection surface.
+func (r *runner) fault(ev Event) {
+	a := r.linkAddr(ev.From)
+	b := r.linkAddr(ev.ToAddr)
+	net := r.c.Net()
+	var err error
+	switch ev.Action {
+	case "inject-loss":
+		if ev.Duplex {
+			err = net.InjectDuplexLoss(a, b, ev.Prob)
+		} else {
+			err = net.InjectLoss(a, b, ev.Prob)
+		}
+	case "partition":
+		if ev.Duplex {
+			err = net.SetDuplexPartitioned(a, b, true)
+		} else {
+			err = net.SetPartitioned(a, b, true)
+		}
+	case "heal":
+		if ev.Duplex {
+			err = net.HealDuplexLink(a, b)
+		} else {
+			err = net.HealLink(a, b)
+		}
+	}
+	if err != nil {
+		r.failf("%s %s->%s: %v", ev.Action, a, b, err)
+	} else {
+		r.logf("t=%7.3fs  %s %s->%s", seconds(r.c.Loop().Now()), ev.Action, a, b)
+	}
+}
+
+// linkAddr resolves a fault endpoint: "machine:N" names the host's Dom0,
+// "guest:ID" the guest's public service address, anything else a literal
+// fabric address.
+func (r *runner) linkAddr(s string) stopwatch.Addr {
+	if rest, ok := strings.CutPrefix(s, "machine:"); ok {
+		return stopwatch.Addr("dom0:host" + rest)
+	}
+	if rest, ok := strings.CutPrefix(s, "guest:"); ok {
+		return stopwatch.GuestAddr(rest)
+	}
+	return stopwatch.Addr(s)
+}
+
+// frozenSlots returns the slots of g's replicas whose execution is halted
+// (crashed, or frozen by an abandoned move); audits exclude them.
+func frozenSlots(g *stopwatch.Guest) []int {
+	var slots []int
+	for _, rep := range g.Replicas() {
+		if rep.Runtime().Stopped() {
+			slots = append(slots, rep.Slot())
+		}
+	}
+	return slots
+}
+
+// auditLockstep checks replica agreement: frozen replicas are excluded
+// and flagged as degraded; strict escalates fully-live guests to the
+// exact digest+count check.
+func auditLockstep(g *stopwatch.Guest, strict bool) (degraded bool, err error) {
+	if dead := frozenSlots(g); len(dead) > 0 {
+		return true, g.CheckLockstepPrefixExcluding(dead...)
+	}
+	if strict {
+		return false, g.CheckLockstep()
+	}
+	return false, g.CheckLockstepPrefix()
+}
+
+// finish publishes the final snapshot, evaluates the assertions and digest
+// pin, and assembles the result.
+func (r *runner) finish() *Result {
+	if r.srv != nil {
+		r.srv.Publish(r.reg)
+	}
+	log := r.cp.Log()
+	digest := fnv.New64a()
+	_, _ = digest.Write([]byte(stopwatch.FormatOpLog(log)))
+	res := &Result{
+		Name:   r.sc.Name,
+		Seed:   r.seed,
+		Shards: r.shards,
+		Ops:    len(log),
+		Digest: fmt.Sprintf("%016x", digest.Sum64()),
+		Pinned: r.sc.Digests[r.seed],
+		Stats:  stopwatch.FoldOpStats(log),
+	}
+	r.assertAll(log, res)
+	if res.Pinned != "" && res.Pinned != res.Digest {
+		r.failf("op-log digest %s does not match the pin %s for seed %d", res.Digest, res.Pinned, r.seed)
+	}
+	res.Failures = r.failures
+	return res
+}

@@ -1,0 +1,201 @@
+// Package scenario is the declarative fleet-scenario harness (Navarch
+// style): YAML/JSON scenario files describe a fleet (machines, capacity,
+// guest mix with app kinds and traffic models), a script of virtual-
+// time-stamped events (admit bursts, evictions, machine kills, drains,
+// migrations, fabric faults) and a set of end-of-run assertions (guest
+// lockstep, placement verification, op-log expectations, metric
+// predicates, per-seed op-log digest pins).
+//
+// The interpreter is deliberately a pure client of the public control
+// surface: every lifecycle mutation goes through ControlPlane.Apply,
+// every observation through Watch, the op log, FoldOpStats, the pool's
+// read API and the metrics registry. The only internal vocabulary it
+// speaks is the netsim fault-injection surface (per-link loss overrides
+// and partition toggles), which exists precisely to be scripted. This
+// package importing nothing but the stopwatch façade and that fault
+// vocabulary is enforced by a test — the harness doubles as proof that
+// the operations API is sufficient for external tooling.
+//
+// Parsing has no external dependencies: a small YAML-subset parser
+// (block maps and sequences, scalars, quoted strings, flow lists,
+// comments) with line-numbered errors; JSON documents decode into the
+// same tree.
+package scenario
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	// Name identifies the scenario (reports, CI).
+	Name string
+	// Description is free-form documentation.
+	Description string
+	// DurationMS is the simulated run length in milliseconds.
+	DurationMS int64
+	// Seeds are the master seeds the scenario is pinned/run under
+	// (default: [1]).
+	Seeds []uint64
+	// CI marks the scenario for execution (not just validation) in CI.
+	CI bool
+	// Digests pins the op-log digest per seed ("%016x"); empty means
+	// unpinned. A digest mismatch is an assertion failure.
+	Digests map[uint64]string
+
+	Fleet      Fleet
+	Events     []Event
+	Assertions []Assertion
+
+	// Path is the file the scenario was parsed from (error messages).
+	Path string
+}
+
+// Fleet describes the cloud a scenario runs on.
+type Fleet struct {
+	// Machines is the host count.
+	Machines int
+	// Capacity is the per-host guest-replica capacity (control plane).
+	Capacity int
+	// Shards is the default fabric shard count (CLI -shards overrides;
+	// results are identical for every value).
+	Shards int
+	// CheckpointInstr enables journal checkpoints every N instructions
+	// (0 = off; must be a multiple of the VMM exit quantum).
+	CheckpointInstr int64
+	// StallDetector arms the proposal-deadline stall detector.
+	StallDetector bool
+	// PlannedMigration turns infeasible placements into one-move plans.
+	PlannedMigration bool
+	// LoadAware enables telemetry-driven admission.
+	LoadAware bool
+	// Nodes are extra fabric sink addresses to attach (beacon sinks,
+	// probe sources are attached automatically; list any extras here).
+	Nodes []string
+	// Guests is the guest mix.
+	Guests []GuestSpec
+}
+
+// GuestSpec declares one guest population: an app kind, an optional
+// traffic model, and how many instances are admitted at t=0 (events may
+// admit more). A spec whose total instance count is 1 is addressed by its
+// bare name; otherwise instances are "<name>-0", "<name>-1", …
+type GuestSpec struct {
+	Name    string
+	Count   int
+	App     AppSpec
+	Traffic TrafficSpec
+
+	// Line is the spec's position in the file.
+	Line int
+}
+
+// AppSpec selects and parameterizes the guest application.
+type AppSpec struct {
+	// Kind: "beacon" | "fileserver" | "probe".
+	Kind string
+	// PeriodMS is the beacon burst period (guest virtual time).
+	PeriodMS float64
+	// Compute is the beacon per-burst compute (instructions).
+	Compute int64
+	// DiskKB is the beacon per-burst disk read (KB).
+	DiskKB int
+	// Sink is the beacon's packet sink address ("" disables).
+	Sink string
+	// Transport: "tcp" | "udp" (fileserver).
+	Transport string
+}
+
+// TrafficSpec drives external load at a guest population.
+type TrafficSpec struct {
+	// Kind: "" (none) | "pings" | "probe-stream" | "downloads".
+	Kind string
+	// PeriodMS is the ping/fetch period, or the probe-stream mean gap.
+	PeriodMS float64
+	// From names the fabric source (pings, probe-stream) or the transport
+	// client (downloads). Defaults derive from the spec name.
+	From string
+	// SizeKB is the downloads fetch size.
+	SizeKB int
+	// Constant makes probe-stream gaps constant instead of Poisson.
+	Constant bool
+	// StartMS/StopMS bound the traffic window (defaults: 50ms to
+	// duration−1s).
+	StartMS int64
+	StopMS  int64
+}
+
+// Event is one scripted action at a virtual time.
+type Event struct {
+	// AtMS is the firing time in milliseconds of simulated time.
+	AtMS int64
+	// Action discriminates the union: admit | saturate-disk | evict |
+	// kill-machine | kill-replica | drain | undrain | migrate |
+	// inject-loss | partition | heal.
+	Action string
+	// Line is the event's position in the file.
+	Line int
+
+	// Guest targets a spec (admit, saturate-disk) or an instance (evict,
+	// kill-replica, migrate).
+	Guest string
+	// Count is the admit/saturate burst size.
+	Count int
+	// Machine targets a host (kill-machine, drain, undrain); -1 unset.
+	Machine int
+	// Busiest picks the machine with the most residents (kill-machine).
+	Busiest bool
+	// Detected routes a kill through the data plane only, leaving the
+	// stall detector to fail the machine; false scripts the FailOp +
+	// EvacuateOp directly.
+	Detected bool
+	// RepairAfterMS schedules a RepairOp that long after the machine's
+	// evacuation completes (0 = never).
+	RepairAfterMS int64
+	// Slot selects the replica for kill-replica.
+	Slot int
+	// To is the migrate destination: "auto" or a machine index.
+	To string
+	// From/ToAddr are link endpoints for fabric faults. Forms:
+	// "machine:N" (the host's Dom0), "guest:NAME" (the guest's public
+	// service address), or a literal fabric address.
+	From   string
+	ToAddr string
+	// Prob is the inject-loss probability.
+	Prob float64
+	// Duplex applies the fault in both directions.
+	Duplex bool
+}
+
+// Assertion is one end-of-run check.
+type Assertion struct {
+	// Check discriminates the union: lockstep | placement | coresident |
+	// stats | oplog | metric | journal.
+	Check string
+	// Line is the assertion's position in the file.
+	Line int
+
+	// Guest targets one instance, or "all" (lockstep, journal).
+	Guest string
+	// Guests are the coresident pair.
+	Guests []string
+	// Strict requires exact lockstep (no degraded prefix tolerance).
+	Strict bool
+	// Field is the FoldOpStats counter name (snake_case).
+	Field string
+	// Op is the op-log kind: admit | evict | replace | drain | undrain |
+	// fail | evacuate | repair | migrate.
+	Op string
+	// Detected filters FailOps by their Detected flag (nil = both).
+	Detected *bool
+	// WithinMS bounds detection latency: every counted detected FailOp
+	// must be submitted within this many ms of the kill event on its
+	// machine.
+	WithinMS int64
+	// Name/Label select a metric family and sample.
+	Name  string
+	Label string
+	// Min/Max bound the asserted value (stats, oplog count, metric).
+	Min *float64
+	Max *float64
+	// MinShared is the coresident host-overlap lower bound.
+	MinShared int
+	// MinCheckpoints is the journal checkpoint lower bound.
+	MinCheckpoints int64
+}

@@ -1,0 +1,196 @@
+// Server-side transport state serialization, used by apps that implement
+// guest.Snapshotter (checkpointed journals): a file server mid-response
+// must capture its connection table and window positions, or a replica
+// restored from a checkpoint would silently drop in-flight responses.
+//
+// Encodings are deterministic — map entries are emitted in sorted key
+// order — so identical server states serialize to identical bytes on
+// every replica. Only mutable state is captured; configuration (window,
+// RTO, callbacks, per-segment costs) is rebuilt by the app factory.
+
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"stopwatch/internal/netsim"
+)
+
+func appendAddr(buf []byte, a netsim.Addr) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(a)))
+	return append(buf, a...)
+}
+
+// stateReader is a varint cursor with sticky errors.
+type stateReader struct {
+	data []byte
+	err  error
+}
+
+func (r *stateReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: snapshot: bad %s", ErrTransport, what)
+	}
+}
+
+func (r *stateReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *stateReader) varint(what string) int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *stateReader) byteVal(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) == 0 {
+		r.fail(what)
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *stateReader) addr(what string) netsim.Addr {
+	n := r.uvarint(what + " length")
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.data)) < n {
+		r.fail(what)
+		return ""
+	}
+	a := netsim.Addr(r.data[:n])
+	r.data = r.data[n:]
+	return a
+}
+
+// AppendState serializes the stream server's mutable state (connections
+// and in-flight responses) onto buf.
+func (s *TCPServer) AppendState(buf []byte) []byte {
+	ids := make([]uint64, 0, len(s.conns))
+	for id := range s.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		c := s.conns[id]
+		buf = binary.AppendUvarint(buf, id)
+		buf = appendAddr(buf, c.peer)
+		if c.resp == nil {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		r := c.resp
+		buf = binary.AppendUvarint(buf, r.id)
+		buf = binary.AppendUvarint(buf, r.conn)
+		buf = binary.AppendVarint(buf, int64(r.total))
+		buf = binary.AppendVarint(buf, int64(r.bytes))
+		buf = binary.AppendVarint(buf, int64(r.nextSend))
+		buf = binary.AppendVarint(buf, int64(r.acked))
+		armed := byte(0)
+		if r.rtoArmed {
+			armed = 1
+		}
+		buf = append(buf, armed)
+		buf = binary.AppendVarint(buf, int64(r.rtoEpoch))
+	}
+	return buf
+}
+
+// RestoreState rebuilds the stream server's mutable state from the prefix
+// of data written by AppendState, returning the unconsumed remainder.
+func (s *TCPServer) RestoreState(data []byte) ([]byte, error) {
+	r := &stateReader{data: data}
+	n := r.uvarint("tcp conn count")
+	conns := make(map[uint64]*serverConn, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		id := r.uvarint("tcp conn id")
+		c := &serverConn{peer: r.addr("tcp peer")}
+		if r.byteVal("tcp resp flag") == 1 {
+			c.resp = &serverResp{
+				id:       r.uvarint("tcp resp id"),
+				conn:     r.uvarint("tcp resp conn"),
+				total:    int(r.varint("tcp resp total")),
+				bytes:    int(r.varint("tcp resp bytes")),
+				nextSend: int(r.varint("tcp resp nextSend")),
+				acked:    int(r.varint("tcp resp acked")),
+			}
+			c.resp.rtoArmed = r.byteVal("tcp resp rtoArmed") == 1
+			c.resp.rtoEpoch = int(r.varint("tcp resp rtoEpoch"))
+		}
+		conns[id] = c
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.conns = conns
+	return r.data, nil
+}
+
+// AppendState serializes the datagram server's NACK-repair memory onto
+// buf.
+func (s *UDPServer) AppendState(buf []byte) []byte {
+	ids := make([]uint64, 0, len(s.sent))
+	for id := range s.sent {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		r := s.sent[id]
+		buf = binary.AppendUvarint(buf, id)
+		buf = appendAddr(buf, r.peer)
+		buf = binary.AppendUvarint(buf, r.id)
+		buf = binary.AppendVarint(buf, int64(r.total))
+		buf = binary.AppendVarint(buf, int64(r.bytes))
+	}
+	return buf
+}
+
+// RestoreState rebuilds the datagram server's state from the prefix of
+// data written by AppendState, returning the unconsumed remainder.
+func (s *UDPServer) RestoreState(data []byte) ([]byte, error) {
+	r := &stateReader{data: data}
+	n := r.uvarint("udp resp count")
+	sent := make(map[uint64]*udpResp, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		id := r.uvarint("udp conn id")
+		sent[id] = &udpResp{
+			peer:  r.addr("udp peer"),
+			id:    r.uvarint("udp resp id"),
+			total: int(r.varint("udp resp total")),
+			bytes: int(r.varint("udp resp bytes")),
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	s.sent = sent
+	return r.data, nil
+}

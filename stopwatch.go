@@ -225,6 +225,22 @@ func NewProbeApp() *ProbeApp { return apps.NewProbeApp() }
 // ProbeSource drives an attacker's inbound packet stream.
 type ProbeSource = apps.ProbeSource
 
+// NewProbeSource sends packets from src to dst with exponential (or
+// constant) gaps of the given mean — the attacker's probing strategy.
+// Wire it with a cluster's fabric, loop and a named RNG stream:
+//
+//	p := stopwatch.NewProbeSource(c.Net(), c.Loop(), c.Source().Stream("probe"), "colluder", stopwatch.GuestAddr("attacker"), stopwatch.Millis(2))
+func NewProbeSource(net *netsim.Network, loop *sim.Loop, rng *sim.Rand, src, dst Addr, meanGap Time) *ProbeSource {
+	return apps.NewProbeSource(net, loop, rng, src, dst, meanGap)
+}
+
+// BeaconApp is a self-driving periodic compute/disk/network load — the
+// standing victim workload of scenario scripts.
+type BeaconApp = apps.BeaconApp
+
+// NewBeaconApp returns a beacon with the given burst period.
+func NewBeaconApp(period Virtual) *BeaconApp { return apps.NewBeaconApp(period) }
+
 // Placement re-exports.
 
 // Triangle is one guest's three replica machines.
