@@ -131,6 +131,7 @@ func runScenarioFiles(args []string, out *os.File) error {
 	listen := fs.String("listen", "", "serve /metrics, /metrics.json, /ops and /ops/stream on this loopback address during the run")
 	quiet := fs.Bool("q", false, "suppress the op-stream narration")
 	ciOnly := fs.Bool("ci", false, "run only scenarios tagged ci: true")
+	noReconcile := fs.Bool("no-reconcile", false, "disable the pre-view-commit survivor reconcile round (failure-injection experiments)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -152,7 +153,7 @@ func runScenarioFiles(args []string, out *os.File) error {
 			seeds = []uint64{*seed}
 		}
 		for _, s := range seeds {
-			opt := scenario.Options{Seed: s, Shards: *shards, Listen: *listen}
+			opt := scenario.Options{Seed: s, Shards: *shards, Listen: *listen, DisableReconcile: *noReconcile}
 			if !*quiet {
 				opt.Out = out
 			}

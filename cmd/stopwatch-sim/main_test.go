@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"stopwatch/internal/scenario"
@@ -92,6 +93,41 @@ func TestRunLifecycleWithListen(t *testing.T) {
 	}
 	if err := run([]string{"run", "-q", "-listen", "0.0.0.0:0", filepath.Join(corpusDir, "lifecycle.yaml")}); err == nil {
 		t.Fatal("non-loopback listen address accepted")
+	}
+}
+
+// TestLossyViewChangeNeedsReconcile: the lossy-view-change repro is green
+// only because of the pre-view-commit survivor reconcile round. With the
+// round force-disabled (the -no-reconcile experiment) the split proposal
+// deliveries wedge one survivor through the view change, the evacuation
+// never quiesces and the scenario fails on exactly the designed
+// signature: strict-lockstep divergence and zeroed reconcile counters.
+func TestLossyViewChangeNeedsReconcile(t *testing.T) {
+	sc, err := scenario.Load(filepath.Join(corpusDir, "lossy-view-change.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.Run(sc, scenario.Options{Seed: 1, DisableReconcile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed() {
+		t.Fatal("scenario passed with the reconcile round disabled")
+	}
+	for _, want := range []string{
+		"lockstep assertion srv",
+		"stats assertion crash_evacuations: 0 below min 1",
+		"stats assertion reconcile_repairs: 0 below min 1",
+	} {
+		found := false
+		for _, f := range res.Failures {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures = %v, want one containing %q", res.Failures, want)
+		}
 	}
 }
 

@@ -1,7 +1,9 @@
 package apps
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"stopwatch/internal/guest"
 	"stopwatch/internal/netsim"
@@ -182,6 +184,90 @@ func (s *NFSServer) OnDiskDone(ctx guest.Ctx, d guest.DiskDone) {
 func (s *NFSServer) OnTimer(ctx guest.Ctx, tag string) {
 	s.tcp.HandleTimer(ctx, tag)
 }
+
+// SnapshotAppend implements guest.Snapshotter: the served and lookup
+// counters (the name-cache model is the lookup count mod 4, so the
+// counter IS the cache state), the ops waiting on disk and the TCP
+// server's connection state. Pending entries are emitted in respID order
+// so identical replicas serialize identically — which lets long-lived NFS
+// guests replace via checkpoint instead of full-journal replay.
+func (s *NFSServer) SnapshotAppend(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, s.served)
+	buf = binary.AppendVarint(buf, s.lookups)
+	ids := make([]uint64, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		p := s.pending[id]
+		buf = binary.AppendUvarint(buf, id)
+		buf = binary.AppendUvarint(buf, p.conn)
+		buf = binary.AppendUvarint(buf, p.respID)
+		buf = binary.AppendVarint(buf, int64(p.respSize))
+	}
+	return s.tcp.AppendState(buf)
+}
+
+// RestoreSnapshot implements guest.Snapshotter.
+func (s *NFSServer) RestoreSnapshot(data []byte) error {
+	bad := func(what string) error {
+		return fmt.Errorf("%w: nfs server snapshot: bad %s", ErrApp, what)
+	}
+	served, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("served counter")
+	}
+	data = data[n:]
+	lookups, n := binary.Varint(data)
+	if n <= 0 {
+		return bad("lookup counter")
+	}
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("pending count")
+	}
+	data = data[n:]
+	pending := make(map[uint64]*pendingNFS, count)
+	for i := uint64(0); i < count; i++ {
+		id, n := binary.Uvarint(data)
+		if n <= 0 {
+			return bad("pending id")
+		}
+		data = data[n:]
+		p := &pendingNFS{}
+		if p.conn, n = binary.Uvarint(data); n <= 0 {
+			return bad("pending conn")
+		}
+		data = data[n:]
+		if p.respID, n = binary.Uvarint(data); n <= 0 {
+			return bad("pending respID")
+		}
+		data = data[n:]
+		var v int64
+		if v, n = binary.Varint(data); n <= 0 {
+			return bad("pending respSize")
+		}
+		p.respSize = int(v)
+		data = data[n:]
+		pending[id] = p
+	}
+	rest, err := s.tcp.RestoreState(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return bad("trailing bytes")
+	}
+	s.served = served
+	s.lookups = lookups
+	s.pending = pending
+	return nil
+}
+
+var _ guest.Snapshotter = (*NFSServer)(nil)
 
 // NFSLoadGen is the fabric-side nhfsstone stand-in: N client processes
 // sharing a constant aggregate op rate against one NFS guest, drawing ops

@@ -1,0 +1,152 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"stopwatch/internal/sim"
+	"stopwatch/internal/transport"
+)
+
+// midOpNFSServer drives an NFS server into a mid-operation state (some ops
+// answered, at least one waiting on disk, the name-cache counter advanced)
+// and returns it.
+func midOpNFSServer(t *testing.T) *NFSServer {
+	t.Helper()
+	srv, err := NewNFSServer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newBaselineHarness(t, srv)
+	conn := h.client.Connect("svc:g", nil)
+	for _, op := range []NFSOp{OpLookup, OpGetattr, OpRead, OpWrite, OpCreate} {
+		if err := h.client.Request(conn, NFSRequest{Op: op, Bytes: 8192}, func(transport.Response) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Long enough for requests to arrive and issue their disk I/O, short
+	// enough that the disk queue has not drained.
+	if err := h.loop.RunUntil(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.pending) == 0 {
+		t.Fatal("harness did not leave an op waiting on disk; lower RunUntil")
+	}
+	return srv
+}
+
+func TestNFSServerSnapshotRoundTrip(t *testing.T) {
+	srv := midOpNFSServer(t)
+	snap := srv.SnapshotAppend(nil)
+
+	restored, err := NewNFSServer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Served() != srv.Served() {
+		t.Fatalf("served %d, want %d", restored.Served(), srv.Served())
+	}
+	if restored.lookups != srv.lookups {
+		t.Fatalf("lookups %d, want %d", restored.lookups, srv.lookups)
+	}
+	if len(restored.pending) != len(srv.pending) {
+		t.Fatalf("pending %d, want %d", len(restored.pending), len(srv.pending))
+	}
+	for id, want := range srv.pending {
+		got, ok := restored.pending[id]
+		if !ok {
+			t.Fatalf("pending %d missing after restore", id)
+		}
+		if *got != *want {
+			t.Fatalf("pending %d = %+v, want %+v", id, got, want)
+		}
+	}
+	// The restored state must re-serialize byte-identically: that equality
+	// is what replica lockstep rests on.
+	if again := restored.SnapshotAppend(nil); !bytes.Equal(again, snap) {
+		t.Fatalf("re-snapshot differs: %d vs %d bytes", len(again), len(snap))
+	}
+}
+
+func TestNFSServerSnapshotRejectsCorrupt(t *testing.T) {
+	srv := midOpNFSServer(t)
+	snap := srv.SnapshotAppend(nil)
+	restored, err := NewNFSServer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(snap) / 2, len(snap) - 1} {
+		if err := restored.RestoreSnapshot(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := restored.RestoreSnapshot(append(append([]byte{}, snap...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+// TestParsecSnapshotRoundTrip checkpoints the compute/disk chain mid-run
+// and proves a replacement picks it up exactly where it stopped: same
+// position, and the remaining disk reads complete the workload.
+func TestParsecSnapshotRoundTrip(t *testing.T) {
+	prof := ParsecProfile{Name: "t", ComputeBranches: 50_000_000, DiskReads: 6, BytesPerRead: 4096}
+	app, err := NewParsecApp(prof, "collector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newBaselineHarness(t, app)
+	if err := h.loop.RunUntil(20 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if app.stepsLeft == 0 || app.step == 0 {
+		t.Fatalf("chain not mid-run: step=%d stepsLeft=%d; adjust RunUntil", app.step, app.stepsLeft)
+	}
+	snap := app.SnapshotAppend(nil)
+
+	restored, err := NewParsecApp(prof, "collector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.step != app.step || restored.stepsLeft != app.stepsLeft || restored.doneSent != app.doneSent {
+		t.Fatalf("restored chain position %d/%d/%v, want %d/%d/%v",
+			restored.step, restored.stepsLeft, restored.doneSent, app.step, app.stepsLeft, app.doneSent)
+	}
+	if again := restored.SnapshotAppend(nil); !bytes.Equal(again, snap) {
+		t.Fatal("re-snapshot differs")
+	}
+	// The replacement finishes the chain from the checkpointed position:
+	// exactly stepsLeft more reads, then the done report.
+	h2 := newBaselineHarness(t, restored)
+	before := app.stepsLeft
+	if err := h2.loop.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Done() {
+		t.Fatal("restored chain never finished")
+	}
+	if ints := h2.rt.VM().Stats().DiskInterrupts; ints != int64(before) {
+		t.Fatalf("disk interrupts after restore = %d, want the %d remaining steps", ints, before)
+	}
+}
+
+func TestParsecSnapshotRejectsCorrupt(t *testing.T) {
+	app, err := NewParsecApp(ParsecProfile{Name: "t", ComputeBranches: 1_000_000, DiskReads: 2, BytesPerRead: 512}, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := app.SnapshotAppend(nil)
+	for _, cut := range []int{0, 1, len(snap) - 1} {
+		if err := app.RestoreSnapshot(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := app.RestoreSnapshot(append(append([]byte{}, snap...), 0xFF)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"stopwatch/internal/guest"
@@ -105,3 +106,47 @@ func (a *ParsecApp) OnTimer(ctx guest.Ctx, tag string) {}
 
 // Done reports whether the workload finished.
 func (a *ParsecApp) Done() bool { return a.doneSent }
+
+// SnapshotAppend implements guest.Snapshotter: the chain position is the
+// whole mutable state (profile, collector and chunk size are rebuilt by
+// the factory), so a checkpoint is three integers — the cheapest possible
+// replacement for the longest-running guests in the repo.
+func (a *ParsecApp) SnapshotAppend(buf []byte) []byte {
+	buf = binary.AppendVarint(buf, int64(a.step))
+	buf = binary.AppendVarint(buf, int64(a.stepsLeft))
+	done := uint64(0)
+	if a.doneSent {
+		done = 1
+	}
+	return binary.AppendUvarint(buf, done)
+}
+
+// RestoreSnapshot implements guest.Snapshotter.
+func (a *ParsecApp) RestoreSnapshot(data []byte) error {
+	bad := func(what string) error {
+		return fmt.Errorf("%w: parsec snapshot: bad %s", ErrApp, what)
+	}
+	step, n := binary.Varint(data)
+	if n <= 0 {
+		return bad("step")
+	}
+	data = data[n:]
+	stepsLeft, n := binary.Varint(data)
+	if n <= 0 || stepsLeft < 0 {
+		return bad("stepsLeft")
+	}
+	data = data[n:]
+	done, n := binary.Uvarint(data)
+	if n <= 0 || done > 1 {
+		return bad("done flag")
+	}
+	if len(data[n:]) != 0 {
+		return bad("trailing bytes")
+	}
+	a.step = int(step)
+	a.stepsLeft = int(stepsLeft)
+	a.doneSent = done == 1
+	return nil
+}
+
+var _ guest.Snapshotter = (*ParsecApp)(nil)

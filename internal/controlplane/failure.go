@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 
+	"stopwatch/internal/core"
 	"stopwatch/internal/placement"
 )
 
@@ -104,9 +105,19 @@ func (cp *ControlPlane) applyFail(op FailOp, oc *Outcome) {
 	cp.phase(oc, PhaseDrain)
 	residents := cp.pool.Residents(machine)
 	oc.Guests = residents
-	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:fail-reconfig", func() {
+	// The view commit waits on two independent gates: the proposal settle
+	// window (the dead VMM's in-flight packets land everywhere the fabric
+	// will ever deliver them) AND the survivor reconcile round (survivors
+	// exchange what did land, repairing deliveries the loss tore apart).
+	// On a loss-free fabric the round finishes well inside the window, so
+	// the commit time — and the op log — are exactly as before.
+	var windowDone, reconcileDone bool
+	commit := func() {
+		if !windowDone || !reconcileDone {
+			return
+		}
 		// The failure epoch may have ended (RepairOp) — or ended and
-		// restarted — while this closure was in flight; only the closure
+		// restarted — while the gates were in flight; only the closure
 		// belonging to the current, still-active epoch may open the
 		// evacuation gate. A superseded fail still completes, with the
 		// reconfiguration it never performed absent from its phases.
@@ -133,6 +144,23 @@ func (cp *ControlPlane) applyFail(op FailOp, oc *Outcome) {
 		f.reconfigured = true
 		cp.phase(oc, PhaseReconfigure)
 		cp.finish(oc, nil)
+	}
+	cp.c.ReconcileBeforeCommit(machine, residents, func(st core.ReconcileStats) {
+		reconcileDone = true
+		oc.ReconcileRounds = st.Rounds
+		oc.ReconcileRepairs = st.Repairs
+		oc.ReconcileRetries = st.Retries
+		oc.ReconcileGaveUp = st.GaveUp
+		// The phase is stamped only when the round repaired or retried
+		// anything, keeping loss-free op logs byte-identical.
+		if st.Repairs+st.Retries+st.GaveUp > 0 {
+			cp.phase(oc, PhaseReconcile)
+		}
+		commit()
+	})
+	cp.c.Loop().After(cp.cfg.DrainWindow, "cp:fail-reconfig", func() {
+		windowDone = true
+		commit()
 	})
 }
 

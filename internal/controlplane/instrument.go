@@ -54,6 +54,12 @@ func (cp *ControlPlane) InstrumentMetrics(reg *metrics.Registry) (cancel func())
 		"detector suspicions rejected because the machine's VMM was alive")
 	gatedAdmissions := reg.NewCounter("stopwatch_cp_admissions_gated_total",
 		"admissions rejected while at least one host was gated by telemetry-driven admission")
+	reconcileRounds := reg.NewCounter("stopwatch_cp_reconcile_rounds_total",
+		"pre-commit survivor reconcile rounds run by FailOps (one per resident guest with a live pair)")
+	reconcileRepairs := reg.NewCounter("stopwatch_cp_reconcile_repairs_total",
+		"sequences repaired at importers during pre-commit reconcile rounds")
+	reconcileRetries := reg.NewCounter("stopwatch_cp_reconcile_retries_total",
+		"reconcile export resends after ack loss")
 	reg.NewGaugeFunc("stopwatch_cp_residents",
 		"resident guests", func() float64 { return float64(cp.pool.Guests()) })
 	reg.NewGaugeFunc("stopwatch_cp_utilization",
@@ -97,6 +103,9 @@ func (cp *ControlPlane) InstrumentMetrics(reg *metrics.Registry) (cancel func())
 			completed.With(kind).Inc()
 			if oc, ok := cp.Outcome(ev.Seq); ok {
 				retries.Add(uint64(oc.QuiesceRetries))
+				reconcileRounds.Add(uint64(oc.ReconcileRounds))
+				reconcileRepairs.Add(uint64(oc.ReconcileRepairs))
+				reconcileRetries.Add(uint64(oc.ReconcileRetries))
 			}
 		case OpFailed:
 			failed.With(kind).Inc()
@@ -105,6 +114,9 @@ func (cp *ControlPlane) InstrumentMetrics(reg *metrics.Registry) (cancel func())
 				return
 			}
 			retries.Add(uint64(oc.QuiesceRetries))
+			reconcileRounds.Add(uint64(oc.ReconcileRounds))
+			reconcileRepairs.Add(uint64(oc.ReconcileRepairs))
+			reconcileRetries.Add(uint64(oc.ReconcileRetries))
 			if oc.Rejected() {
 				rejected.With(kind).Inc()
 				if f, isFail := ev.Op.(FailOp); isFail && f.Detected {

@@ -88,6 +88,10 @@ type Stats struct {
 	// Admit/Replace ops the planner produced a one-move plan for (PhasePlan
 	// reached), whether or not the plan ultimately unblocked them.
 	Migrations, MigrationFailures, MigrationsPlanned int
+	// ReconcileRounds, ReconcileRepairs and ReconcileRetries sum the FailOps'
+	// pre-commit survivor reconcile rounds: per-guest rounds run, sequences
+	// repaired at importers, and export resends after ack loss.
+	ReconcileRounds, ReconcileRepairs, ReconcileRetries int
 }
 
 // Stats folds the operations log into decision counters, incrementally:
@@ -188,6 +192,9 @@ func accumulate(st *Stats, oc *Outcome) {
 		if len(oc.Phases) > 0 {
 			st.HostFailures++
 		}
+		st.ReconcileRounds += oc.ReconcileRounds
+		st.ReconcileRepairs += oc.ReconcileRepairs
+		st.ReconcileRetries += oc.ReconcileRetries
 	}
 }
 

@@ -151,11 +151,16 @@ func runOpLogScenario(t *testing.T, seed uint64) (string, Stats, Stats) {
 	// Whole-machine crash: fail, evacuate, repair.
 	c.Loop().At(4*sim.Second, "crash", func() {
 		m := busiestMachine(cp)
-		if oc := cp.Apply(FailOp{Machine: m}); oc.Rejected() {
+		oc := cp.Apply(FailOp{Machine: m})
+		if oc.Rejected() {
 			t.Errorf("fail: %v", oc.Err)
 			return
 		}
 		shadow.HostFailures++
+		// Every resident has a surviving pair (nothing else failed here), so
+		// the pre-commit reconcile runs one round per resident; the fabric is
+		// loss-free, so the rounds repair and retry nothing.
+		shadow.ReconcileRounds += len(oc.Guests)
 		cp.Apply(EvacuateOp{Machine: m, Done: func(oc *Outcome) {
 			shadow.evacuation(cp, oc, true)
 			if oc := cp.Apply(RepairOp{Machine: m}); oc.Err != nil {

@@ -258,6 +258,7 @@ const (
 	PhaseResume      Phase = "resume"      // replace: ingress resumed, buffer flushed
 	PhaseDrain       Phase = "drain"       // drain/fail: capacity left the pool
 	PhaseUndrain     Phase = "undrain"     // undrain: capacity returned to the pool
+	PhaseReconcile   Phase = "reconcile"   // fail: survivor reconcile round repaired lost proposals
 	PhaseReconfigure Phase = "reconfigure" // fail: live-quorum groups installed
 	PhaseEvacuate    Phase = "evacuate"    // drain/evacuate: resident moves started
 	PhasePlan        Phase = "plan"        // admit/replace: infeasible request got a migration plan
@@ -306,6 +307,15 @@ type Outcome struct {
 	Phases []PhaseTiming
 	// QuiesceRetries counts quiescence re-checks beyond the first.
 	QuiesceRetries int
+
+	// ReconcileRounds/Repairs/Retries/GaveUp carry a FailOp's pre-commit
+	// survivor reconcile round: guest rounds run, sequences repaired at
+	// importers, export resends after ack loss, and pairs abandoned at the
+	// attempt cap. All zero on a loss-free fabric.
+	ReconcileRounds  int
+	ReconcileRepairs int
+	ReconcileRetries int
+	ReconcileGaveUp  int
 
 	// Guests lists the affected guest ids (the admitted/evicted/replaced
 	// guest; a whole-machine op's residents at submission).
@@ -364,8 +374,16 @@ func (oc *Outcome) String() string {
 	for i, pt := range oc.Phases {
 		phases[i] = fmt.Sprintf("%s@%d", pt.Phase, int64(pt.At))
 	}
-	return fmt.Sprintf("#%04d %s sub=%d done=%d parent=%d retries=%d guests=%v pool=%d→%d phases=[%s] %s",
+	// The reconcile segment renders only when the round actually did
+	// something: loss-free runs keep their historical log bytes (and
+	// digests) unchanged.
+	reconcile := ""
+	if oc.ReconcileRepairs+oc.ReconcileRetries+oc.ReconcileGaveUp > 0 {
+		reconcile = fmt.Sprintf(" reconcile=%d/%d/%d/%d",
+			oc.ReconcileRounds, oc.ReconcileRepairs, oc.ReconcileRetries, oc.ReconcileGaveUp)
+	}
+	return fmt.Sprintf("#%04d %s sub=%d done=%d parent=%d retries=%d guests=%v pool=%d→%d%s phases=[%s] %s",
 		oc.Seq, oc.Op, int64(oc.Submitted), int64(oc.Completed), oc.Parent,
 		oc.QuiesceRetries, oc.Guests, oc.Pool.GuestsBefore, oc.Pool.GuestsAfter,
-		strings.Join(phases, " "), status)
+		reconcile, strings.Join(phases, " "), status)
 }

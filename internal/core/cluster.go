@@ -123,6 +123,11 @@ type Cluster struct {
 	onStallSuspect func(machine int)
 	stallQ         [][]stallRec
 
+	// rcl owns the pre-view-commit survivor reconcile rounds
+	// (reconcile.go): sessions are driven from control events and
+	// barriers, imports and acks record into its per-shard queues.
+	rcl reconciler
+
 	ingress *gateway.Ingress
 	egress  *gateway.Egress
 
@@ -311,6 +316,9 @@ type hostNode struct {
 	c    *Cluster
 	host *vmm.Host
 	addr netsim.Addr
+	// shard indexes the host's fabric shard: which per-shard queue its
+	// delivery events may append to (stalls, reconcile records).
+	shard int
 
 	mrx *multicast.Receiver
 
@@ -378,7 +386,8 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 		hostIdxByName: make(map[string]int, cfg.Hosts),
 		stallQ:        make([][]stallRec, cfg.Shards),
 	}
-	c.coord = sim.NewCoordinator(loop, shardLoops, net.Lookahead, net.Exchange, c.drainStalls)
+	c.rcl.q = make([][]rclRec, cfg.Shards)
+	c.coord = sim.NewCoordinator(loop, shardLoops, net.Lookahead, net.Exchange, c.onBarrier)
 	c.coord.SetParallel(cfg.Shards > 1)
 	for i := 0; i < cfg.Hosts; i++ {
 		name := fmt.Sprintf("host%d", i)
@@ -401,11 +410,18 @@ func New(cfg ClusterConfig) (*Cluster, error) {
 			c:        c,
 			host:     h,
 			addr:     netsim.Addr("dom0:" + name),
+			shard:    i % cfg.Shards,
 			netdevs:  make(map[string]*vmm.NetDevice),
 			runtimes: make(map[string]*vmm.Runtime),
 			epochs:   make(map[string]*vmm.EpochCoordinator),
 		}
 		if err := net.AssignShard(hn.addr, i%cfg.Shards); err != nil {
+			return nil, err
+		}
+		// The host's reconcile source endpoint lives on its shard; its links
+		// (and their seeded streams) are created lazily on first use, so the
+		// address costs nothing until a machine actually crashes.
+		if err := net.AssignShard(rclAddr(name), i%cfg.Shards); err != nil {
 			return nil, err
 		}
 		mrx, err := multicast.NewReceiver(net, hostLoop, multicast.ReceiverConfig{
@@ -873,6 +889,10 @@ func (hn *hostNode) deliver(p *netsim.Packet) {
 		if rt, ok := hn.runtimes[p.Body.GuestID]; ok {
 			rt.OnPeerVirt(p.Body.Origin, p.Body.Virt)
 		}
+	case "swrcl":
+		hn.handleReconcile(p)
+	case "swrclack":
+		hn.handleReconcileAck(p)
 	case "swepoch":
 		if ec, ok := hn.epochs[p.Body.GuestID]; ok {
 			ec.OnPeerSample(p.Body.Origin, p.Body.Epoch, p.Body.Sample)

@@ -133,6 +133,12 @@ func statsField(st stopwatch.ControlPlaneStats, field string) int {
 		return st.MigrationFailures
 	case "migrations_planned":
 		return st.MigrationsPlanned
+	case "reconcile_rounds":
+		return st.ReconcileRounds
+	case "reconcile_repairs":
+		return st.ReconcileRepairs
+	case "reconcile_retries":
+		return st.ReconcileRetries
 	}
 	return 0
 }
@@ -166,6 +172,12 @@ func (r *runner) assertOplog(a Assertion, log []*stopwatch.Outcome) {
 					fop.Machine, float64(lat)/1e6, a.WithinMS)
 			}
 		}
+	}
+	if a.NotFired {
+		if count > 0 {
+			r.failf("oplog assertion %s: fired %d times, want not fired at all", a.Op, count)
+		}
+		return
 	}
 	r.assertBound(fmt.Sprintf("oplog assertion %s", a.Op), float64(count), a.Min, a.Max)
 }

@@ -155,7 +155,7 @@ func (d *dec) scenario(root *node) (*Scenario, error) {
 		return nil, err
 	}
 	if err := d.checkKeys(root, "scenario",
-		"name", "description", "duration_ms", "seeds", "ci", "digests", "fleet", "events", "assertions"); err != nil {
+		"name", "description", "duration_ms", "seeds", "ci", "digests", "output_digests", "fleet", "events", "assertions"); err != nil {
 		return nil, err
 	}
 	sc := &Scenario{}
@@ -201,6 +201,31 @@ func (d *dec) scenario(root *node) (*Scenario, error) {
 				return nil, d.errf(v.line, "digest for seed %s must be 16 hex chars", k)
 			}
 			sc.Digests[seed] = v.scalar
+		}
+	}
+	if od, ok := root.vals["output_digests"]; ok {
+		if err := d.wantMap(od, "output_digests"); err != nil {
+			return nil, err
+		}
+		sc.OutputDigests = map[uint64]map[string]string{}
+		for _, k := range od.keys {
+			seed, perr := strconv.ParseUint(k, 10, 64)
+			if perr != nil {
+				return nil, d.errf(od.keyLine[k], "output_digests key must be a seed, got %q", k)
+			}
+			per := od.vals[k]
+			if err := d.wantMap(per, "output_digests seed "+k); err != nil {
+				return nil, err
+			}
+			byGuest := map[string]string{}
+			for _, g := range per.keys {
+				v := per.vals[g]
+				if v.kind != scalarNode || len(v.scalar) != 16 {
+					return nil, d.errf(v.line, "output digest for guest %q under seed %s must be 16 hex chars", g, k)
+				}
+				byGuest[g] = v.scalar
+			}
+			sc.OutputDigests[seed] = byGuest
 		}
 	}
 	fl, ok := root.vals["fleet"]
@@ -507,7 +532,7 @@ var assertKeys = map[string][]string{
 	"placement":  {},
 	"coresident": {"guests", "min_shared"},
 	"stats":      {"field", "min", "max"},
-	"oplog":      {"op", "detected", "min", "max", "within_ms"},
+	"oplog":      {"op", "detected", "min", "max", "within_ms", "not_fired"},
 	"metric":     {"name", "label", "min", "max"},
 	"journal":    {"guest", "min_checkpoints"},
 }
@@ -564,6 +589,9 @@ func (d *dec) assertion(n *node) (Assertion, error) {
 		return a, err
 	}
 	if a.Max, err = d.optFloat(n, "max"); err != nil {
+		return a, err
+	}
+	if a.NotFired, err = d.boolField(n, "not_fired", false); err != nil {
 		return a, err
 	}
 	if v, e := d.intField(n, "min_shared", 1); e != nil {

@@ -190,6 +190,32 @@ func TestDecodeGoldenErrors(t *testing.T) {
 	// Malformed digest pin.
 	wantErr(t, head+"digests:\n  1: abc\n"+goodFleet,
 		`test.yaml:5: digest for seed 1 must be 16 hex chars`)
+	// Malformed output-digest pin.
+	wantErr(t, head+"output_digests:\n  1:\n    g-0: abc\n"+goodFleet,
+		`test.yaml:6: output digest for guest "g-0" under seed 1 must be 16 hex chars`)
+	// Non-seed output-digest key.
+	wantErr(t, head+"output_digests:\n  alpha:\n    g-0: 0123456789abcdef\n"+goodFleet,
+		`test.yaml:5: output_digests key must be a seed, got "alpha"`)
+}
+
+// TestDecodeNotFiredAndOutputDigests: the not_fired oplog form and the
+// per-guest output-digest pins decode into the schema.
+func TestDecodeNotFiredAndOutputDigests(t *testing.T) {
+	sc := mustParse(t, head+"output_digests:\n  1:\n    g-0: 0123456789abcdef\n"+goodFleet+`assertions:
+  - check: oplog
+    op: repair
+    not_fired: true
+`)
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if sc.OutputDigests[1]["g-0"] != "0123456789abcdef" {
+		t.Fatalf("output digests decoded wrong: %+v", sc.OutputDigests)
+	}
+	a := sc.Assertions[0]
+	if !a.NotFired || a.Min != nil || a.Max != nil {
+		t.Fatalf("not_fired assertion decoded wrong: %+v", a)
+	}
 }
 
 func TestValidateGoldenErrors(t *testing.T) {
@@ -264,6 +290,21 @@ func TestValidateGoldenErrors(t *testing.T) {
     guest: g
     count: 1
 `, `test.yaml:14: saturate-disk event: guest spec "g" has no disk load (set app disk_kb)`)
+	// not_fired combined with a bound.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: oplog
+    op: repair
+    not_fired: true
+    max: 1
+`, `test.yaml:14: oplog assertion: not_fired excludes min/max/within_ms`)
+	// An oplog assertion with no bound at all.
+	wantErr(t, head+goodFleet+`assertions:
+  - check: oplog
+    op: repair
+`, `test.yaml:14: oplog assertion needs min and/or max (or not_fired: true)`)
+	// Output-digest pin for an undeclared instance.
+	wantErr(t, head+"output_digests:\n  1:\n    ghost: 0123456789abcdef\n"+goodFleet,
+		`test.yaml:1: output_digests seed 1 references undeclared guest "ghost"`)
 }
 
 func TestParserRejectsMalformedYAML(t *testing.T) {

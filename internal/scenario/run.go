@@ -31,6 +31,10 @@ type Options struct {
 	// Listen, when non-empty, serves the observability plane
 	// (/metrics, /ops) on this address for the duration of the run.
 	Listen string
+	// DisableReconcile turns off the pre-view-commit survivor reconcile
+	// round (failure-injection experiments: demonstrate the divergence the
+	// round exists to prevent).
+	DisableReconcile bool
 }
 
 // Result is one scenario run's outcome.
@@ -149,6 +153,9 @@ func (r *runner) build() error {
 		return err
 	}
 	r.c, r.cp = c, cp
+	if r.opt.DisableReconcile {
+		c.DisableViewReconcile()
+	}
 	if f.PlannedMigration {
 		cp.EnablePlannedMigration()
 	}
@@ -755,6 +762,32 @@ func (r *runner) finish() *Result {
 	if res.Pinned != "" && res.Pinned != res.Digest {
 		r.failf("op-log digest %s does not match the pin %s for seed %d", res.Digest, res.Pinned, r.seed)
 	}
+	r.checkOutputDigests()
 	res.Failures = r.failures
 	return res
+}
+
+// checkOutputDigests compares every live replica of each pinned instance
+// against the scenario's per-guest output-digest pin for this seed — the
+// data-plane counterpart of the op-log pin.
+func (r *runner) checkOutputDigests() {
+	pins := r.sc.OutputDigests[r.seed]
+	for _, id := range sortedGuests(pins) {
+		want := pins[id]
+		g, ok := r.c.Guest(id)
+		if !ok {
+			r.failf("output digest %s: guest not deployed", id)
+			continue
+		}
+		for _, rep := range g.Replicas() {
+			if rep.Runtime().Stopped() {
+				continue // a frozen replica's output is the degraded prefix
+			}
+			got := fmt.Sprintf("%016x", rep.Runtime().VM().OutputDigest())
+			if got != want {
+				r.failf("output digest %s slot %d: %s does not match the pin %s for seed %d",
+					id, rep.Slot(), got, want, r.seed)
+			}
+		}
+	}
 }

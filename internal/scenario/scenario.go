@@ -38,6 +38,10 @@ type Scenario struct {
 	// Digests pins the op-log digest per seed ("%016x"); empty means
 	// unpinned. A digest mismatch is an assertion failure.
 	Digests map[uint64]string
+	// OutputDigests pins per-guest output digests per seed
+	// (seed → instance → "%016x"): the data-plane counterpart of Digests,
+	// checked against every live replica of the instance at end of run.
+	OutputDigests map[uint64]map[string]string
 
 	Fleet      Fleet
 	Events     []Event
@@ -194,6 +198,9 @@ type Assertion struct {
 	// Min/Max bound the asserted value (stats, oplog count, metric).
 	Min *float64
 	Max *float64
+	// NotFired asserts the op never appeared on the log at all (oplog) —
+	// the readable spelling of max: 0, mutually exclusive with bounds.
+	NotFired bool
 	// MinShared is the coresident host-overlap lower bound.
 	MinShared int
 	// MinCheckpoints is the journal checkpoint lower bound.

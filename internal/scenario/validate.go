@@ -9,6 +9,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -22,6 +23,7 @@ var statsFields = map[string]bool{
 	"host_failures": true, "crash_evacuations": true,
 	"crash_evacuation_failures": true,
 	"migrations":                true, "migration_failures": true, "migrations_planned": true,
+	"reconcile_rounds": true, "reconcile_repairs": true, "reconcile_retries": true,
 }
 
 // opKinds is the op-log vocabulary of the "oplog" assertion.
@@ -106,6 +108,31 @@ func (v *validator) fleet() {
 			}
 		}
 	}
+	for _, seed := range sortedSeeds(sc.OutputDigests) {
+		for _, g := range sortedGuests(sc.OutputDigests[seed]) {
+			v.guestRef(1, g, fmt.Sprintf("output_digests seed %d", seed))
+		}
+	}
+}
+
+// sortedSeeds/sortedGuests order the digest-pin maps for deterministic
+// validation reports.
+func sortedSeeds(m map[uint64]map[string]string) []uint64 {
+	out := make([]uint64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedGuests(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // guestRef checks a guest reference: a spec name (when the spec's total
@@ -257,8 +284,11 @@ func (v *validator) assertions() {
 			if !opKinds[a.Op] {
 				v.errf(a.Line, "oplog assertion: unknown op %q", a.Op)
 			}
-			if a.Min == nil && a.Max == nil {
-				v.errf(a.Line, "oplog assertion needs min and/or max")
+			if a.NotFired && (a.Min != nil || a.Max != nil || a.WithinMS > 0) {
+				v.errf(a.Line, "oplog assertion: not_fired excludes min/max/within_ms")
+			}
+			if !a.NotFired && a.Min == nil && a.Max == nil {
+				v.errf(a.Line, "oplog assertion needs min and/or max (or not_fired: true)")
 			}
 			if a.WithinMS > 0 && (a.Op != "fail" || a.Detected == nil || !*a.Detected) {
 				v.errf(a.Line, "oplog assertion: within_ms needs op: fail with detected: true")

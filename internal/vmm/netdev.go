@@ -65,6 +65,20 @@ type NetDevice struct {
 	resolvedLo uint64
 	resolvedHi map[uint64]bool
 
+	// resRing is a bounded ring of recent (seq, deliver) resolutions — what
+	// the device exports during a pre-view-commit reconcile round so a
+	// survivor that lost the dead member's vote can adopt the decision
+	// instead of wedging. An inline array: recording is one store on the
+	// resolution hot path, and the device allocates nothing for it.
+	resRing [resRingCap]resolvedRec
+	resNext int
+
+	// forced holds delivery decisions adopted from a peer's reconcile
+	// export for sequences whose payload has not arrived here yet; the
+	// payload's eventual arrival delivers at the adopted time instead of
+	// proposing. Survives view changes — the decision is final.
+	forced map[uint64]vtime.Virtual
+
 	// ProposalDeadline, when positive, arms a host-loop timer per proposed
 	// sequence; OnStall fires if the sequence has not resolved by then —
 	// the hook a failure detector uses to notice a dead peer VMM. Disabled
@@ -216,6 +230,13 @@ func processTimer(a, b any, _ uint64) {
 		st.payload = p
 		st.hasPayload = true
 	}
+	// A reconcile round may have adopted this sequence's delivery decision
+	// before the payload arrived: deliver at the agreed time, don't propose.
+	if v, ok := nd.forced[seq]; ok {
+		delete(nd.forced, seq)
+		nd.adoptResolution(seq, st, v)
+		return
+	}
 	if !st.own {
 		st.own = true
 		nd.propose(seq, st)
@@ -366,7 +387,16 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 	if nd.LatencyHist != nil && st.own {
 		nd.LatencyHist.Observe(int64(nd.rt.Host().Loop().Now() - st.proposedAt))
 	}
+	nd.finishResolve(seq, st, deliver)
+}
+
+// finishResolve commits a delivery decision for seq: watermark, resolution
+// ring, journal hook and runtime delivery. Shared by the median path and
+// reconcile adoption.
+func (nd *NetDevice) finishResolve(seq uint64, st *propState, deliver vtime.Virtual) {
 	nd.markResolved(seq)
+	nd.resRing[nd.resNext] = resolvedRec{seq: seq, deliver: deliver}
+	nd.resNext = (nd.resNext + 1) % resRingCap
 	delete(nd.props, seq)
 	payload := st.payload
 	nd.releaseState(st)
@@ -374,6 +404,14 @@ func (nd *NetDevice) maybeResolve(seq uint64, st *propState) {
 		nd.OnResolve.OnResolve(seq, deliver, payload)
 	}
 	nd.rt.EnqueueNetDelivery(seq, deliver, payload)
+}
+
+// adoptResolution installs a peer-resolved delivery decision for a sequence
+// whose payload is present: the decision was reached by a full median at the
+// exporting survivor, so it is adopted verbatim instead of re-proposed.
+func (nd *NetDevice) adoptResolution(seq uint64, st *propState, deliver vtime.Virtual) {
+	nd.resolved++
+	nd.finishResolve(seq, st, deliver)
 }
 
 // markResolved records seq as resolved, compacting into the watermark.
